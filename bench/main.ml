@@ -1,0 +1,576 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Usage:
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe table1     -- one experiment
+   Targets: table1 table2 table3 figure1 figure2 ablation overhead
+            casestudies timings *)
+
+module D = Slo_core.Driver
+module L = Slo_core.Legality
+module A = Slo_core.Affinity
+module H = Slo_core.Heuristics
+module T = Slo_core.Transform
+module Adv = Slo_core.Advisor
+module W = Slo_profile.Weights
+module Collect = Slo_profile.Collect
+module Matching = Slo_profile.Matching
+module Suite = Slo_suite.Suite
+module Table = Slo_util.Table
+module Stats = Slo_util.Stats
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let compile_cache : (string, Ir.program) Hashtbl.t = Hashtbl.create 16
+
+let compile (e : Suite.entry) =
+  match Hashtbl.find_opt compile_cache e.name with
+  | Some p -> p
+  | None ->
+    let p = D.compile e.source in
+    Hashtbl.replace compile_cache e.name p;
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: types and transformable types                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  say "== Table 1: Types and transformable types, with and without";
+  say "==          CSTF/CSTT/ATKN (plus the real points-to column) ==";
+  let t =
+    Table.create
+      [ ("Benchmark", Table.Left); ("Types", Table.Right);
+        ("Legal", Table.Right); ("%", Table.Right);
+        ("PtsTo", Table.Right); ("%", Table.Right);
+        ("Relax", Table.Right); ("%", Table.Right);
+        ("paper L%", Table.Right); ("paper R%", Table.Right) ]
+  in
+  let sum_l = ref 0.0 and sum_p = ref 0.0 and sum_r = ref 0.0 in
+  let n = ref 0 in
+  List.iter
+    (fun (e : Suite.entry) ->
+      let prog = compile e in
+      let leg = L.analyze prog in
+      let pts = Slo_pointsto.Pointsto.analyze prog in
+      let types = L.types leg in
+      let total = List.length types in
+      let legal = L.legal_count leg in
+      let relax = L.legal_count ~relax:true leg in
+      (* points-to-legal: strict-legal, or relax-recoverable and not
+         collapsed *)
+      let ptsto =
+        List.length
+          (List.filter
+             (fun s ->
+               L.is_legal leg s
+               || (L.is_legal ~relax:true leg s
+                  && Slo_pointsto.Pointsto.refutable pts s))
+             types)
+      in
+      let pct x = 100.0 *. float_of_int x /. float_of_int total in
+      sum_l := !sum_l +. pct legal;
+      sum_p := !sum_p +. pct ptsto;
+      sum_r := !sum_r +. pct relax;
+      incr n;
+      let paper_l, paper_r =
+        match e.paper with
+        | Some p -> (Table.fpct p.p_legal_pct, Table.fpct p.p_relax_pct)
+        | None -> ("-", "-")
+      in
+      Table.add_row t
+        [ e.name; string_of_int total; string_of_int legal;
+          Table.fpct (pct legal); string_of_int ptsto;
+          Table.fpct (pct ptsto); string_of_int relax;
+          Table.fpct (pct relax); paper_l; paper_r ])
+    Suite.roster;
+  Table.add_sep t;
+  let avg x = !x /. float_of_int !n in
+  Table.add_row t
+    [ "Average:"; ""; ""; Table.fpct (avg sum_l); "";
+      Table.fpct (avg sum_p); ""; Table.fpct (avg sum_r);
+      Table.fpct Suite.paper_avg_legal_pct;
+      Table.fpct Suite.paper_avg_relax_pct ];
+  print_string (Table.render t);
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: relative field hotness under the weighting schemes         *)
+(* ------------------------------------------------------------------ *)
+
+let mcf_feedbacks = ref None
+
+let get_mcf_feedbacks () =
+  match !mcf_feedbacks with
+  | Some fbs -> fbs
+  | None ->
+    let e = Suite.find "181.mcf" in
+    let prog = compile e in
+    say "(collecting mcf profiles: train, reference, uninstrumented...)";
+    let fb_train, _ = Collect.collect ~args:e.train_args prog in
+    let fb_ref, _ = Collect.collect ~args:e.ref_args prog in
+    let fb_noinstr, _ =
+      Collect.collect ~args:e.train_args ~instrument:false prog
+    in
+    let fbs = (prog, fb_train, fb_ref, fb_noinstr) in
+    mcf_feedbacks := Some fbs;
+    fbs
+
+let field_hotness prog scheme fb =
+  let bw = W.block_weights prog scheme ~feedback:fb in
+  let aff = A.analyze prog bw in
+  match A.graph aff "node" with
+  | Some g -> A.relative_hotness g
+  | None -> [||]
+
+(* d-cache columns: per-field sampled miss counts / latencies *)
+let field_dcache_metric prog fb ~latency =
+  let matched = Matching.apply prog fb in
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.idesc with
+              | Ir.Iload (_, _, _, Some a) | Ir.Istore (_, _, _, Some a)
+                when String.equal a.astruct "node" -> (
+                match Hashtbl.find_opt matched.instr_dcache i.iid with
+                | Some st ->
+                  let v =
+                    if latency then st.latency else st.misses
+                  in
+                  let prev =
+                    Option.value ~default:0 (Hashtbl.find_opt acc a.afield)
+                  in
+                  Hashtbl.replace acc a.afield (prev + v)
+                | None -> ())
+              | _ -> ())
+            b.instrs)
+        f.fblocks)
+    prog.Ir.funcs;
+  let decl = Structs.find prog.Ir.structs "node" in
+  let raw =
+    Array.init (Array.length decl.fields) (fun fi ->
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt acc fi)))
+  in
+  Stats.relative_percent raw
+
+let table2 () =
+  say "== Table 2: Relative field hotness for mcf node_t under the";
+  say "==          weighting schemes, with correlation r to PBO ==";
+  let prog, fb_train, fb_ref, fb_noinstr = get_mcf_feedbacks () in
+  let columns =
+    [ ("PBO", field_hotness prog W.PBO (Some fb_train));
+      ("PPBO", field_hotness prog W.PPBO (Some fb_ref));
+      ("SPBO", field_hotness prog W.SPBO None);
+      ("ISPBO", field_hotness prog W.ISPBO None);
+      ("ISPBO.NO", field_hotness prog W.ISPBO_NO None);
+      ("ISPBO.W", field_hotness prog W.ISPBO_W None);
+      ("DMISS", field_dcache_metric prog fb_train ~latency:false);
+      ("DLAT", field_dcache_metric prog fb_train ~latency:true);
+      ("DMISS.NO", field_dcache_metric prog fb_noinstr ~latency:false) ]
+  in
+  let decl = Structs.find prog.Ir.structs "node" in
+  let t =
+    Table.create
+      (("Field", Table.Left)
+      :: List.map (fun (n, _) -> (n, Table.Right)) columns)
+  in
+  Array.iteri
+    (fun fi (f : Structs.field) ->
+      Table.add_row t
+        (f.name
+        :: List.map
+             (fun (_, col) ->
+               if fi < Array.length col then Table.fpct col.(fi) else "-")
+             columns))
+    decl.fields;
+  Table.add_sep t;
+  let baseline = List.assoc "PBO" columns in
+  let hottest = Stats.argmax baseline in
+  let corr col = Stats.correlation baseline col in
+  let corr' col = Stats.correlation_excluding hottest baseline col in
+  Table.add_row t
+    ("Correlation r"
+    :: List.map (fun (_, col) -> Printf.sprintf "%.3f" (corr col)) columns);
+  Table.add_row t
+    ("Correlation r'"
+    :: List.map (fun (_, col) -> Printf.sprintf "%.3f" (corr' col)) columns);
+  print_string (Table.render t);
+  say "(r' disregards the PBO-hottest field, %s; paper: potential)"
+    decl.fields.(hottest).name;
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: transformed types and performance impact                   *)
+(* ------------------------------------------------------------------ *)
+
+let eval_row (e : Suite.entry) scheme =
+  let prog = compile e in
+  let feedback =
+    if W.needs_profile scheme then begin
+      let fb, _ = Collect.collect ~args:e.train_args prog in
+      Some fb
+    end
+    else None
+  in
+  D.evaluate ~args:e.ref_args ~scheme ~feedback prog
+
+let table3 () =
+  say "== Table 3: Transformable/transformed types and performance ==";
+  let t =
+    Table.create
+      [ ("Benchmark", Table.Left); ("PBO", Table.Left); ("T", Table.Right);
+        ("Tt", Table.Right); ("S/D", Table.Right);
+        ("Performance", Table.Right); ("paper", Table.Right) ]
+  in
+  let do_row (e : Suite.entry) scheme pbo_label =
+    say "(evaluating %s [%s]...)" e.name pbo_label;
+    let ev = eval_row e scheme in
+    if
+      ev.e_before.m_result.output <> ev.e_after.m_result.output
+    then
+      say "!! OUTPUT MISMATCH on %s — transformation bug" e.name;
+    let total = List.length ev.e_decisions in
+    let transformed =
+      List.length (List.filter (fun (d : H.decision) -> d.d_plan <> None)
+                     ev.e_decisions)
+    in
+    let split_dead =
+      List.fold_left
+        (fun acc (d : H.decision) ->
+          match d.d_plan with
+          | Some (H.Split s) ->
+            acc + List.length s.s_cold + List.length s.s_dead
+          | Some (H.Peel p) -> acc + List.length p.p_dead
+          | Some (H.Rebuild r) -> acc + List.length r.r_dead
+          | None -> acc)
+        0 ev.e_decisions
+    in
+    Table.add_row t
+      [ e.name; pbo_label; string_of_int total; string_of_int transformed;
+        string_of_int split_dead;
+        Printf.sprintf "%+.1f%%" ev.e_speedup_pct;
+        (match e.paper with Some p -> p.p_perf | None -> "-") ]
+  in
+  List.iter
+    (fun (e : Suite.entry) ->
+      do_row e W.PBO "yes";
+      (* the paper shows mcf and moldyn with and without profiles *)
+      if List.mem e.name [ "181.mcf"; "moldyn" ] then
+        do_row e W.ISPBO "no")
+    Suite.roster;
+  print_string (Table.render t);
+  say "";
+  say "(performance = speedup (cycles_before/cycles_after - 1);";
+  say " the simulator over-rewards splitting relative to Itanium hardware —";
+  say " see EXPERIMENTS.md for the shape comparison)";
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: layouts before/after splitting and peeling                *)
+(* ------------------------------------------------------------------ *)
+
+let figure1 () =
+  say "== Figure 1: an array of record types (a), after splitting (b),";
+  say "==           and after peeling (c) ==";
+  let src =
+    "struct rec { long hot1; double cold1; long hot2; double cold2; };\n\
+     struct rec *arr;\n\
+     long n;\n\
+     long use_hot() { long i; long s = 0;\n\
+     for (i = 0; i < n; i++) { s = s + arr[i].hot1 + arr[i].hot2; }\n\
+     return s; }\n\
+     double use_cold() { long i; double s = 0.0;\n\
+     for (i = 0; i < n; i = i + 64) { s = s + arr[i].cold1 + arr[i].cold2; }\n\
+     return s; }\n\
+     int main() { long it; long s = 0; double c = 0.0; n = 4096;\n\
+     arr = (struct rec*)malloc(n * sizeof(struct rec));\n\
+     for (it = 0; it < n; it++) { arr[it].hot1 = it; arr[it].hot2 = 2*it;\n\
+     arr[it].cold1 = it * 0.5; arr[it].cold2 = it * 0.25; }\n\
+     for (it = 0; it < 200; it++) { s = s + use_hot();\n\
+     if (it % 50 == 0) { c = c + use_cold(); } }\n\
+     printf(\"%ld %g\\n\", s, c); return 0; }\n"
+  in
+  let show prog label =
+    say "--- %s ---" label;
+    let layout = Layout.create prog.Ir.structs in
+    List.iter
+      (fun name -> print_string (Layout.describe layout name))
+      (Structs.names prog.Ir.structs)
+  in
+  let prog = D.compile src in
+  show prog "(a) original array of structures";
+  let split_prog = Ircopy.copy_program prog in
+  T.split split_prog
+    { T.s_typ = "rec"; s_hot = [ 0; 2 ]; s_cold = [ 1; 3 ]; s_dead = [] };
+  show split_prog "(b) after structure splitting (link pointer inserted)";
+  let r1 = Slo_vm.Interp.run_program prog in
+  let r2 = Slo_vm.Interp.run_program split_prog in
+  say "outputs match after splitting: %b" (r1.output = r2.output);
+  (* peeling needs the anchor-global form, which this program has *)
+  let peel_prog = Ircopy.copy_program prog in
+  T.peel peel_prog
+    { T.p_typ = "rec"; p_live = [ 0; 1; 2; 3 ]; p_dead = [];
+      p_globals = [ "arr" ] };
+  show peel_prog "(c) after structure peeling (one array per field)";
+  let r3 = Slo_vm.Interp.run_program peel_prog in
+  say "outputs match after peeling:   %b" (r1.output = r3.output);
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the advisory tool's output                                *)
+(* ------------------------------------------------------------------ *)
+
+let figure2 () =
+  say "== Figure 2: the advisory tool's output (mcf node_t) ==";
+  let prog, fb_train, _, _ = get_mcf_feedbacks () in
+  let leg, aff = D.analyze prog ~scheme:W.PBO ~feedback:(Some fb_train) in
+  let decisions = H.decide prog leg aff ~scheme:W.PBO in
+  let matched = Matching.apply prog fb_train in
+  let adv =
+    Adv.build prog leg aff ~decisions ~dcache:(Some matched.instr_dcache)
+  in
+  print_string (Adv.report ~only:[ "node" ] adv);
+  (match Adv.vcg adv "node" with
+  | Some vcg ->
+    let dir = "_artifacts" in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let oc = open_out (Filename.concat dir "node.vcg") in
+    output_string oc vcg;
+    close_out oc;
+    say "(VCG control file written to _artifacts/node.vcg)"
+  | None -> ());
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the splitting observation of section 2.4                  *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  say "== Ablation (2.4): 'splitting out hot fields hurts' — forcing";
+  say "==  time (paper: -9%%) and time+mark (paper: -35%%) out of node ==";
+  let e = Suite.find "181.mcf" in
+  let prog = compile e in
+  let fb, _ = Collect.collect ~args:e.train_args prog in
+  let leg, aff = D.analyze prog ~scheme:W.PBO ~feedback:(Some fb) in
+  let decisions = H.decide prog leg aff ~scheme:W.PBO in
+  let base_plan =
+    match
+      List.find_map
+        (fun (d : H.decision) ->
+          match d.d_plan with
+          | Some (H.Split s) when String.equal s.s_typ "node" -> Some s
+          | _ -> None)
+        decisions
+    with
+    | Some s -> s
+    | None -> failwith "expected a split plan for node"
+  in
+  let fidx name =
+    match Structs.field_index prog.Ir.structs "node" name with
+    | Some i -> i
+    | None -> failwith ("no field " ^ name)
+  in
+  let before = D.measure ~args:e.train_args prog in
+  let run_plan label (plan : T.split_spec) =
+    let p = D.transform_with_plans prog [ H.Split plan ] in
+    let after = D.measure ~args:e.train_args p in
+    if before.m_result.output <> after.m_result.output then
+      say "!! OUTPUT MISMATCH in ablation %s" label;
+    say "  %-28s %+6.1f%%  (cycles %d -> %d)" label
+      (D.speedup_pct ~before ~after)
+      before.m_cycles after.m_cycles
+  in
+  run_plan "framework plan" base_plan;
+  let force extra =
+    {
+      base_plan with
+      T.s_hot = List.filter (fun f -> not (List.mem f extra)) base_plan.s_hot;
+      s_cold = base_plan.s_cold @ extra;
+    }
+  in
+  run_plan "also split out 'time'" (force [ fidx "time" ]);
+  run_plan "also split out 'time'+'mark'" (force [ fidx "time"; fidx "mark" ]);
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* Case studies of section 3.4                                         *)
+(* ------------------------------------------------------------------ *)
+
+let casestudies () =
+  say "== Case studies (3.4): SPEC2006 sketches ==";
+  (* (a) hot-field grouping guided by the advisor *)
+  let e = Suite.find "spec2006.hotgroup" in
+  let prog = compile e in
+  let fb, _ = Collect.collect ~args:e.train_args prog in
+  let leg, aff = D.analyze prog ~scheme:W.PBO ~feedback:(Some fb) in
+  let g = Option.get (A.graph aff "bigobj") in
+  let rel = A.relative_hotness g in
+  let decl = Structs.find prog.Ir.structs "bigobj" in
+  let hot =
+    List.filter (fun fi -> rel.(fi) >= 50.0)
+      (List.init (Array.length decl.fields) Fun.id)
+  in
+  say "  advisor-identified hot fields of bigobj: %s (paper: 4 hot fields)"
+    (String.concat ", "
+       (List.map (fun fi -> decl.fields.(fi).Structs.name) hot));
+  say "  automatic transform: %s (blocked, as in the paper)"
+    (match
+       (List.find
+          (fun (d : H.decision) -> String.equal d.d_typ "bigobj")
+          (H.decide prog leg aff ~scheme:W.PBO))
+       .d_plan
+     with
+    | Some _ -> "planned"
+    | None -> "none");
+  (* apply the advice by hand: group the hot four up front *)
+  let cold =
+    List.filter (fun fi -> not (List.mem fi hot))
+      (List.init (Array.length decl.fields) Fun.id)
+  in
+  let regrouped = Ircopy.copy_program prog in
+  T.rebuild regrouped
+    { T.r_typ = "bigobj"; r_order = hot @ cold; r_dead = [] };
+  let before = D.measure ~args:e.ref_args prog in
+  let after = D.measure ~args:e.ref_args regrouped in
+  if before.m_result.output <> after.m_result.output then
+    say "!! OUTPUT MISMATCH in hot-group case study";
+  say "  manual hot-field grouping: %+.1f%% (paper: +2.5%%)"
+    (D.speedup_pct ~before ~after);
+  (* (b) the two-field peeling case *)
+  let e2 = Suite.find "spec2006.peel2" in
+  let prog2 = compile e2 in
+  let fb2, _ = Collect.collect ~args:e2.train_args prog2 in
+  let ev = D.evaluate ~args:e2.ref_args ~scheme:W.PBO ~feedback:(Some fb2) prog2 in
+  say "  two-field record peeling:  %+.1f%% (paper: ~+40%%) [%s]"
+    ev.e_speedup_pct
+    (String.concat "; "
+       (List.filter_map
+          (fun (d : H.decision) ->
+            Option.map H.plan_summary d.d_plan)
+          ev.e_decisions));
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time overhead (2.5) and Bechamel phase timings              *)
+(* ------------------------------------------------------------------ *)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let overhead () =
+  say "== Compile-time overhead (2.5): layout analysis vs base compile ==";
+  say "   (paper: FE ~2.5%%, IPA < 4%%, BE ~1%%)";
+  let t =
+    Table.create
+      [ ("Benchmark", Table.Left); ("compile[ms]", Table.Right);
+        ("FE+IPA[ms]", Table.Right); ("BE[ms]", Table.Right);
+        ("FE+IPA ovh", Table.Right); ("BE ovh", Table.Right) ]
+  in
+  List.iter
+    (fun (e : Suite.entry) ->
+      let (prog : Ir.program), t_compile = time_it (fun () -> D.compile e.source) in
+      let (leg, aff), t_analysis =
+        time_it (fun () -> D.analyze prog ~scheme:W.ISPBO ~feedback:None)
+      in
+      let decisions = H.decide prog leg aff ~scheme:W.ISPBO in
+      let plans = H.plans decisions in
+      let _, t_be = time_it (fun () -> D.transform_with_plans prog plans) in
+      Table.add_row t
+        [ e.name;
+          Printf.sprintf "%.1f" (t_compile *. 1000.0);
+          Printf.sprintf "%.1f" (t_analysis *. 1000.0);
+          Printf.sprintf "%.1f" (t_be *. 1000.0);
+          Printf.sprintf "%.1f%%" (100.0 *. t_analysis /. t_compile);
+          Printf.sprintf "%.1f%%" (100.0 *. t_be /. t_compile) ])
+    Suite.roster;
+  print_string (Table.render t);
+  say ""
+
+let timings () =
+  say "== Bechamel micro-timings of the analysis phases (mcf) ==";
+  let e = Suite.find "181.mcf" in
+  let prog = compile e in
+  let open Bechamel in
+  let tests =
+    [ Test.make ~name:"table1:legality"
+        (Staged.stage (fun () -> ignore (L.analyze prog)));
+      Test.make ~name:"table2:affinity+ISPBO"
+        (Staged.stage (fun () ->
+             let bw = W.block_weights prog W.ISPBO ~feedback:None in
+             ignore (A.analyze prog bw)));
+      Test.make ~name:"table3:plan+transform"
+        (Staged.stage (fun () ->
+             let leg, aff = D.analyze prog ~scheme:W.ISPBO ~feedback:None in
+             let plans = H.plans (H.decide prog leg aff ~scheme:W.ISPBO) in
+             ignore (D.transform_with_plans prog plans)));
+      Test.make ~name:"pointsto"
+        (Staged.stage (fun () -> ignore (Slo_pointsto.Pointsto.analyze prog)));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false
+        ~predictors:[| Measure.run |]
+    in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            say "  %-28s %10.1f us/run" name (est /. 1000.0)
+          | Some _ | None -> say "  %-28s (no estimate)" name)
+        results)
+    tests;
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  table2 ();
+  figure1 ();
+  figure2 ();
+  table3 ();
+  ablation ();
+  casestudies ();
+  overhead ();
+  timings ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] -> all ()
+  | _ :: targets ->
+    List.iter
+      (fun t ->
+        match t with
+        | "table1" -> table1 ()
+        | "table2" -> table2 ()
+        | "table3" -> table3 ()
+        | "figure1" -> figure1 ()
+        | "figure2" -> figure2 ()
+        | "ablation" -> ablation ()
+        | "casestudies" -> casestudies ()
+        | "overhead" -> overhead ()
+        | "timings" -> timings ()
+        | other ->
+          Printf.eprintf "unknown target %S\n" other;
+          exit 2)
+      targets
+  | [] -> all ()

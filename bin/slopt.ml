@@ -1,0 +1,216 @@
+(* slopt — the structure layout optimizer command-line tool.
+
+   A file-based front door to the library, in the spirit of the paper's
+   "-ipo" flow plus the advisory option:
+
+     slopt parse file.mc           dump the IR
+     slopt analyze file.mc         legality + attributes per record type
+     slopt profile file.mc -o f.fb collect a feedback file (instrumented run)
+     slopt advise file.mc -p f.fb  annotated type layouts (the advisor)
+     slopt transform file.mc       plan + apply layout transformations
+     slopt run file.mc             execute under the cache simulator
+     slopt bench file.mc           original vs transformed comparison *)
+
+open Cmdliner
+
+module D = Slo_core.Driver
+module L = Slo_core.Legality
+module H = Slo_core.Heuristics
+module Adv = Slo_core.Advisor
+module W = Slo_profile.Weights
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  try Ok (D.compile (read_file path)) with
+  | Slo_minic.Lexer.Error (msg, loc) ->
+    Error (Printf.sprintf "%s:%s: lexical error: %s" path
+             (Slo_minic.Loc.to_string loc) msg)
+  | Slo_minic.Parser.Error (msg, loc) ->
+    Error (Printf.sprintf "%s:%s: syntax error: %s" path
+             (Slo_minic.Loc.to_string loc) msg)
+  | Slo_minic.Typecheck.Error (msg, loc) ->
+    Error (Printf.sprintf "%s:%s: type error: %s" path
+             (Slo_minic.Loc.to_string loc) msg)
+  | Lower.Unsupported (msg, loc) ->
+    Error (Printf.sprintf "%s:%s: unsupported: %s" path
+             (Slo_minic.Loc.to_string loc) msg)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Mini-C source file.")
+
+let args_arg =
+  Arg.(value & opt (list int) [] & info [ "args" ] ~docv:"INTS"
+         ~doc:"Integer arguments passed to main().")
+
+let scheme_conv =
+  Arg.enum (List.map (fun s -> (String.lowercase_ascii (W.name s), s)) W.all)
+
+let scheme_arg =
+  Arg.(value & opt scheme_conv W.ISPBO
+       & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:"Weighting scheme (pbo, spbo, ispbo, ...). Profile-based \
+                 schemes need --profile.")
+
+let profile_arg =
+  Arg.(value & opt (some file) None & info [ "profile"; "p" ] ~docv:"FB"
+         ~doc:"Feedback file from 'slopt profile'.")
+
+let feedback_of = function
+  | None -> None
+  | Some path -> Some (Slo_profile.Feedback.of_string (read_file path))
+
+let parse_cmd =
+  let run file =
+    let prog = or_die (load file) in
+    print_string (Ir.string_of_program prog)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Compile and dump the IR")
+    Term.(const run $ file_arg)
+
+let analyze_cmd =
+  let run file =
+    let prog = or_die (load file) in
+    let leg = L.analyze prog in
+    let pts = Slo_pointsto.Pointsto.analyze prog in
+    List.iter
+      (fun typ ->
+        let info = L.info leg typ in
+        Printf.printf "%-20s %-8s reasons=[%s]%s\n" typ
+          (if L.is_legal leg typ then "LEGAL"
+           else if
+             L.is_legal ~relax:true leg typ
+             && Slo_pointsto.Pointsto.refutable pts typ
+           then "PTS-TO"
+           else if L.is_legal ~relax:true leg typ then "RELAX"
+           else "INVALID")
+          (String.concat "," (List.map L.reason_name info.invalid))
+          (if info.attrs.dyn_alloc then " [dyn-alloc]" else ""))
+      (L.types leg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Legality analysis per record type (strict / points-to / relaxed)")
+    Term.(const run $ file_arg)
+
+let profile_cmd =
+  let out_arg =
+    Arg.(value & opt string "out.fb" & info [ "o" ] ~docv:"OUT"
+           ~doc:"Output feedback file.")
+  in
+  let run file args out =
+    let prog = or_die (load file) in
+    let fb, stats = Slo_profile.Collect.collect ~args prog in
+    let oc = open_out out in
+    output_string oc (Slo_profile.Feedback.to_string fb);
+    close_out oc;
+    Printf.printf
+      "instrumented run: exit=%d, %d steps, %d PMU miss events -> %s\n"
+      stats.result.exit_code stats.result.steps stats.pmu_events out
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"PBO collection: run instrumented, write a feedback file")
+    Term.(const run $ file_arg $ args_arg $ out_arg)
+
+let advise_cmd =
+  let run file profile scheme =
+    let prog = or_die (load file) in
+    let feedback = feedback_of profile in
+    let scheme = if feedback <> None then W.PBO else scheme in
+    let leg, aff = D.analyze prog ~scheme ~feedback in
+    let decisions = H.decide prog leg aff ~scheme in
+    let dcache =
+      Option.map
+        (fun fb -> (Slo_profile.Matching.apply prog fb).instr_dcache)
+        feedback
+    in
+    let adv = Adv.build prog leg aff ~decisions ~dcache in
+    print_string (Adv.report adv)
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Print annotated type layouts (the paper's advisory tool)")
+    Term.(const run $ file_arg $ profile_arg $ scheme_arg)
+
+let transform_cmd =
+  let dump_arg =
+    Arg.(value & flag & info [ "dump-ir" ] ~doc:"Dump the transformed IR.")
+  in
+  let run file profile scheme dump =
+    let prog = or_die (load file) in
+    let feedback = feedback_of profile in
+    let scheme = if feedback <> None then W.PBO else scheme in
+    let leg, aff = D.analyze prog ~scheme ~feedback in
+    let decisions = H.decide prog leg aff ~scheme in
+    List.iter
+      (fun (d : H.decision) ->
+        Printf.printf "%-20s %s\n" d.d_typ
+          (match d.d_plan with
+          | Some p -> H.plan_summary p
+          | None -> "unchanged (" ^ String.concat "; " d.d_notes ^ ")"))
+      decisions;
+    let transformed = D.transform_with_plans prog (H.plans decisions) in
+    if dump then print_string (Ir.string_of_program transformed)
+  in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Decide and apply layout transformations")
+    Term.(const run $ file_arg $ profile_arg $ scheme_arg $ dump_arg)
+
+let run_cmd =
+  let run file args =
+    let prog = or_die (load file) in
+    let m = D.measure ~args prog in
+    print_string m.m_result.output;
+    Printf.printf
+      "exit=%d steps=%d cycles=%d l1miss=%d l2miss=%d accesses=%d\n"
+      m.m_result.exit_code m.m_result.steps m.m_cycles m.m_l1_misses
+      m.m_l2_misses m.m_accesses
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute under the Itanium-like cache simulator")
+    Term.(const run $ file_arg $ args_arg)
+
+let bench_cmd =
+  let run file args profile scheme =
+    let prog = or_die (load file) in
+    let feedback = feedback_of profile in
+    let scheme = if feedback <> None then W.PBO else scheme in
+    let ev = D.evaluate ~args ~scheme ~feedback prog in
+    List.iter
+      (fun (d : H.decision) ->
+        match d.d_plan with
+        | Some p -> Printf.printf "plan: %s\n" (H.plan_summary p)
+        | None -> ())
+      ev.e_decisions;
+    Printf.printf "before: %d cycles\nafter : %d cycles\nspeedup: %+.1f%%\n"
+      ev.e_before.m_cycles ev.e_after.m_cycles ev.e_speedup_pct;
+    if ev.e_before.m_result.output <> ev.e_after.m_result.output then begin
+      prerr_endline "ERROR: transformed program output differs!";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Measure original vs transformed program")
+    Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg)
+
+let () =
+  let doc = "structure layout optimization framework (CGO'06 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "slopt" ~doc)
+          [ parse_cmd; analyze_cmd; profile_cmd; advise_cmd; transform_cmd;
+            run_cmd; bench_cmd ]))

@@ -1,0 +1,40 @@
+(* The 179.art structure-peeling story (paper sections 2.1 and 2.5).
+
+   Shows the Figure-1 layout evolution on the real art model and measures
+   the effect of peeling the f1 neuron layer.
+
+     dune exec examples/art_peeling.exe *)
+
+module D = Slo_core.Driver
+module H = Slo_core.Heuristics
+module W = Slo_profile.Weights
+module Suite = Slo_suite.Suite
+
+let () =
+  let e = Suite.find "179.art" in
+  let prog = D.compile e.source in
+  let layout = Layout.create prog.Ir.structs in
+  print_endline "--- f1_neuron before peeling (one 64-byte record) ---";
+  print_string (Layout.describe layout "f1_neuron");
+
+  let fb, _ = Slo_profile.Collect.collect ~args:e.train_args prog in
+  let ev = D.evaluate ~args:e.train_args ~scheme:W.PBO ~feedback:(Some fb) prog in
+  List.iter
+    (fun (d : H.decision) ->
+      match d.d_plan with
+      | Some p -> Printf.printf "plan: %s\n" (H.plan_summary p)
+      | None -> ())
+    ev.e_decisions;
+
+  print_endline "--- after peeling (one single-field record per field) ---";
+  let layout' = Layout.create ev.e_transformed.Ir.structs in
+  List.iter
+    (fun name ->
+      if String.length name > 10 && String.sub name 0 10 = "f1_neuron_" then
+        print_string (Layout.describe layout' name))
+    (Structs.names ev.e_transformed.Ir.structs);
+
+  Printf.printf
+    "\nL2 misses before: %d\nL2 misses after : %d\nspeedup: %+.1f%% (paper: +78.2%%)\n"
+    ev.e_before.m_l2_misses ev.e_after.m_l2_misses ev.e_speedup_pct;
+  assert (ev.e_before.m_result.output = ev.e_after.m_result.output)

@@ -1,0 +1,69 @@
+type t = {
+  cname : string;
+  line : int;
+  assoc : int;
+  nsets : int;
+  tags : int array;    (* nsets * assoc; -1 = invalid *)
+  stamps : int array;  (* LRU timestamps *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let create ~name ~size ~line ~assoc =
+  if line <= 0 || assoc <= 0 || size <= 0 then
+    invalid_arg "Cache.create: non-positive parameter";
+  if not (is_pow2 line) then invalid_arg "Cache.create: line not a power of 2";
+  if size mod (line * assoc) <> 0 then
+    invalid_arg "Cache.create: size not divisible by line*assoc";
+  let nsets = size / (line * assoc) in
+  {
+    cname = name; line; assoc; nsets;
+    tags = Array.make (nsets * assoc) (-1);
+    stamps = Array.make (nsets * assoc) 0;
+    tick = 0; hits = 0; misses = 0;
+  }
+
+let access t ~addr ~write:_ =
+  let line_no = addr / t.line in
+  let set = line_no mod t.nsets in
+  let tag = line_no / t.nsets in
+  let base = set * t.assoc in
+  t.tick <- t.tick + 1;
+  let found = ref (-1) in
+  for w = 0 to t.assoc - 1 do
+    if !found < 0 && t.tags.(base + w) = tag then found := w
+  done;
+  if !found >= 0 then begin
+    t.stamps.(base + !found) <- t.tick;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for w = 1 to t.assoc - 1 do
+      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.stamps.(base + !victim) <- t.tick;
+    false
+  end
+
+let line_size t = t.line
+let name t = t.cname
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.tick <- 0;
+  reset_stats t

@@ -1,0 +1,24 @@
+(** A single set-associative cache level with LRU replacement.
+
+    Pure tag simulation: the cache tracks which lines are resident, not
+    their contents. Writes allocate like reads (write-allocate); write-back
+    traffic is not modelled (documented simplification — it affects both the
+    original and the transformed program equally). *)
+
+type t
+
+val create : name:string -> size:int -> line:int -> assoc:int -> t
+(** [size] and [line] in bytes; [size] must be a multiple of
+    [line * assoc]. Raises [Invalid_argument] otherwise. *)
+
+val access : t -> addr:int -> write:bool -> bool
+(** Touch the line containing [addr]; returns [true] on hit. Updates LRU
+    state and hit/miss counters. *)
+
+val line_size : t -> int
+val name : t -> string
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+val clear : t -> unit
+(** Invalidate all lines and reset statistics. *)

@@ -1,0 +1,86 @@
+type level = L1 | L2 | Mem
+
+type config = {
+  l1_size : int;
+  l1_line : int;
+  l1_assoc : int;
+  l2_size : int;
+  l2_line : int;
+  l2_assoc : int;
+  l1_lat : int;
+  l2_lat : int;
+  mem_lat : int;
+  fp_bypass_l1 : bool;
+}
+
+let itanium =
+  {
+    l1_size = 16 * 1024; l1_line = 64; l1_assoc = 4;
+    l2_size = 6 * 1024 * 1024; l2_line = 128; l2_assoc = 8;
+    l1_lat = 1; l2_lat = 11; mem_lat = 200; fp_bypass_l1 = true;
+  }
+
+let small =
+  {
+    l1_size = 4 * 1024; l1_line = 64; l1_assoc = 2;
+    l2_size = 64 * 1024; l2_line = 128; l2_assoc = 4;
+    l1_lat = 1; l2_lat = 11; mem_lat = 200; fp_bypass_l1 = true;
+  }
+
+type t = {
+  cfg : config;
+  c1 : Cache.t;
+  c2 : Cache.t;
+  mutable extra : int;
+  mutable n_access : int;
+  mutable by_l1 : int;
+  mutable by_l2 : int;
+  mutable by_mem : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    c1 = Cache.create ~name:"L1D" ~size:cfg.l1_size ~line:cfg.l1_line ~assoc:cfg.l1_assoc;
+    c2 = Cache.create ~name:"L2" ~size:cfg.l2_size ~line:cfg.l2_line ~assoc:cfg.l2_assoc;
+    extra = 0; n_access = 0; by_l1 = 0; by_l2 = 0; by_mem = 0;
+  }
+
+(* touch every line the [addr,size) range covers in cache [c]; hit only if
+   all lines hit *)
+let touch c ~addr ~size ~write =
+  let line = Cache.line_size c in
+  let first = addr / line and last = (addr + max size 1 - 1) / line in
+  let all_hit = ref true in
+  for l = first to last do
+    if not (Cache.access c ~addr:(l * line) ~write) then all_hit := false
+  done;
+  !all_hit
+
+let access t ~addr ~size ~write ~is_float =
+  t.n_access <- t.n_access + 1;
+  let lat, lvl =
+    if is_float && t.cfg.fp_bypass_l1 then begin
+      if touch t.c2 ~addr ~size ~write then (t.cfg.l2_lat, L2)
+      else (t.cfg.mem_lat, Mem)
+    end
+    else if touch t.c1 ~addr ~size ~write then (t.cfg.l1_lat, L1)
+    else if touch t.c2 ~addr ~size ~write then (t.cfg.l2_lat, L2)
+    else (t.cfg.mem_lat, Mem)
+  in
+  (match lvl with
+  | L1 -> t.by_l1 <- t.by_l1 + 1
+  | L2 -> t.by_l2 <- t.by_l2 + 1
+  | Mem -> t.by_mem <- t.by_mem + 1);
+  (* the instruction's own base cycle covers an L1-hit-equivalent *)
+  t.extra <- t.extra + max 0 (lat - t.cfg.l1_lat);
+  (lat, lvl)
+
+let access_quiet t ~addr ~size ~write ~is_float =
+  ignore (access t ~addr ~size ~write ~is_float)
+
+let extra_cycles t = t.extra
+let l1 t = t.c1
+let l2 t = t.c2
+let accesses t = t.n_access
+let level_counts t = (t.by_l1, t.by_l2, t.by_mem)

@@ -1,0 +1,58 @@
+(** Two-level data-cache hierarchy with an Itanium-flavoured quirk: floating
+    point accesses bypass L1 and are served from L2 — the paper notes "the
+    counts refer to the first level of cache for a given operation — L2 for
+    floating point values and L1 for everything else on Itanium".
+
+    The default configuration models the paper's evaluation machine (HP
+    rx2600, Itanium 2): 16 KB / 64 B L1D, 6 MB / 128 B unified L2 (the paper
+    quotes both "6 MB of L2 cache" and the 128-byte L2 line), main memory at
+    200 cycles.
+
+    The hierarchy also accumulates a simple in-order cycle model: each
+    executed instruction costs one cycle, and each memory access adds its
+    access latency beyond the 1-cycle L1 hit that is already covered by the
+    instruction's base cycle. *)
+
+type level = L1 | L2 | Mem
+
+type config = {
+  l1_size : int;
+  l1_line : int;
+  l1_assoc : int;
+  l2_size : int;
+  l2_line : int;
+  l2_assoc : int;
+  l1_lat : int;   (** cycles for an L1 hit *)
+  l2_lat : int;   (** cycles for an L2 hit *)
+  mem_lat : int;  (** cycles for a memory access *)
+  fp_bypass_l1 : bool;
+}
+
+val itanium : config
+(** The default, Itanium-2-like configuration described above. *)
+
+val small : config
+(** A small configuration (4 KB L1, 64 KB L2) for unit tests that want
+    misses without megabyte working sets. *)
+
+type t
+
+val create : config -> t
+
+val access : t -> addr:int -> size:int -> write:bool -> is_float:bool -> int * level
+(** Simulate one access; returns (latency in cycles, level that served it).
+    Accesses crossing a line boundary touch both lines (latency is the
+    maximum). *)
+
+val access_quiet : t -> addr:int -> size:int -> write:bool -> is_float:bool -> unit
+(** {!access} for callers that only want the counters updated (the plain
+    measurement hook) — avoids building the result on the hot path. *)
+
+val extra_cycles : t -> int
+(** Accumulated latency beyond the base cycle of each access. *)
+
+val l1 : t -> Cache.t
+val l2 : t -> Cache.t
+val accesses : t -> int
+val level_counts : t -> int * int * int
+(** (served by L1, by L2, by memory). *)

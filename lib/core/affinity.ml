@@ -1,0 +1,175 @@
+module Weights = Slo_profile.Weights
+
+type graph = {
+  gtyp : string;
+  nfields : int;
+  edges : (int * int, float) Hashtbl.t;
+  hotness : float array;
+  reads : float array;
+  writes : float array;
+}
+
+type t = {
+  by_type : (string, graph) Hashtbl.t;
+  groups : (string, (int list * float) list) Hashtbl.t;
+}
+
+module FieldSet = Set.Make (Int)
+
+let analyze (prog : Ir.program) (bw : Weights.block_weights) : t =
+  (* accumulated merged groups: (type, field set) -> weight *)
+  let group_acc : (string * FieldSet.t, float) Hashtbl.t = Hashtbl.create 64 in
+  let add_group typ set w =
+    if not (FieldSet.is_empty set) && w > 0.0 then begin
+      let key = (typ, set) in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt group_acc key) in
+      Hashtbl.replace group_acc key (prev +. w)
+    end
+  in
+  let nfields_of = Hashtbl.create 16 in
+  Structs.iter
+    (fun d -> Hashtbl.replace nfields_of d.sname (Array.length d.fields))
+    prog.structs;
+  let reads_acc : (string * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let writes_acc : (string * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl key w =
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (prev +. w)
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      let weights =
+        Option.value
+          ~default:(Array.make f.next_block 0.0)
+          (Hashtbl.find_opt bw f.fname)
+      in
+      let weight_of b = if b < Array.length weights then weights.(b) else 0.0 in
+      let cfg = Cfg.build f in
+      let forest = Loop.compute cfg in
+      (* field references per collection region: per type, the set of
+         referenced fields *)
+      let region_refs : (string, FieldSet.t) Hashtbl.t = Hashtbl.create 8 in
+      let note_ref typ fi =
+        let prev =
+          Option.value ~default:FieldSet.empty (Hashtbl.find_opt region_refs typ)
+        in
+        Hashtbl.replace region_refs typ (FieldSet.add fi prev)
+      in
+      let scan_block (b : Ir.block) =
+        let w = weight_of b.bid in
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i.idesc with
+            | Ir.Ifieldaddr (_, _, s, fi) -> note_ref s fi
+            | Ir.Iload (_, _, _, Some a) ->
+              bump reads_acc (a.astruct, a.afield) w
+            | Ir.Istore (_, _, _, Some a) ->
+              bump writes_acc (a.astruct, a.afield) w
+            | Ir.Imov _ | Ir.Ibin _ | Ir.Iun _ | Ir.Icast _
+            | Ir.Iload (_, _, _, None) | Ir.Istore (_, _, _, None)
+            | Ir.Iaddrglob _ | Ir.Iaddrlocal _ | Ir.Iaddrstr _
+            | Ir.Iaddrfunc _ | Ir.Iptradd _ | Ir.Icall _ | Ir.Ialloc _
+            | Ir.Ifree _ | Ir.Imemset _ | Ir.Imemcpy _ ->
+              ())
+          b.instrs
+      in
+      let flush_region w =
+        Hashtbl.iter (fun typ set -> add_group typ set w) region_refs;
+        Hashtbl.reset region_refs
+      in
+      (* one region per loop: blocks whose innermost loop is that loop *)
+      List.iter
+        (fun (l : Loop.loop) ->
+          List.iter
+            (fun bid -> if Cfg.reachable cfg bid then scan_block cfg.blocks.(bid))
+            l.body;
+          flush_region (weight_of l.header))
+        (Loop.all_loops forest);
+      (* straight-line region: reachable blocks outside all loops, weighted
+         with the routine entry weight *)
+      Array.iter
+        (fun bid ->
+          match Loop.innermost forest bid with
+          | None -> scan_block cfg.blocks.(bid)
+          | Some _ -> ())
+        cfg.rpo;
+      let entry_w = weight_of (Cfg.entry cfg) in
+      flush_region entry_w)
+    prog.funcs;
+  (* IPA: build the affinity graph per type *)
+  let by_type = Hashtbl.create 16 in
+  let groups = Hashtbl.create 16 in
+  let graph_of typ =
+    match Hashtbl.find_opt by_type typ with
+    | Some g -> g
+    | None ->
+      let nfields = Option.value ~default:0 (Hashtbl.find_opt nfields_of typ) in
+      let g =
+        {
+          gtyp = typ; nfields; edges = Hashtbl.create 16;
+          hotness = Array.make nfields 0.0;
+          reads = Array.make nfields 0.0;
+          writes = Array.make nfields 0.0;
+        }
+      in
+      Hashtbl.replace by_type typ g;
+      g
+  in
+  (* make sure every known type gets a (possibly empty) graph *)
+  Hashtbl.iter (fun typ _ -> ignore (graph_of typ)) nfields_of;
+  Hashtbl.iter
+    (fun (typ, set) w ->
+      let g = graph_of typ in
+      let fields = FieldSet.elements set in
+      let add_edge i j =
+        let key = (min i j, max i j) in
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt g.edges key) in
+        Hashtbl.replace g.edges key (prev +. w)
+      in
+      (match fields with
+      | [ f ] -> add_edge f f (* singleton groups carry self-affinity *)
+      | fs ->
+        List.iteri
+          (fun i a -> List.iteri (fun j b -> if i < j then add_edge a b) fs)
+          fs);
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups typ) in
+      Hashtbl.replace groups typ ((fields, w) :: prev))
+    group_acc;
+  (* hotness = aggregated estimated accesses: each group contributes its
+     weight once to every member field (pairwise edges would otherwise
+     amplify fields of large groups quadratically) *)
+  Hashtbl.iter
+    (fun (typ, set) w ->
+      let g = graph_of typ in
+      FieldSet.iter
+        (fun fi -> if fi < g.nfields then g.hotness.(fi) <- g.hotness.(fi) +. w)
+        set)
+    group_acc;
+  Hashtbl.iter
+    (fun (typ, fi) w ->
+      let g = graph_of typ in
+      if fi < g.nfields then g.reads.(fi) <- w)
+    reads_acc;
+  Hashtbl.iter
+    (fun (typ, fi) w ->
+      let g = graph_of typ in
+      if fi < g.nfields then g.writes.(fi) <- w)
+    writes_acc;
+  { by_type; groups }
+
+let graph t typ = Hashtbl.find_opt t.by_type typ
+
+let type_hotness g = Slo_util.Stats.sum g.hotness
+
+let graphs t =
+  Hashtbl.fold (fun _ g acc -> g :: acc) t.by_type []
+  |> List.sort (fun a b -> compare (type_hotness b) (type_hotness a))
+
+let edge_weight g i j =
+  Option.value ~default:0.0 (Hashtbl.find_opt g.edges (min i j, max i j))
+
+let relative_hotness g = Slo_util.Stats.relative_percent g.hotness
+
+let groups_of_type t typ =
+  Option.value ~default:[] (Hashtbl.find_opt t.groups typ)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

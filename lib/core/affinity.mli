@@ -1,0 +1,56 @@
+(** Profitability analysis: affinity groups, the per-type affinity graph,
+    field hotness, and read/write counts — §2.3 of the paper.
+
+    "Two fields are affine to each other when they are accessed close to
+    each other in the IR... Our granularity for closeness is the loop
+    level." Per loop, the fields of each type referenced in blocks whose
+    innermost loop is that loop form a weighted affinity group; the group's
+    weight is the loop header's execution weight under the chosen weighting
+    scheme. Field references in remaining straight-line code form one more
+    group weighted with the routine entry weight. Groups with identical
+    field sets merge by adding weights.
+
+    In the (conceptual) IPA phase an affinity graph is built per type:
+    nodes are fields, a group of two or more fields contributes its weight
+    to every pairwise edge, and a singleton group contributes a self-edge —
+    which is why the advisor's output shows fields affine to themselves.
+
+    Field hotness follows the paper's primary definition — "computed from
+    the aggregated total estimated accesses to a field": each group
+    contributes its weight once to each member field. (Summing incident
+    edge weights instead would amplify members of large groups
+    quadratically in the group size; for singleton groups the two
+    definitions coincide through the self-edge.) Read and write counts are
+    accumulated per reference, weighted by the containing block's
+    weight. *)
+
+type graph = {
+  gtyp : string;
+  nfields : int;
+  edges : (int * int, float) Hashtbl.t;  (** key (i, j) with i <= j *)
+  hotness : float array;
+  reads : float array;
+  writes : float array;
+}
+
+type t
+
+val analyze : Ir.program -> Slo_profile.Weights.block_weights -> t
+
+val graph : t -> string -> graph option
+val graphs : t -> graph list
+(** All graphs sorted by type hotness, hottest first. *)
+
+val edge_weight : graph -> int -> int -> float
+(** Symmetric lookup; 0 if absent. *)
+
+val type_hotness : graph -> float
+(** Sum of field hotness — the advisor's type ranking key. *)
+
+val relative_hotness : graph -> float array
+(** Field hotness rescaled to max = 100 (the paper's "relative hotness in
+    percent relative to the hottest field"). *)
+
+val groups_of_type : t -> string -> (int list * float) list
+(** The merged affinity groups (sorted field indices, weight) — exposed for
+    tests and the advisor. *)

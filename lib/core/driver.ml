@@ -1,0 +1,74 @@
+module Interp = Slo_vm.Interp
+module Hierarchy = Slo_cachesim.Hierarchy
+module Weights = Slo_profile.Weights
+module Feedback = Slo_profile.Feedback
+
+type measurement = {
+  m_result : Interp.result;
+  m_cycles : int;
+  m_l1_misses : int;
+  m_l2_misses : int;
+  m_accesses : int;
+}
+
+type evaluation = {
+  e_before : measurement;
+  e_after : measurement;
+  e_decisions : Heuristics.decision list;
+  e_transformed : Ir.program;
+  e_speedup_pct : float;
+}
+
+let compile source =
+  let ast = Slo_minic.Parser.parse source in
+  let env = Slo_minic.Typecheck.check ast in
+  Lower.lower ast env
+
+let measure ?(args = []) ?(config = Hierarchy.itanium) (prog : Ir.program) :
+    measurement =
+  let hier = Hierarchy.create config in
+  let mem_hook addr size write is_float _iid =
+    Hierarchy.access_quiet hier ~addr ~size ~write ~is_float
+  in
+  let vm = Interp.create ~mem_hook prog in
+  let result = Interp.run ~args vm in
+  {
+    m_result = result;
+    m_cycles = result.steps + Hierarchy.extra_cycles hier;
+    m_l1_misses = Slo_cachesim.Cache.misses (Hierarchy.l1 hier);
+    m_l2_misses = Slo_cachesim.Cache.misses (Hierarchy.l2 hier);
+    m_accesses = Hierarchy.accesses hier;
+  }
+
+let analyze (prog : Ir.program) ~scheme ~feedback =
+  let leg = Legality.analyze prog in
+  let bw = Weights.block_weights prog scheme ~feedback in
+  let aff = Affinity.analyze prog bw in
+  (leg, aff)
+
+let transform_with_plans prog plans =
+  let copy = Ircopy.copy_program prog in
+  Heuristics.apply copy plans;
+  copy
+
+let speedup_pct ~before ~after =
+  if after.m_cycles = 0 then 0.0
+  else
+    (float_of_int before.m_cycles /. float_of_int after.m_cycles -. 1.0)
+    *. 100.0
+
+let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold ~scheme
+    ~feedback (prog : Ir.program) : evaluation =
+  let leg, aff = analyze prog ~scheme ~feedback in
+  let decisions = Heuristics.decide ?threshold prog leg aff ~scheme in
+  let plans = Heuristics.plans decisions in
+  let transformed = transform_with_plans prog plans in
+  let before = measure ~args ~config prog in
+  let after = measure ~args ~config transformed in
+  {
+    e_before = before;
+    e_after = after;
+    e_decisions = decisions;
+    e_transformed = transformed;
+    e_speedup_pct = speedup_pct ~before ~after;
+  }

@@ -1,0 +1,58 @@
+(** End-to-end pipeline: compile → (optional PBO collect) → analyze →
+    decide → transform → measure.
+
+    This is the reproduction's equivalent of the paper's FE / IPA / BE
+    phases glued together by the linker plug-in. The measurement side runs
+    both the original and the transformed program in the VM over the cache
+    hierarchy and reports a simple in-order cycle count
+    (instructions + memory latency beyond an L1 hit), from which Table 3's
+    performance-effect percentages are derived as speedup
+    [(cycles_before / cycles_after - 1) * 100]. *)
+
+type measurement = {
+  m_result : Slo_vm.Interp.result;
+  m_cycles : int;       (** steps + cache extra cycles *)
+  m_l1_misses : int;
+  m_l2_misses : int;
+  m_accesses : int;
+}
+
+type evaluation = {
+  e_before : measurement;
+  e_after : measurement;
+  e_decisions : Heuristics.decision list;
+  e_transformed : Ir.program;
+  e_speedup_pct : float;
+}
+
+val compile : string -> Ir.program
+(** Parse, type-check and lower a Mini-C source. *)
+
+val measure :
+  ?args:int list ->
+  ?config:Slo_cachesim.Hierarchy.config ->
+  Ir.program ->
+  measurement
+
+val analyze :
+  Ir.program ->
+  scheme:Slo_profile.Weights.scheme ->
+  feedback:Slo_profile.Feedback.t option ->
+  Legality.t * Affinity.t
+
+val transform_with_plans :
+  Ir.program -> Heuristics.plan list -> Ir.program
+(** Apply plans to a fresh copy; the input program is untouched. *)
+
+val evaluate :
+  ?args:int list ->
+  ?config:Slo_cachesim.Hierarchy.config ->
+  ?threshold:float ->
+  scheme:Slo_profile.Weights.scheme ->
+  feedback:Slo_profile.Feedback.t option ->
+  Ir.program ->
+  evaluation
+(** Full pipeline on an already-compiled program. Raises
+    [Invalid_argument] if a profile-based scheme is given no feedback. *)
+
+val speedup_pct : before:measurement -> after:measurement -> float

@@ -1,0 +1,47 @@
+module Weights = Slo_profile.Weights
+
+let hotness (prog : Ir.program) (bw : Weights.block_weights) =
+  let acc : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (n, _, _) -> Hashtbl.replace acc n 0.0) prog.globals;
+  List.iter
+    (fun (f : Ir.func) ->
+      let weights =
+        Option.value ~default:[||] (Hashtbl.find_opt bw f.fname)
+      in
+      let weight_of b =
+        if b < Array.length weights then weights.(b) else 0.0
+      in
+      List.iter
+        (fun (b : Ir.block) ->
+          let w = weight_of b.bid in
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.idesc with
+              | Ir.Iaddrglob (_, g) -> (
+                match Hashtbl.find_opt acc g with
+                | Some prev -> Hashtbl.replace acc g (prev +. w)
+                | None -> ())
+              | _ -> ())
+            b.instrs)
+        f.fblocks)
+    prog.funcs;
+  Hashtbl.fold (fun n w l -> (n, w) :: l) acc []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let is_aggregate = function
+  | Irty.Struct _ | Irty.Array _ -> true
+  | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long | Irty.Float
+  | Irty.Double | Irty.Ptr _ | Irty.Funptr ->
+    false
+
+let reorder (prog : Ir.program) (bw : Weights.block_weights) =
+  let hot = hotness prog bw in
+  let rank = Hashtbl.create 16 in
+  List.iteri (fun i (n, _) -> Hashtbl.replace rank n i) hot;
+  let key (n, ty, _) =
+    (* scalars by hotness; aggregates keep declaration order afterwards *)
+    if is_aggregate ty then (1, Option.value ~default:max_int (Hashtbl.find_opt rank n))
+    else (0, Option.value ~default:max_int (Hashtbl.find_opt rank n))
+  in
+  prog.globals <-
+    List.stable_sort (fun a b -> compare (key a) (key b)) prog.globals

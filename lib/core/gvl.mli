@@ -1,0 +1,25 @@
+(** Global variable layout (GVL) — the companion phase the paper mentions
+    merging with the structure framework:
+
+    "Calder et al apply a compiler directed approach using profile data to
+    place global data... Our compiler has a similar phase, which we call
+    global variable layout (GVL). We plan to merge GVL with the presented
+    framework in the future." (§4)
+
+    This is that merge, in miniature: scalar globals are re-ordered by
+    access hotness (from the same block weights the affinity analysis
+    uses), so hot globals pack into the same cache lines instead of being
+    interleaved with cold ones. The VM lays globals out in declaration
+    order, so the transformation is a permutation of
+    [Ir.program.globals]. Struct-typed globals and arrays keep their
+    relative order at the end (their internal layout is the struct
+    framework's business, not GVL's). *)
+
+val hotness : Ir.program -> Slo_profile.Weights.block_weights -> (string * float) list
+(** Estimated access count per global (loads + stores through
+    [Iaddrglob]), hottest first. *)
+
+val reorder : Ir.program -> Slo_profile.Weights.block_weights -> unit
+(** Permute the globals hottest-first (scalars first, aggregates after),
+    in place. Semantics-preserving by construction: no code references
+    global layout, only names. *)

@@ -1,0 +1,60 @@
+(** Transformation heuristics — §2.4 of the paper.
+
+    "Based on affinity, hotness, and type characteristics, the heuristics
+    decide if and how to transform a type."
+
+    The implemented policy follows the paper:
+    - only legal (strict legality), dynamically allocated types with no
+      by-value instances are candidates; single-object allocations were
+      already invalidated by SMAL, realloc'd types are skipped
+      (implementation limitation, documented in DESIGN.md);
+    - dead and unused fields are always removed, except bit-fields
+      ("removing bit-fields can result in more expensive access code
+      sequences") and fields whose address escaped into a call;
+    - peeling is "always performed as well" when structurally feasible;
+    - otherwise splitting: fields with relative hotness below the threshold
+      T_s (3% for PBO, 7.5% for ISPBO) are split out; at least two fields
+      must split out (the link pointer must pay for itself) and at least
+      one hot field must remain; the single most important criterion is
+      hotness — hot fields stay in the hot section regardless of affinity;
+    - field reordering happens only in the context of a rebuild: surviving
+      hot fields are ordered by descending hotness;
+    - if only dead fields were found, the type is rebuilt in place. *)
+
+type plan =
+  | Split of Transform.split_spec
+  | Peel of Transform.peel_spec
+  | Rebuild of Transform.rebuild_spec
+
+type decision = {
+  d_typ : string;
+  d_plan : plan option;
+  d_notes : string list;  (** why the type was (not) transformed *)
+}
+
+val threshold_pbo : float
+(** 3.0 (percent) *)
+
+val threshold_ispbo : float
+(** 7.5 (percent) *)
+
+val threshold_for : Slo_profile.Weights.scheme -> float
+
+val dead_fields : Ir.program -> Legality.info -> Affinity.graph -> int list
+(** Removable fields: never read, not bit-fields, address never passed. *)
+
+val decide :
+  ?threshold:float ->
+  Ir.program ->
+  Legality.t ->
+  Affinity.t ->
+  scheme:Slo_profile.Weights.scheme ->
+  decision list
+(** One decision per struct type, sorted by type name. The default
+    threshold comes from {!threshold_for}. *)
+
+val plans : decision list -> plan list
+val apply : Ir.program -> plan list -> unit
+(** Apply all plans (in place — pass a {!Ircopy.copy_program} copy). *)
+
+val plan_summary : plan -> string

@@ -1,0 +1,323 @@
+type reason =
+  | CSTT | CSTF | ATKN | LIBC | IND | SMAL | MSET | NEST | SIZEOF
+
+let reason_name = function
+  | CSTT -> "CSTT" | CSTF -> "CSTF" | ATKN -> "ATKN" | LIBC -> "LIBC"
+  | IND -> "IND" | SMAL -> "SMAL" | MSET -> "MSET" | NEST -> "NEST"
+  | SIZEOF -> "SIZEOF"
+
+type attrs = {
+  mutable has_global_var : bool;
+  mutable has_local_var : bool;
+  mutable has_global_ptr : bool;
+  mutable has_local_ptr : bool;
+  mutable has_static_array : bool;
+  mutable dyn_alloc : bool;
+  mutable freed : bool;
+  mutable realloced : bool;
+  mutable global_ptrs : string list;
+  mutable alloc_sites : (string * int) list;
+  mutable escapes : string list;
+  mutable addr_passed_fields : int list;
+}
+
+type info = { mutable invalid : reason list; attrs : attrs }
+
+type t = { table : (string, info) Hashtbl.t }
+
+let fresh_attrs () =
+  {
+    has_global_var = false; has_local_var = false; has_global_ptr = false;
+    has_local_ptr = false; has_static_array = false; dyn_alloc = false;
+    freed = false; realloced = false; global_ptrs = []; alloc_sites = [];
+    escapes = []; addr_passed_fields = [];
+  }
+
+let info t s = Hashtbl.find t.table s
+
+let mark t s r =
+  match Hashtbl.find_opt t.table s with
+  | Some i -> if not (List.mem r i.invalid) then i.invalid <- r :: i.invalid
+  | None -> ()
+
+let attrs_of t s =
+  match Hashtbl.find_opt t.table s with
+  | Some i -> Some i.attrs
+  | None -> None
+
+(* outermost struct mentioned by a type, seen through pointers *)
+let rec pointee_struct = function
+  | Irty.Ptr u -> pointee_struct u
+  | Irty.Struct s -> Some s
+  | Irty.Array (u, _) -> pointee_struct u
+  | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long | Irty.Float
+  | Irty.Double | Irty.Funptr ->
+    None
+
+let relaxable = function
+  | CSTT | CSTF | ATKN -> true
+  | LIBC | IND | SMAL | MSET | NEST | SIZEOF -> false
+
+let analyze ?(smal_threshold = 1) (prog : Ir.program) : t =
+  let t = { table = Hashtbl.create 32 } in
+  Structs.iter
+    (fun d -> Hashtbl.replace t.table d.sname { invalid = []; attrs = fresh_attrs () })
+    prog.structs;
+  let defined = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace defined f.fname ()) prog.funcs;
+
+  (* --- declaration attributes and NEST --- *)
+  Structs.iter
+    (fun d ->
+      Array.iter
+        (fun (fld : Structs.field) ->
+          match fld.ty with
+          | Irty.Struct inner | Irty.Array (Irty.Struct inner, _) ->
+            (* by-value nesting invalidates both the nested type and the
+               container (implementation limitation, as in the paper) *)
+            mark t inner NEST;
+            mark t d.sname NEST
+          | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long
+          | Irty.Float | Irty.Double | Irty.Ptr _ | Irty.Array _
+          | Irty.Funptr ->
+            ())
+        d.fields)
+    prog.structs;
+  List.iter
+    (fun (name, ty, _) ->
+      match ty with
+      | Irty.Struct s ->
+        Option.iter (fun a -> a.has_global_var <- true) (attrs_of t s)
+      | Irty.Ptr (Irty.Struct s) ->
+        Option.iter
+          (fun a ->
+            a.has_global_ptr <- true;
+            a.global_ptrs <- a.global_ptrs @ [ name ])
+          (attrs_of t s)
+      | Irty.Array (Irty.Struct s, _) ->
+        Option.iter (fun a -> a.has_static_array <- true) (attrs_of t s)
+      | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long
+      | Irty.Float | Irty.Double | Irty.Ptr _ | Irty.Array _ | Irty.Funptr ->
+        ())
+    prog.globals;
+
+  (* --- sizeof escapes recorded during lowering --- *)
+  List.iter (fun (s, _) -> mark t s SIZEOF) prog.psizeof_uses;
+
+  (* --- FE pass over every function --- *)
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (name, ty) ->
+          ignore name;
+          match ty with
+          | Irty.Struct s ->
+            Option.iter (fun a -> a.has_local_var <- true) (attrs_of t s)
+          | Irty.Ptr (Irty.Struct s) ->
+            Option.iter (fun a -> a.has_local_ptr <- true) (attrs_of t s)
+          | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long
+          | Irty.Float | Irty.Double | Irty.Ptr _ | Irty.Array _
+          | Irty.Funptr ->
+            ())
+        f.flocals;
+      let regty = Regty.infer prog f in
+      let ty_of = function
+        | Ir.Oreg r -> regty.(r)
+        | Ir.Oimm _ -> Some Irty.Long
+        | Ir.Ofimm _ -> Some Irty.Double
+      in
+      (* alloc results (tracked through casts by [from_alloc]) *)
+      let alloc_elem : (Ir.reg, Irty.t) Hashtbl.t = Hashtbl.create 16 in
+      (* uses of field addresses *)
+      let fieldaddr_of : (Ir.reg, string * int) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              (match i.idesc with
+              | Ir.Ialloc (r, kind, count, elem) ->
+                Hashtbl.replace alloc_elem r elem;
+                (match elem with
+                | Irty.Struct s ->
+                  Option.iter
+                    (fun a ->
+                      a.dyn_alloc <- true;
+                      a.alloc_sites <- a.alloc_sites @ [ (f.fname, i.iid) ];
+                      match kind with
+                      | Ir.Arealloc _ -> a.realloced <- true
+                      | Ir.Amalloc | Ir.Acalloc -> ())
+                    (attrs_of t s);
+                  (match count with
+                  | Ir.Oimm n when Int64.to_int n <= smal_threshold ->
+                    mark t s SMAL
+                  | Ir.Oimm _ | Ir.Oreg _ | Ir.Ofimm _ -> ())
+                | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long
+                | Irty.Float | Irty.Double | Irty.Ptr _ | Irty.Array _
+                | Irty.Funptr ->
+                  ())
+              | Ir.Icast (r, from_, to_, v, ci) -> (
+                (* propagate alloc tracking through the cast *)
+                (match v with
+                | Ir.Oreg vr -> (
+                  match Hashtbl.find_opt alloc_elem vr with
+                  | Some e -> Hashtbl.replace alloc_elem r e
+                  | None -> ())
+                | Ir.Oimm _ | Ir.Ofimm _ -> ());
+                (match to_ with
+                | Irty.Ptr (Irty.Struct s) ->
+                  if v = Ir.Oimm 0L then ()
+                  (* a null pointer constant is not a type-unsafe use *)
+                  else if ci.from_alloc then begin
+                    (* tolerate casts of matching allocation results *)
+                    match v with
+                    | Ir.Oreg vr -> (
+                      match Hashtbl.find_opt alloc_elem vr with
+                      | Some (Irty.Struct s') when String.equal s s' -> ()
+                      | Some (Irty.Struct _) -> mark t s CSTT
+                      | Some _ ->
+                        (* untyped allocation (e.g. malloc(16)): the FE
+                           cannot retarget the site; counts as CSTT like
+                           the paper's void* wrapper case *)
+                        mark t s CSTT
+                      | None -> mark t s CSTT)
+                    | Ir.Oimm _ | Ir.Ofimm _ -> mark t s CSTT
+                  end
+                  else mark t s CSTT
+                | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long
+                | Irty.Float | Irty.Double | Irty.Ptr _ | Irty.Array _
+                | Irty.Struct _ | Irty.Funptr ->
+                  ());
+                match from_ with
+                | Irty.Ptr (Irty.Struct s) ->
+                  if not ci.from_alloc then mark t s CSTF
+                | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long
+                | Irty.Float | Irty.Double | Irty.Ptr _ | Irty.Array _
+                | Irty.Struct _ | Irty.Funptr ->
+                  ())
+              | Ir.Ifieldaddr (r, _, s, fi) ->
+                Hashtbl.replace fieldaddr_of r (s, fi)
+              | Ir.Ifree o -> (
+                match Regty.struct_ptr (ty_of o) with
+                | Some s -> Option.iter (fun a -> a.freed <- true) (attrs_of t s)
+                | None -> ())
+              | Ir.Imemset (_, _, _, tag) | Ir.Imemcpy (_, _, _, tag) ->
+                Option.iter (fun s -> mark t s MSET) tag
+              | Ir.Icall (_, callee, args) ->
+                List.iter
+                  (fun arg ->
+                    match pointee_struct (Option.value ~default:Irty.Void (ty_of arg)) with
+                    | None -> ()
+                    | Some s -> (
+                      match callee with
+                      | Ir.Cdirect callee_name ->
+                        if Hashtbl.mem defined callee_name then
+                          Option.iter
+                            (fun a ->
+                              if not (List.mem callee_name a.escapes) then
+                                a.escapes <- callee_name :: a.escapes)
+                            (attrs_of t s)
+                        else mark t s LIBC
+                      | Ir.Cbuiltin _ | Ir.Cextern _ -> mark t s LIBC
+                      | Ir.Cindirect _ -> mark t s IND))
+                  args
+              | Ir.Imov _ | Ir.Ibin _ | Ir.Iun _ | Ir.Iload _ | Ir.Istore _
+              | Ir.Iaddrglob _ | Ir.Iaddrlocal _ | Ir.Iaddrstr _
+              | Ir.Iaddrfunc _ | Ir.Iptradd _ ->
+                ());
+              (* ATKN: a field address used for anything except being the
+                 address operand of a load/store, or a call argument *)
+              let check_use (o : Ir.operand) ~tolerated =
+                match o with
+                | Ir.Oreg r -> (
+                  match Hashtbl.find_opt fieldaddr_of r with
+                  | Some (s, _) -> if not tolerated then mark t s ATKN
+                  | None -> ())
+                | Ir.Oimm _ | Ir.Ofimm _ -> ()
+              in
+              (match i.idesc with
+              | Ir.Iload (_, addr, _, _) -> check_use addr ~tolerated:true
+              | Ir.Istore (addr, v, _, _) ->
+                check_use addr ~tolerated:true;
+                check_use v ~tolerated:false
+              | Ir.Icall (_, _, args) ->
+                (* address of a field passed to a function: tolerated under
+                   the paper's assumption about callee behaviour — but the
+                   field can no longer be proved dead *)
+                List.iter
+                  (fun a ->
+                    (match a with
+                    | Ir.Oreg r -> (
+                      match Hashtbl.find_opt fieldaddr_of r with
+                      | Some (s, fi) ->
+                        Option.iter
+                          (fun at ->
+                            if not (List.mem fi at.addr_passed_fields) then
+                              at.addr_passed_fields <-
+                                fi :: at.addr_passed_fields)
+                          (attrs_of t s)
+                      | None -> ())
+                    | Ir.Oimm _ | Ir.Ofimm _ -> ());
+                    check_use a ~tolerated:true)
+                  args
+              | Ir.Ifieldaddr (_, base, _, _) -> check_use base ~tolerated:false
+              | Ir.Imov (_, o) -> check_use o ~tolerated:false
+              | Ir.Ibin (_, _, _, a, b) ->
+                (* comparing field addresses is harmless; arithmetic is
+                   not — be conservative and flag both *)
+                check_use a ~tolerated:false;
+                check_use b ~tolerated:false
+              | Ir.Iun (_, _, _, a) -> check_use a ~tolerated:false
+              | Ir.Icast (_, _, _, v, _) -> check_use v ~tolerated:false
+              | Ir.Iptradd (_, b2, idx, _) ->
+                check_use b2 ~tolerated:false;
+                check_use idx ~tolerated:false
+              | Ir.Ifree o -> check_use o ~tolerated:false
+              | Ir.Imemset (d, v, n, _) ->
+                check_use d ~tolerated:false;
+                check_use v ~tolerated:false;
+                check_use n ~tolerated:false
+              | Ir.Imemcpy (d, sr, n, _) ->
+                check_use d ~tolerated:false;
+                check_use sr ~tolerated:false;
+                check_use n ~tolerated:false
+              | Ir.Ialloc (_, k, n, _) -> (
+                check_use n ~tolerated:false;
+                match k with
+                | Ir.Arealloc o -> check_use o ~tolerated:false
+                | Ir.Amalloc | Ir.Acalloc -> ())
+              | Ir.Iaddrglob _ | Ir.Iaddrlocal _ | Ir.Iaddrstr _
+              | Ir.Iaddrfunc _ ->
+                ()))
+            b.instrs;
+          (* terminator uses *)
+          match b.btermin with
+          | Ir.Tbr (Ir.Oreg r, _, _) | Ir.Tret (Some (Ir.Oreg r)) -> (
+            match Hashtbl.find_opt fieldaddr_of r with
+            | Some (s, _) -> mark t s ATKN
+            | None -> ())
+          | Ir.Tbr _ | Ir.Tret _ | Ir.Tjmp _ -> ())
+        f.fblocks)
+    prog.funcs;
+
+  (* --- IPA aggregation: escapes to functions outside the scope --- *)
+  Hashtbl.iter
+    (fun s (i : info) ->
+      List.iter
+        (fun callee -> if not (Hashtbl.mem defined callee) then mark t s LIBC)
+        i.attrs.escapes)
+    t.table;
+  t
+
+let reasons t s = (info t s).invalid
+
+let is_legal ?(relax = false) t s =
+  match Hashtbl.find_opt t.table s with
+  | None -> false
+  | Some i ->
+    if relax then List.for_all relaxable i.invalid else i.invalid = []
+
+let types t =
+  Hashtbl.fold (fun s _ acc -> s :: acc) t.table [] |> List.sort String.compare
+
+let legal_count ?relax t =
+  List.length (List.filter (fun s -> is_legal ?relax t s) (types t))

@@ -1,0 +1,666 @@
+type split_spec = {
+  s_typ : string;
+  s_hot : int list;
+  s_cold : int list;
+  s_dead : int list;
+}
+
+type peel_spec = {
+  p_typ : string;
+  p_live : int list;
+  p_dead : int list;
+  p_globals : string list;
+}
+
+type rebuild_spec = { r_typ : string; r_order : int list; r_dead : int list }
+
+let link_field_name = "__link"
+let hot_name s = s ^ "__hot"
+let cold_name s = s ^ "__cold"
+let piece_name s f = s ^ "__" ^ f
+let piece_global g f = g ^ "__" ^ f
+
+(* ------------------------------------------------------------------ *)
+(* Type substitution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec subst_ty ~from_ ~to_ (t : Irty.t) : Irty.t =
+  match t with
+  | Irty.Struct s when String.equal s from_ -> Irty.Struct to_
+  | Irty.Ptr u -> Irty.Ptr (subst_ty ~from_ ~to_ u)
+  | Irty.Array (u, n) -> Irty.Array (subst_ty ~from_ ~to_ u, n)
+  | Irty.Struct _ | Irty.Void | Irty.Char | Irty.Short | Irty.Int
+  | Irty.Long | Irty.Float | Irty.Double | Irty.Funptr ->
+    t
+
+(* rename [Struct from_] to [Struct to_] in every type annotation of the
+   program: globals, locals, params, returns, other structs' fields, and
+   instruction type fields *)
+let rename_type (prog : Ir.program) ~from_ ~to_ =
+  let s = subst_ty ~from_ ~to_ in
+  prog.globals <-
+    List.map (fun (n, t, init) -> (n, s t, init)) prog.globals;
+  Structs.iter
+    (fun d ->
+      let changed = ref false in
+      let fields =
+        Array.to_list d.fields
+        |> List.map (fun (f : Structs.field) ->
+               let t' = s f.ty in
+               if not (Irty.equal t' f.ty) then changed := true;
+               { f with Structs.ty = t' })
+      in
+      if !changed then Structs.define prog.structs d.sname fields)
+    prog.structs;
+  List.iter
+    (fun (f : Ir.func) ->
+      let f' = f in
+      f'.flocals <- List.map (fun (n, t) -> (n, s t)) f.flocals;
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.idesc with
+              | Ir.Iload (r, a, ty, acc) -> i.idesc <- Ir.Iload (r, a, s ty, acc)
+              | Ir.Istore (a, v, ty, acc) -> i.idesc <- Ir.Istore (a, v, s ty, acc)
+              | Ir.Icast (r, ft, tt, v, ci) ->
+                i.idesc <- Ir.Icast (r, s ft, s tt, v, ci)
+              | Ir.Iptradd (r, b2, idx, ty) ->
+                i.idesc <- Ir.Iptradd (r, b2, idx, s ty)
+              | Ir.Ialloc (r, k, n, ty) -> i.idesc <- Ir.Ialloc (r, k, n, s ty)
+              | Ir.Ibin (r, op, ty, a, b2) ->
+                i.idesc <- Ir.Ibin (r, op, s ty, a, b2)
+              | Ir.Iun (r, op, ty, a) -> i.idesc <- Ir.Iun (r, op, s ty, a)
+              | Ir.Imov _ | Ir.Iaddrglob _ | Ir.Iaddrlocal _ | Ir.Iaddrstr _
+              | Ir.Iaddrfunc _ | Ir.Ifieldaddr _ | Ir.Icall _ | Ir.Ifree _
+              | Ir.Imemset _ | Ir.Imemcpy _ ->
+                ())
+            b.instrs)
+        f.fblocks)
+    prog.funcs;
+  (* parameters and return types are immutable record fields: rebuild *)
+  prog.funcs <-
+    List.map
+      (fun (f : Ir.func) ->
+        { f with
+          Ir.fparams = List.map (fun (n, t) -> (n, s t)) f.fparams;
+          fret = s f.fret })
+      prog.funcs
+
+(* an action-based per-block instruction rewriter *)
+type action = Keep | Drop | Replace of Ir.instr list
+
+let rewrite_instrs (f : Ir.func) (decide : Ir.instr -> action) =
+  List.iter
+    (fun (b : Ir.block) ->
+      b.instrs <-
+        List.concat_map
+          (fun i ->
+            match decide i with
+            | Keep -> [ i ]
+            | Drop -> []
+            | Replace is -> is)
+          b.instrs)
+    f.fblocks
+
+let mk_instr prog loc desc = { Ir.iid = Ir.fresh_iid prog; iloc = loc; idesc = desc }
+
+(* ------------------------------------------------------------------ *)
+(* Structure splitting                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let split (prog : Ir.program) (spec : split_spec) =
+  let s = spec.s_typ in
+  let hot = hot_name s and cold = cold_name s in
+  let decl = Structs.find prog.structs s in
+  let field i = decl.fields.(i) in
+  (* index maps: old field index -> placement *)
+  let place = Array.make (Array.length decl.fields) `Dead in
+  List.iteri (fun ni oi -> place.(oi) <- `Hot ni) spec.s_hot;
+  List.iteri (fun ni oi -> place.(oi) <- `Cold ni) spec.s_cold;
+  List.iter (fun oi -> place.(oi) <- `Dead) spec.s_dead;
+  let link_idx = List.length spec.s_hot in
+  (* new struct definitions (field types renamed at the end, with
+     everything else) *)
+  Structs.define prog.structs hot
+    (List.map field spec.s_hot
+    @ [ { Structs.name = link_field_name; ty = Irty.Ptr (Irty.Struct cold);
+          bits = None } ]);
+  Structs.define prog.structs cold (List.map field spec.s_cold);
+  let retag (acc : Ir.access option) : Ir.access option =
+    match acc with
+    | Some a when String.equal a.astruct s -> (
+      match place.(a.afield) with
+      | `Hot ni -> Some { Ir.astruct = hot; afield = ni }
+      | `Cold ni -> Some { Ir.astruct = cold; afield = ni }
+      | `Dead -> acc (* the store is dropped anyway *))
+    | Some _ | None -> acc
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      let regty = Regty.infer prog f in
+      (* remember which registers are dead-field addresses *)
+      let dead_addr = Hashtbl.create 8 in
+      rewrite_instrs f (fun i ->
+          let loc = i.iloc in
+          match i.idesc with
+          | Ir.Ifieldaddr (r, b, s', fi) when String.equal s' s -> (
+            match place.(fi) with
+            | `Hot ni ->
+              i.idesc <- Ir.Ifieldaddr (r, b, hot, ni);
+              Keep
+            | `Cold ni ->
+              let t1 = Ir.fresh_reg f and t2 = Ir.fresh_reg f in
+              Replace
+                [
+                  mk_instr prog loc (Ir.Ifieldaddr (t1, b, hot, link_idx));
+                  mk_instr prog loc
+                    (Ir.Iload (t2, Ir.Oreg t1, Irty.Ptr (Irty.Struct cold),
+                               Some { Ir.astruct = hot; afield = link_idx }));
+                  mk_instr prog loc (Ir.Ifieldaddr (r, Ir.Oreg t2, cold, ni));
+                ]
+            | `Dead ->
+              Hashtbl.replace dead_addr r ();
+              Drop)
+          | Ir.Istore (Ir.Oreg a, _, _, _) when Hashtbl.mem dead_addr a ->
+            Drop (* dead store removal *)
+          | Ir.Istore (a, v, ty, acc) ->
+            i.idesc <- Ir.Istore (a, v, ty, retag acc);
+            Keep
+          | Ir.Iload (r, a, ty, acc) ->
+            i.idesc <- Ir.Iload (r, a, ty, retag acc);
+            Keep
+          | Ir.Ifree o -> (
+            match Regty.struct_ptr (match o with
+                                    | Ir.Oreg r -> regty.(r)
+                                    | Ir.Oimm _ | Ir.Ofimm _ -> None) with
+            | Some s' when String.equal s' s ->
+              (* free the cold part through the link, then the hot part *)
+              let t1 = Ir.fresh_reg f and t2 = Ir.fresh_reg f in
+              Replace
+                [
+                  mk_instr prog loc (Ir.Ifieldaddr (t1, o, hot, link_idx));
+                  mk_instr prog loc
+                    (Ir.Iload (t2, Ir.Oreg t1, Irty.Ptr (Irty.Struct cold),
+                               Some { Ir.astruct = hot; afield = link_idx }));
+                  mk_instr prog loc (Ir.Ifree (Ir.Oreg t2));
+                  mk_instr prog loc (Ir.Ifree o);
+                ]
+            | Some _ | None -> Keep)
+          | Ir.Imov _ | Ir.Ibin _ | Ir.Iun _ | Ir.Icast _ | Ir.Iaddrglob _
+          | Ir.Iaddrlocal _ | Ir.Iaddrstr _ | Ir.Iaddrfunc _
+          | Ir.Ifieldaddr _ | Ir.Iptradd _ | Ir.Icall _ | Ir.Ialloc _
+          | Ir.Imemset _ | Ir.Imemcpy _ ->
+            Keep);
+      (* allocation sites: allocate the cold array and initialise links *)
+      let worklist = Queue.create () in
+      List.iter (fun b -> Queue.add b worklist) f.fblocks;
+      while not (Queue.is_empty worklist) do
+        let b : Ir.block = Queue.pop worklist in
+        let rec find_alloc pre = function
+          | [] -> None
+          | ({ Ir.idesc = Ir.Ialloc (r, kind, count, Irty.Struct s'); _ } as ai)
+            :: rest
+            when String.equal s' s ->
+            Some (List.rev pre, ai, r, kind, count, rest)
+          | i :: rest -> find_alloc (i :: pre) rest
+        in
+        match find_alloc [] b.instrs with
+        | None -> ()
+        | Some (pre, alloc_i, r, kind, count, rest) ->
+          let loc = alloc_i.iloc in
+          alloc_i.idesc <- Ir.Ialloc (r, kind, count, Irty.Struct hot);
+          let rc = Ir.fresh_reg f in
+          let cold_kind =
+            match kind with
+            | Ir.Arealloc _ -> Ir.Amalloc (* realloc'd types are filtered out *)
+            | Ir.Amalloc | Ir.Acalloc -> kind
+          in
+          let alloc_c =
+            mk_instr prog loc (Ir.Ialloc (rc, cold_kind, count, Irty.Struct cold))
+          in
+          let iv = Ir.fresh_reg f in
+          let init_iv = mk_instr prog loc (Ir.Imov (iv, Ir.Oimm 0L)) in
+          let header = Ir.fresh_block f loc in
+          let body = Ir.fresh_block f loc in
+          let after = Ir.fresh_block f loc in
+          after.instrs <- rest;
+          after.btermin <- b.btermin;
+          b.instrs <- pre @ [ alloc_i; alloc_c; init_iv ];
+          b.btermin <- Ir.Tjmp header.bid;
+          let cond = Ir.fresh_reg f in
+          header.instrs <-
+            [ mk_instr prog loc
+                (Ir.Ibin (cond, Ir.Lt, Irty.Long, Ir.Oreg iv, count)) ];
+          header.btermin <- Ir.Tbr (Ir.Oreg cond, body.bid, after.bid);
+          let hp = Ir.fresh_reg f and fa = Ir.fresh_reg f in
+          let cp = Ir.fresh_reg f and iv2 = Ir.fresh_reg f in
+          body.instrs <-
+            [
+              mk_instr prog loc
+                (Ir.Iptradd (hp, Ir.Oreg r, Ir.Oreg iv, Irty.Struct hot));
+              mk_instr prog loc (Ir.Ifieldaddr (fa, Ir.Oreg hp, hot, link_idx));
+              mk_instr prog loc
+                (Ir.Iptradd (cp, Ir.Oreg rc, Ir.Oreg iv, Irty.Struct cold));
+              mk_instr prog loc
+                (Ir.Istore (Ir.Oreg fa, Ir.Oreg cp,
+                            Irty.Ptr (Irty.Struct cold),
+                            Some { Ir.astruct = hot; afield = link_idx }));
+              mk_instr prog loc
+                (Ir.Ibin (iv2, Ir.Add, Irty.Long, Ir.Oreg iv, Ir.Oimm 1L));
+              mk_instr prog loc (Ir.Imov (iv, Ir.Oreg iv2));
+            ];
+          body.btermin <- Ir.Tjmp header.bid;
+          Queue.add after worklist
+      done;
+      ignore (Dce.cleanup f))
+    prog.funcs;
+  Structs.remove prog.structs s;
+  rename_type prog ~from_:s ~to_:hot
+
+(* ------------------------------------------------------------------ *)
+(* Rebuild (dead field removal + reordering, same type name)           *)
+(* ------------------------------------------------------------------ *)
+
+let rebuild (prog : Ir.program) (spec : rebuild_spec) =
+  let s = spec.r_typ in
+  let decl = Structs.find prog.structs s in
+  let place = Array.make (Array.length decl.fields) `Dead in
+  List.iteri (fun ni oi -> place.(oi) <- `Live ni) spec.r_order;
+  List.iter (fun oi -> place.(oi) <- `Dead) spec.r_dead;
+  Structs.define prog.structs s
+    (List.map (fun oi -> decl.fields.(oi)) spec.r_order);
+  let retag (acc : Ir.access option) =
+    match acc with
+    | Some a when String.equal a.astruct s -> (
+      match place.(a.afield) with
+      | `Live ni -> Some { Ir.astruct = s; afield = ni }
+      | `Dead -> acc)
+    | Some _ | None -> acc
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      let dead_addr = Hashtbl.create 8 in
+      rewrite_instrs f (fun i ->
+          match i.idesc with
+          | Ir.Ifieldaddr (r, b, s', fi) when String.equal s' s -> (
+            match place.(fi) with
+            | `Live ni ->
+              i.idesc <- Ir.Ifieldaddr (r, b, s, ni);
+              Keep
+            | `Dead ->
+              Hashtbl.replace dead_addr r ();
+              Drop)
+          | Ir.Istore (Ir.Oreg a, _, _, _) when Hashtbl.mem dead_addr a -> Drop
+          | Ir.Istore (a, v, ty, acc) ->
+            i.idesc <- Ir.Istore (a, v, ty, retag acc);
+            Keep
+          | Ir.Iload (r, a, ty, acc) ->
+            i.idesc <- Ir.Iload (r, a, ty, retag acc);
+            Keep
+          | Ir.Imov _ | Ir.Ibin _ | Ir.Iun _ | Ir.Icast _ | Ir.Iaddrglob _
+          | Ir.Iaddrlocal _ | Ir.Iaddrstr _ | Ir.Iaddrfunc _
+          | Ir.Ifieldaddr _ | Ir.Iptradd _ | Ir.Icall _ | Ir.Ialloc _
+          | Ir.Ifree _ | Ir.Imemset _ | Ir.Imemcpy _ ->
+            Keep);
+      ignore (Dce.cleanup f))
+    prog.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Structure peeling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* definition map: register -> defining instruction (None when multiply
+   defined or a parameter of a join) *)
+let def_map (f : Ir.func) : Ir.instr option array =
+  let defs = Array.make f.next_reg None in
+  let multi = Array.make f.next_reg false in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match Ir.defined_reg i with
+          | Some r ->
+            if defs.(r) <> None then multi.(r) <- true;
+            defs.(r) <- Some i
+          | None -> ())
+        b.instrs)
+    f.fblocks;
+  Array.mapi (fun r d -> if multi.(r) then None else d) defs
+
+let use_map (f : Ir.func) : Ir.instr list array =
+  let uses = Array.make f.next_reg [] in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          List.iter (fun r -> uses.(r) <- i :: uses.(r)) (Ir.used_regs i))
+        b.instrs)
+    f.fblocks;
+  uses
+
+let rec ty_mentions s (t : Irty.t) =
+  match t with
+  | Irty.Struct x -> String.equal x s
+  | Irty.Ptr u | Irty.Array (u, _) -> ty_mentions s u
+  | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long | Irty.Float
+  | Irty.Double | Irty.Funptr ->
+    false
+
+(* trace the anchor global of a field-access base register:
+   b = Iptradd(p, idx, S) / p = Iload(addr g) / direct load *)
+let trace_base defs (b : Ir.operand) ~typ : (string * Ir.operand option) option =
+  let def = function
+    | Ir.Oreg r -> defs.(r)
+    | Ir.Oimm _ | Ir.Ofimm _ -> None
+  in
+  let global_of_load (li : Ir.instr option) =
+    match li with
+    | Some { Ir.idesc = Ir.Iload (_, ga, Irty.Ptr (Irty.Struct s'), _); _ }
+      when String.equal s' typ -> (
+      match def ga with
+      | Some { Ir.idesc = Ir.Iaddrglob (_, g); _ } -> Some g
+      | Some _ | None -> None)
+    | Some _ | None -> None
+  in
+  match def b with
+  | Some { Ir.idesc = Ir.Iptradd (_, p, idx, Irty.Struct s'); _ }
+    when String.equal s' typ -> (
+    match global_of_load (def p) with
+    | Some g -> Some (g, Some idx)
+    | None -> None)
+  | d -> (
+    match global_of_load d with
+    | Some g -> Some (g, None)
+    | None -> None)
+
+(* trace an allocation chain: value stored = alloc result, possibly through
+   casts *)
+let rec trace_alloc defs (v : Ir.operand) ~typ : Ir.instr option =
+  match v with
+  | Ir.Oimm _ | Ir.Ofimm _ -> None
+  | Ir.Oreg r -> (
+    match defs.(r) with
+    | Some ({ Ir.idesc = Ir.Ialloc (_, _, _, Irty.Struct s'); _ } as ai)
+      when String.equal s' typ ->
+      Some ai
+    | Some { Ir.idesc = Ir.Icast (_, _, _, src, _); _ } ->
+      trace_alloc defs src ~typ
+    | Some _ | None -> None)
+
+let peel_feasible (prog : Ir.program) ~typ ~globals : bool =
+  let in_g g = List.mem g globals in
+  let ok = ref (globals <> []) in
+  (* the type may not be referenced from any other storage *)
+  Structs.iter
+    (fun d ->
+      if not (String.equal d.sname typ) || true then
+        Array.iter
+          (fun (fl : Structs.field) -> if ty_mentions typ fl.ty then ok := false)
+          d.fields)
+    prog.structs;
+  List.iter
+    (fun (n, t, _) -> if (not (in_g n)) && ty_mentions typ t then ok := false)
+    prog.globals;
+  List.iter
+    (fun (f : Ir.func) ->
+      if ty_mentions typ f.fret then ok := false;
+      List.iter (fun (_, t) -> if ty_mentions typ t then ok := false) f.fparams;
+      List.iter (fun (_, t) -> if ty_mentions typ t then ok := false) f.flocals;
+      let defs = def_map f in
+      let uses = use_map f in
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.idesc with
+              | Ir.Ifieldaddr (_, base, s', _) when String.equal s' typ ->
+                if trace_base defs base ~typ = None then ok := false
+              | Ir.Ialloc (r, _, _, Irty.Struct s') when String.equal s' typ ->
+                (* result must flow, through casts only, into exactly one
+                   store to an anchor global *)
+                let rec check_uses reg depth =
+                  if depth > 4 then ok := false
+                  else
+                    List.iter
+                      (fun (u : Ir.instr) ->
+                        match u.idesc with
+                        | Ir.Icast (r2, _, _, Ir.Oreg r', _) when r' = reg ->
+                          check_uses r2 (depth + 1)
+                        | Ir.Istore (addr, Ir.Oreg r', _, _) when r' = reg -> (
+                          match addr with
+                          | Ir.Oreg ar -> (
+                            match defs.(ar) with
+                            | Some { Ir.idesc = Ir.Iaddrglob (_, g); _ }
+                              when in_g g ->
+                              ()
+                            | Some _ | None -> ok := false)
+                          | Ir.Oimm _ | Ir.Ofimm _ -> ok := false)
+                        | _ -> ok := false)
+                      uses.(reg)
+                in
+                check_uses r 0
+              | Ir.Iload (r, ga, Irty.Ptr (Irty.Struct s'), _)
+                when String.equal s' typ -> (
+                match
+                  match ga with
+                  | Ir.Oreg gar -> defs.(gar)
+                  | Ir.Oimm _ | Ir.Ofimm _ -> None
+                with
+                | Some { Ir.idesc = Ir.Iaddrglob (_, g); _ } when in_g g ->
+                  (* uses of the loaded anchor pointer *)
+                  List.iter
+                    (fun (u : Ir.instr) ->
+                      match u.idesc with
+                      | Ir.Iptradd (pr, Ir.Oreg r', _, Irty.Struct s2)
+                        when r' = r && String.equal s2 typ ->
+                        (* the ptradd may feed field addresses only *)
+                        List.iter
+                          (fun (u2 : Ir.instr) ->
+                            match u2.idesc with
+                            | Ir.Ifieldaddr (_, Ir.Oreg b', s3, _)
+                              when b' = pr && String.equal s3 typ ->
+                              ()
+                            | _ -> ok := false)
+                          uses.(pr)
+                      | Ir.Ifieldaddr (_, Ir.Oreg b', s2, _)
+                        when b' = r && String.equal s2 typ ->
+                        ()
+                      | Ir.Ifree (Ir.Oreg r') when r' = r -> ()
+                      | Ir.Ibin (_, (Ir.Eq | Ir.Ne), _, _, _) -> ()
+                      | _ -> ok := false)
+                    uses.(r)
+                | Some _ | None -> ok := false)
+              | _ -> ())
+            b.instrs)
+        f.fblocks)
+    prog.funcs;
+  !ok
+
+let peel (prog : Ir.program) (spec : peel_spec) =
+  let s = spec.p_typ in
+  let decl = Structs.find prog.structs s in
+  let field i = decl.fields.(i) in
+  let live = spec.p_live in
+  let piece_of = Hashtbl.create 8 in
+  List.iter
+    (fun fi ->
+      let fname = (field fi).Structs.name in
+      let pname = piece_name s fname in
+      Hashtbl.replace piece_of fi pname;
+      Structs.define prog.structs pname [ field fi ])
+    live;
+  let first_piece = Hashtbl.find piece_of (List.hd live) in
+  (* companion globals *)
+  let pg g fi = piece_global g (field fi).Structs.name in
+  prog.globals <-
+    List.concat_map
+      (fun ((n, _t, init) as orig) ->
+        if List.mem n spec.p_globals then
+          List.map
+            (fun fi ->
+              (pg n fi, Irty.Ptr (Irty.Struct (Hashtbl.find piece_of fi)), init))
+            live
+        else [ orig ])
+      prog.globals;
+  let retag (acc : Ir.access option) =
+    match acc with
+    | Some a when String.equal a.astruct s -> (
+      match Hashtbl.find_opt piece_of a.afield with
+      | Some p -> Some { Ir.astruct = p; afield = 0 }
+      | None -> acc)
+    | Some _ | None -> acc
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      let defs = def_map f in
+      let dead_addr = Hashtbl.create 8 in
+      rewrite_instrs f (fun i ->
+          let loc = i.iloc in
+          match i.idesc with
+          | Ir.Ialloc (_, _, _, Irty.Struct s') when String.equal s' s ->
+            Drop (* re-emitted at the anchor store *)
+          | Ir.Icast (_, _, _, v, _) when trace_alloc defs v ~typ:s <> None ->
+            Drop
+          | Ir.Istore (addr, v, ty, acc) -> (
+            let anchor =
+              match addr with
+              | Ir.Oreg ar -> (
+                match defs.(ar) with
+                | Some { Ir.idesc = Ir.Iaddrglob (_, g); _ }
+                  when List.mem g spec.p_globals ->
+                  Some g
+                | Some _ | None -> None)
+              | Ir.Oimm _ | Ir.Ofimm _ -> None
+            in
+            match anchor with
+            | Some g -> (
+              match trace_alloc defs v ~typ:s with
+              | Some { Ir.idesc = Ir.Ialloc (_, kind, count, _); _ } ->
+                (* fan out: one allocation and one anchor store per piece *)
+                Replace
+                  (List.concat_map
+                     (fun fi ->
+                       let p = Hashtbl.find piece_of fi in
+                       let r = Ir.fresh_reg f and ga = Ir.fresh_reg f in
+                       [
+                         mk_instr prog loc
+                           (Ir.Ialloc (r, kind, count, Irty.Struct p));
+                         mk_instr prog loc (Ir.Iaddrglob (ga, pg g fi));
+                         mk_instr prog loc
+                           (Ir.Istore (Ir.Oreg ga, Ir.Oreg r,
+                                       Irty.Ptr (Irty.Struct p), None));
+                       ])
+                     live)
+              | Some _ -> assert false
+              | None ->
+                (* e.g. a null initialisation: replicate per piece *)
+                Replace
+                  (List.concat_map
+                     (fun fi ->
+                       let p = Hashtbl.find piece_of fi in
+                       let ga = Ir.fresh_reg f in
+                       [
+                         mk_instr prog loc (Ir.Iaddrglob (ga, pg g fi));
+                         mk_instr prog loc
+                           (Ir.Istore (Ir.Oreg ga, v,
+                                       Irty.Ptr (Irty.Struct p), None));
+                       ])
+                     live))
+            | None ->
+              if
+                match addr with
+                | Ir.Oreg ar -> Hashtbl.mem dead_addr ar
+                | Ir.Oimm _ | Ir.Ofimm _ -> false
+              then Drop
+              else begin
+                i.idesc <- Ir.Istore (addr, v, ty, retag acc);
+                Keep
+              end)
+          | Ir.Ifieldaddr (r, base, s', fi) when String.equal s' s -> (
+            if not (List.mem fi live) then begin
+              Hashtbl.replace dead_addr r ();
+              Drop
+            end
+            else
+              match trace_base defs base ~typ:s with
+              | None -> assert false (* peel_feasible guaranteed this *)
+              | Some (g, idx) ->
+                let p = Hashtbl.find piece_of fi in
+                let ga = Ir.fresh_reg f and pr = Ir.fresh_reg f in
+                let base_instrs =
+                  [
+                    mk_instr prog loc (Ir.Iaddrglob (ga, pg g fi));
+                    mk_instr prog loc
+                      (Ir.Iload (pr, Ir.Oreg ga, Irty.Ptr (Irty.Struct p),
+                                 None));
+                  ]
+                in
+                let final_base, extra =
+                  match idx with
+                  | None -> (Ir.Oreg pr, [])
+                  | Some idx_op ->
+                    let br = Ir.fresh_reg f in
+                    ( Ir.Oreg br,
+                      [
+                        mk_instr prog loc
+                          (Ir.Iptradd (br, Ir.Oreg pr, idx_op, Irty.Struct p));
+                      ] )
+                in
+                Replace
+                  (base_instrs @ extra
+                  @ [ mk_instr prog loc (Ir.Ifieldaddr (r, final_base, p, 0)) ]))
+          | Ir.Ifree (Ir.Oreg fr) -> (
+            match defs.(fr) with
+            | Some { Ir.idesc = Ir.Iload (_, ga, Irty.Ptr (Irty.Struct s'), _); _ }
+              when String.equal s' s -> (
+              match
+                match ga with
+                | Ir.Oreg gar -> defs.(gar)
+                | Ir.Oimm _ | Ir.Ofimm _ -> None
+              with
+              | Some { Ir.idesc = Ir.Iaddrglob (_, g); _ }
+                when List.mem g spec.p_globals ->
+                Replace
+                  (List.concat_map
+                     (fun fi ->
+                       let p = Hashtbl.find piece_of fi in
+                       let ga2 = Ir.fresh_reg f and pr = Ir.fresh_reg f in
+                       [
+                         mk_instr prog loc (Ir.Iaddrglob (ga2, pg g fi));
+                         mk_instr prog loc
+                           (Ir.Iload (pr, Ir.Oreg ga2,
+                                      Irty.Ptr (Irty.Struct p), None));
+                         mk_instr prog loc (Ir.Ifree (Ir.Oreg pr));
+                       ])
+                     live)
+              | Some _ | None -> Keep)
+            | Some _ | None -> Keep)
+          | Ir.Iload (r, a, ty, acc) ->
+            i.idesc <- Ir.Iload (r, a, ty, retag acc);
+            Keep
+          | Ir.Imov _ | Ir.Ibin _ | Ir.Iun _ | Ir.Icast _ | Ir.Iaddrglob _
+          | Ir.Iaddrlocal _ | Ir.Iaddrstr _ | Ir.Iaddrfunc _
+          | Ir.Ifieldaddr _ | Ir.Iptradd _ | Ir.Icall _ | Ir.Ialloc _
+          | Ir.Ifree _ | Ir.Imemset _ | Ir.Imemcpy _ ->
+            Keep);
+      (* remaining references to the anchor globals (null compares):
+         retarget to the first piece *)
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.idesc with
+              | Ir.Iaddrglob (r, g) when List.mem g spec.p_globals ->
+                i.idesc <-
+                  Ir.Iaddrglob (r, pg g (List.hd live))
+              | Ir.Iload (r, a, Irty.Ptr (Irty.Struct s'), acc)
+                when String.equal s' s ->
+                i.idesc <-
+                  Ir.Iload (r, a, Irty.Ptr (Irty.Struct first_piece), acc)
+              | _ -> ())
+            b.instrs)
+        f.fblocks;
+      ignore (Dce.cleanup f))
+    prog.funcs;
+  Structs.remove prog.structs s

@@ -1,0 +1,63 @@
+(** The BE transformations of §2.1: structure splitting, structure peeling,
+    dead field removal and field reordering.
+
+    - {b Splitting} creates [S__hot] (surviving hot fields, reordered, plus
+      a [__link] pointer) and [S__cold]; every allocation site of [S]
+      allocates both arrays and runs an inserted link-initialisation loop
+      (Figure 1b); cold-field accesses go through the link pointer, [free]
+      frees both parts.
+    - {b Peeling} creates one single-field record per live field and one
+      companion global pointer per (anchor global, field); allocation sites
+      fan out into per-piece allocations, and access chains
+      [load P; ptradd i; fieldaddr f] are retargeted to the piece pointer
+      (Figure 1c) — no link pointers.
+    - {b Dead field removal} drops dead/unused fields from the rebuilt
+      types and deletes stores to them.
+    - {b Field reordering} is applied when a type is rebuilt: surviving hot
+      fields are emitted in the order the plan specifies.
+
+    All transformations mutate the program in place (transform a copy, see
+    {!Ircopy.copy_program}) and finish with a {!Dce} cleanup. The original
+    struct definition is removed from the table so that an access the
+    rewrite missed fails loudly in the VM. *)
+
+type split_spec = {
+  s_typ : string;
+  s_hot : int list;   (** surviving hot fields, in desired new order *)
+  s_cold : int list;  (** fields split out behind the link pointer *)
+  s_dead : int list;  (** fields removed entirely *)
+}
+
+type peel_spec = {
+  p_typ : string;
+  p_live : int list;  (** fields that become single-field pieces *)
+  p_dead : int list;
+  p_globals : string list;  (** the anchor global pointers *)
+}
+
+type rebuild_spec = {
+  r_typ : string;
+  r_order : int list;  (** surviving fields in new declaration order *)
+  r_dead : int list;
+}
+
+val link_field_name : string
+(** ["__link"] *)
+
+val hot_name : string -> string
+val cold_name : string -> string
+val piece_name : string -> string -> string
+val piece_global : string -> string -> string
+
+val split : Ir.program -> split_spec -> unit
+val peel : Ir.program -> peel_spec -> unit
+val rebuild : Ir.program -> rebuild_spec -> unit
+
+val peel_feasible : Ir.program -> typ:string -> globals:string list -> bool
+(** Structural feasibility of peeling: every access to the type must be a
+    block-local chain anchored at one of the given global pointers, every
+    allocation must flow straight into one of them, and the type must not
+    be referenced from any other storage (locals, parameters, returns,
+    other structs' fields). Chains that cross basic blocks make the type
+    non-peelable — the framework then falls back to splitting, mirroring
+    the paper's "implementation limitations". *)

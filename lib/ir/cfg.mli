@@ -1,0 +1,29 @@
+(** Control-flow-graph utilities over {!Ir.func}.
+
+    Provides the derived views every analysis needs: successor/predecessor
+    maps, reverse postorder, reachability, and the list of edges with stable
+    indices (edge index = position of the target in the block's successor
+    list), which is how profile edge counts are keyed. *)
+
+type t = {
+  func : Ir.func;
+  blocks : Ir.block array;          (** indexed by block id *)
+  succs : int list array;           (** successor block ids *)
+  preds : int list array;           (** predecessor block ids *)
+  rpo : int array;                  (** reachable ids in reverse postorder *)
+  rpo_index : int array;            (** block id -> position in [rpo]; -1 if unreachable *)
+}
+
+val build : Ir.func -> t
+
+val entry : t -> int
+val num_blocks : t -> int
+val reachable : t -> int -> bool
+
+val edges : t -> (int * int) list
+(** All (src, dst) edges of reachable blocks, in rpo order of sources. *)
+
+val is_fp_block : Ir.block -> bool
+(** Whether the block contains floating-point arithmetic or float/double
+    memory traffic — used to pick the FP back-edge probability (the paper
+    uses 0.93 for floating point loops vs 0.88 otherwise). *)

@@ -1,0 +1,11 @@
+(** Dead-code cleanup used by the BE after layout transformations.
+
+    Rewriting field-access chains (splitting, peeling) and deleting dead
+    stores leaves orphaned address computations and loads behind; this pass
+    removes side-effect-free instructions whose destination register is
+    never used, iterating to a fixpoint. Loads are treated as removable: a
+    dead load has no program-visible effect, and a real compiler would not
+    emit it (leaving it would also pollute the simulated cache trace). *)
+
+val cleanup : Ir.func -> int
+(** Returns the number of instructions removed. *)

@@ -1,0 +1,65 @@
+type t = {
+  idoms : int array; (* block id -> idom block id; -1 = none/unreachable *)
+  cfg : Cfg.t;
+}
+
+(* Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm" *)
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.num_blocks cfg in
+  let entry = Cfg.entry cfg in
+  let idoms = Array.make n (-1) in
+  idoms.(entry) <- entry;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while cfg.rpo_index.(!a) > cfg.rpo_index.(!b) do
+        a := idoms.(!a)
+      done;
+      while cfg.rpo_index.(!b) > cfg.rpo_index.(!a) do
+        b := idoms.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed_preds =
+            List.filter (fun p -> idoms.(p) >= 0) cfg.preds.(b)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idoms.(b) <> new_idom then begin
+              idoms.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      cfg.rpo
+  done;
+  { idoms; cfg }
+
+let idom t b =
+  if b < 0 || b >= Array.length t.idoms then None
+  else if t.idoms.(b) < 0 then None
+  else if b = Cfg.entry t.cfg then None
+  else Some t.idoms.(b)
+
+let dominates t a b =
+  if not (Cfg.reachable t.cfg b) then false
+  else begin
+    let entry = Cfg.entry t.cfg in
+    let rec walk x = if x = a then true else if x = entry then a = entry else walk t.idoms.(x) in
+    walk b
+  end
+
+let children t b =
+  let acc = ref [] in
+  Array.iteri
+    (fun i d -> if d = b && i <> b && Cfg.reachable t.cfg i then acc := i :: !acc)
+    t.idoms;
+  List.rev !acc

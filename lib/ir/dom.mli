@@ -1,0 +1,19 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+    Used by the loop analysis tests as an independent oracle for natural
+    loops and by block-placement sanity checks; exposed publicly because a
+    dominator tree is a standard service of a compiler substrate. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry block or unreachable blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: every path from entry to [b] passes through [a].
+    Reflexive. *)
+
+val children : t -> int -> int list
+(** Dominator-tree children. *)

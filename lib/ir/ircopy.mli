@@ -1,0 +1,9 @@
+(** Deep copy of an IR program.
+
+    The BE transformations mutate instructions, blocks and the struct table
+    in place; evaluation needs the original and the transformed program side
+    by side, so the driver transforms a copy. *)
+
+val copy_program : Ir.program -> Ir.program
+(** Structurally identical copy sharing nothing mutable with the input
+    (instruction ids and locations are preserved). *)

@@ -1,0 +1,123 @@
+type field_layout = {
+  byte_off : int;
+  bit_off : int;
+  bit_width : int option;
+  fty : Irty.t;
+}
+
+type struct_layout = {
+  size : int;
+  align : int;
+  fields : field_layout array;
+}
+
+type t = {
+  table : Structs.t;
+  memo : (string, struct_layout) Hashtbl.t;
+}
+
+let create table = { table; memo = Hashtbl.create 16 }
+
+let scalar_size = function
+  | Irty.Void -> 0
+  | Irty.Char -> 1
+  | Irty.Short -> 2
+  | Irty.Int -> 4
+  | Irty.Long -> 8
+  | Irty.Float -> 4
+  | Irty.Double -> 8
+  | Irty.Ptr _ | Irty.Funptr -> 8
+  | Irty.Struct _ | Irty.Array _ -> assert false
+
+let align_up off align = (off + align - 1) / align * align
+
+let rec sizeof t ty =
+  match ty with
+  | Irty.Struct s -> (layout_of t s).size
+  | Irty.Array (u, n) -> n * sizeof t u
+  | Irty.Void | Irty.Char | Irty.Short | Irty.Int | Irty.Long | Irty.Float
+  | Irty.Double | Irty.Ptr _ | Irty.Funptr ->
+    scalar_size ty
+
+and alignof t ty =
+  match ty with
+  | Irty.Struct s -> (layout_of t s).align
+  | Irty.Array (u, _) -> alignof t u
+  | Irty.Void -> 1
+  | Irty.Char | Irty.Short | Irty.Int | Irty.Long | Irty.Float | Irty.Double
+  | Irty.Ptr _ | Irty.Funptr ->
+    scalar_size ty
+
+and layout_of t sname =
+  match Hashtbl.find_opt t.memo sname with
+  | Some l -> l
+  | None ->
+    let decl = Structs.find t.table sname in
+    let n = Array.length decl.fields in
+    let fls = Array.make n { byte_off = 0; bit_off = 0; bit_width = None; fty = Irty.Void } in
+    let off = ref 0 in
+    let max_align = ref 1 in
+    (* state of the currently open bit-field storage unit *)
+    let unit_ty = ref None and unit_off = ref 0 and unit_bits_used = ref 0 in
+    let close_unit () = unit_ty := None in
+    Array.iteri
+      (fun i (f : Structs.field) ->
+        match f.bits with
+        | None ->
+          close_unit ();
+          let a = alignof t f.ty in
+          max_align := max !max_align a;
+          off := align_up !off a;
+          fls.(i) <- { byte_off = !off; bit_off = 0; bit_width = None; fty = f.ty };
+          off := !off + sizeof t f.ty
+        | Some w ->
+          let unit_size = scalar_size f.ty in
+          let capacity = unit_size * 8 in
+          let reuse =
+            match !unit_ty with
+            | Some ut when Irty.equal ut f.ty && !unit_bits_used + w <= capacity ->
+              true
+            | Some _ | None -> false
+          in
+          if not reuse then begin
+            let a = alignof t f.ty in
+            max_align := max !max_align a;
+            off := align_up !off a;
+            unit_ty := Some f.ty;
+            unit_off := !off;
+            unit_bits_used := 0;
+            off := !off + unit_size
+          end;
+          fls.(i) <-
+            { byte_off = !unit_off; bit_off = !unit_bits_used;
+              bit_width = Some w; fty = f.ty };
+          unit_bits_used := !unit_bits_used + w)
+      decl.fields;
+    let size = if !off = 0 then 0 else align_up !off !max_align in
+    let l = { size; align = !max_align; fields = fls } in
+    Hashtbl.replace t.memo sname l;
+    l
+
+let field_layout t s i = (layout_of t s).fields.(i)
+let struct_size t s = (layout_of t s).size
+let struct_align t s = (layout_of t s).align
+
+let describe t sname =
+  let decl = Structs.find t.table sname in
+  let l = layout_of t sname in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "struct %s  (size %d, align %d)\n" sname l.size l.align);
+  Array.iteri
+    (fun i (f : Structs.field) ->
+      let fl = l.fields.(i) in
+      let bits =
+        match fl.bit_width with
+        | None -> ""
+        | Some w -> Printf.sprintf " bits %d..%d" fl.bit_off (fl.bit_off + w - 1)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  +%-4d %-12s %s%s\n" fl.byte_off
+           (Irty.to_string f.ty) f.name bits))
+    decl.fields;
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Memory layout of IR types: sizes, alignments, field offsets, bit-field
+    packing.
+
+    This is the component whose decisions the paper's transformations change:
+    splitting, peeling, dead-field removal and reordering all act by defining
+    new structs in the {!Structs.t} table; the layout engine then assigns the
+    new offsets. Layout follows the usual C ABI rules for a 64-bit target:
+
+    - char 1/1, short 2/2, int 4/4, long 8/8, float 4/4, double 8/8,
+      pointers 8/8 (size/alignment);
+    - a struct's alignment is the maximum alignment of its fields; its size
+      is rounded up to its alignment;
+    - consecutive bit-fields of the same base type pack into one storage
+      unit of that type, opening a new unit when the width does not fit.
+
+    A [t] memoizes struct layouts; create a fresh one after mutating the
+    struct table. *)
+
+type field_layout = {
+  byte_off : int;       (** offset of the containing storage unit *)
+  bit_off : int;        (** bit offset within the unit; 0 for plain fields *)
+  bit_width : int option;  (** [Some w] for bit-fields *)
+  fty : Irty.t;
+}
+
+type t
+
+val create : Structs.t -> t
+
+val sizeof : t -> Irty.t -> int
+val alignof : t -> Irty.t -> int
+
+val field_layout : t -> string -> int -> field_layout
+(** [field_layout t s i] is the layout of field [i] of struct [s]. *)
+
+val struct_size : t -> string -> int
+val struct_align : t -> string -> int
+
+val describe : t -> string -> string
+(** Human-readable layout dump of one struct: one line per field with
+    offset, size and total, used by the Figure 1 reproduction. *)

@@ -1,0 +1,27 @@
+(** Lowering from the typed Mini-C AST to the IR.
+
+    The lowering is deliberately unoptimised ("-O0 style"): every local
+    variable gets a stack slot, every use loads it and every definition
+    stores it. That keeps the translation simple and uniform and — more
+    importantly for the reproduction — means the cache simulator sees a
+    realistic mix of (always-hot) stack traffic and (interesting) heap
+    traffic, so layout changes move the needle the way they do on hardware.
+
+    Allocation-site recognition happens here: [malloc(n * sizeof(T))],
+    [malloc(sizeof(T))], [calloc(n, sizeof(T))] and
+    [realloc(p, n * sizeof(T))] become typed {!Ir.Ialloc} instructions
+    carrying the element type [T] and the count expression, which is what
+    lets the BE rewrite allocation sites when a type is split or peeled.
+    A [sizeof(struct)] that is {e not} consumed by an allocation pattern is
+    recorded in [Ir.program.psizeof_uses] — the paper's section 2.2 hazard
+    ("code relying on these numbers can become unsafe") — and invalidates
+    the type in the legality analysis. *)
+
+exception Unsupported of string * Slo_minic.Loc.t
+(** Raised for the C corners Mini-C's lowering does not implement
+    (e.g. whole-struct assignment). *)
+
+val lower : Slo_minic.Ast.program -> Slo_minic.Typecheck.env -> Ir.program
+
+val lower_source : string -> Ir.program
+(** Convenience: parse, type check and lower a source string. *)

@@ -1,0 +1,14 @@
+(** Per-function virtual-register type reconstruction.
+
+    IR operands are untyped; the legality tests and the BE transformations
+    need to know when a register holds a pointer to a given record type
+    (escaping arguments, [free] of a split type, ...). Types are
+    reconstructed from defining instructions in two forward passes (the
+    second resolves [Imov] joins whose source is defined later in block
+    order). Unknown registers report [None]. *)
+
+val infer : Ir.program -> Ir.func -> Irty.t option array
+(** Indexed by register number. *)
+
+val struct_ptr : Irty.t option -> string option
+(** [Some s] when the type is a pointer to [struct s]. *)

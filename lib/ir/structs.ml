@@ -1,0 +1,30 @@
+type field = { name : string; ty : Irty.t; bits : int option }
+type decl = { sname : string; fields : field array }
+type t = (string, decl) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let define t name fields =
+  Hashtbl.replace t name { sname = name; fields = Array.of_list fields }
+
+let remove t name = Hashtbl.remove t name
+let find t name : decl = Hashtbl.find t name
+let find_opt t name = Hashtbl.find_opt t name
+let mem t name = Hashtbl.mem t name
+let field t s i = (find t s).fields.(i)
+
+let field_index t s fname =
+  match find_opt t s with
+  | None -> None
+  | Some d ->
+    let res = ref None in
+    Array.iteri
+      (fun i f -> if !res = None && String.equal f.name fname then res := Some i)
+      d.fields;
+    !res
+
+let names t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t [] |> List.sort String.compare
+
+let iter f t = List.iter (fun n -> f (find t n)) (names t)
+let copy t = Hashtbl.copy t

@@ -1,0 +1,46 @@
+(** The program's record-type table.
+
+    This is the IR analogue of the type-unified IPA symbol table from the
+    paper: one mutable registry mapping struct names to their field lists.
+    The BE transformations create new entries (hot/cold/peeled pieces) and
+    replace existing ones; everything downstream (layout, VM) consults the
+    table by name, so a layout change is a single table update. *)
+
+type field = {
+  name : string;
+  ty : Irty.t;
+  bits : int option;  (** bit-field width if any *)
+}
+
+type decl = { sname : string; fields : field array }
+
+type t
+
+val create : unit -> t
+
+val define : t -> string -> field list -> unit
+(** Define or replace a struct. *)
+
+val remove : t -> string -> unit
+(** Delete a struct definition. The BE removes a split/peeled type's
+    original definition so that any access the rewrite missed fails loudly
+    instead of reading through a stale layout. *)
+
+val find : t -> string -> decl
+(** Raises [Not_found] if the struct is not defined. *)
+
+val find_opt : t -> string -> decl option
+val mem : t -> string -> bool
+
+val field : t -> string -> int -> field
+(** [field t s i] is field number [i] (declaration order) of struct [s]. *)
+
+val field_index : t -> string -> string -> int option
+val names : t -> string list
+(** All defined struct names, sorted. *)
+
+val iter : (decl -> unit) -> t -> unit
+val copy : t -> t
+(** Deep-enough copy: the transformations mutate the copy, originals keep
+    their layout (needed to run original and transformed programs side by
+    side). *)

@@ -1,0 +1,177 @@
+(** Abstract syntax for Mini-C.
+
+    Mini-C is the C subset our frontend accepts. It covers everything the
+    paper's analyses care about: record types (with optional bit-fields and
+    nesting), pointers, arrays, dynamic allocation through [malloc] /
+    [calloc] / [realloc] / [free], casts, address-of, [sizeof], direct and
+    indirect calls, the memory streaming builtins [memset] / [memcpy], and
+    structured control flow.
+
+    The parser produces untyped syntax ({!expr} with [ety = Tauto]); the type
+    checker fills in the [ety] field in place of [Tauto] and resolves
+    typedefs, yielding the same structure fully annotated. *)
+
+type ty =
+  | Tvoid
+  | Tchar
+  | Tshort
+  | Tint
+  | Tlong
+  | Tfloat
+  | Tdouble
+  | Tnamed of string  (** a typedef name; eliminated by the checker *)
+  | Tstruct of string
+  | Tptr of ty
+  | Tarray of ty * int
+  | Tfun of ty * ty list  (** return type, parameter types *)
+  | Tauto  (** placeholder before type checking *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or          (** short-circuit logical && and || *)
+  | Band | Bor | Bxor (** bitwise *)
+  | Shl | Shr
+
+type unop =
+  | Neg   (** arithmetic negation *)
+  | Lnot  (** logical ! *)
+  | Bnot  (** bitwise ~ *)
+
+type incr = Preinc | Predec | Postinc | Postdec
+
+type expr = { mutable ety : ty; edesc : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | Eint of int64
+  | Efloat of float
+  | Estr of string
+  | Evar of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eincr of incr * expr
+  | Eassign of expr * expr        (** lvalue = rvalue *)
+  | Ecall of expr * expr list     (** callee expression, arguments *)
+  | Efield of expr * string       (** [e.f] *)
+  | Earrow of expr * string       (** [e->f] *)
+  | Eindex of expr * expr         (** [e[i]] *)
+  | Ederef of expr                (** [*e] *)
+  | Eaddr of expr                 (** [&e] *)
+  | Ecast of ty * expr
+  | Esizeof of ty
+  | Econd of expr * expr * expr   (** [c ? a : b] *)
+
+type stmt = { sdesc : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type field_decl = {
+  fname : string;
+  fty : ty;
+  fbits : int option;  (** bit-field width, when declared [ty name : n] *)
+  floc : Loc.t;
+}
+
+type struct_decl = { sname : string; sfields : field_decl list; stloc : Loc.t }
+
+type func_decl = {
+  funname : string;
+  funret : ty;
+  funparams : (ty * string) list;
+  funbody : stmt list;
+  funloc : Loc.t;
+}
+
+type global_decl = {
+  gname : string;
+  gty : ty;
+  ginit : expr option;
+  gloc : Loc.t;
+}
+
+type extern_decl = {
+  exname : string;
+  exret : ty;
+  exparams : ty list;
+  exvariadic : bool;
+}
+
+type decl =
+  | Dstruct of struct_decl
+  | Dtypedef of string * ty
+  | Dglobal of global_decl
+  | Dfunc of func_decl
+  | Dextern of extern_decl
+
+type program = decl list
+
+(** {1 Convenience constructors} *)
+
+let mk ?(ty = Tauto) loc desc = { ety = ty; edesc = desc; eloc = loc }
+let mk_stmt loc desc = { sdesc = desc; sloc = loc }
+
+(** {1 Type utilities} *)
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tvoid, Tvoid | Tchar, Tchar | Tshort, Tshort | Tint, Tint
+  | Tlong, Tlong | Tfloat, Tfloat | Tdouble, Tdouble | Tauto, Tauto ->
+    true
+  | Tnamed x, Tnamed y | Tstruct x, Tstruct y -> String.equal x y
+  | Tptr x, Tptr y -> ty_equal x y
+  | Tarray (x, n), Tarray (y, m) -> n = m && ty_equal x y
+  | Tfun (r1, ps1), Tfun (r2, ps2) ->
+    ty_equal r1 r2
+    && List.length ps1 = List.length ps2
+    && List.for_all2 ty_equal ps1 ps2
+  | ( ( Tvoid | Tchar | Tshort | Tint | Tlong | Tfloat | Tdouble | Tnamed _
+      | Tstruct _ | Tptr _ | Tarray _ | Tfun _ | Tauto ),
+      _ ) ->
+    false
+
+let is_integer = function
+  | Tchar | Tshort | Tint | Tlong -> true
+  | Tvoid | Tfloat | Tdouble | Tnamed _ | Tstruct _ | Tptr _ | Tarray _
+  | Tfun _ | Tauto ->
+    false
+
+let is_float = function
+  | Tfloat | Tdouble -> true
+  | Tvoid | Tchar | Tshort | Tint | Tlong | Tnamed _ | Tstruct _ | Tptr _
+  | Tarray _ | Tfun _ | Tauto ->
+    false
+
+let is_arith t = is_integer t || is_float t
+
+let is_pointer = function
+  | Tptr _ | Tarray _ -> true
+  | Tvoid | Tchar | Tshort | Tint | Tlong | Tfloat | Tdouble | Tnamed _
+  | Tstruct _ | Tfun _ | Tauto ->
+    false
+
+let rec string_of_ty = function
+  | Tvoid -> "void"
+  | Tchar -> "char"
+  | Tshort -> "short"
+  | Tint -> "int"
+  | Tlong -> "long"
+  | Tfloat -> "float"
+  | Tdouble -> "double"
+  | Tnamed n -> n
+  | Tstruct s -> "struct " ^ s
+  | Tptr t -> string_of_ty t ^ "*"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (string_of_ty t) n
+  | Tfun (r, ps) ->
+    Printf.sprintf "%s(*)(%s)" (string_of_ty r)
+      (String.concat ", " (List.map string_of_ty ps))
+  | Tauto -> "<auto>"

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for Mini-C.
+
+    The grammar follows C's expression precedence ladder. Typedef names are
+    tracked in a parser-side environment so that declarations and cast
+    expressions can be told apart from uses of ordinary identifiers. *)
+
+exception Error of string * Loc.t
+(** Raised on a syntax error, with the offending location. *)
+
+val parse : string -> Ast.program
+(** Parse a complete translation unit. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression; used by tests. *)

@@ -1,0 +1,139 @@
+open Ast
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let unop_str = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+(* every sub-expression is parenthesised; ugly but unambiguous, which is all
+   round-tripping needs *)
+let rec string_of_expr e =
+  match e.edesc with
+  | Eint n -> Int64.to_string n
+  | Efloat f ->
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+    then s
+    else s ^ ".0"
+  | Estr s -> Printf.sprintf "%S" s
+  | Evar v -> v
+  | Ebin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (string_of_expr a) (binop_str op)
+      (string_of_expr b)
+  | Eun (op, a) -> Printf.sprintf "(%s%s)" (unop_str op) (string_of_expr a)
+  | Eincr (Preinc, a) -> Printf.sprintf "(++%s)" (string_of_expr a)
+  | Eincr (Predec, a) -> Printf.sprintf "(--%s)" (string_of_expr a)
+  | Eincr (Postinc, a) -> Printf.sprintf "(%s++)" (string_of_expr a)
+  | Eincr (Postdec, a) -> Printf.sprintf "(%s--)" (string_of_expr a)
+  | Eassign (l, r) ->
+    Printf.sprintf "(%s = %s)" (string_of_expr l) (string_of_expr r)
+  | Ecall (f, args) ->
+    Printf.sprintf "%s(%s)" (string_of_expr f)
+      (String.concat ", " (List.map string_of_expr args))
+  | Efield (b, f) -> Printf.sprintf "%s.%s" (string_of_expr b) f
+  | Earrow (b, f) -> Printf.sprintf "%s->%s" (string_of_expr b) f
+  | Eindex (b, i) ->
+    Printf.sprintf "%s[%s]" (string_of_expr b) (string_of_expr i)
+  | Ederef a -> Printf.sprintf "(*%s)" (string_of_expr a)
+  | Eaddr a -> Printf.sprintf "(&%s)" (string_of_expr a)
+  | Ecast (t, a) ->
+    Printf.sprintf "((%s)%s)" (string_of_ty t) (string_of_expr a)
+  | Esizeof t -> Printf.sprintf "sizeof(%s)" (string_of_ty t)
+  | Econd (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (string_of_expr c) (string_of_expr a)
+      (string_of_expr b)
+
+let decl_str t name =
+  (* render [t name], putting array bounds after the name *)
+  let rec split = function
+    | Tarray (u, n) ->
+      let base, suffix = split u in
+      (base, Printf.sprintf "[%d]%s" n suffix)
+    | t -> (t, "")
+  in
+  let base, suffix = split t in
+  Printf.sprintf "%s %s%s" (string_of_ty base) name suffix
+
+(* a body that is exactly one block statement prints as a single pair of
+   braces; keeps parse-print a fixpoint *)
+let unwrap_block = function
+  | [ { sdesc = Sblock inner; _ } ] -> inner
+  | body -> body
+
+let rec string_of_stmt ?(indent = 0) s =
+  let pad = String.make indent ' ' in
+  let block body = string_of_stmts ~indent:(indent + 2) (unwrap_block body) in
+  match s.sdesc with
+  | Sexpr e -> Printf.sprintf "%s%s;\n" pad (string_of_expr e)
+  | Sdecl (t, name, init) -> (
+    match init with
+    | None -> Printf.sprintf "%s%s;\n" pad (decl_str t name)
+    | Some e ->
+      Printf.sprintf "%s%s = %s;\n" pad (decl_str t name) (string_of_expr e))
+  | Sif (c, a, []) ->
+    Printf.sprintf "%sif (%s) {\n%s%s}\n" pad (string_of_expr c) (block a) pad
+  | Sif (c, a, b) ->
+    Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}\n" pad
+      (string_of_expr c) (block a) pad (block b) pad
+  | Swhile (c, body) ->
+    Printf.sprintf "%swhile (%s) {\n%s%s}\n" pad (string_of_expr c)
+      (block body) pad
+  | Sdo (body, c) ->
+    Printf.sprintf "%sdo {\n%s%s} while (%s);\n" pad (block body) pad
+      (string_of_expr c)
+  | Sfor (init, cond, step, body) ->
+    let init_s =
+      match init with
+      | None -> ""
+      | Some { sdesc = Sexpr e; _ } -> string_of_expr e
+      | Some { sdesc = Sdecl (t, n, ini); _ } -> (
+        match ini with
+        | None -> decl_str t n
+        | Some e -> Printf.sprintf "%s = %s" (decl_str t n) (string_of_expr e))
+      | Some _ -> "/*?*/"
+    in
+    let cond_s = match cond with None -> "" | Some e -> string_of_expr e in
+    let step_s = match step with None -> "" | Some e -> string_of_expr e in
+    Printf.sprintf "%sfor (%s; %s; %s) {\n%s%s}\n" pad init_s cond_s step_s
+      (block body) pad
+  | Sreturn None -> Printf.sprintf "%sreturn;\n" pad
+  | Sreturn (Some e) -> Printf.sprintf "%sreturn %s;\n" pad (string_of_expr e)
+  | Sbreak -> Printf.sprintf "%sbreak;\n" pad
+  | Scontinue -> Printf.sprintf "%scontinue;\n" pad
+  | Sblock body -> Printf.sprintf "%s{\n%s%s}\n" pad (block body) pad
+
+and string_of_stmts ?(indent = 0) body =
+  String.concat "" (List.map (string_of_stmt ~indent) body)
+
+let string_of_field f =
+  match f.fbits with
+  | None -> Printf.sprintf "  %s;\n" (decl_str f.fty f.fname)
+  | Some b -> Printf.sprintf "  %s : %d;\n" (decl_str f.fty f.fname) b
+
+let string_of_decl = function
+  | Dstruct sd ->
+    Printf.sprintf "struct %s {\n%s};\n" sd.sname
+      (String.concat "" (List.map string_of_field sd.sfields))
+  | Dtypedef (name, t) ->
+    Printf.sprintf "typedef %s;\n" (decl_str t name)
+  | Dglobal g -> (
+    match g.ginit with
+    | None -> Printf.sprintf "%s;\n" (decl_str g.gty g.gname)
+    | Some e -> Printf.sprintf "%s = %s;\n" (decl_str g.gty g.gname) (string_of_expr e))
+  | Dfunc f ->
+    let params =
+      String.concat ", "
+        (List.map (fun (t, n) -> decl_str t n) f.funparams)
+    in
+    Printf.sprintf "%s %s(%s) {\n%s}\n" (string_of_ty f.funret) f.funname
+      params
+      (string_of_stmts ~indent:2 f.funbody)
+  | Dextern e ->
+    Printf.sprintf "extern %s %s(%s%s);\n" (string_of_ty e.exret) e.exname
+      (String.concat ", " (List.map string_of_ty e.exparams))
+      (if e.exvariadic then ", ..." else "")
+
+let string_of_program p = String.concat "\n" (List.map string_of_decl p)

@@ -1,0 +1,48 @@
+(** Tokens produced by {!Lexer} and consumed by {!Parser}. *)
+
+type t =
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | STR_LIT of string
+  | IDENT of string
+  (* keywords *)
+  | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_FLOAT | KW_DOUBLE
+  | KW_STRUCT | KW_TYPEDEF | KW_EXTERN
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE | KW_SIZEOF
+  (* punctuation and operators *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW | COLON | QUESTION | ELLIPSIS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | PLUSPLUS | MINUSMINUS
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | EQ | NE | LT | LE | GT | GE
+  | AMPAMP | BARBAR | BANG
+  | AMP | BAR | CARET | TILDE | SHL | SHR
+  | EOF
+
+let to_string = function
+  | INT_LIT i -> Int64.to_string i
+  | FLOAT_LIT f -> string_of_float f
+  | STR_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_VOID -> "void" | KW_CHAR -> "char" | KW_SHORT -> "short"
+  | KW_INT -> "int" | KW_LONG -> "long" | KW_FLOAT -> "float"
+  | KW_DOUBLE -> "double" | KW_STRUCT -> "struct"
+  | KW_TYPEDEF -> "typedef" | KW_EXTERN -> "extern"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while"
+  | KW_DO -> "do" | KW_FOR -> "for" | KW_RETURN -> "return"
+  | KW_BREAK -> "break" | KW_CONTINUE -> "continue" | KW_SIZEOF -> "sizeof"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | ARROW -> "->"
+  | COLON -> ":" | QUESTION -> "?" | ELLIPSIS -> "..."
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | ASSIGN -> "=" | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | AMPAMP -> "&&" | BARBAR -> "||" | BANG -> "!"
+  | AMP -> "&" | BAR -> "|" | CARET -> "^" | TILDE -> "~"
+  | SHL -> "<<" | SHR -> ">>"
+  | EOF -> "<eof>"

@@ -1,0 +1,264 @@
+module Item = struct
+  (* provenance of a pointer value with respect to record types *)
+  type t =
+    | Field_ptr of string * int  (* address of one specific field *)
+    | Obj_ptr of string          (* pointer to a whole object (array elt) *)
+    | Raw_ptr of string          (* cast/arithmetic-derived view into it *)
+
+  let compare = compare
+end
+
+module ItemSet = Set.Make (Item)
+
+(* abstract cells holding pointer values *)
+type cell =
+  | Creg of string * int   (* function, register *)
+  | Clocal of string * string
+  | Cglobal of string
+  | Cmem_field of string * int  (* contents of a struct field *)
+  | Cmem_any of string          (* contents reached through collapsed views *)
+  | Cret of string              (* return value of a function *)
+
+type t = {
+  cells : (cell, ItemSet.t) Hashtbl.t;
+  mutable collapsed_set : (string, unit) Hashtbl.t;
+  mutable deref_items : ItemSet.t;  (* items appearing in address positions *)
+}
+
+let get t c = Option.value ~default:ItemSet.empty (Hashtbl.find_opt t.cells c)
+
+let add t c items changed =
+  if not (ItemSet.is_empty items) then begin
+    let old = get t c in
+    let nu = ItemSet.union old items in
+    if not (ItemSet.equal old nu) then begin
+      Hashtbl.replace t.cells c nu;
+      changed := true
+    end
+  end
+
+let collapse t s = Hashtbl.replace t.collapsed_set s ()
+
+(* arithmetic / scalar indexing turns any view into a raw view *)
+let degrade items =
+  ItemSet.map
+    (fun it ->
+      match it with
+      | Item.Field_ptr (s, _) -> Item.Raw_ptr s
+      | Item.Obj_ptr s -> Item.Raw_ptr s
+      | Item.Raw_ptr s -> Item.Raw_ptr s)
+    items
+
+(* stepping a pointer by whole objects of [s] keeps object provenance *)
+let degrade_struct_step s items =
+  ItemSet.map
+    (fun it ->
+      match it with
+      | Item.Obj_ptr s' when String.equal s' s -> Item.Obj_ptr s'
+      | Item.Field_ptr (s', _) | Item.Obj_ptr s' | Item.Raw_ptr s' ->
+        Item.Raw_ptr s')
+    items
+
+let analyze (prog : Ir.program) : t =
+  let t =
+    {
+      cells = Hashtbl.create 128;
+      collapsed_set = Hashtbl.create 8;
+      deref_items = ItemSet.empty;
+    }
+  in
+  let changed = ref true in
+  let operand_items fname (o : Ir.operand) =
+    match o with
+    | Ir.Oreg r -> get t (Creg (fname, r))
+    | Ir.Oimm _ | Ir.Ofimm _ -> ItemSet.empty
+  in
+  (* memory cells addressed by a pointer with the given provenance *)
+  let mem_cells_of items =
+    ItemSet.fold
+      (fun it acc ->
+        match it with
+        | Item.Field_ptr (s, fi) -> Cmem_field (s, fi) :: acc
+        | Item.Obj_ptr s | Item.Raw_ptr s -> Cmem_any s :: acc)
+      items []
+  in
+  let note_deref items = t.deref_items <- ItemSet.union t.deref_items items in
+  (* address-of a struct-typed variable yields an object pointer *)
+  let globals_ty = Hashtbl.create 16 in
+  List.iter (fun (n, ty, _) -> Hashtbl.replace globals_ty n ty) prog.globals;
+  let rec obj_item (ty : Irty.t) =
+    match ty with
+    | Irty.Struct s -> ItemSet.singleton (Item.Obj_ptr s)
+    | Irty.Array (u, _) -> obj_item u
+    | _ -> ItemSet.empty
+  in
+  let param_cells = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iteri
+        (fun i (pname, _) ->
+          Hashtbl.replace param_cells (f.Ir.fname, i) (Clocal (f.fname, pname)))
+        f.Ir.fparams)
+    prog.funcs;
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Ir.func) ->
+        let fn = f.fname in
+        let reg r = Creg (fn, r) in
+        let ops o = operand_items fn o in
+        let locals_ty = Hashtbl.create 16 in
+        List.iter (fun (n, ty) -> Hashtbl.replace locals_ty n ty) f.flocals;
+        List.iter
+          (fun (b : Ir.block) ->
+            List.iter
+              (fun (i : Ir.instr) ->
+                match i.idesc with
+                | Ir.Imov (r, o) -> add t (reg r) (ops o) changed
+                | Ir.Ibin (r, _, _, a, b2) ->
+                  (* pointer arithmetic through plain ops degrades *)
+                  add t (reg r)
+                    (degrade (ItemSet.union (ops a) (ops b2)))
+                    changed
+                | Ir.Iun (r, _, _, a) -> add t (reg r) (degrade (ops a)) changed
+                | Ir.Icast (r, _, to_, v, _) -> (
+                  let src = ops v in
+                  match to_ with
+                  | Irty.Ptr (Irty.Struct s) ->
+                    add t (reg r)
+                      (ItemSet.add (Item.Obj_ptr s) src)
+                      changed
+                  | _ -> add t (reg r) src changed)
+                | Ir.Iload (r, a, _, _) ->
+                  let addr = ops a in
+                  note_deref addr;
+                  List.iter
+                    (fun mc -> add t (reg r) (get t mc) changed)
+                    (mem_cells_of addr)
+                | Ir.Istore (a, v, _, _) ->
+                  let addr = ops a in
+                  note_deref addr;
+                  List.iter
+                    (fun mc -> add t mc (ops v) changed)
+                    (mem_cells_of addr)
+                | Ir.Iaddrglob (r, g) -> (
+                  match Hashtbl.find_opt globals_ty g with
+                  | Some ty -> add t (reg r) (obj_item ty) changed
+                  | None -> ())
+                | Ir.Iaddrlocal (r, l) -> (
+                  match Hashtbl.find_opt locals_ty l with
+                  | Some ty -> add t (reg r) (obj_item ty) changed
+                  | None -> ())
+                | Ir.Iaddrstr _ | Ir.Iaddrfunc _ -> ()
+                | Ir.Ifieldaddr (r, _, s, fi) ->
+                  add t (reg r) (ItemSet.singleton (Item.Field_ptr (s, fi))) changed
+                | Ir.Iptradd (r, b2, _, elem) -> (
+                  let base = ops b2 in
+                  match elem with
+                  | Irty.Struct s ->
+                    add t (reg r)
+                      (ItemSet.add (Item.Obj_ptr s) (degrade_struct_step s base))
+                      changed
+                  | _ -> add t (reg r) (degrade base) changed)
+                | Ir.Ialloc (r, _, _, elem) -> (
+                  match elem with
+                  | Irty.Struct s ->
+                    add t (reg r) (ItemSet.singleton (Item.Obj_ptr s)) changed
+                  | _ -> ())
+                | Ir.Icall (dst, callee, args) -> (
+                  match callee with
+                  | Ir.Cdirect callee_name
+                    when Ir.find_func prog callee_name <> None ->
+                    List.iteri
+                      (fun ai arg ->
+                        match
+                          Hashtbl.find_opt param_cells (callee_name, ai)
+                        with
+                        | Some pc -> add t pc (ops arg) changed
+                        | None -> ())
+                      args;
+                    (match dst with
+                    | Some r -> add t (reg r) (get t (Cret callee_name)) changed
+                    | None -> ())
+                  | Ir.Cdirect _ | Ir.Cbuiltin _ | Ir.Cextern _
+                  | Ir.Cindirect _ ->
+                    (* pointers escaping the analysed world collapse their
+                       types *)
+                    List.iter
+                      (fun arg ->
+                        ItemSet.iter
+                          (fun it ->
+                            match it with
+                            | Item.Field_ptr (s, _) | Item.Obj_ptr s
+                            | Item.Raw_ptr s ->
+                              collapse t s)
+                          (ops arg))
+                      args)
+                | Ir.Ifree _ -> ()
+                | Ir.Imemset (d, _, _, _) ->
+                  ItemSet.iter
+                    (fun it ->
+                      match it with
+                      | Item.Field_ptr (s, _) | Item.Obj_ptr s
+                      | Item.Raw_ptr s ->
+                        collapse t s)
+                    (ops d)
+                | Ir.Imemcpy (d, s2, _, _) ->
+                  ItemSet.iter
+                    (fun it ->
+                      match it with
+                      | Item.Field_ptr (s, _) | Item.Obj_ptr s
+                      | Item.Raw_ptr s ->
+                        collapse t s)
+                    (ItemSet.union (ops d) (ops s2)))
+              b.instrs;
+            match b.btermin with
+            | Ir.Tret (Some o) -> add t (Cret fn) (ops o) changed
+            | Ir.Tret None | Ir.Tjmp _ | Ir.Tbr _ -> ())
+          f.fblocks;
+        (* locals/globals written through Iaddrlocal/Iaddrglob addressing:
+           handled via a second pass matching store-to-address-of *)
+        List.iter
+          (fun (b : Ir.block) ->
+            (* map registers defined by address-of instructions *)
+            let addr_of = Hashtbl.create 8 in
+            List.iter
+              (fun (i : Ir.instr) ->
+                match i.idesc with
+                | Ir.Iaddrlocal (r, l) -> Hashtbl.replace addr_of r (Clocal (fn, l))
+                | Ir.Iaddrglob (r, g) -> Hashtbl.replace addr_of r (Cglobal g)
+                | Ir.Istore (Ir.Oreg ar, v, _, _) -> (
+                  match Hashtbl.find_opt addr_of ar with
+                  | Some c -> add t c (ops v) changed
+                  | None -> ())
+                | Ir.Iload (r, Ir.Oreg ar, _, _) -> (
+                  match Hashtbl.find_opt addr_of ar with
+                  | Some c -> add t (reg r) (get t c) changed
+                  | None -> ())
+                | _ -> ())
+              b.instrs)
+          f.fblocks)
+      prog.funcs
+  done;
+  (* final collapse detection: a raw view that is actually dereferenced
+     collapses the type's field sets *)
+  ItemSet.iter
+    (fun it ->
+      match it with
+      | Item.Raw_ptr s -> collapse t s
+      | Item.Field_ptr _ | Item.Obj_ptr _ -> ())
+    t.deref_items;
+  t
+
+let collapsed t s = Hashtbl.mem t.collapsed_set s
+
+let exposed_fields t s =
+  ItemSet.fold
+    (fun it acc ->
+      match it with
+      | Item.Field_ptr (s', fi) when String.equal s' s -> fi :: acc
+      | Item.Field_ptr _ | Item.Obj_ptr _ | Item.Raw_ptr _ -> acc)
+    t.deref_items []
+  |> List.sort_uniq compare
+
+let refutable t s = not (collapsed t s)

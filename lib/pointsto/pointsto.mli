@@ -1,0 +1,36 @@
+(** Field-sensitive, flow-insensitive pointer provenance analysis — the
+    "more precise analysis" of §2.2.
+
+    The paper tolerates CSTT/CSTF/ATKN wholesale to get an {e upper bound}
+    on what its field-sensitive Points-To could recover ("if the address of
+    a field is taken, Points-To may be able to derive that no other field
+    can be accessed via this exposed address... If other fields can be
+    accessed, Points-To will collapse the Points-To set for all fields").
+    This module implements the real test: it tracks where pointers {e into}
+    each record type come from (a specific field, the whole object, or a
+    cast-derived raw view), propagates provenance flow-insensitively
+    through registers, locals, globals, struct-typed memory and direct
+    calls, and reports a type as {e collapsed} when some dereferenced
+    pointer could reach more than one of its fields.
+
+    A type whose only legality violations are CSTT/CSTF/ATKN and which is
+    not collapsed is safe to transform under points-to reasoning; a
+    collapsed type stays invalid even under the paper's relaxed counting,
+    which is exactly the gap between the "Points-To" and "Relax" columns in
+    our extended Table 1. *)
+
+type t
+
+val analyze : Ir.program -> t
+
+val collapsed : t -> string -> bool
+(** Some exposed pointer into the type can reach multiple fields (or the
+    provenance escaped the analysis). *)
+
+val exposed_fields : t -> string -> int list
+(** Fields of the type whose address is held in some dereferenced pointer
+    cell (sorted). *)
+
+val refutable : t -> string -> bool
+(** [not (collapsed t s)] — the CSTT/CSTF/ATKN findings on this type are
+    refuted by the points-to analysis. *)

@@ -1,0 +1,28 @@
+(** The PBO collection phase: run an instrumented program and produce a
+    feedback file.
+
+    Mirrors §3.1: "the application is instrumented and run with training
+    input sets to produce feedback files ... the instrumented binaries
+    additionally invoke the performance analysis tool to gather sampling
+    data from the PMU, resulting in a feedback file that contains both edge
+    counts and sampling results for data cache events."
+
+    The VM's edge hook is the instrumentation; the cache hierarchy plus
+    {!Slo_cachesim.Pmu} is the PMU. When [instrument] is false, only PMU
+    samples are collected (that is the DMISS.NO configuration) and a
+    different sampling phase models the skid difference. *)
+
+type run_stats = {
+  result : Slo_vm.Interp.result;
+  hierarchy : Slo_cachesim.Hierarchy.t;
+  pmu_events : int;
+}
+
+val collect :
+  ?args:int list ->
+  ?instrument:bool ->
+  ?config:Slo_cachesim.Hierarchy.config ->
+  ?sample_period:int ->
+  Ir.program ->
+  Feedback.t * run_stats
+(** Defaults: [instrument = true], Itanium-like hierarchy, period 251. *)

@@ -1,0 +1,127 @@
+type bsig = { line : int; col : int; ord : int }
+type dstats = { misses : int; latency : int }
+
+type t = {
+  entries : (string, int) Hashtbl.t;
+  edges : (string * bsig * bsig, int) Hashtbl.t;
+  dcache : (string * bsig, dstats) Hashtbl.t;
+}
+
+let create () =
+  { entries = Hashtbl.create 16; edges = Hashtbl.create 64;
+    dcache = Hashtbl.create 64 }
+
+let add_entry t f n =
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.entries f) in
+  Hashtbl.replace t.entries f (prev + n)
+
+let add_edge t f s d n =
+  let key = (f, s, d) in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.edges key) in
+  Hashtbl.replace t.edges key (prev + n)
+
+let add_dcache t f s (st : dstats) =
+  let key = (f, s) in
+  let prev =
+    Option.value ~default:{ misses = 0; latency = 0 }
+      (Hashtbl.find_opt t.dcache key)
+  in
+  Hashtbl.replace t.dcache key
+    { misses = prev.misses + st.misses; latency = prev.latency + st.latency }
+
+let entry_count t f = Option.value ~default:0 (Hashtbl.find_opt t.entries f)
+
+let edge_count t f s d =
+  Option.value ~default:0 (Hashtbl.find_opt t.edges (f, s, d))
+
+let dcache_stats t f s = Hashtbl.find_opt t.dcache (f, s)
+
+let functions t =
+  Hashtbl.fold (fun f _ acc -> f :: acc) t.entries []
+  |> List.sort String.compare
+
+(* signatures: (line, col, ordinal among same-position items, in emission
+   order) *)
+let sigs_of items loc_of =
+  let seen = Hashtbl.create 16 in
+  let out = Hashtbl.create 16 in
+  List.iter
+    (fun (key, item) ->
+      let l : Slo_minic.Loc.t = loc_of item in
+      let ord =
+        Option.value ~default:0 (Hashtbl.find_opt seen (l.line, l.col))
+      in
+      Hashtbl.replace seen (l.line, l.col) (ord + 1);
+      Hashtbl.replace out key { line = l.line; col = l.col; ord })
+    items;
+  out
+
+let block_sigs (f : Ir.func) =
+  sigs_of
+    (List.map (fun (b : Ir.block) -> (b.bid, b)) f.fblocks)
+    (fun (b : Ir.block) -> b.bloc)
+
+let instr_sigs (f : Ir.func) =
+  let items =
+    List.concat_map
+      (fun (b : Ir.block) ->
+        List.map (fun (i : Ir.instr) -> (i.iid, i)) b.instrs)
+      f.fblocks
+  in
+  sigs_of items (fun (i : Ir.instr) -> i.iloc)
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "func %s entry %d\n" f (entry_count t f)))
+    (functions t);
+  let edges =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.edges []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((f, s, d), n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %s %d %d %d %d %d %d %d\n" f s.line s.col s.ord
+           d.line d.col d.ord n))
+    edges;
+  let dcs =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.dcache []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((f, s), (st : dstats)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "dcache %s %d %d %d %d %d\n" f s.line s.col s.ord
+           st.misses st.latency))
+    dcs;
+  Buffer.contents buf
+
+let of_string text =
+  let t = create () in
+  String.split_on_char '\n' text
+  |> List.iteri (fun lineno line ->
+         let line = String.trim line in
+         if String.length line > 0 then begin
+           match String.split_on_char ' ' line with
+           | [ "func"; f; "entry"; n ] -> add_entry t f (int_of_string n)
+           | [ "edge"; f; l1; c1; o1; l2; c2; o2; n ] ->
+             add_edge t f
+               { line = int_of_string l1; col = int_of_string c1;
+                 ord = int_of_string o1 }
+               { line = int_of_string l2; col = int_of_string c2;
+                 ord = int_of_string o2 }
+               (int_of_string n)
+           | [ "dcache"; f; l; c; o; m; lat ] ->
+             add_dcache t f
+               { line = int_of_string l; col = int_of_string c;
+                 ord = int_of_string o }
+               { misses = int_of_string m; latency = int_of_string lat }
+           | _ ->
+             failwith
+               (Printf.sprintf "Feedback.of_string: bad line %d: %S"
+                  (lineno + 1) line)
+         end);
+  t

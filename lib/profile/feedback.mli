@@ -1,0 +1,42 @@
+(** Feedback files: the persistent result of a PBO collection run.
+
+    A feedback file carries, per function, the entry count and taken-edge
+    counts, plus the PMU d-cache samples — "a feedback file that contains
+    both edge counts and sampling results for data cache events" (§3.1).
+
+    Counts are keyed by {e source signatures}, not block ids: a signature is
+    (line, column, ordinal), where the ordinal disambiguates blocks sharing
+    a source position ("an additional counting mechanism to distinguish
+    between multiple expressions in a statement"). This is what makes the
+    use-phase CFG matching meaningful: a recompilation may renumber blocks
+    but signatures survive as long as the source does. *)
+
+type bsig = { line : int; col : int; ord : int }
+
+type dstats = { misses : int; latency : int }
+(** Sampled d-cache miss events and their summed latency, in cycles. *)
+
+type t
+
+val create : unit -> t
+
+val add_entry : t -> string -> int -> unit
+val add_edge : t -> string -> bsig -> bsig -> int -> unit
+val add_dcache : t -> string -> bsig -> dstats -> unit
+(** Accumulates if the key is already present. *)
+
+val entry_count : t -> string -> int
+val edge_count : t -> string -> bsig -> bsig -> int
+val dcache_stats : t -> string -> bsig -> dstats option
+val functions : t -> string list
+
+val block_sigs : Ir.func -> (int, bsig) Hashtbl.t
+(** Signature of every block of a function (keyed by block id). *)
+
+val instr_sigs : Ir.func -> (int, bsig) Hashtbl.t
+(** Signature of every instruction (keyed by instruction id). *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Failure] on a malformed file. [of_string (to_string t)] is
+    structurally equal to [t]. *)

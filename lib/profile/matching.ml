@@ -1,0 +1,63 @@
+type func_counts = {
+  entry : float;
+  block : float array;
+  edge : int * int -> float;
+}
+
+type t = {
+  counts : (string, func_counts) Hashtbl.t;
+  instr_dcache : (int, Feedback.dstats) Hashtbl.t;
+  unmatched_edges : int;
+}
+
+let apply (prog : Ir.program) (fb : Feedback.t) : t =
+  let counts = Hashtbl.create 16 in
+  let instr_dcache = Hashtbl.create 64 in
+  let unmatched = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      let cfg = Cfg.build f in
+      let bsigs = Feedback.block_sigs f in
+      let entry = float_of_int (Feedback.entry_count fb f.fname) in
+      let nb = Cfg.num_blocks cfg in
+      let block = Array.make nb 0.0 in
+      let edge_tbl = Hashtbl.create 16 in
+      (* pull each current edge's count out of the feedback *)
+      List.iter
+        (fun (src, dst) ->
+          match (Hashtbl.find_opt bsigs src, Hashtbl.find_opt bsigs dst) with
+          | Some s, Some d ->
+            let c = Feedback.edge_count fb f.fname s d in
+            Hashtbl.replace edge_tbl (src, dst) (float_of_int c)
+          | None, _ | _, None -> incr unmatched)
+        (Cfg.edges cfg);
+      (* block counts = entry contribution + incoming matched edges *)
+      let entry_bid = Cfg.entry cfg in
+      Array.iter
+        (fun bid ->
+          let inc =
+            List.fold_left
+              (fun acc p ->
+                acc
+                +. Option.value ~default:0.0
+                     (Hashtbl.find_opt edge_tbl (p, bid)))
+              0.0 cfg.preds.(bid)
+          in
+          block.(bid) <- (if bid = entry_bid then inc +. entry else inc))
+        cfg.rpo;
+      let edge (s, d) =
+        Option.value ~default:0.0 (Hashtbl.find_opt edge_tbl (s, d))
+      in
+      Hashtbl.replace counts f.fname { entry; block; edge };
+      (* re-attribute d-cache samples to current instruction ids *)
+      let isigs = Feedback.instr_sigs f in
+      Hashtbl.iter
+        (fun iid s ->
+          match Feedback.dcache_stats fb f.fname s with
+          | Some st -> Hashtbl.replace instr_dcache iid st
+          | None -> ())
+        isigs)
+    prog.funcs;
+  { counts; instr_dcache; unmatched_edges = !unmatched }
+
+let func_counts t name = Hashtbl.find_opt t.counts name

@@ -1,0 +1,29 @@
+(** The PBO use phase: match a feedback file against a (re)compiled program.
+
+    "The application's control flow graph is constructed and matched against
+    the CFG constructed from the data found in the feedback file. This
+    matching is supported by source line information and an additional
+    counting mechanism to distinguish between multiple expressions in a
+    statement" (§3.1).
+
+    Matching is signature-based (line, column, ordinal); edges present in
+    the feedback but absent from the current CFG are dropped and counted in
+    [unmatched_edges], which tests use to verify robustness against
+    perturbed CFGs. *)
+
+type func_counts = {
+  entry : float;
+  block : float array;        (** execution count per block id *)
+  edge : (int * int -> float);  (** count of a (src, dst) edge *)
+}
+
+type t = {
+  counts : (string, func_counts) Hashtbl.t;
+  instr_dcache : (int, Feedback.dstats) Hashtbl.t;
+      (** d-cache samples re-attributed to current instruction ids *)
+  unmatched_edges : int;
+}
+
+val apply : Ir.program -> Feedback.t -> t
+
+val func_counts : t -> string -> func_counts option

@@ -1,0 +1,74 @@
+type probs = { loop_int : float; loop_fp : float }
+
+let default_probs = { loop_int = 0.88; loop_fp = 0.93 }
+let modified_probs = { loop_int = 0.95; loop_fp = 0.98 }
+
+type t = {
+  bfreq : float array;
+  efreq : int * int -> float;
+  eprob : int * int -> float;
+}
+
+let loop_is_fp cfg (l : Loop.loop) =
+  List.exists (fun b -> Cfg.is_fp_block cfg.Cfg.blocks.(b)) (Loop.all_blocks l)
+
+let estimate ?(probs = default_probs) (cfg : Cfg.t) (forest : Loop.forest) : t =
+  let nb = Cfg.num_blocks cfg in
+  let in_loop l b = List.mem b (Loop.all_blocks l) in
+  (* per-edge branch probability *)
+  let prob_tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun bid ->
+      let b = cfg.blocks.(bid) in
+      match b.Ir.btermin with
+      | Ir.Tjmp d -> Hashtbl.replace prob_tbl (bid, d) 1.0
+      | Ir.Tret _ -> ()
+      | Ir.Tbr (_, x, y) ->
+        if x = y then Hashtbl.replace prob_tbl (bid, x) 1.0
+        else begin
+          let loop_prob l =
+            if loop_is_fp cfg l then probs.loop_fp else probs.loop_int
+          in
+          let stay_prob =
+            match Loop.innermost forest bid with
+            | None -> None
+            | Some l -> (
+              let sx = in_loop l x and sy = in_loop l y in
+              match (sx, sy) with
+              | true, false -> Some (x, loop_prob l)
+              | false, true -> Some (y, loop_prob l)
+              | true, true | false, false -> None)
+          in
+          match stay_prob with
+          | Some (stay, p) ->
+            let other = if stay = x then y else x in
+            Hashtbl.replace prob_tbl (bid, stay) p;
+            Hashtbl.replace prob_tbl (bid, other) (1.0 -. p)
+          | None ->
+            Hashtbl.replace prob_tbl (bid, x) 0.5;
+            Hashtbl.replace prob_tbl (bid, y) 0.5
+        end)
+    cfg.rpo;
+  let eprob e = Option.value ~default:0.0 (Hashtbl.find_opt prob_tbl e) in
+  (* Gauss-Seidel over the flow equations *)
+  let bfreq = Array.make nb 0.0 in
+  let entry = Cfg.entry cfg in
+  let max_iter = 300 and tol = 1e-12 in
+  let iter = ref 0 and delta = ref infinity in
+  while !iter < max_iter && !delta > tol do
+    delta := 0.0;
+    Array.iter
+      (fun bid ->
+        let inflow =
+          List.fold_left
+            (fun acc p -> acc +. (bfreq.(p) *. eprob (p, bid)))
+            0.0 cfg.preds.(bid)
+        in
+        let v = if bid = entry then 1.0 +. inflow else inflow in
+        delta := max !delta (Float.abs (v -. bfreq.(bid)));
+        bfreq.(bid) <- v)
+      cfg.rpo;
+    incr iter
+  done;
+  let efreq (s, d) = bfreq.(s) *. eprob (s, d) in
+  { bfreq; efreq; eprob }

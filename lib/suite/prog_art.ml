@@ -1,0 +1,125 @@
+(** Model of SPEC2000 179.art (Adaptive Resonance Theory neural network) —
+    the paper's structure-peeling showcase.
+
+    "The SPEC2000 floating point benchmark 179.art has a dynamically
+    allocated array of structures containing only floating point fields
+    (and a non-recursive pointer). The result of the dynamic allocation is
+    assigned to a global pointer variable P; no other local or global
+    pointers or variables of that type exist." The transformation peels the
+    type into one single-field record per field (Figure 1c) and the paper
+    reports a 78.2% gain.
+
+    The f1 neuron array here is sized well beyond the 6 MB L2, and the
+    dominant loops touch one or two of the eight double fields per pass, so
+    the original layout wastes 8x cache-line bandwidth — which is exactly
+    what peeling recovers.
+
+    Roster legality (Table 1's art row: 3 types, 2 legal with and without
+    relaxation): [f1_neuron] (legal, peeled), [xy_coord] (legal but not
+    dynamically allocated — no transformation), [io_buf] (escapes to the
+    library function [fwrite]: LIBC, not relax-recoverable). *)
+
+let name = "179.art"
+
+let source = {|
+/* ART-like two-phase neural computation, modelled on SPEC2000 179.art */
+
+extern long fwrite(char*, long, long, long);
+
+struct f1_neuron {
+  double I;
+  double W;
+  double X;
+  double V;
+  double U;
+  double P;
+  double Q;
+  double R;
+};
+
+struct xy_coord { long x; long y; };
+
+struct io_buf { char tag; long len; };
+
+struct f1_neuron *f1_layer;
+struct io_buf out_buf;
+long numf1s;
+
+void init_neurons(long n) {
+  long i;
+  numf1s = n;
+  f1_layer = (struct f1_neuron*)malloc(n * sizeof(struct f1_neuron));
+  for (i = 0; i < n; i++) {
+    f1_layer[i].I = (i % 256) * 0.00390625;
+    f1_layer[i].W = 0.2;
+    f1_layer[i].X = 0.0;
+    f1_layer[i].V = 0.0;
+    f1_layer[i].U = 0.0;
+    f1_layer[i].P = 0.0;
+    f1_layer[i].Q = 0.0;
+    f1_layer[i].R = 0.0;
+  }
+}
+
+/* phase 1: the dominant loops — each touches one or two fields across the
+   whole (larger than L2) array */
+double compute_W(double a) {
+  long i; double norm = 0.0;
+  for (i = 0; i < numf1s; i++) {
+    f1_layer[i].W = f1_layer[i].I + a * f1_layer[i].W;
+    norm = norm + f1_layer[i].W;
+  }
+  return norm;
+}
+
+double compute_X(double norm) {
+  long i; double sum = 0.0;
+  for (i = 0; i < numf1s; i++) {
+    f1_layer[i].X = f1_layer[i].W / norm;
+    sum = sum + f1_layer[i].X;
+  }
+  return sum;
+}
+
+/* phase 2: occasional resonance pass over the remaining fields */
+double resonate(double rho) {
+  long i; double match = 0.0;
+  for (i = 0; i < numf1s; i++) {
+    f1_layer[i].V = f1_layer[i].X * rho;
+    f1_layer[i].U = f1_layer[i].V * 0.5;
+    f1_layer[i].P = f1_layer[i].U + f1_layer[i].Q;
+    f1_layer[i].Q = f1_layer[i].P * 0.25;
+    f1_layer[i].R = f1_layer[i].I * f1_layer[i].P;
+    match = match + f1_layer[i].R;
+  }
+  return match;
+}
+
+void flush_output(long v) {
+  out_buf.tag = 'a';
+  out_buf.len = v;
+  fwrite(&out_buf, 1, 1, v);  /* io_buf escapes to a library function */
+}
+
+int main(int scale) {
+  long it; double norm = 0.0; double s = 0.0; double m = 0.0;
+  struct xy_coord pos;
+  if (scale <= 0) { scale = 14; }
+  init_neurons(150000);
+  pos.x = 0; pos.y = 0;
+  for (it = 0; it < scale; it++) {
+    norm = compute_W(0.75);
+    s = s + compute_X(norm);
+    if (it % 4 == 3) { m = m + resonate(0.9); }
+    pos.x = pos.x + 1;
+  }
+  pos.y = (long)s;
+  printf("art norm %.4f sum %.4f match %.4f pos %ld %ld\n",
+         norm, s, m, pos.x, pos.y);
+  flush_output((long)m);
+  return 0;
+}
+|}
+
+let train_args = [ 5 ]
+let ref_args = [ 7 ]

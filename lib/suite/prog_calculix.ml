@@ -1,0 +1,118 @@
+(** Model of calculix (finite-element solver).
+
+    Calculix is the Table 1 row where relaxation buys {e nothing}: the
+    violations are LIBC escapes into BLAS/solver library routines, nesting,
+    [memset] streaming and [sizeof] arithmetic — none of which a sharper
+    points-to analysis would recover, so Legal% equals Relax%. The one
+    legal, dynamically-allocated type ([felem]) is split, and like the
+    paper we observe a small in-the-noise effect because the element table
+    is cache-resident. *)
+
+let name = "calculix"
+
+let source = {|
+/* finite-element flavour: element assembly against library solvers */
+
+struct felem {
+  double e_stress;
+  double e_strain;
+  double e_energy;
+  long e_mat;
+  long e_group;
+  long e_flags;
+};
+
+struct stiff { double k00; double k01; double k11; };
+
+struct nodal { struct stiff k; double load; };  /* NEST with stiff */
+
+struct material { double young; double poisson; };
+
+struct step { long num; long incr; };
+
+struct bvec { double v0; double v1; };
+
+struct contact { long pair; long state; };
+
+extern double dnrm2(struct bvec*, long);
+extern long spooles_factor(struct stiff*, long);
+extern long dgemm_like(struct material*, long);
+
+struct felem *elems;
+struct material *mats;
+long nelem;
+double norm;
+
+void mesh(long n) {
+  long i;
+  nelem = n;
+  elems = (struct felem*)malloc(n * sizeof(struct felem));
+  mats = (struct material*)malloc(8 * sizeof(struct material));
+  for (i = 0; i < nelem; i++) {
+    elems[i].e_stress = (i % 11) * 0.5;
+    elems[i].e_strain = 0.0;
+    elems[i].e_energy = 0.0;
+    elems[i].e_mat = i % 8;
+    elems[i].e_group = i % 4;
+    elems[i].e_flags = 0;
+  }
+  for (i = 0; i < 8; i++) { mats[i].young = 200.0 + i; mats[i].poisson = 0.3; }
+}
+
+void assemble(double c) {
+  long i;
+  for (i = 0; i < nelem; i++) {
+    elems[i].e_strain = elems[i].e_stress * c / mats[elems[i].e_mat].young;
+    elems[i].e_energy = elems[i].e_energy
+                        + elems[i].e_stress * elems[i].e_strain;
+  }
+}
+
+long regroup(long stepno) {
+  long i; long n = 0;
+  for (i = 0; i < nelem; i = i + 16) {
+    if (elems[i].e_flags == 0) {
+      elems[i].e_group = (elems[i].e_group + stepno) % 4;
+      n = n + 1;
+    }
+  }
+  return n;
+}
+
+int main(int scale) {
+  long s; long acc = 0; double total = 0.0; long stepbytes;
+  struct stiff k;
+  struct nodal nd;
+  struct step st;
+  struct bvec rhs;
+  struct contact *pairs;
+  if (scale <= 0) { scale = 60; }
+  mesh(30000);
+  k.k00 = 2.0; k.k01 = -1.0; k.k11 = 2.0;
+  nd.k.k00 = 1.0; nd.k.k01 = 0.0; nd.k.k11 = 1.0; nd.load = 9.81;
+  st.num = 0; st.incr = 1;
+  rhs.v0 = 1.0; rhs.v1 = -1.0;
+  /* sizeof in plain arithmetic: the FE cannot keep the constant safe */
+  stepbytes = 4 * sizeof(struct step);
+  pairs = (struct contact*)malloc(128 * sizeof(struct contact));
+  memset(pairs, 0, 128 * sizeof(struct contact));
+  for (s = 0; s < scale; s++) {
+    assemble(0.5 + s * 0.001);
+    if (s % 4 == 0) { acc = acc + regroup(s); }
+    st.num = st.num + st.incr;
+    pairs[s % 128].pair = s;
+    pairs[s % 128].state = 1;
+  }
+  /* stiffness blocks, rhs vectors and material tables escape to library
+     solvers: LIBC, not recoverable by relaxation */
+  total = dnrm2(&rhs, 2) + nd.load;
+  acc = acc + spooles_factor(&k, 3) + dgemm_like(mats, 8)
+        + st.num + stepbytes + pairs[s % 128].state;
+  norm = elems[nelem / 3].e_energy + total;
+  printf("calculix norm %.6f acc %ld\n", norm, acc);
+  return 0;
+}
+|}
+
+let train_args = [ 30 ]
+let ref_args = [ 60 ]

@@ -1,0 +1,168 @@
+(** Model of gobmk (Go engine): board scans, pattern hashing, cast-heavy
+    serialisation. Most record types are invalidated by casts or taken
+    addresses (relax-recoverable), so the strict legal share is low and the
+    relaxed share high, as in Table 1's gobmk row. No type is profitably
+    transformable — the performance delta is zero. *)
+
+let name = "gobmk"
+
+let source = {|
+/* Go engine flavour: board scans and pattern hashing */
+
+struct intersection { long color; long liberties; long string_id; long dirty; };
+
+struct go_string { long size; long libs; long origin; };
+
+struct pattern { long bits; long mask; long value; };
+
+struct hashnode { long key; long data; struct hashnode *next; };
+
+struct movelist { long moves; long count; };
+
+struct eyeinfo { long size; long shape; };
+
+struct dragon { long id; long status; long safety; };
+
+struct worm { long origin; long liberties2; };
+
+struct boardstate { long komi_x2; long to_move; };
+
+struct readresult { long depth; long result; };
+
+extern long sgf_write(struct readresult*, long);
+
+struct intersection *board;
+struct hashnode *table;
+long bsize;
+long nhash;
+long score;
+
+void init_board(long n) {
+  long i;
+  bsize = n;
+  board = (struct intersection*)malloc(n * sizeof(struct intersection));
+  for (i = 0; i < bsize; i++) {
+    board[i].color = i % 3;
+    board[i].liberties = 4;
+    board[i].string_id = -1;
+    board[i].dirty = 0;
+  }
+  nhash = 4096;
+  table = (struct hashnode*)malloc(nhash * sizeof(struct hashnode));
+  for (i = 0; i < nhash; i++) {
+    table[i].key = 0; table[i].data = 0; table[i].next = (struct hashnode*)0;
+  }
+}
+
+/* hot scan; intersection stays strict-legal but is L2 resident and
+   uniformly accessed, so no profitable split exists */
+long scan_board() {
+  long i; long libs = 0;
+  for (i = 0; i < bsize; i++) {
+    if (board[i].color != 0) {
+      libs = libs + board[i].liberties - (board[i].dirty & 1);
+    }
+  }
+  return libs;
+}
+
+/* CSTF: positions serialised to raw longs for hashing */
+long board_hash() {
+  long *raw; long h = 5381; long i;
+  raw = (long*)board;
+  for (i = 0; i < 64; i++) { h = h * 33 + raw[i * 2]; }
+  return h;
+}
+
+long hash_probe(long key) {
+  struct hashnode *n;
+  n = table + (key % nhash);
+  if (n->key == key) { return n->data; }
+  n->key = key;
+  n->data = key * 2 + 1;
+  return 0;
+}
+
+/* ATKN: pattern matcher walks a field address */
+long match_pattern(struct pattern *p, long bits) {
+  long *bp;
+  bp = &p->bits;
+  return ((*bp) & p->mask) == (bits & p->mask);
+}
+
+/* CSTF on go_string */
+long string_hash(struct go_string *s) {
+  long *raw;
+  raw = (long*)s;
+  return raw[0] * 7 + raw[1];
+}
+
+/* ATKN on movelist */
+long push_move(struct movelist *ml, long mv) {
+  long *cp;
+  cp = &ml->count;
+  *cp = *cp + 1;
+  return mv + *cp;
+}
+
+/* CSTT on eyeinfo (untyped allocation wrapper) */
+struct eyeinfo *make_eye() {
+  struct eyeinfo *e;
+  e = (struct eyeinfo*)malloc(16);
+  e->size = 1; e->shape = 2;
+  return e;
+}
+
+/* ATKN on dragon */
+long dragon_probe(struct dragon *d) {
+  long *sp;
+  sp = &d->safety;
+  return *sp + d->status;
+}
+
+/* CSTF on worm */
+long worm_hash(struct worm *w) {
+  long *raw;
+  raw = (long*)w;
+  return raw[0] + raw[1];
+}
+
+int main(int scale) {
+  long g; long i; long acc = 0;
+  struct pattern pat;
+  struct movelist ml;
+  struct dragon dr;
+  struct worm wm;
+  struct boardstate bs;
+  struct readresult rr;
+  struct eyeinfo *eye;
+  if (scale <= 0) { scale = 40; }
+  init_board(50000);
+  pat.bits = 5; pat.mask = 7; pat.value = 1;
+  ml.moves = 0; ml.count = 0;
+  dr.id = 1; dr.status = 2; dr.safety = 3;
+  wm.origin = 4; wm.liberties2 = 5;
+  bs.komi_x2 = 13; bs.to_move = 1;
+  rr.depth = 0; rr.result = 0;
+  eye = make_eye();
+  for (g = 0; g < scale; g++) {
+    acc = acc + scan_board();
+    acc = acc + hash_probe(g * 2654435761);
+    for (i = 0; i < 50; i++) {
+      acc = acc + match_pattern(&pat, g + i) + push_move(&ml, i);
+    }
+    if (g % 8 == 0) {
+      acc = acc + board_hash() + dragon_probe(&dr) + worm_hash(&wm);
+    }
+  }
+  rr.depth = scale; rr.result = acc % 1000;
+  acc = acc + sgf_write(&rr, rr.depth);
+  score = acc + bs.komi_x2 + eye->size + rr.result
+          + 2 * sizeof(struct boardstate);
+  printf("gobmk score %ld\n", score);
+  return 0;
+}
+|}
+
+let train_args = [ 20 ]
+let ref_args = [ 40 ]

@@ -1,0 +1,145 @@
+(** Model of h264avc (video encoder).
+
+    Macroblock buffers are cleared and copied with [memset]/[memcpy]
+    (MSET — an implementation limitation in the paper's framework, not
+    relax-recoverable), motion-vector types get cast into raw words for
+    cost heuristics (relax-recoverable), and the bitstream writer escapes
+    to the I/O library. Matches the Table 1 h264avc shape: very low strict
+    legal share, moderate relaxed share, no profitable transformation
+    (paper: in-the-noise degradation). *)
+
+let name = "h264avc"
+
+let source = {|
+/* video encoder flavour: macroblocks, motion search, bitstream */
+
+struct macroblock {
+  long mb_type;
+  long qp;
+  long cbp;
+  long sad;
+  long mode;
+  long refidx;
+};
+
+struct mvec { long mx; long my; };
+
+struct refpic { long poc; long used; };
+
+struct slicehdr { long first_mb; long qp_delta; };
+
+struct bitstream { long bits; long bytepos; };
+
+struct quantmat { long q0; long q1; long q2; long q3; };
+
+struct cabac_ctx { long state; long mps; };
+
+struct sps { long width; long height; };
+
+typedef long (*cost_fn)(struct mvec*);
+
+extern long bs_write(struct bitstream*, long);
+extern long nal_write(struct slicehdr*, long);
+
+struct macroblock *mbs;
+long nmb;
+long bitcount;
+
+void alloc_frame(long n) {
+  long i;
+  nmb = n;
+  mbs = (struct macroblock*)malloc(n * sizeof(struct macroblock));
+  /* whole-frame clear: MSET on macroblock */
+  memset(mbs, 0, n * sizeof(struct macroblock));
+  for (i = 0; i < nmb; i++) {
+    mbs[i].qp = 26;
+    mbs[i].refidx = i % 2;
+  }
+}
+
+long motion_search(long frame) {
+  long i; long cost = 0;
+  for (i = 0; i < nmb; i++) {
+    mbs[i].sad = (mbs[i].qp * 3 + i + frame) % 512;
+    if (mbs[i].sad < 64) { mbs[i].mode = 1; } else { mbs[i].mode = 0; }
+    cost = cost + mbs[i].sad;
+  }
+  return cost;
+}
+
+long encode_frame(long frame) {
+  long i; long bits = 0;
+  for (i = 0; i < nmb; i++) {
+    mbs[i].cbp = (mbs[i].sad >> 4) & 15;
+    mbs[i].mb_type = mbs[i].mode * 2 + (frame & 1);
+    bits = bits + mbs[i].cbp + mbs[i].mb_type;
+  }
+  return bits;
+}
+
+/* CSTF: motion vectors hashed as raw words */
+long mv_hash(struct mvec *v) {
+  long *raw;
+  raw = (long*)v;
+  return raw[0] * 31 + raw[1];
+}
+
+/* ATKN on cabac contexts */
+long cabac_update(struct cabac_ctx *c, long bin) {
+  long *sp;
+  sp = &c->state;
+  *sp = (*sp + bin) % 64;
+  return *sp;
+}
+
+/* CSTT: quant matrices from an untyped pool */
+struct quantmat *default_quant() {
+  struct quantmat *q;
+  q = (struct quantmat*)malloc(32);
+  q->q0 = 16; q->q1 = 18; q->q2 = 20; q->q3 = 22;
+  return q;
+}
+
+/* ATKN on refpic */
+long ref_probe(struct refpic *r) {
+  long *up;
+  up = &r->used;
+  return *up + r->poc;
+}
+
+int main(int scale) {
+  long f; long total = 0;
+  struct mvec mv;
+  struct refpic rp;
+  struct slicehdr sh;
+  struct bitstream bs;
+  struct cabac_ctx cc;
+  struct sps seq;
+  struct quantmat *qm;
+  if (scale <= 0) { scale = 40; }
+  seq.width = 64; seq.height = 36;
+  alloc_frame(seq.width * seq.height * 16);
+  mv.mx = 1; mv.my = -1;
+  rp.poc = 0; rp.used = 1;
+  sh.first_mb = 0; sh.qp_delta = 2;
+  bs.bits = 0; bs.bytepos = 0;
+  cc.state = 31; cc.mps = 1;
+  qm = default_quant();
+  for (f = 0; f < scale; f++) {
+    total = total + motion_search(f);
+    total = total + encode_frame(f);
+    total = total + mv_hash(&mv) + cabac_update(&cc, f & 1);
+    if (f % 8 == 0) {
+      total = total + ref_probe(&rp) + qm->q0 + nal_write(&sh, f);
+      bs.bits = bs.bits + total % 97;
+      bs_write(&bs, bs.bits);
+    }
+  }
+  bitcount = total;
+  printf("h264 bits %ld\n", bitcount);
+  return 0;
+}
+|}
+
+let train_args = [ 20 ]
+let ref_args = [ 40 ]

@@ -1,0 +1,175 @@
+(** Model of lucille (open-source global-illumination renderer).
+
+    Almost every type is invalidated only by casts or taken addresses —
+    lucille has Table 1's highest relaxed share (88.7%) — and the ray-state
+    queue is legal, dynamically allocated and splittable for a small gain. *)
+
+let name = "lucille"
+
+let source = {|
+/* renderer flavour: ray queues and shading stacks */
+
+struct raystate {
+  double ox;
+  double oy;
+  double oz;
+  double dx2;
+  double dy2;
+  double dz2;
+  long depth;
+  long pixel;
+  long bounce_tag;
+  long debug_mark;
+};
+
+struct shadevec { double s0; double s1; double s2; };
+
+struct bsdf { double kd; double ks; double n; };
+
+struct photon { double px; double py; double pz; double power; };
+
+struct kdnode { long axis; double splitpos; };
+
+struct film { long w; long h; };
+
+struct sampler { long seq; long dim; };
+
+struct matstack { long top; long cap; };
+
+struct rnd { long s0; long s1; };
+
+struct raystate *queue;
+long nrays;
+double radiance;
+
+void gen_rays(long n) {
+  long i;
+  nrays = n;
+  queue = (struct raystate*)malloc(n * sizeof(struct raystate));
+  for (i = 0; i < nrays; i++) {
+    queue[i].ox = (i % 640) * 0.0015625;
+    queue[i].oy = (i / 640) * 0.0020833;
+    queue[i].oz = 0.0;
+    queue[i].dx2 = 0.0;
+    queue[i].dy2 = 0.0;
+    queue[i].dz2 = 1.0;
+    queue[i].depth = 0;
+    queue[i].pixel = i;
+    queue[i].bounce_tag = 0;
+    queue[i].debug_mark = 0;
+  }
+}
+
+double trace_all(double tmin) {
+  long i; double acc = 0.0;
+  for (i = 0; i < nrays; i++) {
+    acc = acc + queue[i].ox * queue[i].dx2
+          + queue[i].oy * queue[i].dy2
+          + queue[i].oz + queue[i].dz2 * tmin;
+  }
+  return acc;
+}
+
+long bounce_pass(long gen) {
+  long i; long n = 0;
+  for (i = 0; i < nrays; i = i + 32) {
+    if (queue[i].depth < 4) {
+      queue[i].bounce_tag = gen;
+      queue[i].debug_mark = queue[i].pixel % 3;
+      n = n + 1;
+    }
+  }
+  return n;
+}
+
+/* CSTF: shading vectors as raw doubles */
+double sv_dot(struct shadevec *a, struct shadevec *b) {
+  double *ra; double *rb;
+  ra = (double*)a;
+  rb = (double*)b;
+  return ra[0] * rb[0] + ra[1] * rb[1] + ra[2] * rb[2];
+}
+
+/* ATKN on bsdf */
+double bsdf_eval(struct bsdf *m, double cosv) {
+  double *kp;
+  kp = &m->kd;
+  return *kp + m->ks * cosv;
+}
+
+/* CSTF on photon */
+double photon_hash(struct photon *p) {
+  double *raw;
+  raw = (double*)p;
+  return raw[0] + raw[1] * 3.0 + raw[2] * 9.0 + raw[3];
+}
+
+/* ATKN on kdnode */
+double kd_visit(struct kdnode *k) {
+  double *sp;
+  sp = &k->splitpos;
+  return *sp + k->axis;
+}
+
+/* ATKN on sampler */
+long next_sample(struct sampler *s) {
+  long *qp;
+  qp = &s->seq;
+  *qp = *qp + 1;
+  return *qp * 2 + s->dim;
+}
+
+/* CSTF on matstack */
+long stack_hash(struct matstack *m) {
+  long *raw;
+  raw = (long*)m;
+  return raw[0] + raw[1];
+}
+
+/* CSTT: rnd states from untyped pool */
+struct rnd *make_rnd() {
+  struct rnd *r;
+  r = (struct rnd*)malloc(16);
+  r->s0 = 12345; r->s1 = 67890;
+  return r;
+}
+
+int main(int scale) {
+  long pass; long acc = 0; double sum = 0.0;
+  struct shadevec sa; struct shadevec sb;
+  struct bsdf mat;
+  struct photon ph;
+  struct kdnode kn;
+  struct film fl;
+  struct sampler sm;
+  struct matstack ms;
+  struct rnd *rg;
+  if (scale <= 0) { scale = 16; }
+  gen_rays(80000);
+  sa.s0 = 1.0; sa.s1 = 0.0; sa.s2 = 0.0;
+  sb.s0 = 0.5; sb.s1 = 0.5; sb.s2 = 0.0;
+  mat.kd = 0.6; mat.ks = 0.3; mat.n = 32.0;
+  ph.px = 1.0; ph.py = 2.0; ph.pz = 3.0; ph.power = 0.5;
+  kn.axis = 0; kn.splitpos = 1.5;
+  fl.w = 640; fl.h = 480;
+  sm.seq = 0; sm.dim = 2;
+  ms.top = 0; ms.cap = 16;
+  rg = make_rnd();
+  for (pass = 0; pass < scale; pass++) {
+    sum = sum + trace_all(pass * 0.1);
+    acc = acc + bounce_pass(pass);
+    acc = acc + next_sample(&sm);
+    sum = sum + sv_dot(&sa, &sb) + bsdf_eval(&mat, 0.5) + kd_visit(&kn);
+    if (pass % 4 == 0) {
+      sum = sum + photon_hash(&ph);
+      acc = acc + stack_hash(&ms) + rg->s0 % 7;
+    }
+  }
+  radiance = sum + fl.w * 0.0 + acc * 0.001;
+  printf("lucille radiance %.4f\n", radiance);
+  return 0;
+}
+|}
+
+let train_args = [ 8 ]
+let ref_args = [ 16 ]

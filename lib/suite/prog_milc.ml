@@ -1,0 +1,172 @@
+(** Model of milc (lattice QCD, su3 matrix algebra).
+
+    Dominated by complex 3x3 matrix kernels over a lattice of sites. The
+    complex/matrix/site nesting chain makes the central types NEST-invalid
+    — exactly why milc's transformable share is low in Table 1 — while a
+    handful of auxiliary types carry relax-recoverable cast/address
+    violations. [rand_state] is the one legal, dynamically allocated,
+    profitably splittable type (a small gain, as in the paper). *)
+
+let name = "milc"
+
+let source = {|
+/* lattice QCD flavour: su3 algebra over sites */
+
+struct complex { double re; double im; };
+
+struct su3_matrix { struct complex e00; struct complex e01; struct complex e11; };
+
+struct site {
+  struct su3_matrix link;
+  long parity;
+  long index;
+};
+
+struct half_wilson { double h0; double h1; double h2; double h3; };
+
+struct path { long dir; long length; long start; };
+
+struct msg_buf { long tag; long len; };
+
+struct layout { long nx; long ny; long nt; };
+
+struct rand_state {
+  long seed;
+  long carry;
+  long hot_a;
+  long hot_b;
+  long cold_pad1;
+  long cold_pad2;
+  long cold_pad3;
+  long scratch;
+};
+
+struct twist { double angle; double phase; };
+
+struct boundary { long face; long width; };
+
+typedef long (*gauge_cb)(struct boundary*);
+
+extern long mpi_send(struct msg_buf*, long);
+
+struct site *lattice;
+struct rand_state *prn;
+struct layout geom;
+long volume;
+double plaq;
+
+void make_lattice(long v) {
+  long i;
+  volume = v;
+  lattice = (struct site*)malloc(v * sizeof(struct site));
+  prn = (struct rand_state*)malloc(v * sizeof(struct rand_state));
+  for (i = 0; i < volume; i++) {
+    lattice[i].link.e00.re = 1.0; lattice[i].link.e00.im = 0.0;
+    lattice[i].link.e01.re = 0.1; lattice[i].link.e01.im = 0.0;
+    lattice[i].link.e11.re = 1.0; lattice[i].link.e11.im = 0.0;
+    lattice[i].parity = i % 2;
+    lattice[i].index = i;
+    prn[i].seed = i * 69069 + 1;
+    prn[i].carry = 0;
+    prn[i].hot_a = i;
+    prn[i].hot_b = i * 3;
+    prn[i].cold_pad1 = 0;
+    prn[i].cold_pad2 = 0;
+    prn[i].cold_pad3 = 0;
+    prn[i].scratch = 0;
+  }
+}
+
+double plaquette() {
+  long i; double s = 0.0;
+  for (i = 0; i < volume; i++) {
+    s = s + lattice[i].link.e00.re * lattice[i].link.e11.re
+        - lattice[i].link.e01.im * lattice[i].link.e01.im;
+  }
+  return s;
+}
+
+long prn_next(long i) {
+  prn[i].hot_a = (prn[i].hot_a * 1103515245 + prn[i].hot_b) % 2147483647;
+  prn[i].hot_b = prn[i].hot_b + 1;
+  return prn[i].hot_a;
+}
+
+long prn_reseed(long k) {
+  /* rare touch of the cold prn fields */
+  prn[k].cold_pad1 = prn[k].seed;
+  prn[k].cold_pad2 = prn[k].carry;
+  prn[k].cold_pad3 = prn[k].scratch + 1;
+  return prn[k].cold_pad3;
+}
+
+/* CSTF: half_wilson vectors serialised through a raw cast */
+double hw_hash(struct half_wilson *h) {
+  double *raw; double s = 0.0; long i;
+  raw = (double*)h;
+  for (i = 0; i < 4; i++) { s = s + raw[i]; }
+  return s;
+}
+
+/* ATKN: path field address is stored */
+long path_probe(struct path *p) {
+  long *dp;
+  dp = &p->length;
+  return *dp + p->dir;
+}
+
+/* LIBC: msg_buf escapes to the message library */
+void send_msg(struct msg_buf *m) {
+  m->tag = 7;
+  mpi_send(m, m->len);
+}
+
+/* IND: boundary escapes to an indirect call */
+long apply_boundary(struct boundary *b, gauge_cb cb) {
+  return cb(b);
+}
+
+long face_handler(struct boundary *b) { return b->face * 2 + b->width; }
+
+/* CSTT: twist built from an untyped allocation */
+struct twist *make_twist() {
+  struct twist *t;
+  t = (struct twist*)malloc(16);
+  t->angle = 0.5;
+  t->phase = 0.25;
+  return t;
+}
+
+int main(int scale) {
+  long sweep; long i; long acc = 0; double s = 0.0;
+  struct half_wilson hw;
+  struct path pth;
+  struct msg_buf msg;
+  struct boundary bnd;
+  struct twist *tw;
+  gauge_cb cb;
+  if (scale <= 0) { scale = 10; }
+  geom.nx = 16; geom.ny = 16; geom.nt = 8;
+  make_lattice(40000);
+  hw.h0 = 1.0; hw.h1 = 2.0; hw.h2 = 3.0; hw.h3 = 4.0;
+  pth.dir = 1; pth.length = 4; pth.start = 0;
+  bnd.face = 2; bnd.width = 3;
+  msg.len = 8;
+  cb = (&face_handler);
+  tw = make_twist();
+  for (sweep = 0; sweep < scale; sweep++) {
+    s = s + plaquette();
+    for (i = 0; i < volume; i = i + 2) { acc = acc + prn_next(i); }
+    if (sweep % 4 == 0) { acc = acc + prn_reseed(sweep % volume); }
+  }
+  s = s + hw_hash(&hw) + tw->angle;
+  acc = acc + path_probe(&pth) + apply_boundary(&bnd, cb);
+  send_msg(&msg);
+  plaq = s;
+  printf("milc plaq %.4f acc %ld\n", plaq, acc);
+  return 0;
+}
+|}
+
+let train_args = [ 5 ]
+let ref_args = [ 10 ]

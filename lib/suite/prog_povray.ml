@@ -1,0 +1,184 @@
+(** Model of povray (ray tracer, C with C++-ish object tables).
+
+    Object "classes" dispatch through function-pointer tables, so the
+    central scene types escape to indirect calls (IND); vectors and colours
+    are cast-serialised everywhere (CSTF/CSTT). The strict legal share is
+    tiny and the relaxed share large — Table 1's povray row (5.1% vs
+    75.3%). Nothing is profitably transformable. *)
+
+let name = "povray"
+
+let source = {|
+/* ray tracer flavour with function-pointer object dispatch */
+
+struct vec3 { double vx; double vy; double vz; };
+
+struct colour { double r; double g; double b; double t; };
+
+struct ray { struct vec3 origin; struct vec3 dir; };   /* NEST */
+
+struct sphere { double cx; double cy; double cz; double rad; };
+
+struct plane { double nx; double ny; double nz; double d; };
+
+struct box3 { double lo0; double lo1; double hi0; double hi1; };
+
+struct texture { long kind; double scale; };
+
+struct finish { double ambient; double diffuse; };
+
+struct camera { double px; double py; double pz; double zoom; };
+
+struct light { double lx; double ly; double lz; double power; };
+
+struct isect { double t; long obj; };
+
+struct pigment { long pat; double freq; };
+
+typedef double (*isect_fn)(struct sphere*, double);
+
+extern long pov_write(struct isect*, long);
+
+struct sphere *spheres;
+long nspheres;
+double image_sum;
+
+void build_scene(long n) {
+  long i;
+  nspheres = n;
+  spheres = (struct sphere*)malloc(n * sizeof(struct sphere));
+  for (i = 0; i < nspheres; i++) {
+    spheres[i].cx = (i % 13) * 1.0;
+    spheres[i].cy = (i % 7) * 1.0;
+    spheres[i].cz = (i % 5) * 1.0;
+    spheres[i].rad = 1.0 + (i % 3);
+  }
+}
+
+/* IND: sphere escapes to the dispatch table */
+double sphere_isect(struct sphere *s, double t) {
+  double dx;
+  dx = s->cx - t;
+  return dx * dx + s->rad;
+}
+
+double trace(isect_fn fn, double t0) {
+  long i; double best = 1000000.0; double t;
+  for (i = 0; i < nspheres; i++) {
+    t = fn(spheres + i, t0);
+    if (t < best) { best = t; }
+  }
+  return best;
+}
+
+/* CSTF on vec3: vector maths through raw doubles */
+double vdot_raw(struct vec3 *a, struct vec3 *b) {
+  double *ra; double *rb;
+  ra = (double*)a;
+  rb = (double*)b;
+  return ra[0] * rb[0] + ra[1] * rb[1] + ra[2] * rb[2];
+}
+
+/* CSTF on colour */
+double colour_sum(struct colour *c) {
+  double *raw; double s = 0.0; long i;
+  raw = (double*)c;
+  for (i = 0; i < 4; i++) { s = s + raw[i]; }
+  return s;
+}
+
+/* ATKN on plane */
+double plane_eval(struct plane *p, double x) {
+  double *np;
+  np = &p->nx;
+  return (*np) * x + p->d;
+}
+
+/* ATKN on box3 */
+double box_span(struct box3 *b) {
+  double *lo;
+  lo = &b->lo0;
+  return b->hi0 - (*lo) + b->hi1 - b->lo1;
+}
+
+/* CSTT: texture from an untyped pool */
+struct texture *alloc_texture() {
+  struct texture *t;
+  t = (struct texture*)malloc(16);
+  t->kind = 1; t->scale = 2.0;
+  return t;
+}
+
+/* CSTT: pigment likewise */
+struct pigment *alloc_pigment() {
+  struct pigment *p;
+  p = (struct pigment*)malloc(16);
+  p->pat = 3; p->freq = 0.5;
+  return p;
+}
+
+/* ATKN on finish */
+double finish_eval(struct finish *f) {
+  double *ap;
+  ap = &f->ambient;
+  return *ap + f->diffuse;
+}
+
+/* ATKN on light */
+double light_at(struct light *l, double d) {
+  double *pw;
+  pw = &l->power;
+  return *pw / (d + l->lx * 0.0 + 1.0);
+}
+
+int main(int scale) {
+  long px; long i; double sum = 0.0;
+  struct vec3 u; struct vec3 v;
+  struct colour col;
+  struct ray rr;
+  struct plane pl;
+  struct box3 bx;
+  struct camera cam;
+  struct light li;
+  struct isect hit;
+  struct texture *tex;
+  struct pigment *pig;
+  struct finish fin;
+  isect_fn fn;
+  if (scale <= 0) { scale = 30; }
+  build_scene(3000);
+  u.vx = 1.0; u.vy = 0.0; u.vz = 0.0;
+  v.vx = 0.5; v.vy = 0.5; v.vz = 0.0;
+  col.r = 0.1; col.g = 0.2; col.b = 0.3; col.t = 0.0;
+  rr.origin.vx = 0.0; rr.origin.vy = 0.0; rr.origin.vz = 0.0;
+  rr.dir.vx = 0.0; rr.dir.vy = 0.0; rr.dir.vz = 1.0;
+  pl.nx = 0.0; pl.ny = 1.0; pl.nz = 0.0; pl.d = 4.0;
+  bx.lo0 = 0.0; bx.lo1 = 0.0; bx.hi0 = 2.0; bx.hi1 = 2.0;
+  cam.px = 0.0; cam.py = 1.0; cam.pz = -5.0; cam.zoom = 1.5;
+  li.lx = 3.0; li.ly = 3.0; li.lz = -3.0; li.power = 10.0;
+  fin.ambient = 0.1; fin.diffuse = 0.7;
+  tex = alloc_texture();
+  pig = alloc_pigment();
+  fn = (&sphere_isect);
+  hit.t = 0.0; hit.obj = -1;
+  for (px = 0; px < scale; px++) {
+    sum = sum + trace(fn, px * 0.01 + cam.zoom);
+    sum = sum + vdot_raw(&u, &v) + plane_eval(&pl, px * 1.0);
+    for (i = 0; i < 16; i++) {
+      sum = sum + light_at(&li, i * 0.5) + finish_eval(&fin);
+    }
+    if (px % 8 == 0) {
+      sum = sum + colour_sum(&col) + box_span(&bx)
+            + rr.dir.vz + tex->scale + pig->freq;
+    }
+  }
+  hit.t = sum;
+  pov_write(&hit, 4);
+  image_sum = sum + hit.t;
+  printf("povray sum %.4f\n", image_sum);
+  return 0;
+}
+|}
+
+let train_args = [ 15 ]
+let ref_args = [ 30 ]

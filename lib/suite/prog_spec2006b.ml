@@ -1,0 +1,79 @@
+(** Model of the paper's second SPEC2006 case study (§3.4):
+
+    "Another C benchmark in this suite is strongly dominated by three loops
+    over an array of record types containing only two fields, a floating
+    point field and an 8-byte integer field. ... Peeling of this type
+    resulted in a performance improvement of almost 40%. After splitting,
+    the three loops are iterating over an array of integers, performing
+    only a few fast integer operations."
+
+    Three loops dominate; each touches only the integer field, so after
+    peeling the program streams a dense integer array while the doubles
+    stay untouched in their own allocation. *)
+
+let name = "spec2006.peel2"
+
+let source = {|
+/* two-field record; three integer-only loops dominate */
+
+struct pairrec {
+  double weight;
+  long key;
+};
+
+struct pairrec *tab;
+long ntab;
+long result;
+
+void build(long n) {
+  long i;
+  ntab = n;
+  tab = (struct pairrec*)malloc(n * sizeof(struct pairrec));
+  for (i = 0; i < ntab; i++) {
+    tab[i].weight = i * 0.5;
+    tab[i].key = i * 2654435761 % 1048576;
+  }
+}
+
+long loop1() {
+  long i; long acc = 0;
+  for (i = 0; i < ntab; i++) { acc = acc + (tab[i].key & 1023); }
+  return acc;
+}
+
+long loop2() {
+  long i; long acc = 0;
+  for (i = 0; i < ntab; i++) { acc = acc ^ (tab[i].key >> 3); }
+  return acc;
+}
+
+long loop3() {
+  long i; long acc = 0;
+  for (i = 0; i < ntab; i++) {
+    if (tab[i].key % 7 == 0) { acc = acc + 1; }
+  }
+  return acc;
+}
+
+double weigh() {
+  long i; double w = 0.0;
+  for (i = 0; i < ntab; i = i + 256) { w = w + tab[i].weight; }
+  return w;
+}
+
+int main(int scale) {
+  long it; long acc = 0; double w = 0.0;
+  if (scale <= 0) { scale = 6; }
+  build(450000);
+  for (it = 0; it < scale; it++) {
+    acc = acc + loop1() + loop2() + loop3();
+    if (it % 8 == 0) { w = w + weigh(); }
+  }
+  result = acc;
+  printf("spec2006b acc %ld w %.2f\n", result, w);
+  return 0;
+}
+|}
+
+let train_args = [ 4 ]
+let ref_args = [ 6 ]

@@ -1,0 +1,176 @@
+(** Model of sphinx (speech recognition: HMM evaluation).
+
+    Senone scoring streams a large table of Gaussian-mixture records whose
+    hot mean/variance fields interleave with bookkeeping — a splittable
+    type. Most other types are cast- or address-abused
+    (relax-recoverable), tracking the Table 1 sphinx row (6.2% strict,
+    81.2% relaxed). *)
+
+let name = "sphinx"
+
+let source = {|
+/* speech recognition flavour: HMM senone scoring */
+
+struct gauden {
+  double mean;
+  double var;
+  double lrd;
+  long cb_id;
+  long update_cnt;
+  long backoff;
+};
+
+struct hmmstate { long sen; long score; };
+
+struct trellis { long frame; long best; };
+
+struct dictword { long wid; long nphone; };
+
+struct lmnode { long ngram; long prob; };
+
+struct fsgarc { long from_s; long to_s; };
+
+struct heapnode { long keyv; long val; };
+
+struct vithist { long hid; long back; };
+
+struct ascr { long s0; long s1; };
+
+struct beam { long hmm_b; long word_b; };
+
+struct gauden *gtab;
+long ngau;
+long total_score;
+
+void load_models(long n) {
+  long i;
+  ngau = n;
+  gtab = (struct gauden*)malloc(n * sizeof(struct gauden));
+  for (i = 0; i < ngau; i++) {
+    gtab[i].mean = (i % 64) * 0.125;
+    gtab[i].var = 1.0 + (i % 8) * 0.25;
+    gtab[i].lrd = 0.5;
+    gtab[i].cb_id = i % 256;
+    gtab[i].update_cnt = 0;
+    gtab[i].backoff = 0;
+  }
+}
+
+double senone_score(double x) {
+  long i; double s = 0.0; double d;
+  for (i = 0; i < ngau; i++) {
+    d = x - gtab[i].mean;
+    s = s + d * d / gtab[i].var + gtab[i].lrd;
+  }
+  return s;
+}
+
+long adapt(long frame) {
+  long i; long n = 0;
+  for (i = 0; i < ngau; i = i + 32) {
+    if (gtab[i].backoff == 0) {
+      gtab[i].update_cnt = gtab[i].update_cnt + 1;
+      n = n + gtab[i].cb_id % 5;
+    }
+  }
+  return n;
+}
+
+/* ATKN on hmmstate */
+long hmm_eval(struct hmmstate *h, long obs) {
+  long *sp;
+  sp = &h->score;
+  *sp = *sp + obs;
+  return *sp;
+}
+
+/* CSTF on trellis */
+long trellis_hash(struct trellis *t) {
+  long *raw;
+  raw = (long*)t;
+  return raw[0] * 17 + raw[1];
+}
+
+/* ATKN on dictword */
+long word_probe(struct dictword *w) {
+  long *np;
+  np = &w->nphone;
+  return *np + w->wid;
+}
+
+/* CSTF on lmnode */
+long lm_hash(struct lmnode *n) {
+  long *raw;
+  raw = (long*)n;
+  return raw[0] + raw[1];
+}
+
+/* ATKN on fsgarc */
+long arc_walk(struct fsgarc *a) {
+  long *tp;
+  tp = &a->to_s;
+  return *tp - a->from_s;
+}
+
+/* CSTF on heapnode */
+long heap_hash(struct heapnode *h) {
+  long *raw;
+  raw = (long*)h;
+  return raw[0] ^ raw[1];
+}
+
+/* ATKN on vithist */
+long hist_probe(struct vithist *v) {
+  long *bp;
+  bp = &v->back;
+  return *bp + v->hid;
+}
+
+/* CSTF on ascr */
+long ascr_hash(struct ascr *a) {
+  long *raw;
+  raw = (long*)a;
+  return raw[0] + raw[1] * 3;
+}
+
+int main(int scale) {
+  long f; long acc = 0; double sum = 0.0; long bbytes;
+  struct hmmstate hs;
+  struct trellis tr;
+  struct dictword dw;
+  struct lmnode lm;
+  struct fsgarc fa;
+  struct heapnode hn;
+  struct vithist vh;
+  struct ascr as;
+  struct beam bm;
+  if (scale <= 0) { scale = 20; }
+  load_models(60000);
+  hs.sen = 1; hs.score = 0;
+  tr.frame = 0; tr.best = -1;
+  dw.wid = 42; dw.nphone = 3;
+  lm.ngram = 2; lm.prob = -500;
+  fa.from_s = 0; fa.to_s = 1;
+  hn.keyv = 9; hn.val = 10;
+  vh.hid = 1; vh.back = 0;
+  as.s0 = 5; as.s1 = 6;
+  bm.hmm_b = -1000; bm.word_b = -2000;
+  bbytes = 2 * sizeof(struct beam);
+  acc = acc + bbytes;
+  for (f = 0; f < scale; f++) {
+    sum = sum + senone_score(f * 0.01);
+    acc = acc + adapt(f) + hmm_eval(&hs, f);
+    acc = acc + word_probe(&dw) + arc_walk(&fa) + hist_probe(&vh);
+    if (f % 4 == 0) {
+      acc = acc + trellis_hash(&tr) + lm_hash(&lm) + heap_hash(&hn)
+            + ascr_hash(&as) + bm.hmm_b % 3;
+    }
+  }
+  total_score = acc + (long)sum;
+  printf("sphinx score %ld\n", total_score);
+  return 0;
+}
+|}
+
+let train_args = [ 10 ]
+let ref_args = [ 20 ]

@@ -1,0 +1,166 @@
+(** Model of ssearch (Smith–Waterman sequence alignment).
+
+    The smallest roster entry, with Table 1's most even mix: 10 types, 4
+    strictly legal (40%), 5 under relaxation (50%). The score-cell type is
+    legal and splittable: the DP sweep touches the running scores while the
+    traceback metadata rides along cold in the same record. *)
+
+let name = "ssearch"
+
+let source = {|
+/* Smith-Waterman flavour: banded DP over score cells */
+
+struct cell {
+  long h;
+  long e;
+  long f;
+  long trace_op;
+  long trace_len;
+};
+
+struct seqinfo { long len; long offset; };
+
+struct submat { long match_s; long mismatch_s; };
+
+struct gapmodel { long open_g; long extend_g; };
+
+struct hit { long pos; long score2; };
+
+struct histo { long bin; long count2; };
+
+struct stats { long best; long mean1000; };
+
+struct workctx { long row; long col; };
+
+struct dbentry { long id; long len2; };
+
+struct aligncfg { long band; long mode; };
+
+extern long output_hit(struct hit*, long);
+extern long db_read(struct dbentry*, long);
+extern long load_matrix(struct submat*, long);
+extern long cfg_parse(struct aligncfg*, long);
+
+struct cell *row;
+long rowlen;
+long best_score;
+
+void init_row(long n) {
+  long i;
+  rowlen = n;
+  row = (struct cell*)malloc(n * sizeof(struct cell));
+  for (i = 0; i < rowlen; i++) {
+    row[i].h = 0;
+    row[i].e = 0;
+    row[i].f = 0;
+    row[i].trace_op = 0;
+    row[i].trace_len = 0;
+  }
+}
+
+long sweep(long q, long open_g, long ext_g) {
+  long j; long best = 0; long diag = 0; long sc; long prev_h;
+  for (j = 1; j < rowlen; j++) {
+    sc = ((q + j) % 4 == 0) ? 2 : -1;
+    prev_h = row[j].h;
+    row[j].e = (row[j].e - ext_g > row[j].h - open_g)
+               ? (row[j].e - ext_g) : (row[j].h - open_g);
+    row[j].f = (row[j-1].f - ext_g > row[j-1].h - open_g)
+               ? (row[j-1].f - ext_g) : (row[j-1].h - open_g);
+    row[j].h = diag + sc;
+    if (row[j].e > row[j].h) { row[j].h = row[j].e; }
+    if (row[j].f > row[j].h) { row[j].h = row[j].f; }
+    if (row[j].h < 0) { row[j].h = 0; }
+    if (row[j].h > best) { best = row[j].h; }
+    diag = prev_h;
+  }
+  return best;
+}
+
+/* the traceback metadata is touched only on strong hits */
+long record_trace(long best) {
+  long j; long n = 0;
+  for (j = 0; j < rowlen; j = j + 64) {
+    if (row[j].h > best / 2) {
+      row[j].trace_op = 1;
+      row[j].trace_len = row[j].h;
+      n = n + 1;
+    }
+  }
+  return n;
+}
+
+/* LIBC on hit */
+long hit_probe(struct hit *ht) {
+  return output_hit(ht, ht->pos) + ht->score2;
+}
+
+/* MSET on histo */
+void histo_clear(struct histo *hg) {
+  memset(hg, 0, 16);
+  hg->bin = 1;
+}
+
+/* ATKN on workctx */
+long ctx_step(struct workctx *w) {
+  long *cp;
+  cp = &w->col;
+  *cp = *cp + 1;
+  return *cp + w->row;
+}
+
+/* LIBC on dbentry */
+long db_fetch(struct dbentry *d) {
+  return db_read(d, d->id) + d->len2;
+}
+
+/* LIBC on aligncfg */
+struct aligncfg *make_cfg() {
+  struct aligncfg *c;
+  c = (struct aligncfg*)malloc(1 * sizeof(struct aligncfg));
+  c->band = 32; c->mode = 1;
+  cfg_parse(c, 0);
+  return c;
+}
+
+int main(int scale) {
+  long q; long acc = 0; long best = 0;
+  struct seqinfo si;
+  struct submat sm;
+  struct gapmodel gm;
+  struct hit ht;
+  struct histo hg;
+  struct stats st;
+  struct workctx wc;
+  struct dbentry db;
+  struct aligncfg *cfg;
+  if (scale <= 0) { scale = 300; }
+  init_row(20000);
+  si.len = 20000; si.offset = 0;
+  sm.match_s = 2; sm.mismatch_s = -1;
+  acc = acc + load_matrix(&sm, 1);
+  gm.open_g = 10; gm.extend_g = 1;
+  ht.pos = 0; ht.score2 = 0;
+  hg.bin = 0; hg.count2 = 0;
+  st.best = 0; st.mean1000 = 0;
+  wc.row = 0; wc.col = 0;
+  db.id = 7; db.len2 = 20000;
+  cfg = make_cfg();
+  for (q = 0; q < scale; q++) {
+    best = sweep(q, gm.open_g, gm.extend_g);
+    if (best > st.best) { st.best = best; }
+    if (q % 16 == 0) {
+      acc = acc + record_trace(best) + hit_probe(&ht) + ctx_step(&wc);
+      histo_clear(&hg);
+      acc = acc + hg.bin + db_fetch(&db) + cfg->band;
+    }
+  }
+  st.mean1000 = acc;
+  best_score = st.best + si.len % 7 + sm.match_s;
+  printf("ssearch best %ld acc %ld\n", best_score, acc);
+  return 0;
+}
+|}
+
+let train_args = [ 150 ]
+let ref_args = [ 300 ]

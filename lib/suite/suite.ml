@@ -1,0 +1,78 @@
+type paper_row = {
+  p_types : int;
+  p_legal : int;
+  p_legal_pct : float;
+  p_relax : int;
+  p_relax_pct : float;
+  p_perf : string;
+}
+
+type entry = {
+  name : string;
+  source : string;
+  train_args : int list;
+  ref_args : int list;
+  paper : paper_row option;
+}
+
+let row types legal legal_pct relax relax_pct perf =
+  Some
+    { p_types = types; p_legal = legal; p_legal_pct = legal_pct;
+      p_relax = relax; p_relax_pct = relax_pct; p_perf = perf }
+
+let entry name source train_args ref_args paper =
+  { name; source; train_args; ref_args; paper }
+
+let roster =
+  [
+    entry Prog_mcf.name Prog_mcf.source Prog_mcf.train_args Prog_mcf.ref_args
+      (row 5 1 20.0 3 60.0 "+16.7% .. +17.3%");
+    entry Prog_art.name Prog_art.source Prog_art.train_args Prog_art.ref_args
+      (row 3 2 66.7 2 66.7 "+78.2%");
+    entry Prog_milc.name Prog_milc.source Prog_milc.train_args
+      Prog_milc.ref_args
+      (row 20 5 25.0 12 60.0 "small positive");
+    entry Prog_cactus.name Prog_cactus.source Prog_cactus.train_args
+      Prog_cactus.ref_args
+      (row 116 13 11.0 68 58.6 "noise (>= -1.5%)");
+    entry Prog_gobmk.name Prog_gobmk.source Prog_gobmk.train_args
+      Prog_gobmk.ref_args
+      (row 59 9 15.3 45 76.3 "~0%");
+    entry Prog_povray.name Prog_povray.source Prog_povray.train_args
+      Prog_povray.ref_args
+      (row 275 14 5.1 207 75.3 "~0%");
+    entry Prog_calculix.name Prog_calculix.source Prog_calculix.train_args
+      Prog_calculix.ref_args
+      (row 41 3 11.6 3 11.6 "noise (>= -1.5%)");
+    entry Prog_h264.name Prog_h264.source Prog_h264.train_args
+      Prog_h264.ref_args
+      (row 42 3 7.1 25 59.5 "noise (>= -1.5%)");
+    entry Prog_moldyn.name Prog_moldyn.source Prog_moldyn.train_args
+      Prog_moldyn.ref_args
+      (row 4 1 25.0 4 100.0 "+21.8% .. +30.9%");
+    entry Prog_lucille.name Prog_lucille.source Prog_lucille.train_args
+      Prog_lucille.ref_args
+      (row 97 17 17.5 86 88.7 "small positive");
+    entry Prog_sphinx.name Prog_sphinx.source Prog_sphinx.train_args
+      Prog_sphinx.ref_args
+      (row 64 4 6.2 52 81.2 "~0%");
+    entry Prog_ssearch.name Prog_ssearch.source Prog_ssearch.train_args
+      Prog_ssearch.ref_args
+      (row 10 4 40.0 5 50.0 "small positive");
+  ]
+
+let case_studies =
+  [
+    entry Prog_spec2006a.name Prog_spec2006a.source Prog_spec2006a.train_args
+      Prog_spec2006a.ref_args None;
+    entry Prog_spec2006b.name Prog_spec2006b.source Prog_spec2006b.train_args
+      Prog_spec2006b.ref_args None;
+  ]
+
+let find name =
+  List.find
+    (fun e -> String.equal e.name name)
+    (roster @ case_studies)
+
+let paper_avg_legal_pct = 20.9
+let paper_avg_relax_pct = 65.7

@@ -1,0 +1,35 @@
+(** The benchmark roster: the paper's twelve programs plus the two §3.4
+    case studies, with the paper's published numbers attached for the
+    paper-vs-measured comparisons in EXPERIMENTS.md. *)
+
+type paper_row = {
+  p_types : int;        (** Table 1 "Types" *)
+  p_legal : int;        (** Table 1 "Legal" *)
+  p_legal_pct : float;
+  p_relax : int;        (** Table 1 "Relax" *)
+  p_relax_pct : float;
+  p_perf : string;      (** Table 3 performance effect, as published *)
+}
+
+type entry = {
+  name : string;
+  source : string;
+  train_args : int list;
+  ref_args : int list;
+  paper : paper_row option;  (** [None] for the case-study programs *)
+}
+
+val roster : entry list
+(** The twelve Table 1 programs, in the paper's order. *)
+
+val case_studies : entry list
+(** The two §3.4 SPEC2006 sketches. *)
+
+val find : string -> entry
+(** Lookup by name in roster or case studies; raises [Not_found]. *)
+
+val paper_avg_legal_pct : float
+(** 20.9 — Table 1's average row. *)
+
+val paper_avg_relax_pct : float
+(** 65.7 *)

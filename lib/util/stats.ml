@@ -1,0 +1,41 @@
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Stats.mean: empty array";
+  sum a /. float_of_int (Array.length a)
+
+let correlation xs ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.correlation: empty series";
+  if Array.length ys <> n then
+    invalid_arg "Stats.correlation: length mismatch";
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and dx2 = ref 0.0 and dy2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    num := !num +. (dx *. dy);
+    dx2 := !dx2 +. (dx *. dx);
+    dy2 := !dy2 +. (dy *. dy)
+  done;
+  let denom = sqrt !dx2 *. sqrt !dy2 in
+  if denom = 0.0 then 0.0 else !num /. denom
+
+let remove_index i a =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let correlation_excluding i xs ys =
+  if i < 0 || i >= Array.length xs then
+    invalid_arg "Stats.correlation_excluding: index out of bounds";
+  correlation (remove_index i xs) (remove_index i ys)
+
+let relative_percent ws =
+  let m = Array.fold_left max 0.0 ws in
+  if m <= 0.0 then Array.map (fun _ -> 0.0) ws
+  else Array.map (fun w -> 100.0 *. w /. m) ws
+
+let argmax a =
+  if Array.length a = 0 then invalid_arg "Stats.argmax: empty array";
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > a.(!best) then best := i) a;
+  !best

@@ -1,0 +1,36 @@
+(** Small statistics toolbox used by the profitability analysis and the
+    evaluation harness.
+
+    The central export is {!correlation}, the linear correlation coefficient
+    [r] the paper uses (section 2.3) to compare hotness estimates produced by
+    different weighting schemes against the PBO baseline. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val correlation : float array -> float array -> float
+(** [correlation xs ys] is the linear (Pearson) correlation coefficient
+
+    {v r = sum (xi - mx)(yi - my) / (sqrt (sum (xi - mx)^2) sqrt (sum (yi - my)^2)) v}
+
+    Values lie in [-1.0, 1.0]; [0.0] means no linear correlation. If either
+    series has zero variance the result is [0.0] (the paper's formula is
+    undefined there; we choose the "no correlation" reading). Raises
+    [Invalid_argument] if the arrays differ in length or are empty. *)
+
+val correlation_excluding : int -> float array -> float array -> float
+(** [correlation_excluding i xs ys] is {!correlation} with index [i] removed
+    from both series. This is the paper's [r'], which "disregards field
+    potential": the correlation recomputed without the dominant field. *)
+
+val relative_percent : float array -> float array
+(** [relative_percent ws] rescales raw weights so the maximum becomes 100.0
+    (the paper's "relative hotness expressed in percent relative to the
+    hottest field"). An all-zero input maps to all zeros. *)
+
+val sum : float array -> float
+(** Sum of the array. [0.0] on empty. *)
+
+val argmax : float array -> int
+(** Index of the (first) maximum element. Raises [Invalid_argument] on an
+    empty array. *)

@@ -1,0 +1,71 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  cols : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols = { title; cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.cols then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.cols in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (function
+      | Sep -> ()
+      | Cells cs ->
+        List.iteri
+          (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+          cs)
+    rows;
+  let pad align w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let aligns = Array.of_list (List.map snd t.cols) in
+  let line cells =
+    let padded =
+      List.mapi (fun i c -> pad aligns.(i) widths.(i) c) cells
+    in
+    "| " ^ String.concat " | " padded ^ " |\n"
+  in
+  let sep_line () =
+    let dashes =
+      Array.to_list (Array.map (fun w -> String.make w '-') widths)
+    in
+    "|-" ^ String.concat "-|-" dashes ^ "-|\n"
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some s ->
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (line headers);
+  Buffer.add_string buf (sep_line ());
+  List.iter
+    (function
+      | Sep -> Buffer.add_string buf (sep_line ())
+      | Cells cs -> Buffer.add_string buf (line cs))
+    rows;
+  Buffer.contents buf
+
+let fpct v = Printf.sprintf "%.1f" v
+
+let fnum v =
+  let a = Float.abs v in
+  if a >= 1e5 || (a > 0.0 && a < 1e-2) then Printf.sprintf "%.3e" v
+  else if Float.is_integer v && a < 1e5 then
+    Printf.sprintf "%d" (int_of_float v)
+  else Printf.sprintf "%.2f" v

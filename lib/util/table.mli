@@ -1,0 +1,33 @@
+(** Plain-text table rendering for the evaluation harness.
+
+    Produces aligned, pipe-separated tables similar to the ones in the paper
+    so that the bench output can be compared against Tables 1-3 visually. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Raises [Invalid_argument] if the number of cells does
+    not match the number of columns. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator row (used before summary rows such as the
+    paper's "Average:" line). *)
+
+val render : t -> string
+(** Render the table, headers and all rows, as a string ending in a
+    newline. *)
+
+val fpct : float -> string
+(** Format a percentage value with one decimal, e.g. [20.9]. *)
+
+val fnum : float -> string
+(** Format a float compactly: scientific notation with three significant
+    digits for large magnitudes (matching the paper's "2.352e+08" style),
+    plain otherwise. *)

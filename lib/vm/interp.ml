@@ -1,0 +1,655 @@
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type result = { exit_code : int; output : string; steps : int }
+
+(* pre-compiled function *)
+type code = {
+  cfunc : Ir.func;
+  cblocks : Ir.instr array array;  (* indexed by block id *)
+  cterms : Ir.term array;
+  centry : int;
+  clocals : (string, int * Irty.t) Hashtbl.t;  (* frame offset, type *)
+  cframe_size : int;
+  cfloat_reg : bool array;  (* register bank assignment *)
+}
+
+type t = {
+  prog : Ir.program;
+  layout : Layout.t;
+  mem : Memory.t;
+  codes : (string, code) Hashtbl.t;
+  func_by_index : string array;
+  func_addr : (string, int) Hashtbl.t;
+  globals_addr : (string, int * Irty.t) Hashtbl.t;
+  strings : (string, int) Hashtbl.t;
+  out : Buffer.t;
+  mutable sp : int;
+  mutable steps : int;
+  mutable rng : int;
+  mem_hook : (int -> int -> bool -> bool -> int -> unit) option;
+  edge_hook : (string -> int -> int -> unit) option;
+  max_steps : int;
+}
+
+let func_addr_base = 0x7f00_0000
+
+(* ------------------------------------------------------------------ *)
+(* Pre-compilation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_returns_float = function
+  | "sqrt" | "exp" | "log" | "fabs" | "pow" | "floor" -> true
+  | _ -> false
+
+let compile_func (prog : Ir.program) layout (f : Ir.func) : code =
+  let nb = f.next_block in
+  let cblocks = Array.make nb [||] in
+  let cterms = Array.make nb (Ir.Tret None) in
+  (* the VM only needs access tags for bit-field masking; strip the rest in
+     its private instruction copies so the hot load/store path skips the
+     per-access layout lookup (the shared IR keeps its tags for the
+     analyses) *)
+  let is_bitfield (a : Ir.access) =
+    match Structs.find_opt prog.structs a.astruct with
+    | Some d when a.afield < Array.length d.fields ->
+      d.fields.(a.afield).bits <> None
+    | Some _ | None -> false
+  in
+  let specialize (i : Ir.instr) =
+    match i.idesc with
+    | Ir.Iload (r, a, ty, Some acc) when not (is_bitfield acc) ->
+      { i with Ir.idesc = Ir.Iload (r, a, ty, None) }
+    | Ir.Istore (a, v, ty, Some acc) when not (is_bitfield acc) ->
+      { i with Ir.idesc = Ir.Istore (a, v, ty, None) }
+    | _ -> i
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      cblocks.(b.bid) <- Array.of_list (List.map specialize b.instrs);
+      cterms.(b.bid) <- b.btermin)
+    f.fblocks;
+  let clocals = Hashtbl.create 16 in
+  let off = ref 0 in
+  List.iter
+    (fun (name, ty) ->
+      let a = Layout.alignof layout ty in
+      let a = max a 1 in
+      off := (!off + a - 1) / a * a;
+      Hashtbl.replace clocals name (!off, ty);
+      off := !off + max (Layout.sizeof layout ty) 1)
+    f.flocals;
+  let cframe_size = (!off + 15) / 16 * 16 in
+  (* register bank inference: two passes over all instructions *)
+  let nregs = f.next_reg in
+  let fl = Array.make nregs false in
+  let op_float = function
+    | Ir.Oreg r -> fl.(r)
+    | Ir.Ofimm _ -> true
+    | Ir.Oimm _ -> false
+  in
+  let scan () =
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i.idesc with
+            | Ir.Imov (r, o) -> if op_float o then fl.(r) <- true
+            | Ir.Ibin (r, _, ty, _, _) ->
+              if Irty.is_float_ty ty then
+                (match i.idesc with
+                | Ir.Ibin (_, (Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge | Ir.Eq | Ir.Ne), _, _, _) ->
+                  () (* comparisons yield ints *)
+                | _ -> fl.(r) <- true)
+            | Ir.Iun (r, u, ty, _) ->
+              if Irty.is_float_ty ty && u = Ir.Neg then fl.(r) <- true
+            | Ir.Icast (r, _, to_, _, _) ->
+              if Irty.is_float_ty to_ then fl.(r) <- true
+            | Ir.Iload (r, _, ty, _) -> if Irty.is_float_ty ty then fl.(r) <- true
+            | Ir.Icall (Some r, callee, _) -> (
+              match callee with
+              | Ir.Cdirect n -> (
+                match Ir.find_func prog n with
+                | Some g -> if Irty.is_float_ty g.fret then fl.(r) <- true
+                | None -> ())
+              | Ir.Cbuiltin n -> if builtin_returns_float n then fl.(r) <- true
+              | Ir.Cextern _ | Ir.Cindirect _ -> ())
+            | Ir.Iaddrglob _ | Ir.Iaddrlocal _ | Ir.Iaddrstr _
+            | Ir.Iaddrfunc _ | Ir.Ifieldaddr _ | Ir.Iptradd _ | Ir.Ialloc _
+            | Ir.Istore _ | Ir.Ifree _ | Ir.Imemset _ | Ir.Imemcpy _
+            | Ir.Icall (None, _, _) ->
+              ())
+          b.instrs)
+      f.fblocks
+  in
+  scan ();
+  scan ();
+  {
+    cfunc = f; cblocks; cterms;
+    centry = (match f.fblocks with b :: _ -> b.bid | [] -> 0);
+    clocals; cframe_size; cfloat_reg = fl;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let create ?mem_hook ?edge_hook ?(max_steps = 2_000_000_000) (prog : Ir.program) : t
+    =
+  let layout = Layout.create prog.structs in
+  let mem = Memory.create () in
+  let globals_addr = Hashtbl.create 16 in
+  List.iter
+    (fun (name, ty, init) ->
+      let size = max (Layout.sizeof layout ty) 1 in
+      let align = max (Layout.alignof layout ty) 1 in
+      let addr = Memory.alloc_global mem ~size ~align in
+      Hashtbl.replace globals_addr name (addr, ty);
+      match init with
+      | None -> ()
+      | Some bits -> (
+        match ty with
+        | Irty.Float -> Memory.store_f32 mem ~addr (Int64.float_of_bits bits)
+        | Irty.Double -> Memory.store_f64 mem ~addr (Int64.float_of_bits bits)
+        | _ ->
+          Memory.store_int mem ~addr
+            ~size:(min 8 size)
+            (Int64.to_int bits)))
+    prog.globals;
+  (* intern string literals *)
+  let strings = Hashtbl.create 16 in
+  let intern s =
+    if not (Hashtbl.mem strings s) then begin
+      let addr =
+        Memory.alloc_global mem ~size:(String.length s + 1) ~align:1
+      in
+      Memory.write_string mem addr s;
+      Hashtbl.replace strings s addr
+    end
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.idesc with
+              | Ir.Iaddrstr (_, s) -> intern s
+              | _ -> ())
+            b.instrs)
+        f.fblocks)
+    prog.funcs;
+  let codes = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace codes f.Ir.fname (compile_func prog layout f))
+    prog.funcs;
+  let func_by_index = Array.of_list (List.map (fun f -> f.Ir.fname) prog.funcs) in
+  let func_addr = Hashtbl.create 16 in
+  Array.iteri
+    (fun i n -> Hashtbl.replace func_addr n (func_addr_base + i))
+    func_by_index;
+  {
+    prog; layout; mem; codes; func_by_index; func_addr; globals_addr;
+    strings; out = Buffer.create 256; sp = Memory.stack_top; steps = 0;
+    rng = 123456789; mem_hook; edge_hook; max_steps;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* printf                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type argval = AInt of int | AFloat of float
+
+let format_printf t fmt args =
+  let buf = Buffer.create 64 in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> error "printf: not enough arguments for format %S" fmt
+    | a :: rest ->
+      args := rest;
+      a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c <> '%' then begin
+      Buffer.add_char buf c;
+      incr i
+    end
+    else begin
+      incr i;
+      (* collect flags/width/precision *)
+      let spec_start = !i in
+      while
+        !i < n
+        && (match fmt.[!i] with
+           | '0' .. '9' | '.' | '-' | '+' | ' ' | 'l' -> true
+           | _ -> false)
+      do
+        incr i
+      done;
+      if !i >= n then Buffer.add_char buf '%'
+      else begin
+        let conv = fmt.[!i] in
+        let spec =
+          String.concat ""
+            [ "%";
+              String.concat ""
+                (List.filter (fun s -> s <> "l")
+                   (List.init (!i - spec_start) (fun k ->
+                        String.make 1 fmt.[spec_start + k]))) ]
+        in
+        (match conv with
+        | 'd' | 'i' | 'u' -> (
+          match next () with
+          | AInt v -> Buffer.add_string buf (Printf.sprintf (Scanf.format_from_string (spec ^ "d") "%d") v)
+          | AFloat v -> Buffer.add_string buf (string_of_int (int_of_float v)))
+        | 'x' -> (
+          match next () with
+          | AInt v -> Buffer.add_string buf (Printf.sprintf (Scanf.format_from_string (spec ^ "x") "%x") v)
+          | AFloat _ -> error "printf: %%x with float")
+        | 'c' -> (
+          match next () with
+          | AInt v -> Buffer.add_char buf (Char.chr (v land 0xff))
+          | AFloat _ -> error "printf: %%c with float")
+        | 'f' | 'e' | 'g' -> (
+          let fspec = spec ^ String.make 1 conv in
+          match next () with
+          | AFloat v ->
+            Buffer.add_string buf
+              (Printf.sprintf (Scanf.format_from_string fspec "%f") v)
+          | AInt v ->
+            Buffer.add_string buf
+              (Printf.sprintf (Scanf.format_from_string fspec "%f") (float_of_int v)))
+        | 's' -> (
+          match next () with
+          | AInt addr -> Buffer.add_string buf (Memory.read_string t.mem addr)
+          | AFloat _ -> error "printf: %%s with float")
+        | '%' -> Buffer.add_char buf '%'
+        | c -> error "printf: unsupported conversion %%%c" c);
+        incr i
+      end
+    end
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type retval = RVoid | RInt of int | RFloat of float
+
+let truncate_int size v =
+  match size with
+  | 1 ->
+    let v = v land 0xff in
+    if v >= 0x80 then v - 0x100 else v
+  | 2 ->
+    let v = v land 0xffff in
+    if v >= 0x8000 then v - 0x10000 else v
+  | 4 ->
+    let v = v land 0xffffffff in
+    if v >= 0x80000000 then v - 0x100000000 else v
+  | _ -> v
+
+let rec call t fname (args : argval list) : retval =
+  match Hashtbl.find_opt t.codes fname with
+  | None -> error "call to undefined function '%s'" fname
+  | Some code ->
+    let f = code.cfunc in
+    let frame_base = t.sp - code.cframe_size in
+    if frame_base < Memory.stack_limit then error "stack overflow in '%s'" fname;
+    let saved_sp = t.sp in
+    t.sp <- frame_base;
+    let iregs = Array.make f.next_reg 0 in
+    let fregs = Array.make f.next_reg 0.0 in
+    (* write arguments into parameter slots *)
+    let rec bind params args =
+      match (params, args) with
+      | [], _ -> ()
+      | (pname, pty) :: ps, a :: rest ->
+        let off, _ = Hashtbl.find code.clocals pname in
+        let addr = frame_base + off in
+        (match (pty, a) with
+        | Irty.Float, AFloat v -> Memory.store_f32 t.mem ~addr v
+        | Irty.Double, AFloat v -> Memory.store_f64 t.mem ~addr v
+        | Irty.Float, AInt v -> Memory.store_f32 t.mem ~addr (float_of_int v)
+        | Irty.Double, AInt v -> Memory.store_f64 t.mem ~addr (float_of_int v)
+        | _, AInt v ->
+          Memory.store_int t.mem ~addr
+            ~size:(min 8 (max 1 (Layout.sizeof t.layout pty)))
+            v
+        | _, AFloat v ->
+          Memory.store_int t.mem ~addr
+            ~size:(min 8 (max 1 (Layout.sizeof t.layout pty)))
+            (int_of_float v));
+        bind ps rest
+      | _ :: _, [] -> error "too few arguments to '%s'" fname
+    in
+    bind f.fparams args;
+    (match t.edge_hook with
+    | Some h -> h fname (-1) code.centry
+    | None -> ());
+    let result = exec_blocks t code frame_base iregs fregs code.centry in
+    t.sp <- saved_sp;
+    result
+
+and exec_blocks t code frame_base iregs fregs entry : retval =
+  let fl = code.cfloat_reg in
+  let mem = t.mem in
+  let get_i (o : Ir.operand) =
+    match o with
+    | Ir.Oreg r -> if fl.(r) then int_of_float fregs.(r) else iregs.(r)
+    | Ir.Oimm n -> Int64.to_int n
+    | Ir.Ofimm f -> int_of_float f
+  in
+  let get_f (o : Ir.operand) =
+    match o with
+    | Ir.Oreg r -> if fl.(r) then fregs.(r) else float_of_int iregs.(r)
+    | Ir.Oimm n -> Int64.to_float n
+    | Ir.Ofimm f -> f
+  in
+  let get_arg (o : Ir.operand) : argval =
+    match o with
+    | Ir.Oreg r -> if fl.(r) then AFloat fregs.(r) else AInt iregs.(r)
+    | Ir.Oimm n -> AInt (Int64.to_int n)
+    | Ir.Ofimm f -> AFloat f
+  in
+  let set r v = if fl.(r) then fregs.(r) <- float_of_int v else iregs.(r) <- v in
+  let setf r v = if fl.(r) then fregs.(r) <- v else iregs.(r) <- int_of_float v in
+  let mem_event addr size write isf iid =
+    match t.mem_hook with Some h -> h addr size write isf iid | None -> ()
+  in
+  let field_bits acc =
+    (* bit-field handling: returns Some (unit_size, bit_off, width) *)
+    match acc with
+    | Some { Ir.astruct; afield } -> (
+      let flx = Layout.field_layout t.layout astruct afield in
+      match flx.bit_width with
+      | Some w -> Some (Layout.sizeof t.layout flx.fty, flx.bit_off, w)
+      | None -> None)
+    | None -> None
+  in
+  let rec run_block bid : retval =
+    let instrs = code.cblocks.(bid) in
+    let n = Array.length instrs in
+    for idx = 0 to n - 1 do
+      t.steps <- t.steps + 1;
+      if t.steps > t.max_steps then error "step limit exceeded";
+      exec_instr instrs.(idx)
+    done;
+    t.steps <- t.steps + 1 (* the terminator issues too *);
+    if t.steps > t.max_steps then error "step limit exceeded";
+    (match code.cterms.(bid) with
+    | Ir.Tret None -> RVoid
+    | Ir.Tret (Some o) ->
+      if Irty.is_float_ty code.cfunc.fret then RFloat (get_f o)
+      else RInt (get_i o)
+    | Ir.Tjmp dst ->
+      edge bid dst;
+      run_block dst
+    | Ir.Tbr (c, a, b) ->
+      let dst = if get_i c <> 0 then a else b in
+      edge bid dst;
+      run_block dst)
+  and edge src dst =
+    match t.edge_hook with
+    | Some h -> h code.cfunc.fname src dst
+    | None -> ()
+  and exec_instr (i : Ir.instr) =
+    match i.idesc with
+    | Ir.Imov (r, o) -> if fl.(r) then fregs.(r) <- get_f o else iregs.(r) <- get_i o
+    | Ir.Ibin (r, op, ty, a, b) ->
+      if Irty.is_float_ty ty then begin
+        let x = get_f a and y = get_f b in
+        match op with
+        | Ir.Add -> setf r (x +. y)
+        | Ir.Sub -> setf r (x -. y)
+        | Ir.Mul -> setf r (x *. y)
+        | Ir.Div -> setf r (x /. y)
+        | Ir.Lt -> set r (if x < y then 1 else 0)
+        | Ir.Le -> set r (if x <= y then 1 else 0)
+        | Ir.Gt -> set r (if x > y then 1 else 0)
+        | Ir.Ge -> set r (if x >= y then 1 else 0)
+        | Ir.Eq -> set r (if x = y then 1 else 0)
+        | Ir.Ne -> set r (if x <> y then 1 else 0)
+        | Ir.Mod | Ir.Band | Ir.Bor | Ir.Bxor | Ir.Shl | Ir.Shr ->
+          error "float operand to integer-only operator"
+      end
+      else begin
+        let x = get_i a and y = get_i b in
+        match op with
+        | Ir.Add -> set r (x + y)
+        | Ir.Sub -> set r (x - y)
+        | Ir.Mul -> set r (x * y)
+        | Ir.Div ->
+          if y = 0 then error "integer division by zero";
+          set r (x / y)
+        | Ir.Mod ->
+          if y = 0 then error "integer modulo by zero";
+          set r (x mod y)
+        | Ir.Band -> set r (x land y)
+        | Ir.Bor -> set r (x lor y)
+        | Ir.Bxor -> set r (x lxor y)
+        | Ir.Shl -> set r (x lsl (y land 63))
+        | Ir.Shr -> set r (x asr (y land 63))
+        | Ir.Lt -> set r (if x < y then 1 else 0)
+        | Ir.Le -> set r (if x <= y then 1 else 0)
+        | Ir.Gt -> set r (if x > y then 1 else 0)
+        | Ir.Ge -> set r (if x >= y then 1 else 0)
+        | Ir.Eq -> set r (if x = y then 1 else 0)
+        | Ir.Ne -> set r (if x <> y then 1 else 0)
+      end
+    | Ir.Iun (r, op, ty, a) -> (
+      match op with
+      | Ir.Neg ->
+        if Irty.is_float_ty ty then setf r (-.get_f a) else set r (-get_i a)
+      | Ir.Lnot ->
+        let z =
+          if Irty.is_float_ty ty then get_f a = 0.0 else get_i a = 0
+        in
+        set r (if z then 1 else 0)
+      | Ir.Bnot -> set r (lnot (get_i a)))
+    | Ir.Icast (r, from_, to_, a, _) -> (
+      match (Irty.is_float_ty from_, Irty.is_float_ty to_) with
+      | true, true ->
+        let v = get_f a in
+        setf r (match to_ with Irty.Float -> Int32.float_of_bits (Int32.bits_of_float v) | _ -> v)
+      | true, false -> set r (int_of_float (get_f a))
+      | false, true -> setf r (float_of_int (get_i a))
+      | false, false -> (
+        let v = get_i a in
+        match to_ with
+        | Irty.Char -> set r (truncate_int 1 v)
+        | Irty.Short -> set r (truncate_int 2 v)
+        | Irty.Int -> set r (truncate_int 4 v)
+        | _ -> set r v))
+    | Ir.Iload (r, a, ty, acc) -> (
+      let addr = get_i a in
+      let isf = Irty.is_float_ty ty in
+      match field_bits acc with
+      | Some (unit_size, bit_off, width) ->
+        mem_event addr unit_size false false i.iid;
+        let unit_v = Memory.load_int mem ~addr ~size:unit_size in
+        let v = (unit_v asr bit_off) land ((1 lsl width) - 1) in
+        set r v
+      | None -> (
+        match ty with
+        | Irty.Float ->
+          mem_event addr 4 false true i.iid;
+          setf r (Memory.load_f32 mem ~addr)
+        | Irty.Double ->
+          mem_event addr 8 false true i.iid;
+          setf r (Memory.load_f64 mem ~addr)
+        | _ ->
+          let size = max 1 (min 8 (Layout.sizeof t.layout ty)) in
+          mem_event addr size false isf i.iid;
+          set r (Memory.load_int mem ~addr ~size)))
+    | Ir.Istore (a, v, ty, acc) -> (
+      let addr = get_i a in
+      match field_bits acc with
+      | Some (unit_size, bit_off, width) ->
+        mem_event addr unit_size true false i.iid;
+        let old = Memory.load_int mem ~addr ~size:unit_size in
+        let mask = ((1 lsl width) - 1) lsl bit_off in
+        let nv = (old land lnot mask) lor ((get_i v lsl bit_off) land mask) in
+        Memory.store_int mem ~addr ~size:unit_size nv
+      | None -> (
+        match ty with
+        | Irty.Float ->
+          mem_event addr 4 true true i.iid;
+          Memory.store_f32 mem ~addr (get_f v)
+        | Irty.Double ->
+          mem_event addr 8 true true i.iid;
+          Memory.store_f64 mem ~addr (get_f v)
+        | _ ->
+          let size = max 1 (min 8 (Layout.sizeof t.layout ty)) in
+          mem_event addr size true false i.iid;
+          Memory.store_int mem ~addr ~size (get_i v)))
+    | Ir.Iaddrglob (r, g) -> (
+      match Hashtbl.find_opt t.globals_addr g with
+      | Some (addr, _) -> set r addr
+      | None -> error "unknown global '%s'" g)
+    | Ir.Iaddrlocal (r, l) -> (
+      match Hashtbl.find_opt code.clocals l with
+      | Some (off, _) -> set r (frame_base + off)
+      | None -> error "unknown local '%s' in '%s'" l code.cfunc.fname)
+    | Ir.Iaddrstr (r, s) -> set r (Hashtbl.find t.strings s)
+    | Ir.Iaddrfunc (r, f) -> (
+      match Hashtbl.find_opt t.func_addr f with
+      | Some a -> set r a
+      | None -> error "address of undefined function '%s'" f)
+    | Ir.Ifieldaddr (r, b, s, fi) ->
+      let base = get_i b in
+      let flx = Layout.field_layout t.layout s fi in
+      set r (base + flx.byte_off)
+    | Ir.Iptradd (r, b, idx, ty) ->
+      set r (get_i b + (get_i idx * Layout.sizeof t.layout ty))
+    | Ir.Icall (dst, callee, args) -> (
+      let argvals = List.map get_arg args in
+      let res =
+        match callee with
+        | Ir.Cdirect n -> call t n argvals
+        | Ir.Cbuiltin n -> exec_builtin t n argvals
+        | Ir.Cextern _ ->
+          (* library functions outside the compilation scope are stubs: the
+             legality analysis (LIBC) is about what the compiler may assume,
+             not whether the program runs *)
+          RInt 0
+        | Ir.Cindirect o ->
+          let a = get_i o in
+          let idx = a - func_addr_base in
+          if idx < 0 || idx >= Array.length t.func_by_index then
+            error "indirect call through bad pointer 0x%x" a;
+          call t t.func_by_index.(idx) argvals
+      in
+      match (dst, res) with
+      | None, _ -> ()
+      | Some r, RInt v -> set r v
+      | Some r, RFloat v -> setf r v
+      | Some r, RVoid -> set r 0)
+    | Ir.Ialloc (r, kind, count, elem) -> (
+      let n = get_i count in
+      let elem_size = max 1 (Layout.sizeof t.layout elem) in
+      let bytes = n * elem_size in
+      match kind with
+      | Ir.Amalloc -> set r (Memory.alloc_heap mem ~size:bytes ~zero:false)
+      | Ir.Acalloc -> set r (Memory.alloc_heap mem ~size:bytes ~zero:true)
+      | Ir.Arealloc old_op ->
+        let old = get_i old_op in
+        let na = Memory.alloc_heap mem ~size:bytes ~zero:false in
+        (if old <> 0 then
+           match Memory.alloc_size mem old with
+           | Some osz -> Memory.blit mem ~dst:na ~src:old ~len:(min osz bytes)
+           | None -> error "realloc of invalid pointer 0x%x" old);
+        set r na)
+    | Ir.Ifree o -> Memory.free_heap mem (get_i o)
+    | Ir.Imemset (d, v, n, _) ->
+      let dst = get_i d and byte = get_i v and len = get_i n in
+      touch_range dst len true i.iid;
+      Memory.fill mem ~dst ~byte ~len
+    | Ir.Imemcpy (d, s, n, _) ->
+      let dst = get_i d and src = get_i s and len = get_i n in
+      touch_range src len false i.iid;
+      touch_range dst len true i.iid;
+      Memory.blit mem ~dst ~src ~len
+  and touch_range addr len write iid =
+    match t.mem_hook with
+    | None -> ()
+    | Some h ->
+      let pos = ref addr in
+      let remaining = ref len in
+      while !remaining > 0 do
+        let chunk = min 8 !remaining in
+        h !pos chunk write false iid;
+        pos := !pos + chunk;
+        remaining := !remaining - chunk
+      done
+  and exec_builtin t name (args : argval list) : retval =
+    let f1 () =
+      match args with
+      | [ AFloat v ] -> v
+      | [ AInt v ] -> float_of_int v
+      | _ -> error "builtin %s: bad arguments" name
+    in
+    match name with
+    | "sqrt" -> RFloat (sqrt (f1 ()))
+    | "exp" -> RFloat (exp (f1 ()))
+    | "log" -> RFloat (log (f1 ()))
+    | "fabs" -> RFloat (Float.abs (f1 ()))
+    | "floor" -> RFloat (floor (f1 ()))
+    | "pow" -> (
+      match args with
+      | [ a; b ] ->
+        let fa = (match a with AFloat v -> v | AInt v -> float_of_int v) in
+        let fb = (match b with AFloat v -> v | AInt v -> float_of_int v) in
+        RFloat (Float.pow fa fb)
+      | _ -> error "pow: bad arguments")
+    | "printf" -> (
+      match args with
+      | AInt fmt_addr :: rest ->
+        let fmt = Memory.read_string t.mem fmt_addr in
+        let s = format_printf t fmt rest in
+        Buffer.add_string t.out s;
+        RInt (String.length s)
+      | _ -> error "printf: bad arguments")
+    | "putint" -> (
+      match args with
+      | [ AInt v ] ->
+        Buffer.add_string t.out (string_of_int v);
+        Buffer.add_char t.out '\n';
+        RInt 0
+      | _ -> error "putint: bad arguments")
+    | "putfloat" ->
+      Buffer.add_string t.out (Printf.sprintf "%.6f\n" (f1 ()));
+      RVoid
+    | "rand" ->
+      (* deterministic LCG (numerical recipes) *)
+      t.rng <- (t.rng * 1664525 + 1013904223) land 0x3fffffff;
+      RInt t.rng
+    | "srand" -> (
+      match args with
+      | [ AInt v ] ->
+        t.rng <- v land 0x3fffffff;
+        RVoid
+      | _ -> error "srand: bad arguments")
+    | n -> error "unknown builtin '%s'" n
+  in
+  run_block entry
+
+let run ?(args = []) (t : t) : result =
+  Buffer.clear t.out;
+  t.steps <- 0;
+  t.sp <- Memory.stack_top;
+  if not (Hashtbl.mem t.codes "main") then error "program has no 'main'";
+  let res =
+    try call t "main" (List.map (fun v -> AInt v) args)
+    with Memory.Fault msg -> error "memory fault: %s" msg
+  in
+  let exit_code = match res with RInt v -> v | RFloat v -> int_of_float v | RVoid -> 0 in
+  { exit_code; output = Buffer.contents t.out; steps = t.steps }
+
+let run_program ?args prog = run ?args (create prog)

@@ -1,0 +1,43 @@
+(** IR interpreter.
+
+    Executes an {!Ir.program} over {!Memory}, producing program output and a
+    step (instruction) count, and driving two optional event hooks:
+
+    - [mem_hook addr size is_write is_float iid] fires on every data memory
+      access — this is the address trace the cache simulator consumes (and
+      through which the "PMU" attributes misses to instructions);
+    - [edge_hook fname src dst] fires on every taken CFG edge when set —
+      this is the paper's PBO instrumentation ([src = -1] marks function
+      entry). Setting it models compiling with instrumentation: the run
+      collects an edge profile.
+
+    The interpreter is deterministic, including [rand] (a fixed-seed LCG),
+    so profiles, cache statistics and benchmark outputs are reproducible. *)
+
+exception Runtime_error of string
+
+type result = {
+  exit_code : int;
+  output : string;
+  steps : int;  (** instructions executed *)
+}
+
+type t
+
+val create :
+  ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
+  ?edge_hook:(string -> int -> int -> unit) ->
+  ?max_steps:int ->
+  Ir.program ->
+  t
+(** Prepare a program for execution: lays out globals, interns strings,
+    pre-compiles functions. Default [max_steps] is 2_000_000_000. *)
+
+val run : ?args:int list -> t -> result
+(** Execute [main]. [args] are passed as integer arguments (benchmarks use
+    them to select the train vs. reference input scale).
+    Raises {!Runtime_error} on faults (null dereference, missing [main],
+    step-limit exceeded, ...). *)
+
+val run_program : ?args:int list -> Ir.program -> result
+(** [create] + [run] without hooks. *)

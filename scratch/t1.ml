@@ -1,0 +1,111 @@
+(* splitting scenario: mcf-like *)
+let src_split = {|
+struct node {
+  long hotA;
+  long hotB;
+  struct node *next;
+  long cold1;
+  long cold2;
+  long cold3;
+  double cold4;
+  long deadf;
+};
+
+struct node *build(int n) {
+  struct node *a; int i;
+  a = (struct node*)malloc(n * sizeof(struct node));
+  for (i = 0; i < n; i++) {
+    a[i].hotA = i;
+    a[i].hotB = i * 2;
+    a[i].cold1 = i + 7;
+    a[i].cold2 = i - 3;
+    a[i].cold3 = i * i;
+    a[i].cold4 = i * 0.5;
+    a[i].deadf = i * 31;
+    if (i > 0) { a[i-1].next = (a + i); }
+  }
+  a[n-1].next = (struct node*)0;
+  return a;
+}
+
+int main() {
+  int n = 5000; int iter; long sum = 0; double csum = 0.0;
+  struct node *head; struct node *p;
+  head = build(n);
+  for (iter = 0; iter < 200; iter++) {
+    p = head;
+    while (p != (struct node*)0) {
+      sum = sum + p->hotA + p->hotB;
+      p = p->next;
+    }
+  }
+  p = head;
+  while (p != (struct node*)0) {
+    csum = csum + p->cold1 + p->cold2 + p->cold3 + p->cold4;
+    p = p->next;
+  }
+  printf("sum=%ld csum=%g\n", sum, csum);
+  return 0;
+}
+|}
+
+let src_peel = {|
+struct neuron {
+  double I;
+  double W;
+  double X;
+  double V;
+  double U;
+  double P;
+  double Q;
+  double R;
+};
+struct neuron *f1;
+int cnt;
+
+void init(int n) {
+  int i;
+  f1 = (struct neuron*)malloc(n * sizeof(struct neuron));
+  for (i = 0; i < n; i++) {
+    f1[i].I = i * 0.25;
+    f1[i].W = 1.0;
+    f1[i].X = 0.0;
+    f1[i].V = 0.5;
+    f1[i].U = 0.0;
+    f1[i].P = 0.0;
+    f1[i].Q = 0.0;
+    f1[i].R = 0.0;
+  }
+}
+
+int main() {
+  int n = 20000; int it; int i; double acc = 0.0;
+  init(n);
+  for (it = 0; it < 40; it++) {
+    for (i = 0; i < n; i++) {
+      acc = acc + f1[i].W * f1[i].I;
+    }
+  }
+  printf("acc=%g\n", acc);
+  return 0;
+}
+|}
+
+let eval name src scheme =
+  let prog = Slo_core.Driver.compile src in
+  let fb, _ = Slo_profile.Collect.collect prog in
+  let ev = Slo_core.Driver.evaluate ~scheme ~feedback:(Some fb) prog in
+  Printf.printf "=== %s ===\n" name;
+  List.iter (fun (d : Slo_core.Heuristics.decision) ->
+    Printf.printf "  %s: %s | %s\n" d.d_typ
+      (match d.d_plan with Some p -> Slo_core.Heuristics.plan_summary p | None -> "no transform")
+      (String.concat "; " d.d_notes)) ev.e_decisions;
+  Printf.printf "  before: out=%s cycles=%d l2miss=%d\n" (String.trim ev.e_before.m_result.output) ev.e_before.m_cycles ev.e_before.m_l2_misses;
+  Printf.printf "  after : out=%s cycles=%d l2miss=%d\n" (String.trim ev.e_after.m_result.output) ev.e_after.m_cycles ev.e_after.m_l2_misses;
+  Printf.printf "  speedup: %.1f%%\n" ev.e_speedup_pct;
+  assert (ev.e_before.m_result.output = ev.e_after.m_result.output)
+
+let () =
+  eval "split (mcf-like)" src_split Slo_profile.Weights.PBO;
+  eval "peel (art-like)" src_peel Slo_profile.Weights.PBO;
+  print_endline "OK"

@@ -1,0 +1,30 @@
+module D = Slo_core.Driver
+module H = Slo_core.Heuristics
+module L = Slo_core.Legality
+
+let bench name src args scheme =
+  let prog = D.compile src in
+  let t0 = Unix.gettimeofday () in
+  let fb, _ = Slo_profile.Collect.collect ~args prog in
+  let t1 = Unix.gettimeofday () in
+  let ev = D.evaluate ~args ~scheme ~feedback:(Some fb) prog in
+  let t2 = Unix.gettimeofday () in
+  Printf.printf "=== %s (collect %.1fs, eval %.1fs) ===\n" name (t1-.t0) (t2-.t1);
+  let leg = L.analyze prog in
+  Printf.printf "  types=%d legal=%d relax=%d\n" (List.length (L.types leg)) (L.legal_count leg) (L.legal_count ~relax:true leg);
+  List.iter (fun (s:string) ->
+    Printf.printf "    %s: [%s]\n" s (String.concat "," (List.map L.reason_name (L.reasons leg s)))) (L.types leg);
+  List.iter (fun (d : H.decision) ->
+    match d.d_plan with
+    | Some p -> Printf.printf "  plan: %s\n" (H.plan_summary p)
+    | None -> ()) ev.e_decisions;
+  Printf.printf "  before: cycles=%d steps=%d l1m=%d l2m=%d\n  out: %s\n"
+    ev.e_before.m_cycles ev.e_before.m_result.steps ev.e_before.m_l1_misses ev.e_before.m_l2_misses (String.trim ev.e_before.m_result.output);
+  Printf.printf "  after : cycles=%d\n  out: %s\n" ev.e_after.m_cycles (String.trim ev.e_after.m_result.output);
+  Printf.printf "  SPEEDUP %.1f%%\n%!" ev.e_speedup_pct;
+  assert (ev.e_before.m_result.output = ev.e_after.m_result.output)
+
+let () =
+  bench "mcf" Slo_suite.Prog_mcf.source [8;3] Slo_profile.Weights.PBO;
+  bench "art" Slo_suite.Prog_art.source [6] Slo_profile.Weights.PBO;
+  print_endline "OK"

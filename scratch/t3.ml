@@ -1,0 +1,23 @@
+(* print field hotness table for mcf under several schemes *)
+module D = Slo_core.Driver
+module W = Slo_profile.Weights
+module A = Slo_core.Affinity
+
+let () =
+  let prog = D.compile Slo_suite.Prog_mcf.source in
+  let fb_train, _ = Slo_profile.Collect.collect ~args:Slo_suite.Prog_mcf.train_args prog in
+  let schemes = [ W.PBO, Some fb_train; W.SPBO, None; W.ISPBO, None ] in
+  let decl = Structs.find prog.Ir.structs "node" in
+  Printf.printf "%-14s" "field";
+  List.iter (fun (s,_) -> Printf.printf "%10s" (W.name s)) schemes;
+  print_newline ();
+  let rels = List.map (fun (s, fb) ->
+    let bw = W.block_weights prog s ~feedback:fb in
+    let aff = A.analyze prog bw in
+    match A.graph aff "node" with
+    | Some g -> A.relative_hotness g
+    | None -> [||]) schemes in
+  Array.iteri (fun i (f : Structs.field) ->
+    Printf.printf "%-14s" f.name;
+    List.iter (fun r -> Printf.printf "%10.1f" r.(i)) rels;
+    print_newline ()) decl.fields

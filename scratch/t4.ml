@@ -1,0 +1,20 @@
+(* roster smoke: compile, run (tiny args), legality table for every program *)
+module D = Slo_core.Driver
+module L = Slo_core.Legality
+
+let () =
+  List.iter (fun (e : Slo_suite.Suite.entry) ->
+    (try
+      let prog = D.compile e.source in
+      let leg = L.analyze prog in
+      let n = List.length (L.types leg) in
+      let lg = L.legal_count leg and rx = L.legal_count ~relax:true leg in
+      (* run with minimal scale for speed *)
+      let args = List.map (fun a -> max 1 (a / 8)) e.train_args in
+      let res = Slo_vm.Interp.run_program ~args prog in
+      Printf.printf "%-22s types=%2d legal=%2d (%.1f%%) relax=%2d (%.1f%%) exit=%d out=%s\n%!"
+        e.name n lg (100.0 *. float lg /. float n) rx (100.0 *. float rx /. float n)
+        res.exit_code (String.trim res.output)
+    with ex ->
+      Printf.printf "%-22s FAILED: %s\n%!" e.name (Printexc.to_string ex)))
+    (Slo_suite.Suite.roster @ Slo_suite.Suite.case_studies)

@@ -1,0 +1,218 @@
+(* Cache simulator: single level, hierarchy, PMU sampling. *)
+
+module Cache = Slo_cachesim.Cache
+module Hierarchy = Slo_cachesim.Hierarchy
+module Pmu = Slo_cachesim.Pmu
+
+let mk ?(size = 1024) ?(line = 64) ?(assoc = 2) () =
+  Cache.create ~name:"t" ~size ~line ~assoc
+
+let basic_hit_miss () =
+  let c = mk () in
+  Alcotest.(check bool) "cold miss" false (Cache.access c ~addr:0 ~write:false);
+  Alcotest.(check bool) "hit same line" true
+    (Cache.access c ~addr:63 ~write:false);
+  Alcotest.(check bool) "miss next line" false
+    (Cache.access c ~addr:64 ~write:true);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c)
+
+let lru_eviction () =
+  (* 1024/64/2 => 8 sets; addresses k*512 all map to set 0 *)
+  let c = mk () in
+  let a0 = 0 and a1 = 512 and a2 = 1024 in
+  ignore (Cache.access c ~addr:a0 ~write:false);
+  ignore (Cache.access c ~addr:a1 ~write:false);
+  ignore (Cache.access c ~addr:a0 ~write:false);
+  (* a1 is now LRU; a2 evicts it *)
+  ignore (Cache.access c ~addr:a2 ~write:false);
+  Alcotest.(check bool) "a0 still resident" true
+    (Cache.access c ~addr:a0 ~write:false);
+  Alcotest.(check bool) "a1 evicted" false
+    (Cache.access c ~addr:a1 ~write:false)
+
+let clear_and_stats () =
+  let c = mk () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  Cache.clear c;
+  Alcotest.(check int) "stats cleared" 0 (Cache.misses c);
+  Alcotest.(check bool) "lines invalidated" false
+    (Cache.access c ~addr:0 ~write:false)
+
+let bad_config () =
+  Alcotest.(check bool) "bad line" true
+    (match Cache.create ~name:"x" ~size:100 ~line:48 ~assoc:2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_working_set =
+  QCheck.Test.make ~count:100
+    ~name:"working set <= capacity never misses after warmup"
+    QCheck.(make Gen.(int_range 1 16))
+    (fun nlines ->
+      let c = Cache.create ~name:"t" ~size:(16 * 64) ~line:64 ~assoc:16 in
+      let addrs = List.init nlines (fun i -> i * 64) in
+      List.iter (fun a -> ignore (Cache.access c ~addr:a ~write:false)) addrs;
+      Cache.reset_stats c;
+      List.iter (fun a -> ignore (Cache.access c ~addr:a ~write:false)) addrs;
+      Cache.misses c = 0)
+
+let prop_miss_bound =
+  QCheck.Test.make ~count:100 ~name:"misses <= accesses"
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_range 0 100_000))
+    (fun addrs ->
+      let c = mk () in
+      List.iter (fun a -> ignore (Cache.access c ~addr:a ~write:false)) addrs;
+      Cache.misses c + Cache.hits c = List.length addrs
+      && Cache.misses c <= List.length addrs)
+
+(* ------------------------- hierarchy ------------------------- *)
+
+let hierarchy_levels () =
+  let h = Hierarchy.create Hierarchy.small in
+  let lat1, lvl1 = Hierarchy.access h ~addr:4096 ~size:8 ~write:false ~is_float:false in
+  Alcotest.(check bool) "cold goes to memory" true (lvl1 = Hierarchy.Mem);
+  Alcotest.(check int) "mem latency" Hierarchy.small.mem_lat lat1;
+  let lat2, lvl2 = Hierarchy.access h ~addr:4096 ~size:8 ~write:false ~is_float:false in
+  Alcotest.(check bool) "then L1 hit" true (lvl2 = Hierarchy.L1);
+  Alcotest.(check int) "l1 latency" Hierarchy.small.l1_lat lat2
+
+let fp_bypass () =
+  let h = Hierarchy.create Hierarchy.small in
+  ignore (Hierarchy.access h ~addr:8192 ~size:8 ~write:false ~is_float:true);
+  let _, lvl = Hierarchy.access h ~addr:8192 ~size:8 ~write:false ~is_float:true in
+  Alcotest.(check bool) "FP served by L2, never L1" true (lvl = Hierarchy.L2);
+  (* the same line via an integer access misses L1 (floats bypassed it) *)
+  let _, lvl_int =
+    Hierarchy.access h ~addr:8192 ~size:8 ~write:false ~is_float:false
+  in
+  Alcotest.(check bool) "int access misses L1" true (lvl_int <> Hierarchy.L1)
+
+let straddling_access () =
+  let h = Hierarchy.create Hierarchy.small in
+  (* 8 bytes across a 64B boundary touches two L1 lines *)
+  ignore (Hierarchy.access h ~addr:(4096 + 60) ~size:8 ~write:false ~is_float:false);
+  ignore (Hierarchy.access h ~addr:4096 ~size:1 ~write:false ~is_float:false);
+  ignore (Hierarchy.access h ~addr:(4096 + 64) ~size:1 ~write:false ~is_float:false);
+  let _, l1 = Hierarchy.access h ~addr:4096 ~size:1 ~write:false ~is_float:false in
+  let _, l2 = Hierarchy.access h ~addr:(4096 + 64) ~size:1 ~write:false ~is_float:false in
+  Alcotest.(check bool) "both lines resident" true
+    (l1 = Hierarchy.L1 && l2 = Hierarchy.L1)
+
+let extra_cycles_accumulate () =
+  let h = Hierarchy.create Hierarchy.small in
+  ignore (Hierarchy.access h ~addr:0x10000 ~size:4 ~write:false ~is_float:false);
+  Alcotest.(check int) "mem beyond base"
+    (Hierarchy.small.mem_lat - Hierarchy.small.l1_lat)
+    (Hierarchy.extra_cycles h);
+  ignore (Hierarchy.access h ~addr:0x10000 ~size:4 ~write:false ~is_float:false);
+  Alcotest.(check int) "L1 hit adds nothing"
+    (Hierarchy.small.mem_lat - Hierarchy.small.l1_lat)
+    (Hierarchy.extra_cycles h)
+
+(* ------------------------- PMU ------------------------- *)
+
+let pmu_counts_first_level_misses () =
+  let p = Pmu.create ~period:1 () in
+  Pmu.record p ~iid:1 ~level:Hierarchy.L1 ~latency:1 ~is_float:false;
+  Pmu.record p ~iid:1 ~level:Hierarchy.L2 ~latency:11 ~is_float:false;
+  Pmu.record p ~iid:1 ~level:Hierarchy.L2 ~latency:11 ~is_float:true;
+  (* an FP access served by L2 is NOT a first-level miss on Itanium *)
+  Pmu.record p ~iid:2 ~level:Hierarchy.Mem ~latency:200 ~is_float:true;
+  Alcotest.(check int) "events" 2 (Pmu.events_seen p);
+  Alcotest.(check int) "iid1 misses" 1 (Pmu.stats_of p 1).miss_events;
+  Alcotest.(check int) "iid2 latency" 200 (Pmu.stats_of p 2).total_latency
+
+let pmu_sampling_period () =
+  let p = Pmu.create ~period:10 () in
+  for _ = 1 to 100 do
+    Pmu.record p ~iid:7 ~level:Hierarchy.Mem ~latency:200 ~is_float:false
+  done;
+  Alcotest.(check int) "every 10th sampled" 10 (Pmu.stats_of p 7).miss_events;
+  Alcotest.(check int) "all events counted" 100 (Pmu.events_seen p)
+
+let pmu_phase_shift () =
+  (* different phase, same totals: models instrumentation skid *)
+  let p1 = Pmu.create ~period:10 () in
+  let p2 = Pmu.create ~period:10 ~phase:3 () in
+  for _ = 1 to 95 do
+    Pmu.record p1 ~iid:1 ~level:Hierarchy.Mem ~latency:200 ~is_float:false;
+    Pmu.record p2 ~iid:1 ~level:Hierarchy.Mem ~latency:200 ~is_float:false
+  done;
+  let m1 = (Pmu.stats_of p1 1).miss_events in
+  let m2 = (Pmu.stats_of p2 1).miss_events in
+  Alcotest.(check bool) "within one sample" true (abs (m1 - m2) <= 1)
+
+(* ------------------------- coherence ------------------------- *)
+
+module Coherent = Slo_cachesim.Coherent
+
+let coherent_false_sharing () =
+  let c = Coherent.create () in
+  (* two cores ping-pong writes on the same line *)
+  for i = 0 to 99 do
+    ignore (Coherent.access c ~core:(i land 1) ~addr:(8 * (i land 1)) ~write:true)
+  done;
+  Alcotest.(check bool) "invalidation storm" true
+    (Coherent.invalidations c > 90)
+
+let coherent_disjoint_lines () =
+  let c = Coherent.create () in
+  for i = 0 to 99 do
+    let core = i land 1 in
+    ignore (Coherent.access c ~core ~addr:(core * 64) ~write:true)
+  done;
+  Alcotest.(check int) "no invalidations" 0 (Coherent.invalidations c);
+  (* after warmup, accesses are 1-cycle private hits *)
+  let lat = Coherent.access c ~core:0 ~addr:0 ~write:true in
+  Alcotest.(check int) "private hit" 1 lat
+
+let coherent_read_sharing_ok () =
+  let c = Coherent.create () in
+  for i = 0 to 99 do
+    ignore (Coherent.access c ~core:(i land 1) ~addr:0 ~write:false)
+  done;
+  Alcotest.(check int) "shared reads don't invalidate" 0
+    (Coherent.invalidations c)
+
+let coherent_bad_core () =
+  let c = Coherent.create () in
+  Alcotest.(check bool) "core validated" true
+    (match Coherent.access c ~core:2 ~addr:0 ~write:false with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "cachesim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick basic_hit_miss;
+          Alcotest.test_case "lru" `Quick lru_eviction;
+          Alcotest.test_case "clear" `Quick clear_and_stats;
+          Alcotest.test_case "bad config" `Quick bad_config;
+          QCheck_alcotest.to_alcotest prop_working_set;
+          QCheck_alcotest.to_alcotest prop_miss_bound;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "levels" `Quick hierarchy_levels;
+          Alcotest.test_case "fp bypass" `Quick fp_bypass;
+          Alcotest.test_case "straddle" `Quick straddling_access;
+          Alcotest.test_case "extra cycles" `Quick extra_cycles_accumulate;
+        ] );
+      ( "pmu",
+        [
+          Alcotest.test_case "first-level misses" `Quick
+            pmu_counts_first_level_misses;
+          Alcotest.test_case "period" `Quick pmu_sampling_period;
+          Alcotest.test_case "phase" `Quick pmu_phase_shift;
+        ] );
+      ( "coherent",
+        [
+          Alcotest.test_case "false sharing" `Quick coherent_false_sharing;
+          Alcotest.test_case "disjoint lines" `Quick coherent_disjoint_lines;
+          Alcotest.test_case "read sharing" `Quick coherent_read_sharing_ok;
+          Alcotest.test_case "bad core" `Quick coherent_bad_core;
+        ] );
+    ]

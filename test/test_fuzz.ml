@@ -1,0 +1,169 @@
+(* Pipeline fuzzing: generate random Mini-C programs over a random struct,
+   apply random (but well-formed) transformation specs, and require
+   byte-identical program output. This is the strongest correctness
+   property the BE has: any mis-rewritten field access, allocation site or
+   free changes the printed checksums. *)
+
+module D = Slo_core.Driver
+module H = Slo_core.Heuristics
+module T = Slo_core.Transform
+module W = Slo_profile.Weights
+
+(* ------------------------------------------------------------------ *)
+(* Random program generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+type fuzz_prog = {
+  src : string;
+  nfields : int;
+  read_fields : int list;  (* fields that are read somewhere *)
+}
+
+let field_ty_name i = match i mod 3 with
+  | 0 -> "long"
+  | 1 -> "double"
+  | _ -> "int"
+
+let gen_prog : fuzz_prog QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 2 9 >>= fun nfields ->
+  int_range 2 5 >>= fun nloops ->
+  int_range 10 60 >>= fun n_elems ->
+  (* each loop reads/writes a random non-empty subset of fields *)
+  list_repeat nloops
+    (pair (int_range 0 ((1 lsl nfields) - 1)) (int_range 1 4))
+  >>= fun loop_specs ->
+  bool >>= fun use_free ->
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "struct s {\n";
+  for i = 0 to nfields - 1 do
+    pf "  %s f%d;\n" (field_ty_name i) i
+  done;
+  pf "};\n";
+  pf "struct s *tab;\nlong acc;\ndouble facc;\n";
+  pf "int main() {\n  long i; long r;\n";
+  pf "  tab = (struct s*)malloc(%d * sizeof(struct s));\n" n_elems;
+  pf "  for (i = 0; i < %d; i++) {\n" n_elems;
+  for i = 0 to nfields - 1 do
+    match i mod 3 with
+    | 1 -> pf "    tab[i].f%d = i * 0.5 + %d.0;\n" i i
+    | _ -> pf "    tab[i].f%d = i * %d + 1;\n" i (i + 2)
+  done;
+  pf "  }\n";
+  let read_fields = ref [] in
+  List.iteri
+    (fun li (mask, rounds) ->
+      let fields =
+        List.filter (fun i -> mask land (1 lsl i) <> 0)
+          (List.init nfields Fun.id)
+      in
+      let fields = if fields = [] then [ li mod nfields ] else fields in
+      pf "  for (r = 0; r < %d; r++) {\n" rounds;
+      pf "    for (i = 0; i < %d; i = i + %d) {\n" n_elems ((li mod 3) + 1);
+      List.iter
+        (fun fi ->
+          read_fields := fi :: !read_fields;
+          match fi mod 3 with
+          | 1 -> pf "      facc = facc + tab[i].f%d;\n" fi
+          | _ ->
+            pf "      acc = acc + tab[i].f%d;\n" fi;
+            if (li + fi) mod 2 = 0 then
+              pf "      tab[i].f%d = tab[i].f%d + 1;\n" fi fi)
+        fields;
+      pf "    }\n  }\n")
+    loop_specs;
+  if use_free then pf "  free(tab);\n";
+  pf "  printf(\"%%ld %%g\\n\", acc, facc);\n  return 0;\n}\n";
+  return
+    { src = Buffer.contents buf; nfields;
+      read_fields = List.sort_uniq compare !read_fields }
+
+let arbitrary_prog =
+  QCheck.make gen_prog ~print:(fun p -> p.src)
+
+let run_src src = (Slo_vm.Interp.run_program (D.compile src)).output
+
+let preserved prog plans =
+  let compiled = D.compile prog.src in
+  let before = Slo_vm.Interp.run_program compiled in
+  let transformed = D.transform_with_plans compiled plans in
+  let after = Slo_vm.Interp.run_program transformed in
+  String.equal before.output after.output
+
+(* random split: partition fields into hot/cold/dead (dead = never read) *)
+let prop_random_split =
+  QCheck.Test.make ~count:60 ~name:"random split preserves output"
+    (QCheck.pair arbitrary_prog QCheck.(int_range 0 10_000))
+    (fun (p, seed) ->
+      let all = List.init p.nfields Fun.id in
+      let dead =
+        List.filter (fun i -> not (List.mem i p.read_fields)) all
+      in
+      let live = List.filter (fun i -> List.mem i p.read_fields) all in
+      (* split the live fields pseudo-randomly by seed *)
+      let hot, cold =
+        List.partition (fun i -> (seed lsr (i mod 12)) land 1 = 0) live
+      in
+      let hot, cold = if hot = [] then (cold, hot) else (hot, cold) in
+      QCheck.assume (hot <> []);
+      preserved p
+        [ H.Split { T.s_typ = "s"; s_hot = hot; s_cold = cold; s_dead = dead } ])
+
+let prop_random_peel =
+  QCheck.Test.make ~count:60 ~name:"random peel preserves output"
+    arbitrary_prog
+    (fun p ->
+      let compiled = D.compile p.src in
+      QCheck.assume
+        (T.peel_feasible compiled ~typ:"s" ~globals:[ "tab" ]);
+      let all = List.init p.nfields Fun.id in
+      let dead = List.filter (fun i -> not (List.mem i p.read_fields)) all in
+      let live = List.filter (fun i -> List.mem i p.read_fields) all in
+      QCheck.assume (live <> []);
+      preserved p
+        [ H.Peel { T.p_typ = "s"; p_live = live; p_dead = dead;
+                   p_globals = [ "tab" ] } ])
+
+let prop_random_rebuild =
+  QCheck.Test.make ~count:60 ~name:"random reorder preserves output"
+    (QCheck.pair arbitrary_prog QCheck.(int_range 0 10_000))
+    (fun (p, seed) ->
+      let all = List.init p.nfields Fun.id in
+      let dead = List.filter (fun i -> not (List.mem i p.read_fields)) all in
+      let live = List.filter (fun i -> List.mem i p.read_fields) all in
+      QCheck.assume (live <> []);
+      (* a seed-dependent permutation *)
+      let order =
+        List.sort
+          (fun a b -> compare ((a * seed) mod 101) ((b * seed) mod 101))
+          live
+      in
+      preserved p
+        [ H.Rebuild { T.r_typ = "s"; r_order = order; r_dead = dead } ])
+
+let prop_driver_end_to_end =
+  QCheck.Test.make ~count:40 ~name:"framework decision preserves output"
+    arbitrary_prog
+    (fun p ->
+      let compiled = D.compile p.src in
+      let leg, aff = D.analyze compiled ~scheme:W.ISPBO ~feedback:None in
+      let plans = H.plans (H.decide compiled leg aff ~scheme:W.ISPBO) in
+      let before = run_src p.src in
+      let after =
+        (Slo_vm.Interp.run_program (D.transform_with_plans compiled plans))
+          .output
+      in
+      String.equal before after)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "pipeline",
+        [
+          QCheck_alcotest.to_alcotest prop_random_split;
+          QCheck_alcotest.to_alcotest prop_random_peel;
+          QCheck_alcotest.to_alcotest prop_random_rebuild;
+          QCheck_alcotest.to_alcotest prop_driver_end_to_end;
+        ] );
+    ]

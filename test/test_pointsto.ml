@@ -1,0 +1,130 @@
+(* The sharper legality test: pointer provenance and field collapse. *)
+
+module P = Slo_pointsto.Pointsto
+module L = Slo_core.Legality
+
+let lower = Lower.lower_source
+
+let single_field_exposure_refuted () =
+  (* &p->a stored and dereferenced: only field 0 is reachable *)
+  let prog =
+    lower
+      "struct s { long a; long b; };\n\
+       struct s *p;\n\
+       int main() { long *ap;\n\
+       p = (struct s*)malloc(4 * sizeof(struct s));\n\
+       ap = &p->a; *ap = 5; return (int)p->a; }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "not collapsed" false (P.collapsed pts "s");
+  Alcotest.(check (list int)) "field 0 exposed" [ 0 ] (P.exposed_fields pts "s");
+  (* legality flags ATKN, but points-to refutes it *)
+  let leg = L.analyze prog in
+  Alcotest.(check bool) "ATKN found" true (List.mem L.ATKN (L.reasons leg "s"));
+  Alcotest.(check bool) "refutable" true (P.refutable pts "s")
+
+let raw_cast_walk_collapses () =
+  let prog =
+    lower
+      "struct s { long a; long b; };\n\
+       struct s *p;\n\
+       int main() { long *raw; long h = 0; long i;\n\
+       p = (struct s*)malloc(4 * sizeof(struct s));\n\
+       raw = (long*)p;\n\
+       for (i = 0; i < 8; i++) { h = h + raw[i]; }\n\
+       return (int)h; }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "collapsed" true (P.collapsed pts "s")
+
+let local_struct_cast_collapses () =
+  let prog =
+    lower
+      "struct v { double x; double y; double z; };\n\
+       double dot(struct v *a) { double *r; r = (double*)a;\n\
+       return r[0] + r[1] + r[2]; }\n\
+       int main() { struct v u; u.x = 1.0; u.y = 2.0; u.z = 3.0;\n\
+       return (int)dot(&u); }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "stack object collapsed through raw walk" true
+    (P.collapsed pts "v")
+
+let two_distinct_fields_exposed_ok () =
+  (* two separate single-field pointers do not collapse each other *)
+  let prog =
+    lower
+      "struct s { long a; long b; long c; };\n\
+       struct s *p;\n\
+       int main() { long *ap; long *bp;\n\
+       p = (struct s*)malloc(4 * sizeof(struct s));\n\
+       ap = &p->a; bp = &p->b; *ap = 1; *bp = 2;\n\
+       return (int)(p->a + p->b); }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "still precise" false (P.collapsed pts "s");
+  Alcotest.(check (list int)) "both fields exposed" [ 0; 1 ]
+    (P.exposed_fields pts "s")
+
+let escape_to_extern_collapses () =
+  let prog =
+    lower
+      "struct s { long a; long b; };\n\
+       extern long lib(struct s*, long);\n\
+       struct s *p;\n\
+       int main() { p = (struct s*)malloc(2 * sizeof(struct s));\n\
+       lib(p, 1); return (int)p->a; }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "escapes collapse" true (P.collapsed pts "s")
+
+let provenance_through_calls () =
+  (* a field pointer passed through a defined function keeps its precision *)
+  let prog =
+    lower
+      "struct s { long a; long b; };\n\
+       struct s *p;\n\
+       long deref(long *x) { return *x; }\n\
+       int main() { p = (struct s*)malloc(2 * sizeof(struct s));\n\
+       p->a = 9; return (int)deref(&p->a); }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "precise through call" false (P.collapsed pts "s")
+
+let roster_gap_between_columns () =
+  (* on the mcf model: strict < points-to <= relax *)
+  let prog = lower Slo_suite.Prog_mcf.source in
+  let leg = L.analyze prog in
+  let pts = P.analyze prog in
+  let types = L.types leg in
+  let count pred = List.length (List.filter pred types) in
+  let strict = count (L.is_legal leg) in
+  let ptsto =
+    count (fun s ->
+        L.is_legal leg s
+        || (L.is_legal ~relax:true leg s && P.refutable pts s))
+  in
+  let relax = count (L.is_legal ~relax:true leg) in
+  Alcotest.(check bool) "strict <= ptsto" true (strict <= ptsto);
+  Alcotest.(check bool) "ptsto <= relax" true (ptsto <= relax);
+  (* arc's ATKN is refutable; basket's raw cast walk is not *)
+  Alcotest.(check bool) "arc refuted" true (P.refutable pts "arc");
+  Alcotest.(check bool) "basket collapsed" true (P.collapsed pts "basket")
+
+let () =
+  Alcotest.run "pointsto"
+    [
+      ( "collapse",
+        [
+          Alcotest.test_case "single field refuted" `Quick
+            single_field_exposure_refuted;
+          Alcotest.test_case "raw walk collapses" `Quick
+            raw_cast_walk_collapses;
+          Alcotest.test_case "stack object" `Quick local_struct_cast_collapses;
+          Alcotest.test_case "two fields ok" `Quick
+            two_distinct_fields_exposed_ok;
+          Alcotest.test_case "extern escape" `Quick escape_to_extern_collapses;
+          Alcotest.test_case "through calls" `Quick provenance_through_calls;
+          Alcotest.test_case "mcf columns" `Quick roster_gap_between_columns;
+        ] );
+    ]

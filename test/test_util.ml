@@ -1,0 +1,127 @@
+(* Statistics and table rendering. *)
+
+module Stats = Slo_util.Stats
+module Table = Slo_util.Table
+
+let feq = Alcotest.float 1e-9
+
+let mean_and_sum () =
+  Alcotest.check feq "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.check feq "sum" 6.0 (Stats.sum [| 1.0; 2.0; 3.0 |]);
+  Alcotest.check feq "sum empty" 0.0 (Stats.sum [||]);
+  Alcotest.check_raises "mean empty"
+    (Invalid_argument "Stats.mean: empty array") (fun () ->
+      ignore (Stats.mean [||]))
+
+let correlation_basics () =
+  Alcotest.check feq "perfect" 1.0
+    (Stats.correlation [| 1.0; 2.0; 3.0 |] [| 10.0; 20.0; 30.0 |]);
+  Alcotest.check feq "negative" (-1.0)
+    (Stats.correlation [| 1.0; 2.0; 3.0 |] [| 3.0; 2.0; 1.0 |]);
+  Alcotest.check feq "constant series" 0.0
+    (Stats.correlation [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.correlation: length mismatch") (fun () ->
+      ignore (Stats.correlation [| 1.0 |] [| 1.0; 2.0 |]))
+
+(* the paper's formula on Table 2's published PBO/PPBO columns should give
+   (nearly) the published correlation 0.986 *)
+let correlation_paper_table2 () =
+  let pbo =
+    [| 0.2; 0.0; 73.7; 20.8; 20.7; 0.1; 3.1; 23.2; 39.9; 0.8; 0.7; 100.0;
+       2.8; 53.3; 33.7 |]
+  in
+  let ppbo =
+    [| 0.0; 0.0; 74.7; 21.7; 21.7; 0.0; 1.3; 22.6; 42.5; 0.2; 0.2; 100.0;
+       0.9; 69.6; 48.4 |]
+  in
+  let r = Stats.correlation pbo ppbo in
+  Alcotest.check (Alcotest.float 0.01) "paper r(PBO,PPBO)" 0.986 r
+
+let correlation_excluding () =
+  (* removing a dominant outlier changes the coefficient *)
+  let xs = [| 100.0; 1.0; 2.0; 3.0 |] and ys = [| 100.0; 3.0; 2.0; 1.0 |] in
+  let r = Stats.correlation xs ys in
+  let r' = Stats.correlation_excluding 0 xs ys in
+  Alcotest.check Alcotest.bool "r dominated" true (r > 0.9);
+  Alcotest.check feq "r' negative" (-1.0) r';
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Stats.correlation_excluding: index out of bounds")
+    (fun () -> ignore (Stats.correlation_excluding 9 xs ys))
+
+let relative_percent () =
+  Alcotest.check (Alcotest.array feq) "scaled" [| 50.0; 100.0; 0.0 |]
+    (Stats.relative_percent [| 2.0; 4.0; 0.0 |]);
+  Alcotest.check (Alcotest.array feq) "all zero" [| 0.0; 0.0 |]
+    (Stats.relative_percent [| 0.0; 0.0 |])
+
+let argmax () =
+  Alcotest.check Alcotest.int "argmax" 1 (Stats.argmax [| 1.0; 5.0; 5.0 |])
+
+let prop_correlation_bounded =
+  QCheck.Test.make ~count:300 ~name:"correlation in [-1,1]"
+    QCheck.(pair (list_of_size (Gen.int_range 2 20) (float_range (-100.) 100.))
+              (list_of_size (Gen.int_range 2 20) (float_range (-100.) 100.)))
+    (fun (a, b) ->
+      let n = min (List.length a) (List.length b) in
+      QCheck.assume (n >= 2);
+      let xs = Array.of_list (List.filteri (fun i _ -> i < n) a) in
+      let ys = Array.of_list (List.filteri (fun i _ -> i < n) b) in
+      let r = Stats.correlation xs ys in
+      r >= -1.0000001 && r <= 1.0000001)
+
+let prop_correlation_symmetric =
+  QCheck.Test.make ~count:300 ~name:"correlation symmetric"
+    QCheck.(list_of_size (Gen.int_range 2 10)
+              (pair (float_range (-50.) 50.) (float_range (-50.) 50.)))
+    (fun ps ->
+      QCheck.assume (List.length ps >= 2);
+      let xs = Array.of_list (List.map fst ps) in
+      let ys = Array.of_list (List.map snd ps) in
+      Float.abs (Stats.correlation xs ys -. Stats.correlation ys xs) < 1e-9)
+
+let table_render () =
+  let t = Table.create ~title:"demo" [ ("a", Table.Left); ("bb", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "long"; "22" ];
+  let s = Table.render t in
+  Alcotest.check Alcotest.bool "has title" true
+    (String.length s > 4 && String.sub s 0 4 = "demo");
+  (* all data lines share a width *)
+  let lines =
+    List.filter (fun l -> String.length l > 0) (String.split_on_char '\n' s)
+  in
+  let widths = List.map String.length (List.tl lines) in
+  Alcotest.check Alcotest.bool "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  Alcotest.check_raises "cell mismatch"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let formatting () =
+  Alcotest.check Alcotest.string "pct" "20.9" (Table.fpct 20.94);
+  Alcotest.check Alcotest.string "big" "2.352e+08" (Table.fnum 2.352e8);
+  Alcotest.check Alcotest.string "int" "42" (Table.fnum 42.0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean/sum" `Quick mean_and_sum;
+          Alcotest.test_case "correlation" `Quick correlation_basics;
+          Alcotest.test_case "paper table2 r" `Quick correlation_paper_table2;
+          Alcotest.test_case "correlation excluding" `Quick
+            correlation_excluding;
+          Alcotest.test_case "relative percent" `Quick relative_percent;
+          Alcotest.test_case "argmax" `Quick argmax;
+          QCheck_alcotest.to_alcotest prop_correlation_bounded;
+          QCheck_alcotest.to_alcotest prop_correlation_symmetric;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick table_render;
+          Alcotest.test_case "formatting" `Quick formatting;
+        ] );
+    ]

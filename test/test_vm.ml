@@ -1,0 +1,243 @@
+(* VM: memory model, interpreter semantics, builtins, hooks. *)
+
+module Memory = Slo_vm.Memory
+module Interp = Slo_vm.Interp
+
+let run ?args src = Interp.run_program ?args (Lower.lower_source src)
+
+let exit_of ?args src = (run ?args src).exit_code
+let out_of ?args src = (run ?args src).output
+
+(* ------------------------- memory ------------------------- *)
+
+let mem_roundtrip () =
+  let m = Memory.create () in
+  let a = Memory.alloc_heap m ~size:64 ~zero:true in
+  Memory.store_int m ~addr:a ~size:8 (-123456789);
+  Alcotest.(check int) "i64" (-123456789) (Memory.load_int m ~addr:a ~size:8);
+  Memory.store_int m ~addr:(a + 8) ~size:1 (-5);
+  Alcotest.(check int) "i8 sign extend" (-5)
+    (Memory.load_int m ~addr:(a + 8) ~size:1);
+  Memory.store_int m ~addr:(a + 10) ~size:2 70000;
+  Alcotest.(check int) "i16 truncates" (70000 - 65536)
+    (Memory.load_int m ~addr:(a + 10) ~size:2);
+  Memory.store_f64 m ~addr:(a + 16) 3.25;
+  Alcotest.(check (float 0.0)) "f64" 3.25 (Memory.load_f64 m ~addr:(a + 16));
+  Memory.store_f32 m ~addr:(a + 24) 1.5;
+  Alcotest.(check (float 0.0)) "f32" 1.5 (Memory.load_f32 m ~addr:(a + 24))
+
+let mem_faults () =
+  let m = Memory.create () in
+  (match Memory.load_int m ~addr:4 ~size:8 with
+  | exception Memory.Fault _ -> ()
+  | _ -> Alcotest.fail "null page access should fault");
+  let a = Memory.alloc_heap m ~size:16 ~zero:false in
+  Memory.free_heap m a;
+  (match Memory.free_heap m a with
+  | exception Memory.Fault _ -> ()
+  | () -> Alcotest.fail "double free should fault");
+  match Memory.free_heap m 0x999999 with
+  | exception Memory.Fault _ -> ()
+  | () -> Alcotest.fail "bad free should fault"
+
+let mem_strings () =
+  let m = Memory.create () in
+  let a = Memory.alloc_heap m ~size:32 ~zero:true in
+  Memory.write_string m a "hello";
+  Alcotest.(check string) "roundtrip" "hello" (Memory.read_string m a)
+
+(* ------------------------- semantics ------------------------- *)
+
+let arith () =
+  Alcotest.(check int) "int arith" 17
+    (exit_of "int main() { return 3 + 4 * 5 - 6 / 2 - 10 % 7; }");
+  (* C precedence: << binds tighter than &, & tighter than ^, ^ than | *)
+  Alcotest.(check int) "shift/mask" 23
+    (exit_of "int main() { return (1 << 4 | 5 & 7 ^ 2); }");
+  Alcotest.(check int) "unary" 1
+    (exit_of "int main() { return -(-1) + !0 + ~0; }");
+  Alcotest.(check int) "cmp chain" 1
+    (exit_of "int main() { return (1 < 2) == (3 >= 3); }")
+
+let float_semantics () =
+  Alcotest.(check string) "div and conv" "3.5 3\n"
+    (out_of
+       "int main() { double d; int i; d = 7.0 / 2.0; i = (int)d;\n\
+        printf(\"%g %d\\n\", d, i); return 0; }");
+  Alcotest.(check string) "builtins" "5 2.718 1 8\n"
+    (out_of
+       "int main() { printf(\"%g %.3f %g %g\\n\", sqrt(25.0), exp(1.0),\n\
+        fabs(-1.0), pow(2.0, 3.0)); return 0; }")
+
+let control_flow () =
+  Alcotest.(check int) "fib 10" 55
+    (exit_of
+       "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n\
+        int main() { return fib(10); }");
+  Alcotest.(check int) "break/continue" 25
+    (exit_of
+       "int main() { int i; int s = 0;\n\
+        for (i = 0; i < 100; i++) { if (i % 2 == 0) { continue; }\n\
+        if (i > 9) { break; } s = s + i; } return s; }");
+  Alcotest.(check int) "do-while" 10
+    (exit_of "int main() { int i = 0; do { i = i + 2; } while (i < 10); return i; }");
+  Alcotest.(check int) "ternary" 7
+    (exit_of "int main() { int a = 3; return a > 2 ? 7 : 9; }")
+
+let pointers_structs () =
+  Alcotest.(check int) "linked list sum" 10
+    (exit_of
+       "struct n { int v; struct n *next; };\n\
+        int main() { struct n *h; struct n *c; int i; int s; h = (struct n*)0;\n\
+        for (i = 1; i <= 4; i++) {\n\
+        c = (struct n*)malloc(1 * sizeof(struct n));\n\
+        c->v = i; c->next = h; h = c; }\n\
+        s = 0; while (h != (struct n*)0) { s = s + h->v; h = h->next; }\n\
+        return s; }");
+  Alcotest.(check int) "pointer arithmetic" 30
+    (exit_of
+       "int main() { int *a; int i; int s; a = (int*)malloc(10 * sizeof(int));\n\
+        for (i = 0; i < 10; i++) { a[i] = i; }\n\
+        s = *(a + 3) + a[9] * 3; return s; }");
+  Alcotest.(check int) "address of local" 42
+    (exit_of
+       "int main() { int x; int *p; x = 0; p = &x; *p = 42; return x; }")
+
+let bitfields_vm () =
+  Alcotest.(check string) "bitfield pack/unpack" "5 3 5 3\n"
+    (out_of
+       "struct f { int a : 3; int b : 4; };\n\
+        struct f *p;\n\
+        int main() { p = (struct f*)malloc(2 * sizeof(struct f));\n\
+        p[0].a = 5; p[0].b = 3; p[1].a = 5; p[1].b = 3;\n\
+        printf(\"%d %d %d %d\\n\", p[0].a, p[0].b, p[1].a, p[1].b);\n\
+        return 0; }")
+
+let memops () =
+  Alcotest.(check int) "memset/memcpy" 0
+    (exit_of
+       "int main() { char *a; char *b; int i; int bad = 0;\n\
+        a = (char*)malloc(64); b = (char*)malloc(64);\n\
+        memset(a, 7, 64); memcpy(b, a, 64);\n\
+        for (i = 0; i < 64; i++) { if (b[i] != 7) { bad = 1; } }\n\
+        return bad; }");
+  Alcotest.(check int) "realloc preserves" 15
+    (exit_of
+       "int main() { long *a; int i; long s;\n\
+        a = (long*)malloc(4 * sizeof(long));\n\
+        for (i = 0; i < 4; i++) { a[i] = i; }\n\
+        a = (long*)realloc(a, 8 * sizeof(long));\n\
+        a[4] = 9; s = 0;\n\
+        for (i = 0; i < 5; i++) { s = s + a[i]; } return (int)s; }")
+
+let indirect_calls () =
+  Alcotest.(check int) "function pointer" 12
+    (exit_of
+       "typedef int (*binop)(int, int);\n\
+        int add(int a, int b) { return a + b; }\n\
+        int mul(int a, int b) { return a * b; }\n\
+        int apply(binop f, int a, int b) { return f(a, b); }\n\
+        int main() { binop f; f = (&add); return apply(f, 2, 4) + apply((&mul), 2, 3); }")
+
+let deterministic_rand () =
+  let src =
+    "int main() { int i; long s = 0; srand(7);\n\
+     for (i = 0; i < 5; i++) { s = s + rand() % 100; }\n\
+     printf(\"%ld\\n\", s); return 0; }"
+  in
+  Alcotest.(check string) "same seed, same stream" (out_of src) (out_of src)
+
+let args_passing () =
+  Alcotest.(check int) "main args" 7
+    (exit_of ~args:[ 3; 4 ] "int main(int a, int b) { return a + b; }")
+
+let runtime_errors () =
+  let expect_error src =
+    match run src with
+    | exception Interp.Runtime_error _ -> ()
+    | _ -> Alcotest.failf "expected runtime error for %S" src
+  in
+  expect_error "int main() { int *p; p = (int*)0; return *p; }";
+  expect_error "int main() { return 1 / 0; }";
+  (* the step limit catches runaway programs *)
+  let vm =
+    Interp.create ~max_steps:10_000
+      (Lower.lower_source "int main() { while (1) { } return 0; }")
+  in
+  match Interp.run vm with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected step-limit error"
+
+let step_counting () =
+  let prog = Lower.lower_source "int main() { return 0; }" in
+  let r = Interp.run_program prog in
+  Alcotest.(check bool) "counts steps" true (r.steps > 0 && r.steps < 10)
+
+let mem_hook_sees_accesses () =
+  let prog =
+    Lower.lower_source
+      "struct s { double d; int i; };\n\
+       struct s *p;\n\
+       int main() { p = (struct s*)malloc(2 * sizeof(struct s));\n\
+       p[0].d = 1.5; p[0].i = 2; return p[0].i; }"
+  in
+  let float_writes = ref 0 and int_ops = ref 0 in
+  let vm =
+    Interp.create
+      ~mem_hook:(fun _addr size write is_float _iid ->
+        if is_float && write then incr float_writes;
+        if (not is_float) && size = 4 then incr int_ops)
+      prog
+  in
+  ignore (Interp.run vm);
+  Alcotest.(check int) "one float store" 1 !float_writes;
+  Alcotest.(check bool) "int field traffic seen" true (!int_ops >= 2)
+
+let edge_hook_counts () =
+  let prog =
+    Lower.lower_source
+      "int main() { int i; int s = 0;\n\
+       for (i = 0; i < 10; i++) { s = s + i; } return s; }"
+  in
+  let entries = ref 0 and edges = ref 0 in
+  let vm =
+    Interp.create
+      ~edge_hook:(fun _f src _dst -> if src = -1 then incr entries else incr edges)
+      prog
+  in
+  let r = Interp.run vm in
+  Alcotest.(check int) "result" 45 r.exit_code;
+  Alcotest.(check int) "one entry" 1 !entries;
+  (* loop executes 10 times: header->body 10, body->step 10, step->header 10,
+     header->exit 1, entry->header 1 => 32 *)
+  Alcotest.(check int) "taken edges" 32 !edges
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "roundtrip" `Quick mem_roundtrip;
+          Alcotest.test_case "faults" `Quick mem_faults;
+          Alcotest.test_case "strings" `Quick mem_strings;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "arith" `Quick arith;
+          Alcotest.test_case "floats" `Quick float_semantics;
+          Alcotest.test_case "control flow" `Quick control_flow;
+          Alcotest.test_case "pointers+structs" `Quick pointers_structs;
+          Alcotest.test_case "bitfields" `Quick bitfields_vm;
+          Alcotest.test_case "memops" `Quick memops;
+          Alcotest.test_case "indirect calls" `Quick indirect_calls;
+          Alcotest.test_case "deterministic rand" `Quick deterministic_rand;
+          Alcotest.test_case "args" `Quick args_passing;
+          Alcotest.test_case "runtime errors" `Quick runtime_errors;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "step counting" `Quick step_counting;
+          Alcotest.test_case "mem hook" `Quick mem_hook_sees_accesses;
+          Alcotest.test_case "edge hook" `Quick edge_hook_counts;
+        ] );
+    ]
