@@ -1,0 +1,19 @@
+.PHONY: all build test fuzz bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# the QCheck pipeline fuzz suite at 10x iterations
+fuzz:
+	QCHECK_LONG=1 dune exec test/test_fuzz.exe
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -26,8 +26,10 @@ let read_file path =
   close_in ic;
   s
 
-let load path =
-  try Ok (D.compile (read_file path)) with
+let load ?(verify = false) path =
+  try Ok (D.compile ~verify (read_file path)) with
+  | Verify.Ill_formed errs ->
+    Error (Printf.sprintf "%s: ill-formed IR:\n%s" path (Verify.report errs))
   | Slo_minic.Lexer.Error (msg, loc) ->
     Error (Printf.sprintf "%s:%s: lexical error: %s" path
              (Slo_minic.Loc.to_string loc) msg)
@@ -46,6 +48,22 @@ let or_die = function
   | Error msg ->
     prerr_endline msg;
     exit 1
+
+(* surface a verifier failure from a transformation as a diagnostic
+   instead of an uncaught exception *)
+let checked f =
+  try f () with
+  | Verify.Ill_formed errs ->
+    prerr_endline "ERROR: transformation produced ill-formed IR:";
+    prerr_endline (Verify.report errs);
+    exit 1
+
+let verify_arg =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Run the IR well-formedness verifier on the lowered program \
+                 (and, for transform/bench, on the rewritten program); exit \
+                 non-zero with a structured report on any violation.")
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
@@ -73,12 +91,12 @@ let feedback_of = function
   | Some path -> Some (Slo_profile.Feedback.of_string (read_file path))
 
 let parse_cmd =
-  let run file =
-    let prog = or_die (load file) in
+  let run file verify =
+    let prog = or_die (load ~verify file) in
     print_string (Ir.string_of_program prog)
   in
   Cmd.v (Cmd.info "parse" ~doc:"Compile and dump the IR")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ verify_arg)
 
 let analyze_cmd =
   let run file =
@@ -149,8 +167,8 @@ let transform_cmd =
   let dump_arg =
     Arg.(value & flag & info [ "dump-ir" ] ~doc:"Dump the transformed IR.")
   in
-  let run file profile scheme dump =
-    let prog = or_die (load file) in
+  let run file profile scheme dump verify =
+    let prog = or_die (load ~verify file) in
     let feedback = feedback_of profile in
     let scheme = if feedback <> None then W.PBO else scheme in
     let leg, aff = D.analyze prog ~scheme ~feedback in
@@ -162,12 +180,16 @@ let transform_cmd =
           | Some p -> H.plan_summary p
           | None -> "unchanged (" ^ String.concat "; " d.d_notes ^ ")"))
       decisions;
-    let transformed = D.transform_with_plans prog (H.plans decisions) in
+    let transformed =
+      checked (fun () ->
+          D.transform_with_plans ~verify prog (H.plans decisions))
+    in
     if dump then print_string (Ir.string_of_program transformed)
   in
   Cmd.v
     (Cmd.info "transform" ~doc:"Decide and apply layout transformations")
-    Term.(const run $ file_arg $ profile_arg $ scheme_arg $ dump_arg)
+    Term.(const run $ file_arg $ profile_arg $ scheme_arg $ dump_arg
+          $ verify_arg)
 
 let run_cmd =
   let run file args =
@@ -184,11 +206,11 @@ let run_cmd =
     Term.(const run $ file_arg $ args_arg)
 
 let bench_cmd =
-  let run file args profile scheme =
-    let prog = or_die (load file) in
+  let run file args profile scheme verify =
+    let prog = or_die (load ~verify file) in
     let feedback = feedback_of profile in
     let scheme = if feedback <> None then W.PBO else scheme in
-    let ev = D.evaluate ~args ~scheme ~feedback prog in
+    let ev = checked (fun () -> D.evaluate ~args ~verify ~scheme ~feedback prog) in
     List.iter
       (fun (d : H.decision) ->
         match d.d_plan with
@@ -204,7 +226,8 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Measure original vs transformed program")
-    Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg)
+    Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg
+          $ verify_arg)
 
 let () =
   let doc = "structure layout optimization framework (CGO'06 reproduction)" in

@@ -19,10 +19,12 @@ type evaluation = {
   e_speedup_pct : float;
 }
 
-let compile source =
+let compile ?(verify = false) source =
   let ast = Slo_minic.Parser.parse source in
   let env = Slo_minic.Typecheck.check ast in
-  Lower.lower ast env
+  let prog = Lower.lower ast env in
+  if verify then Verify.check prog;
+  prog
 
 let measure ?(args = []) ?(config = Hierarchy.itanium) (prog : Ir.program) :
     measurement =
@@ -46,9 +48,10 @@ let analyze (prog : Ir.program) ~scheme ~feedback =
   let aff = Affinity.analyze prog bw in
   (leg, aff)
 
-let transform_with_plans prog plans =
+let transform_with_plans ?(verify = false) prog plans =
   let copy = Ircopy.copy_program prog in
   Heuristics.apply copy plans;
+  if verify then Verify.check copy;
   copy
 
 let speedup_pct ~before ~after =
@@ -57,12 +60,12 @@ let speedup_pct ~before ~after =
     (float_of_int before.m_cycles /. float_of_int after.m_cycles -. 1.0)
     *. 100.0
 
-let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold ~scheme
-    ~feedback (prog : Ir.program) : evaluation =
+let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold
+    ?(verify = false) ~scheme ~feedback (prog : Ir.program) : evaluation =
   let leg, aff = analyze prog ~scheme ~feedback in
   let decisions = Heuristics.decide ?threshold prog leg aff ~scheme in
   let plans = Heuristics.plans decisions in
-  let transformed = transform_with_plans prog plans in
+  let transformed = transform_with_plans ~verify prog plans in
   let before = measure ~args ~config prog in
   let after = measure ~args ~config transformed in
   {

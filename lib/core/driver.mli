@@ -25,8 +25,10 @@ type evaluation = {
   e_speedup_pct : float;
 }
 
-val compile : string -> Ir.program
-(** Parse, type-check and lower a Mini-C source. *)
+val compile : ?verify:bool -> string -> Ir.program
+(** Parse, type-check and lower a Mini-C source. With [~verify:true]
+    (default false) the lowered IR is checked with {!Verify.check}, which
+    raises {!Verify.Ill_formed} on a malformed program. *)
 
 val measure :
   ?args:int list ->
@@ -41,18 +43,24 @@ val analyze :
   Legality.t * Affinity.t
 
 val transform_with_plans :
-  Ir.program -> Heuristics.plan list -> Ir.program
-(** Apply plans to a fresh copy; the input program is untouched. *)
+  ?verify:bool -> Ir.program -> Heuristics.plan list -> Ir.program
+(** Apply plans to a fresh copy; the input program is untouched. With
+    [~verify:true] (default false) the rewritten IR is checked with
+    {!Verify.check}, raising {!Verify.Ill_formed} when a transformation
+    left dangling references behind. *)
 
 val evaluate :
   ?args:int list ->
   ?config:Slo_cachesim.Hierarchy.config ->
   ?threshold:float ->
+  ?verify:bool ->
   scheme:Slo_profile.Weights.scheme ->
   feedback:Slo_profile.Feedback.t option ->
   Ir.program ->
   evaluation
 (** Full pipeline on an already-compiled program. Raises
-    [Invalid_argument] if a profile-based scheme is given no feedback. *)
+    [Invalid_argument] if a profile-based scheme is given no feedback,
+    and {!Verify.Ill_formed} if [~verify:true] and the transformed IR is
+    malformed. *)
 
 val speedup_pct : before:measurement -> after:measurement -> float

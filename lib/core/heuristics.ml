@@ -21,8 +21,30 @@ let threshold_for (scheme : Weights.scheme) =
   | Weights.DMISS | Weights.DLAT | Weights.DMISS_NO ->
     threshold_ispbo
 
+(* tagged loads that exist in the program text, independent of profile
+   weight: a field read only on a never-executed path has weighted
+   reads = 0.0, but removing it would orphan the load (the verifier
+   catches the dangling access; the oracle catches the miscompile when a
+   ref input reaches the path) *)
+let statically_read (prog : Ir.program) : (string * int, unit) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.idesc with
+              | Ir.Iload (_, _, _, Some a) ->
+                Hashtbl.replace t (a.astruct, a.afield) ()
+              | _ -> ())
+            b.instrs)
+        f.fblocks)
+    prog.funcs;
+  t
+
 let dead_fields (prog : Ir.program) (info : Legality.info)
-    (g : Affinity.graph) : int list =
+    (g : Affinity.graph) ~static_reads : int list =
   match Structs.find_opt prog.structs g.gtyp with
   | None -> []
   | Some decl ->
@@ -30,6 +52,7 @@ let dead_fields (prog : Ir.program) (info : Legality.info)
       (fun fi ->
         let fld = decl.fields.(fi) in
         g.reads.(fi) = 0.0
+        && (not (Hashtbl.mem static_reads (g.gtyp, fi)))
         && fld.bits = None
         && not (List.mem fi info.attrs.addr_passed_fields))
       (List.init (Array.length decl.fields) Fun.id)
@@ -39,6 +62,7 @@ let decide ?threshold (prog : Ir.program) (leg : Legality.t) (aff : Affinity.t)
   let threshold =
     match threshold with Some t -> t | None -> threshold_for scheme
   in
+  let static_reads = statically_read prog in
   let decide_one typ : decision =
     let notes = ref [] in
     let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
@@ -72,7 +96,7 @@ let decide ?threshold (prog : Ir.program) (leg : Legality.t) (aff : Affinity.t)
         | Some g ->
           let decl = Structs.find prog.structs typ in
           let nfields = Array.length decl.fields in
-          let dead = dead_fields prog info g in
+          let dead = dead_fields prog info g ~static_reads in
           let live =
             List.filter
               (fun fi -> not (List.mem fi dead))

@@ -40,8 +40,19 @@ val threshold_ispbo : float
 
 val threshold_for : Slo_profile.Weights.scheme -> float
 
-val dead_fields : Ir.program -> Legality.info -> Affinity.graph -> int list
-(** Removable fields: never read, not bit-fields, address never passed. *)
+val statically_read : Ir.program -> (string * int, unit) Hashtbl.t
+(** The (struct, field) pairs with at least one tagged load anywhere in
+    the program text, regardless of profile weight. *)
+
+val dead_fields :
+  Ir.program ->
+  Legality.info ->
+  Affinity.graph ->
+  static_reads:(string * int, unit) Hashtbl.t ->
+  int list
+(** Removable fields: never read — with zero {e weighted} reads {b and}
+    no static load at all (a field read only on never-profiled paths must
+    survive) — not bit-fields, address never passed. *)
 
 val decide :
   ?threshold:float ->

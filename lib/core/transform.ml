@@ -663,4 +663,9 @@ let peel (prog : Ir.program) (spec : peel_spec) =
         f.fblocks;
       ignore (Dce.cleanup f))
     prog.funcs;
+  (* stray type annotations mentioning the peeled struct (e.g. an explicit
+     null-pointer cast whose value is replicated per piece) would dangle
+     once the struct is removed; retarget them to the first piece, whose
+     layout stands in for "a pointer to the peeled object" *)
+  rename_type prog ~from_:s ~to_:first_piece;
   Structs.remove prog.structs s

@@ -1,0 +1,158 @@
+(* The differential-testing oracle.
+
+   Marmoset-style validation (PAPERS.md): never trust a candidate layout
+   on the strength of the static legality argument alone — run the
+   original and the transformed program in the VM and require
+
+   - both IRs to pass the static well-formedness verifier;
+   - byte-identical program output and equal exit codes;
+   - conservation of field traffic: for every field that survives the
+     transformation, the number of dynamically executed tagged loads and
+     stores must be unchanged (splitting may add [__link] traffic and
+     peeling piece-pointer loads, but never change how often a live field
+     itself is touched).
+
+   The access-conservation check catches bugs byte-identical output
+   cannot: a transform that drops a store whose value is never printed,
+   or duplicates an access, still miscounts. *)
+
+module Interp = Slo_vm.Interp
+module D = Slo_core.Driver
+module H = Slo_core.Heuristics
+module T = Slo_core.Transform
+
+type failure =
+  | Ill_formed_before of Verify.error list
+  | Ill_formed_after of Verify.error list
+  | Exit_code_differs of int * int
+  | Output_differs of string * string
+  | Access_count_differs of string * int * int
+  | Runtime_error_after of string
+
+type report = {
+  r_before : Interp.result option;
+  r_after : Interp.result option;
+  r_failures : failure list;
+}
+
+let ok r = r.r_failures = []
+
+let string_of_failure = function
+  | Ill_formed_before errs ->
+    Printf.sprintf "original IR is ill-formed:\n%s" (Verify.report errs)
+  | Ill_formed_after errs ->
+    Printf.sprintf "transformed IR is ill-formed:\n%s" (Verify.report errs)
+  | Exit_code_differs (b, a) ->
+    Printf.sprintf "exit code differs: %d before, %d after" b a
+  | Output_differs (b, a) ->
+    Printf.sprintf "output differs:\n--- before ---\n%s--- after ---\n%s" b a
+  | Access_count_differs (field, b, a) ->
+    Printf.sprintf "access count to live field '%s' differs: %d before, %d after"
+      field b a
+  | Runtime_error_after msg ->
+    Printf.sprintf "transformed program faulted: %s" msg
+
+let describe r =
+  if ok r then "oracle: ok"
+  else String.concat "\n" (List.map string_of_failure r.r_failures)
+
+(* run the program and count dynamically executed tagged accesses per
+   field name; names survive every transformation (split distributes the
+   field records, peel gives each piece its field's name, rebuild keeps
+   them), so they are the stable key to compare across the rewrite. The
+   synthetic link field never existed before the transform and is
+   skipped. *)
+let counted_run ~args (prog : Ir.program) : Interp.result * (string, int) Hashtbl.t
+    =
+  let tag_of = Hashtbl.create 128 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.idesc with
+              | Ir.Iload (_, _, _, Some a) | Ir.Istore (_, _, _, Some a) -> (
+                match Structs.find_opt prog.structs a.astruct with
+                | Some d when a.afield < Array.length d.fields ->
+                  let name = d.fields.(a.afield).Structs.name in
+                  if not (String.equal name T.link_field_name) then
+                    Hashtbl.replace tag_of i.iid name
+                | Some _ | None -> ())
+              | _ -> ())
+            b.instrs)
+        f.fblocks)
+    prog.funcs;
+  let counts = Hashtbl.create 32 in
+  let mem_hook _addr _size _write _is_float iid =
+    match Hashtbl.find_opt tag_of iid with
+    | Some name ->
+      Hashtbl.replace counts name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))
+    | None -> ()
+  in
+  let vm = Interp.create ~mem_hook prog in
+  (Interp.run ~args vm, counts)
+
+(* field names defined by some struct of the program *)
+let field_names (prog : Ir.program) =
+  let names = Hashtbl.create 32 in
+  Structs.iter
+    (fun d ->
+      Array.iter
+        (fun (f : Structs.field) -> Hashtbl.replace names f.Structs.name ())
+        d.fields)
+    prog.structs;
+  names
+
+let diff ?(args = []) ?(check_accesses = true) ~original ~transformed () :
+    report =
+  let failures = ref [] in
+  let push f = failures := f :: !failures in
+  (match Verify.program original with
+  | [] -> ()
+  | errs -> push (Ill_formed_before errs));
+  (match Verify.program transformed with
+  | [] -> ()
+  | errs -> push (Ill_formed_after errs));
+  if !failures <> [] then
+    { r_before = None; r_after = None; r_failures = List.rev !failures }
+  else begin
+    let before, counts_b = counted_run ~args original in
+    match counted_run ~args transformed with
+    | exception Interp.Runtime_error msg ->
+      { r_before = Some before; r_after = None;
+        r_failures = [ Runtime_error_after msg ] }
+    | after, counts_a ->
+      if before.exit_code <> after.exit_code then
+        push (Exit_code_differs (before.exit_code, after.exit_code));
+      if not (String.equal before.output after.output) then
+        push (Output_differs (before.output, after.output));
+      if check_accesses then begin
+        (* compare every field name live on both sides; removed (dead)
+           fields exist only before, synthetic fields only after *)
+        let live_after = field_names transformed in
+        let names =
+          Hashtbl.fold (fun n _ acc -> n :: acc) (field_names original) []
+          |> List.filter (Hashtbl.mem live_after)
+          |> List.sort String.compare
+        in
+        List.iter
+          (fun n ->
+            let b = Option.value ~default:0 (Hashtbl.find_opt counts_b n) in
+            let a = Option.value ~default:0 (Hashtbl.find_opt counts_a n) in
+            if b <> a then push (Access_count_differs (n, b, a)))
+          names
+      end;
+      { r_before = Some before; r_after = Some after;
+        r_failures = List.rev !failures }
+  end
+
+let run ?args ?check_accesses (prog : Ir.program) (plans : H.plan list) :
+    report =
+  let transformed = Ircopy.copy_program prog in
+  H.apply transformed plans;
+  diff ?args ?check_accesses ~original:prog ~transformed ()
+
+let run_source ?args ?check_accesses source plans : report =
+  run ?args ?check_accesses (D.compile source) plans

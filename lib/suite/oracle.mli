@@ -1,0 +1,59 @@
+(** Differential-testing oracle for the transformation pipeline.
+
+    Marmoset-style validation: a candidate layout transformation is only
+    trusted after the original and transformed programs both pass the
+    static {!Verify} pass, run to completion in the VM with byte-identical
+    output and exit codes, and touch every surviving field the exact same
+    number of times (dynamic tagged loads + stores, keyed by field name —
+    stable across split/peel/rebuild renames). Synthetic fields such as
+    the split link pointer are exempt from conservation; removed dead
+    fields only exist on the original side and are skipped. *)
+
+type failure =
+  | Ill_formed_before of Verify.error list
+      (** the input IR already fails {!Verify.program} *)
+  | Ill_formed_after of Verify.error list
+      (** the transformation produced malformed IR *)
+  | Exit_code_differs of int * int  (** before, after *)
+  | Output_differs of string * string  (** before, after *)
+  | Access_count_differs of string * int * int
+      (** field name, dynamic accesses before, after *)
+  | Runtime_error_after of string
+      (** the transformed program faulted at runtime *)
+
+type report = {
+  r_before : Slo_vm.Interp.result option;
+  r_after : Slo_vm.Interp.result option;
+  r_failures : failure list;  (** empty iff the transformation is trusted *)
+}
+
+val ok : report -> bool
+val string_of_failure : failure -> string
+val describe : report -> string
+
+val diff :
+  ?args:int list ->
+  ?check_accesses:bool ->
+  original:Ir.program ->
+  transformed:Ir.program ->
+  unit ->
+  report
+(** Compare two already-built programs. [check_accesses] (default true)
+    enables the per-field conservation check; disable it for pipelines
+    that may legitimately remove unused loads. *)
+
+val run :
+  ?args:int list ->
+  ?check_accesses:bool ->
+  Ir.program ->
+  Slo_core.Heuristics.plan list ->
+  report
+(** Apply [plans] to a copy of the program and {!diff} the two. *)
+
+val run_source :
+  ?args:int list ->
+  ?check_accesses:bool ->
+  string ->
+  Slo_core.Heuristics.plan list ->
+  report
+(** {!run} on a compiled Mini-C source. *)

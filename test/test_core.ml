@@ -427,6 +427,45 @@ let peel_infeasible_cases () =
   Alcotest.(check bool) "recursive field blocks peeling" false
     (T.peel_feasible prog2 ~typ:"s" ~globals:[ "g" ])
 
+let peel_infeasible_escapes () =
+  (* the anchor pointer escapes into a callee: the access chain crosses a
+     function boundary, so piece-pointer substitution cannot be local *)
+  let prog =
+    lower
+      "struct s { long a; };\n\
+       struct s *g;\n\
+       long take(struct s *p) { return p[0].a; }\n\
+       int main() { g = (struct s*)malloc(4 * sizeof(struct s));\n\
+       g[0].a = 7; return (int)take(g); }"
+  in
+  Alcotest.(check bool) "pointer passed to callee blocks peeling" false
+    (T.peel_feasible prog ~typ:"s" ~globals:[ "g" ]);
+  (* the anchor pointer is cast to an integer: its numeric value escapes,
+     and a peeled object has no single address to stand for it *)
+  let prog2 =
+    lower
+      "struct s { long a; };\n\
+       struct s *g;\n\
+       long h;\n\
+       int main() { g = (struct s*)malloc(4 * sizeof(struct s));\n\
+       g[0].a = 3; h = (long)g;\n\
+       return (int)(g[0].a + (h & 0)); }"
+  in
+  Alcotest.(check bool) "cast to integer blocks peeling" false
+    (T.peel_feasible prog2 ~typ:"s" ~globals:[ "g" ]);
+  (* a helper returns the anchor type: a struct s* flows out of a call,
+     reaching memory the rewrite never renamed *)
+  let prog3 =
+    lower
+      "struct s { long a; };\n\
+       struct s *g;\n\
+       struct s *pick() { return g; }\n\
+       int main() { g = (struct s*)malloc(4 * sizeof(struct s));\n\
+       g[0].a = 5; return (int)(pick()[0].a); }"
+  in
+  Alcotest.(check bool) "returning the anchor type blocks peeling" false
+    (T.peel_feasible prog3 ~typ:"s" ~globals:[ "g" ])
+
 let rebuild_reorders () =
   let src =
     "struct s { long a; long dead_f; long b; };\n\
@@ -560,6 +599,8 @@ let () =
           Alcotest.test_case "dead removal" `Quick split_dead_removal;
           Alcotest.test_case "peel semantics" `Quick peel_semantics;
           Alcotest.test_case "peel infeasible" `Quick peel_infeasible_cases;
+          Alcotest.test_case "peel infeasible: escapes" `Quick
+            peel_infeasible_escapes;
           Alcotest.test_case "rebuild" `Quick rebuild_reorders;
           Alcotest.test_case "driver end-to-end" `Quick split_improves_mcf_like;
         ] );

@@ -1,22 +1,31 @@
 (* Pipeline fuzzing: generate random Mini-C programs over a random struct,
-   apply random (but well-formed) transformation specs, and require
-   byte-identical program output. This is the strongest correctness
-   property the BE has: any mis-rewritten field access, allocation site or
-   free changes the printed checksums. *)
+   apply random (but well-formed) transformation specs, and hand the pair
+   to the differential oracle (Slo_suite.Oracle): both IRs must pass the
+   well-formedness verifier, the outputs must be byte-identical, and every
+   live field must be touched the exact same number of times.
+
+   Programs are generated from a small structured [spec] so QCheck can
+   shrink failures: a counterexample minimizes to the fewest loops, fields
+   and elements that still fail, and is printed as Mini-C source text.
+
+   Set QCHECK_LONG=1 (e.g. via `make fuzz`) for a 10x iteration count. *)
 
 module D = Slo_core.Driver
 module H = Slo_core.Heuristics
 module T = Slo_core.Transform
 module W = Slo_profile.Weights
+module O = Slo_suite.Oracle
 
 (* ------------------------------------------------------------------ *)
-(* Random program generation                                           *)
+(* Random program specs                                                *)
 (* ------------------------------------------------------------------ *)
 
-type fuzz_prog = {
-  src : string;
-  nfields : int;
-  read_fields : int list;  (* fields that are read somewhere *)
+type spec = {
+  sp_nfields : int;  (* fields of struct s: f0 .. f{n-1} *)
+  sp_nelems : int;   (* elements in each anchor array *)
+  sp_loops : (int * int) list;  (* per loop nest: field mask, rounds *)
+  sp_second : bool;  (* a second anchor global of the same type *)
+  sp_free : bool;    (* free the arrays at the end *)
 }
 
 let field_ty_name i = match i mod 3 with
@@ -24,137 +33,280 @@ let field_ty_name i = match i mod 3 with
   | 1 -> "double"
   | _ -> "int"
 
-let gen_prog : fuzz_prog QCheck.Gen.t =
-  let open QCheck.Gen in
-  int_range 2 9 >>= fun nfields ->
-  int_range 2 5 >>= fun nloops ->
-  int_range 10 60 >>= fun n_elems ->
-  (* each loop reads/writes a random non-empty subset of fields *)
-  list_repeat nloops
-    (pair (int_range 0 ((1 lsl nfields) - 1)) (int_range 1 4))
-  >>= fun loop_specs ->
-  bool >>= fun use_free ->
+(* fields read by the loops of [sp] (the rest are written at init time
+   only, i.e. dead) *)
+let read_fields sp =
+  let fields_of_loop li (mask, _rounds) =
+    let fs =
+      List.filter (fun i -> mask land (1 lsl i) <> 0)
+        (List.init sp.sp_nfields Fun.id)
+    in
+    if fs = [] then [ li mod sp.sp_nfields ] else fs
+  in
+  List.concat (List.mapi fields_of_loop sp.sp_loops)
+  |> List.sort_uniq compare
+
+let render sp : string =
   let buf = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let tabs = if sp.sp_second then [ "tab"; "tab2" ] else [ "tab" ] in
   pf "struct s {\n";
-  for i = 0 to nfields - 1 do
+  for i = 0 to sp.sp_nfields - 1 do
     pf "  %s f%d;\n" (field_ty_name i) i
   done;
   pf "};\n";
-  pf "struct s *tab;\nlong acc;\ndouble facc;\n";
+  List.iter (fun t -> pf "struct s *%s;\n" t) tabs;
+  pf "long acc;\ndouble facc;\n";
   pf "int main() {\n  long i; long r;\n";
-  pf "  tab = (struct s*)malloc(%d * sizeof(struct s));\n" n_elems;
-  pf "  for (i = 0; i < %d; i++) {\n" n_elems;
-  for i = 0 to nfields - 1 do
-    match i mod 3 with
-    | 1 -> pf "    tab[i].f%d = i * 0.5 + %d.0;\n" i i
-    | _ -> pf "    tab[i].f%d = i * %d + 1;\n" i (i + 2)
-  done;
-  pf "  }\n";
-  let read_fields = ref [] in
+  List.iteri
+    (fun ti t ->
+      pf "  %s = (struct s*)malloc(%d * sizeof(struct s));\n" t sp.sp_nelems;
+      pf "  for (i = 0; i < %d; i++) {\n" sp.sp_nelems;
+      for i = 0 to sp.sp_nfields - 1 do
+        match i mod 3 with
+        | 1 -> pf "    %s[i].f%d = i * 0.5 + %d.0;\n" t i (i + ti)
+        | _ -> pf "    %s[i].f%d = i * %d + %d;\n" t i (i + 2) (ti + 1)
+      done;
+      pf "  }\n")
+    tabs;
   List.iteri
     (fun li (mask, rounds) ->
       let fields =
-        List.filter (fun i -> mask land (1 lsl i) <> 0)
-          (List.init nfields Fun.id)
+        let fs =
+          List.filter (fun i -> mask land (1 lsl i) <> 0)
+            (List.init sp.sp_nfields Fun.id)
+        in
+        if fs = [] then [ li mod sp.sp_nfields ] else fs
       in
-      let fields = if fields = [] then [ li mod nfields ] else fields in
       pf "  for (r = 0; r < %d; r++) {\n" rounds;
-      pf "    for (i = 0; i < %d; i = i + %d) {\n" n_elems ((li mod 3) + 1);
+      pf "    for (i = 0; i < %d; i = i + %d) {\n" sp.sp_nelems ((li mod 3) + 1);
       List.iter
-        (fun fi ->
-          read_fields := fi :: !read_fields;
-          match fi mod 3 with
-          | 1 -> pf "      facc = facc + tab[i].f%d;\n" fi
-          | _ ->
-            pf "      acc = acc + tab[i].f%d;\n" fi;
-            if (li + fi) mod 2 = 0 then
-              pf "      tab[i].f%d = tab[i].f%d + 1;\n" fi fi)
-        fields;
+        (fun t ->
+          List.iter
+            (fun fi ->
+              match fi mod 3 with
+              | 1 -> pf "      facc = facc + %s[i].f%d;\n" t fi
+              | _ ->
+                pf "      acc = acc + %s[i].f%d;\n" t fi;
+                if (li + fi) mod 2 = 0 then
+                  pf "      %s[i].f%d = %s[i].f%d + 1;\n" t fi t fi)
+            fields)
+        tabs;
       pf "    }\n  }\n")
-    loop_specs;
-  if use_free then pf "  free(tab);\n";
+    sp.sp_loops;
+  if sp.sp_free then List.iter (fun t -> pf "  free(%s);\n" t) tabs;
   pf "  printf(\"%%ld %%g\\n\", acc, facc);\n  return 0;\n}\n";
-  return
-    { src = Buffer.contents buf; nfields;
-      read_fields = List.sort_uniq compare !read_fields }
+  Buffer.contents buf
 
-let arbitrary_prog =
-  QCheck.make gen_prog ~print:(fun p -> p.src)
+let gen_spec : spec QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 2 9 >>= fun sp_nfields ->
+  int_range 2 5 >>= fun nloops ->
+  int_range 10 60 >>= fun sp_nelems ->
+  list_repeat nloops
+    (pair (int_range 0 ((1 lsl sp_nfields) - 1)) (int_range 1 4))
+  >>= fun sp_loops ->
+  bool >>= fun sp_second ->
+  bool >>= fun sp_free ->
+  return { sp_nfields; sp_nelems; sp_loops; sp_second; sp_free }
 
-let run_src src = (Slo_vm.Interp.run_program (D.compile src)).output
+(* shrink toward the simplest failing program: fewer loops first, then a
+   single anchor, no free, fewer elements, fewer fields, smaller masks *)
+let shrink_spec sp yield =
+  QCheck.Shrink.list_spine sp.sp_loops (fun l ->
+      yield { sp with sp_loops = l });
+  if sp.sp_second then yield { sp with sp_second = false };
+  if sp.sp_free then yield { sp with sp_free = false };
+  QCheck.Shrink.int sp.sp_nelems (fun n ->
+      if n >= 1 then yield { sp with sp_nelems = n });
+  QCheck.Shrink.int sp.sp_nfields (fun n ->
+      if n >= 2 then yield { sp with sp_nfields = n });
+  QCheck.Shrink.list_elems
+    (QCheck.Shrink.pair QCheck.Shrink.int QCheck.Shrink.int)
+    sp.sp_loops
+    (fun l -> yield { sp with sp_loops = l })
 
-let preserved prog plans =
-  let compiled = D.compile prog.src in
-  let before = Slo_vm.Interp.run_program compiled in
-  let transformed = D.transform_with_plans compiled plans in
-  let after = Slo_vm.Interp.run_program transformed in
-  String.equal before.output after.output
+(* counterexamples print as Mini-C source, not an AST or spec dump *)
+let arbitrary_spec =
+  QCheck.make gen_spec ~print:render ~shrink:shrink_spec
 
-(* random split: partition fields into hot/cold/dead (dead = never read) *)
+let anchors sp = if sp.sp_second then [ "tab"; "tab2" ] else [ "tab" ]
+
+let iters n =
+  match Sys.getenv_opt "QCHECK_LONG" with Some _ -> n * 10 | None -> n
+
+let oracle_holds src plans =
+  let rep = O.run_source src plans in
+  if O.ok rep then true
+  else QCheck.Test.fail_reportf "%s" (O.describe rep)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* random split: partition live fields into hot/cold by seed; fields never
+   read are dead *)
 let prop_random_split =
-  QCheck.Test.make ~count:60 ~name:"random split preserves output"
-    (QCheck.pair arbitrary_prog QCheck.(int_range 0 10_000))
-    (fun (p, seed) ->
-      let all = List.init p.nfields Fun.id in
-      let dead =
-        List.filter (fun i -> not (List.mem i p.read_fields)) all
-      in
-      let live = List.filter (fun i -> List.mem i p.read_fields) all in
-      (* split the live fields pseudo-randomly by seed *)
+  QCheck.Test.make ~count:(iters 60) ~name:"random split preserves behaviour"
+    (QCheck.pair arbitrary_spec QCheck.(int_range 0 10_000))
+    (fun (sp, seed) ->
+      let all = List.init sp.sp_nfields Fun.id in
+      let read = read_fields sp in
+      let dead = List.filter (fun i -> not (List.mem i read)) all in
       let hot, cold =
-        List.partition (fun i -> (seed lsr (i mod 12)) land 1 = 0) live
+        List.partition (fun i -> (seed lsr (i mod 12)) land 1 = 0) read
       in
       let hot, cold = if hot = [] then (cold, hot) else (hot, cold) in
       QCheck.assume (hot <> []);
-      preserved p
+      oracle_holds (render sp)
         [ H.Split { T.s_typ = "s"; s_hot = hot; s_cold = cold; s_dead = dead } ])
 
+(* random peel, including the two-anchor-global configuration; gated on
+   the same feasibility test the heuristics use *)
 let prop_random_peel =
-  QCheck.Test.make ~count:60 ~name:"random peel preserves output"
-    arbitrary_prog
-    (fun p ->
-      let compiled = D.compile p.src in
+  QCheck.Test.make ~count:(iters 60) ~name:"random peel preserves behaviour"
+    arbitrary_spec
+    (fun sp ->
+      let src = render sp in
+      let compiled = D.compile src in
       QCheck.assume
-        (T.peel_feasible compiled ~typ:"s" ~globals:[ "tab" ]);
-      let all = List.init p.nfields Fun.id in
-      let dead = List.filter (fun i -> not (List.mem i p.read_fields)) all in
-      let live = List.filter (fun i -> List.mem i p.read_fields) all in
-      QCheck.assume (live <> []);
-      preserved p
-        [ H.Peel { T.p_typ = "s"; p_live = live; p_dead = dead;
-                   p_globals = [ "tab" ] } ])
+        (T.peel_feasible compiled ~typ:"s" ~globals:(anchors sp));
+      let all = List.init sp.sp_nfields Fun.id in
+      let read = read_fields sp in
+      let dead = List.filter (fun i -> not (List.mem i read)) all in
+      QCheck.assume (read <> []);
+      oracle_holds src
+        [ H.Peel { T.p_typ = "s"; p_live = read; p_dead = dead;
+                   p_globals = anchors sp } ])
 
+(* random dead-field removal + reordering *)
 let prop_random_rebuild =
-  QCheck.Test.make ~count:60 ~name:"random reorder preserves output"
-    (QCheck.pair arbitrary_prog QCheck.(int_range 0 10_000))
-    (fun (p, seed) ->
-      let all = List.init p.nfields Fun.id in
-      let dead = List.filter (fun i -> not (List.mem i p.read_fields)) all in
-      let live = List.filter (fun i -> List.mem i p.read_fields) all in
-      QCheck.assume (live <> []);
+  QCheck.Test.make ~count:(iters 60)
+    ~name:"random reorder+dead-removal preserves behaviour"
+    (QCheck.pair arbitrary_spec QCheck.(int_range 0 10_000))
+    (fun (sp, seed) ->
+      let all = List.init sp.sp_nfields Fun.id in
+      let read = read_fields sp in
+      let dead = List.filter (fun i -> not (List.mem i read)) all in
+      QCheck.assume (read <> []);
       (* a seed-dependent permutation *)
       let order =
         List.sort
           (fun a b -> compare ((a * seed) mod 101) ((b * seed) mod 101))
-          live
+          read
       in
-      preserved p
+      oracle_holds (render sp)
         [ H.Rebuild { T.r_typ = "s"; r_order = order; r_dead = dead } ])
 
+(* the full framework decision, oracle-checked *)
 let prop_driver_end_to_end =
-  QCheck.Test.make ~count:40 ~name:"framework decision preserves output"
-    arbitrary_prog
-    (fun p ->
-      let compiled = D.compile p.src in
+  QCheck.Test.make ~count:(iters 40)
+    ~name:"framework decision passes the oracle" arbitrary_spec
+    (fun sp ->
+      let src = render sp in
+      let compiled = D.compile src in
       let leg, aff = D.analyze compiled ~scheme:W.ISPBO ~feedback:None in
       let plans = H.plans (H.decide compiled leg aff ~scheme:W.ISPBO) in
-      let before = run_src p.src in
-      let after =
-        (Slo_vm.Interp.run_program (D.transform_with_plans compiled plans))
-          .output
-      in
-      String.equal before after)
+      oracle_holds src plans)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation canaries: a deliberately injected transform bug must be     *)
+(* caught by the oracle                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let canary_src =
+  "struct s { long a; long b; long c; };\n\
+   struct s *tab;\n\
+   int main() { long i; long acc = 0;\n\
+   tab = (struct s*)malloc(40 * sizeof(struct s));\n\
+   for (i = 0; i < 40; i++) { tab[i].a = i; tab[i].b = 7 * i; tab[i].c = 3; }\n\
+   for (i = 0; i < 40; i++) { acc = acc + tab[i].a + tab[i].b; }\n\
+   printf(\"%ld\\n\", acc); return 0; }"
+
+let canary_plans = [ H.Rebuild { T.r_typ = "s"; r_order = [ 1; 0 ]; r_dead = [ 2 ] } ]
+
+let mutate_transformed mutate =
+  let prog = D.compile canary_src in
+  let transformed = D.transform_with_plans prog canary_plans in
+  mutate transformed;
+  O.diff ~original:prog ~transformed ()
+
+let first_instr_matching prog pick =
+  let found = ref None in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) -> if !found = None && pick i then found := Some i)
+            b.instrs)
+        f.fblocks)
+    prog.Ir.funcs;
+  match !found with
+  | Some i -> i
+  | None -> Alcotest.fail "canary: expected instruction not found"
+
+let oracle_catches_retargeted_access () =
+  (* a mis-rewritten access chain: one field address points at the wrong
+     slot; the output changes and the oracle must notice *)
+  let rep =
+    mutate_transformed (fun tr ->
+        let i =
+          first_instr_matching tr (fun i ->
+              match i.idesc with
+              | Ir.Ifieldaddr (_, _, "s", 0) -> true
+              | _ -> false)
+        in
+        match i.idesc with
+        | Ir.Ifieldaddr (r, b, s, _) -> i.idesc <- Ir.Ifieldaddr (r, b, s, 1)
+        | _ -> assert false)
+  in
+  Alcotest.(check bool) "oracle rejects" false (O.ok rep)
+
+let oracle_catches_dropped_store () =
+  (* a lost store: conservation of per-field access counts must flag it
+     even before the output diverges *)
+  let rep =
+    mutate_transformed (fun tr ->
+        List.iter
+          (fun (f : Ir.func) ->
+            List.iter
+              (fun (b : Ir.block) ->
+                let dropped = ref false in
+                b.instrs <-
+                  List.filter
+                    (fun (i : Ir.instr) ->
+                      match i.idesc with
+                      | Ir.Istore (_, _, _, Some _) when not !dropped ->
+                        dropped := true;
+                        false
+                      | _ -> true)
+                    b.instrs)
+              f.fblocks)
+          tr.Ir.funcs)
+  in
+  Alcotest.(check bool) "oracle rejects" false (O.ok rep)
+
+let oracle_catches_dangling_struct () =
+  (* a transformation that forgets to retarget a reference to the removed
+     struct: the static verifier side of the oracle must reject it *)
+  let rep =
+    mutate_transformed (fun tr ->
+        let i =
+          first_instr_matching tr (fun i ->
+              match i.idesc with
+              | Ir.Ifieldaddr (_, _, "s", _) -> true
+              | _ -> false)
+        in
+        match i.idesc with
+        | Ir.Ifieldaddr (r, b, _, fi) ->
+          i.idesc <- Ir.Ifieldaddr (r, b, "s__removed", fi)
+        | _ -> assert false)
+  in
+  (match rep.r_failures with
+  | [ O.Ill_formed_after _ ] -> ()
+  | _ -> Alcotest.fail ("expected Ill_formed_after, got: " ^ O.describe rep));
+  Alcotest.(check bool) "oracle rejects" false (O.ok rep)
 
 let () =
   Alcotest.run "fuzz"
@@ -165,5 +317,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_random_peel;
           QCheck_alcotest.to_alcotest prop_random_rebuild;
           QCheck_alcotest.to_alcotest prop_driver_end_to_end;
+        ] );
+      ( "mutation canaries",
+        [
+          Alcotest.test_case "retargeted access caught" `Quick
+            oracle_catches_retargeted_access;
+          Alcotest.test_case "dropped store caught" `Quick
+            oracle_catches_dropped_store;
+          Alcotest.test_case "dangling struct caught" `Quick
+            oracle_catches_dangling_struct;
         ] );
     ]
