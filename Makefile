@@ -1,4 +1,7 @@
-.PHONY: all build test fuzz bench clean
+.PHONY: all build test fuzz bench bench-smoke clean
+
+# worker domains for the bench harness
+JOBS ?= $(shell nproc 2>/dev/null || echo 2)
 
 all: build
 
@@ -12,8 +15,16 @@ test:
 fuzz:
 	QCHECK_LONG=1 dune exec test/test_fuzz.exe
 
+# the full evaluation: every table and figure, BENCH.json in _artifacts/
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- --jobs $(JOBS)
+
+# a fast slice for CI: Table 1 plus one Table 3 row, parallel path exercised
+bench-smoke:
+	dune exec bench/main.exe -- table1 --jobs 2 \
+	  --out _artifacts/BENCH-table1.json
+	dune exec bench/main.exe -- table3 --only 179.art --jobs 2 \
+	  --out _artifacts/BENCH-table3-smoke.json
 
 clean:
 	dune clean

@@ -1,0 +1,445 @@
+module D = Slo_core.Driver
+module L = Slo_core.Legality
+module H = Slo_core.Heuristics
+module W = Slo_profile.Weights
+module Collect = Slo_profile.Collect
+module Feedback = Slo_profile.Feedback
+module Suite = Slo_suite.Suite
+module Table = Slo_util.Table
+module Json = Slo_util.Json
+module Pool = Slo_exec.Pool
+
+type timings = {
+  t_compile_ms : float;
+  t_profile_ms : float;
+  t_analyze_ms : float;
+  t_transform_ms : float;
+  t_measure_ms : float;
+}
+
+let no_timings =
+  { t_compile_ms = 0.0; t_profile_ms = 0.0; t_analyze_ms = 0.0;
+    t_transform_ms = 0.0; t_measure_ms = 0.0 }
+
+type record = {
+  r_experiment : string;
+  r_benchmark : string;
+  r_scheme : string option;
+  r_error : string option;
+  r_cycles : (int * int) option;
+  r_l1_misses : (int * int) option;
+  r_l2_misses : (int * int) option;
+  r_speedup_pct : float option;
+  r_timings : timings;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Shared caches. The compile cache is hoisted out of the workers:     *)
+(* [precompile] fills it serially up front and workers only read it;   *)
+(* on-demand fills (test rosters) serialize on the mutex. The profile  *)
+(* memo uses one lock per entry so distinct entries collect in         *)
+(* parallel while a duplicate request blocks instead of recollecting.  *)
+(* ------------------------------------------------------------------ *)
+
+let compile_mutex = Mutex.create ()
+
+let compile_cache : (string, (Ir.program * float, exn) result) Hashtbl.t =
+  Hashtbl.create 16
+
+let compile_uncached (e : Suite.entry) =
+  match timed (fun () -> D.compile ~verify:true e.source) with
+  | p, ms -> Ok (p, ms)
+  | exception exn -> Error exn
+
+let compile (e : Suite.entry) =
+  Mutex.lock compile_mutex;
+  let res =
+    match Hashtbl.find_opt compile_cache e.name with
+    | Some r -> r
+    | None ->
+      let r = compile_uncached e in
+      Hashtbl.replace compile_cache e.name r;
+      r
+  in
+  Mutex.unlock compile_mutex;
+  match res with Ok pm -> pm | Error exn -> raise exn
+
+let precompile entries = List.iter (fun e -> try ignore (compile e) with _ -> ()) entries
+
+type fb_slot = {
+  sl_mutex : Mutex.t;
+  mutable sl_fb : Feedback.t option;
+}
+
+let fb_mutex = Mutex.create ()
+let fb_slots : (string, fb_slot) Hashtbl.t = Hashtbl.create 16
+
+let train_profile (e : Suite.entry) (prog : Ir.program) =
+  let slot =
+    Mutex.lock fb_mutex;
+    let s =
+      match Hashtbl.find_opt fb_slots e.name with
+      | Some s -> s
+      | None ->
+        let s = { sl_mutex = Mutex.create (); sl_fb = None } in
+        Hashtbl.replace fb_slots e.name s;
+        s
+    in
+    Mutex.unlock fb_mutex;
+    s
+  in
+  Mutex.lock slot.sl_mutex;
+  let result =
+    match slot.sl_fb with
+    | Some fb -> Ok (fb, 0.0)
+    | None -> (
+      match timed (fun () -> fst (Collect.collect ~args:e.train_args prog)) with
+      | fb, ms ->
+        slot.sl_fb <- Some fb;
+        Ok (fb, ms)
+      | exception exn -> Error exn)
+  in
+  Mutex.unlock slot.sl_mutex;
+  match result with Ok r -> r | Error exn -> raise exn
+
+let reset_caches () =
+  Mutex.lock compile_mutex;
+  Hashtbl.reset compile_cache;
+  Mutex.unlock compile_mutex;
+  Mutex.lock fb_mutex;
+  Hashtbl.reset fb_slots;
+  Mutex.unlock fb_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Runs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type run = {
+  pool : Pool.t;
+  mutable recs : record list; (* reversed *)
+  t_start : float;
+}
+
+let create_run ~jobs =
+  { pool = Pool.create ~jobs; recs = []; t_start = Unix.gettimeofday () }
+
+let jobs run = Pool.jobs run.pool
+let records run = List.rev run.recs
+let push_record run r = run.recs <- r :: run.recs
+let finish run = Pool.shutdown run.pool
+
+let progress fmt = Printf.printf (fmt ^^ "\n%!")
+
+let short_error msg =
+  let msg = String.map (fun c -> if c = '\n' then ' ' else c) msg in
+  if String.length msg <= 48 then msg else String.sub msg 0 45 ^ "..."
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: types and transformable types (analysis-only rows)         *)
+(* ------------------------------------------------------------------ *)
+
+type t1_row = {
+  t1_total : int;
+  t1_legal : int;
+  t1_ptsto : int;
+  t1_relax : int;
+  t1_compile_ms : float;
+  t1_analyze_ms : float;
+}
+
+let t1_job (e : Suite.entry) () =
+  let prog, t_compile = compile e in
+  let (leg, pts), t_analyze =
+    timed (fun () ->
+        (L.analyze prog, Slo_pointsto.Pointsto.analyze prog))
+  in
+  let types = L.types leg in
+  let ptsto =
+    List.length
+      (List.filter
+         (fun s ->
+           L.is_legal leg s
+           || (L.is_legal ~relax:true leg s
+              && Slo_pointsto.Pointsto.refutable pts s))
+         types)
+  in
+  {
+    t1_total = List.length types;
+    t1_legal = L.legal_count leg;
+    t1_ptsto = ptsto;
+    t1_relax = L.legal_count ~relax:true leg;
+    t1_compile_ms = t_compile;
+    t1_analyze_ms = t_analyze;
+  }
+
+let table1 run ~roster =
+  let t =
+    Table.create
+      [ ("Benchmark", Table.Left); ("Types", Table.Right);
+        ("Legal", Table.Right); ("%", Table.Right);
+        ("PtsTo", Table.Right); ("%", Table.Right);
+        ("Relax", Table.Right); ("%", Table.Right);
+        ("paper L%", Table.Right); ("paper R%", Table.Right) ]
+  in
+  (* hoist compilation out of the workers: fill the cache serially here
+     so jobs only read it (a failed compile resurfaces inside the job) *)
+  precompile roster;
+  let futures =
+    List.map (fun e -> (e, Pool.submit run.pool (t1_job e))) roster
+  in
+  let errors = ref [] in
+  let sum_l = ref 0.0 and sum_p = ref 0.0 and sum_r = ref 0.0 in
+  let n = ref 0 in
+  List.iter
+    (fun ((e : Suite.entry), fut) ->
+      let paper_l, paper_r =
+        match e.paper with
+        | Some p -> (Table.fpct p.p_legal_pct, Table.fpct p.p_relax_pct)
+        | None -> ("-", "-")
+      in
+      match Pool.await fut with
+      | Ok row ->
+        let pct x = 100.0 *. float_of_int x /. float_of_int row.t1_total in
+        sum_l := !sum_l +. pct row.t1_legal;
+        sum_p := !sum_p +. pct row.t1_ptsto;
+        sum_r := !sum_r +. pct row.t1_relax;
+        incr n;
+        Table.add_row t
+          [ e.name; string_of_int row.t1_total; string_of_int row.t1_legal;
+            Table.fpct (pct row.t1_legal); string_of_int row.t1_ptsto;
+            Table.fpct (pct row.t1_ptsto); string_of_int row.t1_relax;
+            Table.fpct (pct row.t1_relax); paper_l; paper_r ];
+        push_record run
+          {
+            r_experiment = "table1"; r_benchmark = e.name; r_scheme = None;
+            r_error = None; r_cycles = None; r_l1_misses = None;
+            r_l2_misses = None; r_speedup_pct = None;
+            r_timings =
+              { no_timings with t_compile_ms = row.t1_compile_ms;
+                t_analyze_ms = row.t1_analyze_ms };
+          }
+      | Error (err : Pool.error) ->
+        errors := (e.name, err.err_exn) :: !errors;
+        Table.add_row t
+          [ e.name; "ERROR"; "-"; "-"; "-"; "-"; "-"; "-"; paper_l; paper_r ];
+        push_record run
+          {
+            r_experiment = "table1"; r_benchmark = e.name; r_scheme = None;
+            r_error = Some err.err_exn; r_cycles = None; r_l1_misses = None;
+            r_l2_misses = None; r_speedup_pct = None; r_timings = no_timings;
+          })
+    futures;
+  Table.add_sep t;
+  let avg x = if !n = 0 then 0.0 else !x /. float_of_int !n in
+  Table.add_row t
+    [ "Average:"; ""; ""; Table.fpct (avg sum_l); "";
+      Table.fpct (avg sum_p); ""; Table.fpct (avg sum_r);
+      Table.fpct Suite.paper_avg_legal_pct;
+      Table.fpct Suite.paper_avg_relax_pct ];
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Table.render t);
+  List.iter
+    (fun (name, msg) ->
+      Buffer.add_string buf
+        (Printf.sprintf "!! %s failed: %s\n" name msg))
+    (List.rev !errors);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: transformed types and performance impact (full pipeline)   *)
+(* ------------------------------------------------------------------ *)
+
+type t3_row = {
+  t3_total : int;
+  t3_transformed : int;
+  t3_split_dead : int;
+  t3_speedup_pct : float;
+  t3_cycles : int * int;
+  t3_l1 : int * int;
+  t3_l2 : int * int;
+  t3_mismatch : bool;
+  t3_timings : timings;
+}
+
+let t3_job (e : Suite.entry) scheme () =
+  let prog, t_compile = compile e in
+  let feedback, t_profile =
+    if W.needs_profile scheme then begin
+      let fb, ms = train_profile e prog in
+      (Some fb, ms)
+    end
+    else (None, 0.0)
+  in
+  let ev = D.evaluate ~args:e.ref_args ~verify:true ~scheme ~feedback prog in
+  let transformed =
+    List.length
+      (List.filter (fun (d : H.decision) -> d.d_plan <> None) ev.e_decisions)
+  in
+  let split_dead =
+    List.fold_left
+      (fun acc (d : H.decision) ->
+        match d.d_plan with
+        | Some (H.Split s) ->
+          acc + List.length s.s_cold + List.length s.s_dead
+        | Some (H.Peel p) -> acc + List.length p.p_dead
+        | Some (H.Rebuild r) -> acc + List.length r.r_dead
+        | None -> acc)
+      0 ev.e_decisions
+  in
+  {
+    t3_total = List.length ev.e_decisions;
+    t3_transformed = transformed;
+    t3_split_dead = split_dead;
+    t3_speedup_pct = ev.e_speedup_pct;
+    t3_cycles = (ev.e_before.m_cycles, ev.e_after.m_cycles);
+    t3_l1 = (ev.e_before.m_l1_misses, ev.e_after.m_l1_misses);
+    t3_l2 = (ev.e_before.m_l2_misses, ev.e_after.m_l2_misses);
+    t3_mismatch = ev.e_before.m_result.output <> ev.e_after.m_result.output;
+    t3_timings =
+      {
+        t_compile_ms = t_compile;
+        t_profile_ms = t_profile;
+        t_analyze_ms = ev.e_phases.D.ph_analyze_ms;
+        t_transform_ms = ev.e_phases.D.ph_transform_ms;
+        t_measure_ms = ev.e_phases.D.ph_measure_ms;
+      };
+  }
+
+let table3 run ~roster =
+  let t =
+    Table.create
+      [ ("Benchmark", Table.Left); ("PBO", Table.Left); ("T", Table.Right);
+        ("Tt", Table.Right); ("S/D", Table.Right);
+        ("Performance", Table.Right); ("paper", Table.Right) ]
+  in
+  (* the paper shows mcf and moldyn with and without profiles *)
+  let units =
+    List.concat_map
+      (fun (e : Suite.entry) ->
+        (e, W.PBO, "yes")
+        ::
+        (if List.mem e.name [ "181.mcf"; "moldyn" ] then
+           [ (e, W.ISPBO, "no") ]
+         else []))
+      roster
+  in
+  precompile roster;
+  let futures =
+    List.map
+      (fun (e, scheme, label) ->
+        progress "(evaluating %s [%s]...)" e.Suite.name label;
+        (e, scheme, label, Pool.submit run.pool (t3_job e scheme)))
+      units
+  in
+  let warnings = ref [] in
+  List.iter
+    (fun ((e : Suite.entry), scheme, label, fut) ->
+      let paper =
+        match e.paper with Some p -> p.p_perf | None -> "-"
+      in
+      match Pool.await fut with
+      | Ok row ->
+        if row.t3_mismatch then
+          warnings :=
+            Printf.sprintf "!! OUTPUT MISMATCH on %s — transformation bug"
+              e.name
+            :: !warnings;
+        Table.add_row t
+          [ e.name; label; string_of_int row.t3_total;
+            string_of_int row.t3_transformed;
+            string_of_int row.t3_split_dead;
+            Printf.sprintf "%+.1f%%" row.t3_speedup_pct; paper ];
+        push_record run
+          {
+            r_experiment = "table3"; r_benchmark = e.name;
+            r_scheme = Some (W.name scheme); r_error = None;
+            r_cycles = Some row.t3_cycles; r_l1_misses = Some row.t3_l1;
+            r_l2_misses = Some row.t3_l2;
+            r_speedup_pct = Some row.t3_speedup_pct;
+            r_timings = row.t3_timings;
+          }
+      | Error (err : Pool.error) ->
+        warnings :=
+          Printf.sprintf "!! %s [%s] failed: %s" e.name label err.err_exn
+          :: !warnings;
+        Table.add_row t
+          [ e.name; label; "-"; "-"; "-";
+            "ERROR: " ^ short_error err.err_exn; paper ];
+        push_record run
+          {
+            r_experiment = "table3"; r_benchmark = e.name;
+            r_scheme = Some (W.name scheme); r_error = Some err.err_exn;
+            r_cycles = None; r_l1_misses = None; r_l2_misses = None;
+            r_speedup_pct = None; r_timings = no_timings;
+          })
+    futures;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Table.render t);
+  List.iter
+    (fun w -> Buffer.add_string buf (w ^ "\n"))
+    (List.rev !warnings);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_pair = function
+  | Some (b, a) -> (Json.Int b, Json.Int a)
+  | None -> (Json.Null, Json.Null)
+
+let json_of_record ?(with_timings = true) r =
+  let tm = if with_timings then r.r_timings else no_timings in
+  let cyc_b, cyc_a = json_of_pair r.r_cycles in
+  let l1_b, l1_a = json_of_pair r.r_l1_misses in
+  let l2_b, l2_a = json_of_pair r.r_l2_misses in
+  Json.Obj
+    [ ("experiment", Json.String r.r_experiment);
+      ("benchmark", Json.String r.r_benchmark);
+      ("scheme",
+       match r.r_scheme with Some s -> Json.String s | None -> Json.Null);
+      ("error",
+       match r.r_error with Some e -> Json.String e | None -> Json.Null);
+      ("cycles_before", cyc_b); ("cycles_after", cyc_a);
+      ("l1_misses_before", l1_b); ("l1_misses_after", l1_a);
+      ("l2_misses_before", l2_b); ("l2_misses_after", l2_a);
+      ("speedup_pct",
+       match r.r_speedup_pct with Some p -> Json.Float p | None -> Json.Null);
+      ("timings_ms",
+       Json.Obj
+         [ ("compile", Json.Float tm.t_compile_ms);
+           ("profile", Json.Float tm.t_profile_ms);
+           ("analyze", Json.Float tm.t_analyze_ms);
+           ("transform", Json.Float tm.t_transform_ms);
+           ("measure", Json.Float tm.t_measure_ms) ]) ]
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if String.equal line "" then "unknown" else line
+  with _ -> "unknown"
+
+let write_json run ~path =
+  let doc =
+    Json.Obj
+      [ ("schema_version", Json.Int 1);
+        ("tool", Json.String "slo-bench");
+        ("git_rev", Json.String (git_rev ()));
+        ("jobs", Json.Int (jobs run));
+        ("wall_clock_s",
+         Json.Float (Unix.gettimeofday () -. run.t_start));
+        ("results", Json.List (List.map json_of_record (records run))) ]
+  in
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc

@@ -1,0 +1,91 @@
+(** The parallel evaluation engine behind [bench/main.exe].
+
+    Each per-benchmark unit of work (compile → collect profile → analyze
+    → transform → measure before/after) is a pure job dispatched to a
+    {!Slo_exec.Pool} of worker domains; results are collected in roster
+    order, so the rendered tables are byte-identical regardless of the
+    worker count. A job that crashes surfaces as a per-entry error row
+    (and an [error] field in the JSON record) instead of killing the run.
+
+    Every run records per-phase wall-clock timings and machine-readable
+    result rows, written as [_artifacts/BENCH.json] so that successive
+    PRs have a perf trajectory to compare against. *)
+
+type timings = {
+  t_compile_ms : float;   (** parse + typecheck + lower + verify *)
+  t_profile_ms : float;   (** train-profile collection; 0 on cache hit *)
+  t_analyze_ms : float;   (** legality + affinity + decide *)
+  t_transform_ms : float; (** copy + apply plans + verify *)
+  t_measure_ms : float;   (** before/after VM runs *)
+}
+
+type record = {
+  r_experiment : string;        (** "table1" | "table3" *)
+  r_benchmark : string;
+  r_scheme : string option;     (** [None] for analysis-only rows *)
+  r_error : string option;      (** [Some exn] for a crashed job's row *)
+  r_cycles : (int * int) option;       (** before, after *)
+  r_l1_misses : (int * int) option;
+  r_l2_misses : (int * int) option;
+  r_speedup_pct : float option;
+  r_timings : timings;
+}
+
+(* ---------------- shared caches ---------------- *)
+
+val compile : Slo_suite.Suite.entry -> Ir.program * float
+(** Memoized [Driver.compile ~verify:true] (every bench run doubles as a
+    verifier sweep); returns the program and the original compile time in
+    ms. Re-raises the stored exception for an entry that failed. Safe to
+    call from worker domains; the cache itself is filled under a mutex
+    (call {!precompile} first to hoist all compilation out of the
+    workers). *)
+
+val precompile : Slo_suite.Suite.entry list -> unit
+(** Compile every entry serially in the calling domain, caching per-entry
+    results — including failures, which later {!compile} calls re-raise. *)
+
+val train_profile :
+  Slo_suite.Suite.entry -> Ir.program -> Slo_profile.Feedback.t * float
+(** Memoized train-input profile collection ([Collect.collect
+    ~args:e.train_args]), keyed by entry name with a per-entry lock so
+    distinct entries collect in parallel. Returns the feedback and the
+    collection time in ms (0.0 on a cache hit). This is the cache that
+    Table 2 / Figure 2 / the ablation and Table 3's PBO rows share — the
+    mcf train run is collected exactly once per process. *)
+
+val reset_caches : unit -> unit
+(** Drop the compile and profile caches (tests). *)
+
+(* ---------------- runs ---------------- *)
+
+type run
+
+val create_run : jobs:int -> run
+(** Start a run backed by a fresh pool of [jobs] worker domains. *)
+
+val jobs : run -> int
+
+val records : run -> record list
+(** All records accumulated so far, in submission order. *)
+
+val table1 : run -> roster:Slo_suite.Suite.entry list -> string
+(** Types / transformable types (legality + points-to), one job per
+    entry. Returns the rendered table (headers to print live are the
+    caller's business); progress lines are printed at dispatch time. *)
+
+val table3 : run -> roster:Slo_suite.Suite.entry list -> string
+(** Transformed types and performance impact: one job per (entry,
+    scheme) row, PBO for everyone plus the paper's no-profile ISPBO rows
+    for mcf and moldyn. *)
+
+val write_json : run -> path:string -> unit
+(** Write the accumulated records plus run metadata (jobs, git revision,
+    wall-clock) as JSON to [path], creating the directory if needed. *)
+
+val finish : run -> unit
+(** Shut the worker pool down. *)
+
+val json_of_record : ?with_timings:bool -> record -> Slo_util.Json.t
+(** One record as JSON; [~with_timings:false] zeroes the timing block so
+    runs can be compared for semantic equality. *)

@@ -1,10 +1,20 @@
 (* Benchmark harness: regenerates every table and figure of the paper.
 
    Usage:
-     dune exec bench/main.exe            -- everything
-     dune exec bench/main.exe table1     -- one experiment
+     dune exec bench/main.exe                     -- everything, serially
+     dune exec bench/main.exe -- table1 --jobs 8  -- one experiment, 8 workers
    Targets: table1 table2 table3 figure1 figure2 ablation overhead
-            casestudies timings *)
+            casestudies timings
+   Options:
+     --jobs N | -j N   worker domains for the parallel experiments
+                       (table1, table3); default 1
+     --only NAME       restrict table1/table3 to this roster entry
+                       (repeatable)
+     --out FILE        where to write the machine-readable results
+                       (default _artifacts/BENCH.json)
+
+   Every run writes machine-readable per-row results (cycles, misses,
+   speedup, per-phase timings, jobs, git rev) to the --out file. *)
 
 module D = Slo_core.Driver
 module L = Slo_core.Legality
@@ -18,80 +28,20 @@ module Matching = Slo_profile.Matching
 module Suite = Slo_suite.Suite
 module Table = Slo_util.Table
 module Stats = Slo_util.Stats
+module Engine = Slo_bench.Engine
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
-let compile_cache : (string, Ir.program) Hashtbl.t = Hashtbl.create 16
-
-let compile (e : Suite.entry) =
-  match Hashtbl.find_opt compile_cache e.name with
-  | Some p -> p
-  | None ->
-    let p = D.compile e.source in
-    Hashtbl.replace compile_cache e.name p;
-    p
+let compile (e : Suite.entry) = fst (Engine.compile e)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: types and transformable types                              *)
 (* ------------------------------------------------------------------ *)
 
-let table1 () =
+let table1 run roster =
   say "== Table 1: Types and transformable types, with and without";
   say "==          CSTF/CSTT/ATKN (plus the real points-to column) ==";
-  let t =
-    Table.create
-      [ ("Benchmark", Table.Left); ("Types", Table.Right);
-        ("Legal", Table.Right); ("%", Table.Right);
-        ("PtsTo", Table.Right); ("%", Table.Right);
-        ("Relax", Table.Right); ("%", Table.Right);
-        ("paper L%", Table.Right); ("paper R%", Table.Right) ]
-  in
-  let sum_l = ref 0.0 and sum_p = ref 0.0 and sum_r = ref 0.0 in
-  let n = ref 0 in
-  List.iter
-    (fun (e : Suite.entry) ->
-      let prog = compile e in
-      let leg = L.analyze prog in
-      let pts = Slo_pointsto.Pointsto.analyze prog in
-      let types = L.types leg in
-      let total = List.length types in
-      let legal = L.legal_count leg in
-      let relax = L.legal_count ~relax:true leg in
-      (* points-to-legal: strict-legal, or relax-recoverable and not
-         collapsed *)
-      let ptsto =
-        List.length
-          (List.filter
-             (fun s ->
-               L.is_legal leg s
-               || (L.is_legal ~relax:true leg s
-                  && Slo_pointsto.Pointsto.refutable pts s))
-             types)
-      in
-      let pct x = 100.0 *. float_of_int x /. float_of_int total in
-      sum_l := !sum_l +. pct legal;
-      sum_p := !sum_p +. pct ptsto;
-      sum_r := !sum_r +. pct relax;
-      incr n;
-      let paper_l, paper_r =
-        match e.paper with
-        | Some p -> (Table.fpct p.p_legal_pct, Table.fpct p.p_relax_pct)
-        | None -> ("-", "-")
-      in
-      Table.add_row t
-        [ e.name; string_of_int total; string_of_int legal;
-          Table.fpct (pct legal); string_of_int ptsto;
-          Table.fpct (pct ptsto); string_of_int relax;
-          Table.fpct (pct relax); paper_l; paper_r ])
-    Suite.roster;
-  Table.add_sep t;
-  let avg x = !x /. float_of_int !n in
-  Table.add_row t
-    [ "Average:"; ""; ""; Table.fpct (avg sum_l); "";
-      Table.fpct (avg sum_p); ""; Table.fpct (avg sum_r);
-      Table.fpct Suite.paper_avg_legal_pct;
-      Table.fpct Suite.paper_avg_relax_pct ];
-  print_string (Table.render t);
+  print_string (Engine.table1 run ~roster);
   say ""
 
 (* ------------------------------------------------------------------ *)
@@ -107,7 +57,9 @@ let get_mcf_feedbacks () =
     let e = Suite.find "181.mcf" in
     let prog = compile e in
     say "(collecting mcf profiles: train, reference, uninstrumented...)";
-    let fb_train, _ = Collect.collect ~args:e.train_args prog in
+    (* the train profile comes from the shared memo, so Table 3's PBO row
+       and the ablation reuse this run instead of re-collecting *)
+    let fb_train, _ = Engine.train_profile e prog in
     let fb_ref, _ = Collect.collect ~args:e.ref_args prog in
     let fb_noinstr, _ =
       Collect.collect ~args:e.train_args ~instrument:false prog
@@ -190,14 +142,18 @@ let table2 () =
   Table.add_sep t;
   let baseline = List.assoc "PBO" columns in
   let hottest = Stats.argmax baseline in
-  let corr col = Stats.correlation baseline col in
-  let corr' col = Stats.correlation_excluding hottest baseline col in
+  (* a zero-variance column has no defined correlation: render "-"
+     rather than a fake 0.000 *)
+  let fcorr = function
+    | Some r -> Printf.sprintf "%.3f" r
+    | None -> "-"
+  in
+  let corr col = fcorr (Stats.correlation baseline col) in
+  let corr' col = fcorr (Stats.correlation_excluding hottest baseline col) in
   Table.add_row t
-    ("Correlation r"
-    :: List.map (fun (_, col) -> Printf.sprintf "%.3f" (corr col)) columns);
+    ("Correlation r" :: List.map (fun (_, col) -> corr col) columns);
   Table.add_row t
-    ("Correlation r'"
-    :: List.map (fun (_, col) -> Printf.sprintf "%.3f" (corr' col)) columns);
+    ("Correlation r'" :: List.map (fun (_, col) -> corr' col) columns);
   print_string (Table.render t);
   say "(r' disregards the PBO-hottest field, %s; paper: potential)"
     decl.fields.(hottest).name;
@@ -207,62 +163,9 @@ let table2 () =
 (* Table 3: transformed types and performance impact                   *)
 (* ------------------------------------------------------------------ *)
 
-let eval_row (e : Suite.entry) scheme =
-  let prog = compile e in
-  let feedback =
-    if W.needs_profile scheme then begin
-      let fb, _ = Collect.collect ~args:e.train_args prog in
-      Some fb
-    end
-    else None
-  in
-  D.evaluate ~args:e.ref_args ~scheme ~feedback prog
-
-let table3 () =
+let table3 run roster =
   say "== Table 3: Transformable/transformed types and performance ==";
-  let t =
-    Table.create
-      [ ("Benchmark", Table.Left); ("PBO", Table.Left); ("T", Table.Right);
-        ("Tt", Table.Right); ("S/D", Table.Right);
-        ("Performance", Table.Right); ("paper", Table.Right) ]
-  in
-  let do_row (e : Suite.entry) scheme pbo_label =
-    say "(evaluating %s [%s]...)" e.name pbo_label;
-    let ev = eval_row e scheme in
-    if
-      ev.e_before.m_result.output <> ev.e_after.m_result.output
-    then
-      say "!! OUTPUT MISMATCH on %s — transformation bug" e.name;
-    let total = List.length ev.e_decisions in
-    let transformed =
-      List.length (List.filter (fun (d : H.decision) -> d.d_plan <> None)
-                     ev.e_decisions)
-    in
-    let split_dead =
-      List.fold_left
-        (fun acc (d : H.decision) ->
-          match d.d_plan with
-          | Some (H.Split s) ->
-            acc + List.length s.s_cold + List.length s.s_dead
-          | Some (H.Peel p) -> acc + List.length p.p_dead
-          | Some (H.Rebuild r) -> acc + List.length r.r_dead
-          | None -> acc)
-        0 ev.e_decisions
-    in
-    Table.add_row t
-      [ e.name; pbo_label; string_of_int total; string_of_int transformed;
-        string_of_int split_dead;
-        Printf.sprintf "%+.1f%%" ev.e_speedup_pct;
-        (match e.paper with Some p -> p.p_perf | None -> "-") ]
-  in
-  List.iter
-    (fun (e : Suite.entry) ->
-      do_row e W.PBO "yes";
-      (* the paper shows mcf and moldyn with and without profiles *)
-      if List.mem e.name [ "181.mcf"; "moldyn" ] then
-        do_row e W.ISPBO "no")
-    Suite.roster;
-  print_string (Table.render t);
+  print_string (Engine.table3 run ~roster);
   say "";
   say "(performance = speedup (cycles_before/cycles_after - 1);";
   say " the simulator over-rewards splitting relative to Itanium hardware —";
@@ -354,7 +257,7 @@ let ablation () =
   say "==  time (paper: -9%%) and time+mark (paper: -35%%) out of node ==";
   let e = Suite.find "181.mcf" in
   let prog = compile e in
-  let fb, _ = Collect.collect ~args:e.train_args prog in
+  let fb, _ = Engine.train_profile e prog in
   let leg, aff = D.analyze prog ~scheme:W.PBO ~feedback:(Some fb) in
   let decisions = H.decide prog leg aff ~scheme:W.PBO in
   let base_plan =
@@ -542,35 +445,74 @@ let timings () =
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let all () =
-  table1 ();
-  table2 ();
-  figure1 ();
-  figure2 ();
-  table3 ();
-  ablation ();
-  casestudies ();
-  overhead ();
-  timings ()
+let usage () =
+  prerr_endline
+    "usage: main.exe [TARGET...] [--jobs N|-j N] [--only NAME] [--out FILE]\n\
+     targets: table1 table2 table3 figure1 figure2 ablation overhead\n\
+     \         casestudies timings";
+  exit 2
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] -> all ()
-  | _ :: targets ->
-    List.iter
-      (fun t ->
-        match t with
-        | "table1" -> table1 ()
-        | "table2" -> table2 ()
-        | "table3" -> table3 ()
-        | "figure1" -> figure1 ()
-        | "figure2" -> figure2 ()
-        | "ablation" -> ablation ()
-        | "casestudies" -> casestudies ()
-        | "overhead" -> overhead ()
-        | "timings" -> timings ()
-        | other ->
-          Printf.eprintf "unknown target %S\n" other;
-          exit 2)
-      targets
-  | [] -> all ()
+  let jobs = ref 1 in
+  let only = ref [] in
+  let out = ref (Filename.concat "_artifacts" "BENCH.json") in
+  let targets = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | ("--jobs" | "-j") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> jobs := n; parse rest
+      | _ ->
+        Printf.eprintf "bad --jobs value %S\n" v;
+        exit 2)
+    | [ "--jobs" ] | [ "-j" ] | [ "--only" ] | [ "--out" ] -> usage ()
+    | "--only" :: v :: rest -> only := v :: !only; parse rest
+    | "--out" :: v :: rest -> out := v; parse rest
+    | t :: rest ->
+      (match t with
+      | "table1" | "table2" | "table3" | "figure1" | "figure2" | "ablation"
+      | "casestudies" | "overhead" | "timings" -> targets := t :: !targets
+      | other ->
+        Printf.eprintf "unknown target %S\n" other;
+        usage ());
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roster =
+    match !only with
+    | [] -> Suite.roster
+    | names ->
+      List.iter
+        (fun n ->
+          if not (List.exists (fun (e : Suite.entry) -> e.name = n) Suite.roster)
+          then begin
+            Printf.eprintf "unknown --only benchmark %S\n" n;
+            exit 2
+          end)
+        names;
+      List.filter (fun (e : Suite.entry) -> List.mem e.name names) Suite.roster
+  in
+  let run = Engine.create_run ~jobs:!jobs in
+  let dispatch = function
+    | "table1" -> table1 run roster
+    | "table2" -> table2 ()
+    | "table3" -> table3 run roster
+    | "figure1" -> figure1 ()
+    | "figure2" -> figure2 ()
+    | "ablation" -> ablation ()
+    | "casestudies" -> casestudies ()
+    | "overhead" -> overhead ()
+    | "timings" -> timings ()
+    | _ -> assert false
+  in
+  let targets =
+    match List.rev !targets with
+    | [] ->
+      [ "table1"; "table2"; "figure1"; "figure2"; "table3"; "ablation";
+        "casestudies"; "overhead"; "timings" ]
+    | ts -> ts
+  in
+  List.iter dispatch targets;
+  Engine.write_json run ~path:!out;
+  say "(machine-readable results written to %s)" !out;
+  Engine.finish run

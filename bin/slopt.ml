@@ -205,12 +205,24 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute under the Itanium-like cache simulator")
     Term.(const run $ file_arg $ args_arg)
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the evaluation: with $(docv) > 1 the \
+                 before/after measurement runs execute in parallel.")
+
 let bench_cmd =
-  let run file args profile scheme verify =
+  let run file args profile scheme verify jobs =
+    if jobs < 1 then begin
+      prerr_endline "ERROR: --jobs must be >= 1";
+      exit 2
+    end;
     let prog = or_die (load ~verify file) in
     let feedback = feedback_of profile in
     let scheme = if feedback <> None then W.PBO else scheme in
-    let ev = checked (fun () -> D.evaluate ~args ~verify ~scheme ~feedback prog) in
+    let ev =
+      checked (fun () -> D.evaluate ~args ~verify ~jobs ~scheme ~feedback prog)
+    in
     List.iter
       (fun (d : H.decision) ->
         match d.d_plan with
@@ -227,7 +239,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Measure original vs transformed program")
     Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg
-          $ verify_arg)
+          $ verify_arg $ jobs_arg)
 
 let () =
   let doc = "structure layout optimization framework (CGO'06 reproduction)" in

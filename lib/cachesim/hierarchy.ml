@@ -57,16 +57,49 @@ let touch c ~addr ~size ~write =
   done;
   !all_hit
 
+(* an L1 miss fetches one whole L1 line from L2, so each missing L1 line
+   is a separate L2 access for the L2 line(s) containing it; L1-hitting
+   lines of a multi-line access never reach L2 *)
+let descend_line t ~l1_base ~write =
+  touch t.c2 ~addr:l1_base ~size:(Cache.line_size t.c1) ~write
+
 let access t ~addr ~size ~write ~is_float =
   t.n_access <- t.n_access + 1;
   let lat, lvl =
     if is_float && t.cfg.fp_bypass_l1 then begin
+      (* FP bypasses L1: L2 is its first level; L2-missing lines go to
+         memory, which holds no state to touch *)
       if touch t.c2 ~addr ~size ~write then (t.cfg.l2_lat, L2)
       else (t.cfg.mem_lat, Mem)
     end
-    else if touch t.c1 ~addr ~size ~write then (t.cfg.l1_lat, L1)
-    else if touch t.c2 ~addr ~size ~write then (t.cfg.l2_lat, L2)
-    else (t.cfg.mem_lat, Mem)
+    else begin
+      let line1 = Cache.line_size t.c1 in
+      let first = addr / line1 and last = (addr + max size 1 - 1) / line1 in
+      if first = last then begin
+        (* the common single-line access: no list bookkeeping *)
+        if Cache.access t.c1 ~addr:(first * line1) ~write then
+          (t.cfg.l1_lat, L1)
+        else if descend_line t ~l1_base:(first * line1) ~write then
+          (t.cfg.l2_lat, L2)
+        else (t.cfg.mem_lat, Mem)
+      end
+      else begin
+        (* line-straddling access: only the L1-missing lines descend to
+           L2 (the lines that hit in L1 are served there and must not
+           inflate L2 traffic or perturb its LRU state) *)
+        let any_l1_miss = ref false and all_l2_hit = ref true in
+        for l = first to last do
+          if not (Cache.access t.c1 ~addr:(l * line1) ~write) then begin
+            any_l1_miss := true;
+            if not (descend_line t ~l1_base:(l * line1) ~write) then
+              all_l2_hit := false
+          end
+        done;
+        if not !any_l1_miss then (t.cfg.l1_lat, L1)
+        else if !all_l2_hit then (t.cfg.l2_lat, L2)
+        else (t.cfg.mem_lat, Mem)
+      end
+    end
   in
   (match lvl with
   | L1 -> t.by_l1 <- t.by_l1 + 1

@@ -40,9 +40,17 @@ type t
 val create : config -> t
 
 val access : t -> addr:int -> size:int -> write:bool -> is_float:bool -> int * level
-(** Simulate one access; returns (latency in cycles, level that served it).
-    Accesses crossing a line boundary touch both lines (latency is the
-    maximum). *)
+(** Simulate one access; returns (latency in cycles, level that served it
+    — the deepest level any covered line had to go to).
+
+    A line-straddling access touches every L1 line it covers, but only
+    the lines that {e miss} in L1 descend to L2: each missing L1 line is
+    one L2 access for the L2 line containing it (two missing L1 lines
+    falling into the same 128-byte L2 line are two L2 accesses, the
+    second of which normally hits — each L1 fill is its own L2 request).
+    Lines that hit in L1 never reach L2, so partial hits neither inflate
+    L2 traffic nor perturb L2's LRU state. The same rule applies at the
+    L2→memory boundary: only L2-missing lines count as memory traffic. *)
 
 val access_quiet : t -> addr:int -> size:int -> write:bool -> is_float:bool -> unit
 (** {!access} for callers that only want the counters updated (the plain

@@ -2,6 +2,7 @@ module Interp = Slo_vm.Interp
 module Hierarchy = Slo_cachesim.Hierarchy
 module Weights = Slo_profile.Weights
 module Feedback = Slo_profile.Feedback
+module Pool = Slo_exec.Pool
 
 type measurement = {
   m_result : Interp.result;
@@ -11,12 +12,19 @@ type measurement = {
   m_accesses : int;
 }
 
+type phase_ms = {
+  ph_analyze_ms : float;
+  ph_transform_ms : float;
+  ph_measure_ms : float;
+}
+
 type evaluation = {
   e_before : measurement;
   e_after : measurement;
   e_decisions : Heuristics.decision list;
   e_transformed : Ir.program;
   e_speedup_pct : float;
+  e_phases : phase_ms;
 }
 
 let compile ?(verify = false) source =
@@ -55,23 +63,53 @@ let transform_with_plans ?(verify = false) prog plans =
   copy
 
 let speedup_pct ~before ~after =
-  if after.m_cycles = 0 then 0.0
-  else
-    (float_of_int before.m_cycles /. float_of_int after.m_cycles -. 1.0)
-    *. 100.0
+  if before.m_cycles <= 0 || after.m_cycles <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Driver.speedup_pct: non-positive cycle count (before=%d, \
+          after=%d) — broken measurement"
+         before.m_cycles after.m_cycles);
+  (float_of_int before.m_cycles /. float_of_int after.m_cycles -. 1.0)
+  *. 100.0
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
 
 let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold
-    ?(verify = false) ~scheme ~feedback (prog : Ir.program) : evaluation =
-  let leg, aff = analyze prog ~scheme ~feedback in
-  let decisions = Heuristics.decide ?threshold prog leg aff ~scheme in
+    ?(verify = false) ?(jobs = 1) ~scheme ~feedback (prog : Ir.program) :
+    evaluation =
+  let (leg, aff), t_an = timed (fun () -> analyze prog ~scheme ~feedback) in
+  let decisions, t_dec =
+    timed (fun () -> Heuristics.decide ?threshold prog leg aff ~scheme)
+  in
   let plans = Heuristics.plans decisions in
-  let transformed = transform_with_plans ~verify prog plans in
-  let before = measure ~args ~config prog in
-  let after = measure ~args ~config transformed in
+  let transformed, t_tr =
+    timed (fun () -> transform_with_plans ~verify prog plans)
+  in
+  let (before, after), t_me =
+    timed (fun () ->
+        if jobs > 1 then begin
+          (* the two measurement runs are independent; overlap them *)
+          let pool = Pool.create ~jobs:2 in
+          let fb = Pool.submit pool (fun () -> measure ~args ~config prog) in
+          let fa =
+            Pool.submit pool (fun () -> measure ~args ~config transformed)
+          in
+          let before = Pool.await_exn fb and after = Pool.await_exn fa in
+          Pool.shutdown pool;
+          (before, after)
+        end
+        else (measure ~args ~config prog, measure ~args ~config transformed))
+  in
   {
     e_before = before;
     e_after = after;
     e_decisions = decisions;
     e_transformed = transformed;
     e_speedup_pct = speedup_pct ~before ~after;
+    e_phases =
+      { ph_analyze_ms = t_an +. t_dec; ph_transform_ms = t_tr;
+        ph_measure_ms = t_me };
   }

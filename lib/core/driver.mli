@@ -17,12 +17,21 @@ type measurement = {
   m_accesses : int;
 }
 
+type phase_ms = {
+  ph_analyze_ms : float;    (** legality + affinity + decide *)
+  ph_transform_ms : float;  (** copy + apply plans (+ verify) *)
+  ph_measure_ms : float;    (** both before/after VM runs *)
+}
+(** Wall-clock per-phase timings of one {!evaluate} call, in
+    milliseconds, for the bench harness's perf-trajectory records. *)
+
 type evaluation = {
   e_before : measurement;
   e_after : measurement;
   e_decisions : Heuristics.decision list;
   e_transformed : Ir.program;
   e_speedup_pct : float;
+  e_phases : phase_ms;
 }
 
 val compile : ?verify:bool -> string -> Ir.program
@@ -54,13 +63,19 @@ val evaluate :
   ?config:Slo_cachesim.Hierarchy.config ->
   ?threshold:float ->
   ?verify:bool ->
+  ?jobs:int ->
   scheme:Slo_profile.Weights.scheme ->
   feedback:Slo_profile.Feedback.t option ->
   Ir.program ->
   evaluation
-(** Full pipeline on an already-compiled program. Raises
-    [Invalid_argument] if a profile-based scheme is given no feedback,
-    and {!Verify.Ill_formed} if [~verify:true] and the transformed IR is
-    malformed. *)
+(** Full pipeline on an already-compiled program. With [~jobs] > 1
+    (default 1) the before/after measurement runs execute on two worker
+    domains in parallel. Raises [Invalid_argument] if a profile-based
+    scheme is given no feedback, and {!Verify.Ill_formed} if
+    [~verify:true] and the transformed IR is malformed. *)
 
 val speedup_pct : before:measurement -> after:measurement -> float
+(** [(cycles_before / cycles_after - 1) * 100]. Raises
+    [Invalid_argument] if either cycle count is zero or negative — that
+    means a broken measurement, and silently reporting 0.0 would mask
+    it. *)

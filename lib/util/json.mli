@@ -1,0 +1,32 @@
+(** A minimal JSON tree, emitter and parser — just enough for the bench
+    harness's machine-readable [BENCH.json] artifacts, so the repo does
+    not grow a dependency for them. Strings are assumed to be plain
+    ASCII/UTF-8; the emitter escapes control characters, quotes and
+    backslashes, and the parser understands exactly what the emitter
+    produces (plus whitespace and [\uXXXX] escapes for the BMP). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Render; [~indent:true] (default) pretty-prints with 2-space
+    indentation, which keeps the artifact diffable. Floats are emitted
+    with ["%.6g"]; NaN and infinities become [null] (JSON has no
+    spelling for them). *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a JSON document. Raises {!Parse_error} with a position-carrying
+    message on malformed input. Numbers with a fraction or exponent parse
+    as [Float], others as [Int]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks up a key; [None] on absence or on a
+    non-object. *)

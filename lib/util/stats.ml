@@ -18,7 +18,7 @@ let correlation xs ys =
     dy2 := !dy2 +. (dy *. dy)
   done;
   let denom = sqrt !dx2 *. sqrt !dy2 in
-  if denom = 0.0 then 0.0 else !num /. denom
+  if denom = 0.0 then None else Some (!num /. denom)
 
 let remove_index i a =
   let n = Array.length a in

@@ -8,17 +8,18 @@
 val mean : float array -> float
 (** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
 
-val correlation : float array -> float array -> float
+val correlation : float array -> float array -> float option
 (** [correlation xs ys] is the linear (Pearson) correlation coefficient
 
     {v r = sum (xi - mx)(yi - my) / (sqrt (sum (xi - mx)^2) sqrt (sum (yi - my)^2)) v}
 
-    Values lie in [-1.0, 1.0]; [0.0] means no linear correlation. If either
-    series has zero variance the result is [0.0] (the paper's formula is
-    undefined there; we choose the "no correlation" reading). Raises
+    Values lie in [-1.0, 1.0]; [0.0] means no linear correlation. If
+    either series has zero variance the formula is undefined and the
+    result is [None] — distinct from a genuine [Some 0.0], so a
+    degenerate column renders as "-" instead of a fake 0.000. Raises
     [Invalid_argument] if the arrays differ in length or are empty. *)
 
-val correlation_excluding : int -> float array -> float array -> float
+val correlation_excluding : int -> float array -> float array -> float option
 (** [correlation_excluding i xs ys] is {!correlation} with index [i] removed
     from both series. This is the paper's [r'], which "disregards field
     potential": the correlation recomputed without the dominant field. *)

@@ -99,6 +99,68 @@ let straddling_access () =
   Alcotest.(check bool) "both lines resident" true
     (l1 = Hierarchy.L1 && l2 = Hierarchy.L1)
 
+(* A straddling access that partially hits in L1 must descend only the
+   L1-missing lines to L2: the L1-hitting lines are served by L1 and may
+   neither inflate L2 traffic nor perturb L2 LRU state.
+
+   Geometry of [small]: 64 B L1 lines, 128 B L2 lines. The access at
+   [4216, 4232) covers L1 lines 4160 (resident below) and 4224 (cold),
+   which fall into two *different* L2 lines (4096..4223 and 4224..4351),
+   so an L2 touch of the hitting line would be visible as an L2 hit. *)
+let partial_hit_descends_only_misses () =
+  let h = Hierarchy.create Hierarchy.small in
+  (* warm L1 line [4160,4223]: L1 miss, descends to L2 (miss), memory *)
+  let _, lvl0 = Hierarchy.access h ~addr:4160 ~size:8 ~write:false ~is_float:false in
+  Alcotest.(check bool) "cold warmup from memory" true (lvl0 = Hierarchy.Mem);
+  Alcotest.(check int) "warmup: 1 L1 miss" 1 (Cache.misses (Hierarchy.l1 h));
+  Alcotest.(check int) "warmup: 1 L2 miss" 1 (Cache.misses (Hierarchy.l2 h));
+  (* straddle [4216,4232): L1 line 4160 hits, L1 line 4224 misses; only
+     the missing line may reach L2 *)
+  let _, lvl = Hierarchy.access h ~addr:4216 ~size:16 ~write:false ~is_float:false in
+  Alcotest.(check bool) "missing line came from memory" true (lvl = Hierarchy.Mem);
+  Alcotest.(check int) "L1: one hit (line 4160)" 1 (Cache.hits (Hierarchy.l1 h));
+  Alcotest.(check int) "L1: two misses total" 2 (Cache.misses (Hierarchy.l1 h));
+  Alcotest.(check int) "L2: hitting L1 line never touched L2" 0
+    (Cache.hits (Hierarchy.l2 h));
+  Alcotest.(check int) "L2: exactly the missing line descended" 2
+    (Cache.misses (Hierarchy.l2 h));
+  (* both lines now resident: the same access is a pure L1 hit *)
+  let _, lvl2 = Hierarchy.access h ~addr:4216 ~size:16 ~write:false ~is_float:false in
+  Alcotest.(check bool) "now an L1 hit" true (lvl2 = Hierarchy.L1);
+  Alcotest.(check int) "no further L2 traffic" 2 (Cache.misses (Hierarchy.l2 h));
+  Alcotest.(check int) "no L2 hits either" 0 (Cache.hits (Hierarchy.l2 h))
+
+(* Two missing L1 lines inside the same 128 B L2 line are two separate
+   L2 requests (each L1 fill is its own lookup): the first misses, the
+   second hits. *)
+let per_line_fills_share_l2_line () =
+  let h = Hierarchy.create Hierarchy.small in
+  (* [4096,4224) covers L1 lines 4096 and 4160, both cold, both inside
+     the single L2 line [4096,4223] *)
+  let _, lvl = Hierarchy.access h ~addr:4096 ~size:128 ~write:false ~is_float:false in
+  Alcotest.(check bool) "served by memory" true (lvl = Hierarchy.Mem);
+  Alcotest.(check int) "two L1 misses" 2 (Cache.misses (Hierarchy.l1 h));
+  Alcotest.(check int) "first fill misses L2" 1 (Cache.misses (Hierarchy.l2 h));
+  Alcotest.(check int) "second fill hits the just-filled L2 line" 1
+    (Cache.hits (Hierarchy.l2 h));
+  (* an all-hit straddling access is served entirely by L1 *)
+  let _, lvl2 = Hierarchy.access h ~addr:4100 ~size:120 ~write:false ~is_float:false in
+  Alcotest.(check bool) "straddling re-access is L1" true (lvl2 = Hierarchy.L1);
+  Alcotest.(check int) "and adds no L2 traffic" 2
+    (Cache.misses (Hierarchy.l2 h) + Cache.hits (Hierarchy.l2 h))
+
+(* FP accesses bypass L1: L2 is their first level, and a straddling FP
+   access touches every covered L2 line there *)
+let fp_straddle_touches_l2_range () =
+  let h = Hierarchy.create Hierarchy.small in
+  let _, lvl = Hierarchy.access h ~addr:4216 ~size:16 ~write:false ~is_float:true in
+  Alcotest.(check bool) "cold FP from memory" true (lvl = Hierarchy.Mem);
+  Alcotest.(check int) "both L2 lines touched" 2 (Cache.misses (Hierarchy.l2 h));
+  Alcotest.(check int) "L1 untouched by FP" 0
+    (Cache.misses (Hierarchy.l1 h) + Cache.hits (Hierarchy.l1 h));
+  let _, lvl2 = Hierarchy.access h ~addr:4216 ~size:16 ~write:false ~is_float:true in
+  Alcotest.(check bool) "warm FP served by L2" true (lvl2 = Hierarchy.L2)
+
 let extra_cycles_accumulate () =
   let h = Hierarchy.create Hierarchy.small in
   ignore (Hierarchy.access h ~addr:0x10000 ~size:4 ~write:false ~is_float:false);
@@ -199,6 +261,12 @@ let () =
           Alcotest.test_case "levels" `Quick hierarchy_levels;
           Alcotest.test_case "fp bypass" `Quick fp_bypass;
           Alcotest.test_case "straddle" `Quick straddling_access;
+          Alcotest.test_case "partial hit descends only misses" `Quick
+            partial_hit_descends_only_misses;
+          Alcotest.test_case "per-line fills share L2 line" `Quick
+            per_line_fills_share_l2_line;
+          Alcotest.test_case "fp straddle touches L2 range" `Quick
+            fp_straddle_touches_l2_range;
           Alcotest.test_case "extra cycles" `Quick extra_cycles_accumulate;
         ] );
       ( "pmu",

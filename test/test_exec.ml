@@ -1,0 +1,175 @@
+(* The domain pool and the parallel evaluation engine.
+
+   The load-bearing properties: results come back in submission order
+   (so bench tables are byte-identical for any --jobs), a crashed job
+   becomes a structured error instead of hanging the queue or killing
+   the run, and the engine produces the same tables and JSON rows
+   (modulo timings) at --jobs 1 and --jobs 4. *)
+
+module Pool = Slo_exec.Pool
+module Engine = Slo_bench.Engine
+module Json = Slo_util.Json
+
+(* ---------------- pool ---------------- *)
+
+let pool_ordered () =
+  let xs = List.init 20 (fun i -> i) in
+  let rs = Pool.map_ordered ~jobs:4 (fun x -> x * x) xs in
+  let expect = List.map (fun x -> Ok (x * x)) xs in
+  Alcotest.(check bool) "squares in submission order" true (rs = expect)
+
+let pool_error_isolated () =
+  let p = Pool.create ~jobs:2 in
+  let f1 = Pool.submit p (fun () -> 1) in
+  let f2 = Pool.submit p (fun () -> failwith "boom") in
+  (* submitted after the failing job: the worker must survive it *)
+  let f3 = Pool.submit p (fun () -> 3) in
+  Alcotest.(check bool) "ok before" true (Pool.await f1 = Ok 1);
+  (match Pool.await f2 with
+  | Error e ->
+    Alcotest.(check bool) "error names the exception" true
+      (Astring.String.is_infix ~affix:"boom" e.Pool.err_exn)
+  | Ok _ -> Alcotest.fail "failing job returned Ok");
+  Alcotest.(check bool) "ok after crash" true (Pool.await f3 = Ok 3);
+  (match Pool.await_exn f2 with
+  | exception Pool.Worker_error e ->
+    Alcotest.(check bool) "await_exn re-raises" true
+      (Astring.String.is_infix ~affix:"boom" e.Pool.err_exn)
+  | _ -> Alcotest.fail "await_exn did not raise");
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *)
+
+let pool_lifecycle () =
+  Alcotest.check_raises "jobs = 0 rejected"
+    (Invalid_argument "Pool.create: jobs must be between 1 and 256") (fun () ->
+      ignore (Pool.create ~jobs:0));
+  let p = Pool.create ~jobs:1 in
+  Alcotest.(check int) "jobs accessor" 1 (Pool.jobs p);
+  let f = Pool.submit p (fun () -> "x") in
+  Alcotest.(check bool) "await twice" true
+    (Pool.await f = Ok "x" && Pool.await f = Ok "x");
+  Pool.shutdown p;
+  (match Pool.submit p (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "submit after shutdown accepted");
+  Alcotest.(check bool) "default_jobs positive" true (Pool.default_jobs () >= 1)
+
+(* ---------------- engine ---------------- *)
+
+(* A tiny hot/cold benchmark in the shape of Figure 1, small enough that
+   a full evaluate (profile + before/after measurement) is fast. *)
+let mini_src name =
+  Printf.sprintf
+    "struct %s { long hot1; double cold1; long hot2; double cold2; };\n\
+     struct %s *arr;\n\
+     long n;\n\
+     long use_hot() { long i; long s = 0;\n\
+     for (i = 0; i < n; i++) { s = s + arr[i].hot1 + arr[i].hot2; }\n\
+     return s; }\n\
+     double use_cold() { long i; double s = 0.0;\n\
+     for (i = 0; i < n; i = i + 64) { s = s + arr[i].cold1 + arr[i].cold2; }\n\
+     return s; }\n\
+     int main() { long it; long s = 0; double c = 0.0; n = 512;\n\
+     arr = (struct %s*)malloc(n * sizeof(struct %s));\n\
+     for (it = 0; it < n; it++) { arr[it].hot1 = it; arr[it].hot2 = 2*it;\n\
+     arr[it].cold1 = it * 0.5; arr[it].cold2 = it * 0.25; }\n\
+     for (it = 0; it < 20; it++) { s = s + use_hot();\n\
+     if (it %% 5 == 0) { c = c + use_cold(); } }\n\
+     printf(\"%%ld %%g\\n\", s, c); return 0; }\n"
+    name name name name
+
+let mk_entry name : Slo_suite.Suite.entry =
+  {
+    name;
+    source = mini_src (String.map (fun c -> if c = '-' then '_' else c) name);
+    train_args = [];
+    ref_args = [];
+    paper = None;
+  }
+
+let mini_roster = List.map mk_entry [ "mini-a"; "mini-b"; "mini-c" ]
+
+let run_tables ~jobs roster =
+  Engine.reset_caches ();
+  let run = Engine.create_run ~jobs in
+  let t1 = Engine.table1 run ~roster in
+  let t3 = Engine.table3 run ~roster in
+  let recs = Engine.records run in
+  Engine.finish run;
+  (t1, t3, recs)
+
+let strip_timings recs =
+  List.map
+    (fun r -> Json.to_string (Engine.json_of_record ~with_timings:false r))
+    recs
+
+let engine_jobs_equivalence () =
+  let t1a, t3a, ra = run_tables ~jobs:1 mini_roster in
+  let t1b, t3b, rb = run_tables ~jobs:4 mini_roster in
+  Alcotest.(check string) "table1 identical across --jobs" t1a t1b;
+  Alcotest.(check string) "table3 identical across --jobs" t3a t3b;
+  Alcotest.(check (list string)) "JSON rows identical modulo timings"
+    (strip_timings ra) (strip_timings rb);
+  Alcotest.(check bool) "rows for every unit" true
+    (List.length ra = 2 * List.length mini_roster)
+
+let engine_crash_is_error_row () =
+  let broken =
+    { (mk_entry "mini-broken") with source = "int main() { return 0 }" }
+  in
+  let roster = [ List.hd mini_roster; broken ] in
+  Engine.reset_caches ();
+  let run = Engine.create_run ~jobs:2 in
+  let t3 = Engine.table3 run ~roster in
+  let recs = Engine.records run in
+  Engine.finish run;
+  Alcotest.(check bool) "run completed with an error row" true
+    (Astring.String.is_infix ~affix:"ERROR" t3);
+  let errs = List.filter (fun r -> r.Engine.r_error <> None) recs in
+  Alcotest.(check int) "exactly the broken entry errored" 1 (List.length errs);
+  Alcotest.(check bool) "error row names the benchmark" true
+    (List.for_all (fun r -> r.Engine.r_benchmark = "mini-broken") errs);
+  Alcotest.(check bool) "good entry still measured" true
+    (List.exists
+       (fun r -> r.Engine.r_benchmark = "mini-a" && r.Engine.r_cycles <> None)
+       recs)
+
+let engine_json_artifact () =
+  Engine.reset_caches ();
+  let run = Engine.create_run ~jobs:2 in
+  let (_ : string) = Engine.table3 run ~roster:[ List.hd mini_roster ] in
+  let path = Filename.temp_file "slo_bench" ".json" in
+  Engine.write_json run ~path;
+  Engine.finish run;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let j = Json.of_string s in
+  Alcotest.(check bool) "schema_version = 1" true
+    (Json.member "schema_version" j = Some (Json.Int 1));
+  Alcotest.(check bool) "jobs recorded" true
+    (Json.member "jobs" j = Some (Json.Int 2));
+  (match Json.member "results" j with
+  | Some (Json.List [ row ]) ->
+    Alcotest.(check bool) "row names the benchmark" true
+      (Json.member "benchmark" row = Some (Json.String "mini-a"))
+  | _ -> Alcotest.fail "expected a one-row results list")
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "ordered results" `Quick pool_ordered;
+          Alcotest.test_case "crash isolated" `Quick pool_error_isolated;
+          Alcotest.test_case "lifecycle" `Quick pool_lifecycle;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "jobs equivalence" `Quick engine_jobs_equivalence;
+          Alcotest.test_case "crash is error row" `Quick
+            engine_crash_is_error_row;
+          Alcotest.test_case "json artifact" `Quick engine_json_artifact;
+        ] );
+    ]

@@ -2,6 +2,7 @@
 
 module Stats = Slo_util.Stats
 module Table = Slo_util.Table
+module Json = Slo_util.Json
 
 let feq = Alcotest.float 1e-9
 
@@ -13,13 +14,27 @@ let mean_and_sum () =
     (Invalid_argument "Stats.mean: empty array") (fun () ->
       ignore (Stats.mean [||]))
 
+let corr_exn xs ys =
+  match Stats.correlation xs ys with
+  | Some r -> r
+  | None -> Alcotest.fail "expected Some correlation"
+
+let corr_exn' i xs ys =
+  match Stats.correlation_excluding i xs ys with
+  | Some r -> r
+  | None -> Alcotest.fail "expected Some correlation"
+
 let correlation_basics () =
   Alcotest.check feq "perfect" 1.0
-    (Stats.correlation [| 1.0; 2.0; 3.0 |] [| 10.0; 20.0; 30.0 |]);
+    (corr_exn [| 1.0; 2.0; 3.0 |] [| 10.0; 20.0; 30.0 |]);
   Alcotest.check feq "negative" (-1.0)
-    (Stats.correlation [| 1.0; 2.0; 3.0 |] [| 3.0; 2.0; 1.0 |]);
-  Alcotest.check feq "constant series" 0.0
-    (Stats.correlation [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |]);
+    (corr_exn [| 1.0; 2.0; 3.0 |] [| 3.0; 2.0; 1.0 |]);
+  (* a zero-variance series has no defined correlation: None, not a fake
+     0.0 that reads as "genuinely uncorrelated" *)
+  Alcotest.(check bool) "constant series undefined" true
+    (Stats.correlation [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |] = None);
+  Alcotest.(check bool) "both constant undefined" true
+    (Stats.correlation [| 2.0; 2.0 |] [| 5.0; 5.0 |] = None);
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Stats.correlation: length mismatch") (fun () ->
       ignore (Stats.correlation [| 1.0 |] [| 1.0; 2.0 |]))
@@ -35,14 +50,14 @@ let correlation_paper_table2 () =
     [| 0.0; 0.0; 74.7; 21.7; 21.7; 0.0; 1.3; 22.6; 42.5; 0.2; 0.2; 100.0;
        0.9; 69.6; 48.4 |]
   in
-  let r = Stats.correlation pbo ppbo in
+  let r = corr_exn pbo ppbo in
   Alcotest.check (Alcotest.float 0.01) "paper r(PBO,PPBO)" 0.986 r
 
 let correlation_excluding () =
   (* removing a dominant outlier changes the coefficient *)
   let xs = [| 100.0; 1.0; 2.0; 3.0 |] and ys = [| 100.0; 3.0; 2.0; 1.0 |] in
-  let r = Stats.correlation xs ys in
-  let r' = Stats.correlation_excluding 0 xs ys in
+  let r = corr_exn xs ys in
+  let r' = corr_exn' 0 xs ys in
   Alcotest.check Alcotest.bool "r dominated" true (r > 0.9);
   Alcotest.check feq "r' negative" (-1.0) r';
   Alcotest.check_raises "bad index"
@@ -67,8 +82,9 @@ let prop_correlation_bounded =
       QCheck.assume (n >= 2);
       let xs = Array.of_list (List.filteri (fun i _ -> i < n) a) in
       let ys = Array.of_list (List.filteri (fun i _ -> i < n) b) in
-      let r = Stats.correlation xs ys in
-      r >= -1.0000001 && r <= 1.0000001)
+      match Stats.correlation xs ys with
+      | None -> true (* degenerate variance: correlation undefined *)
+      | Some r -> r >= -1.0000001 && r <= 1.0000001)
 
 let prop_correlation_symmetric =
   QCheck.Test.make ~count:300 ~name:"correlation symmetric"
@@ -78,7 +94,10 @@ let prop_correlation_symmetric =
       QCheck.assume (List.length ps >= 2);
       let xs = Array.of_list (List.map fst ps) in
       let ys = Array.of_list (List.map snd ps) in
-      Float.abs (Stats.correlation xs ys -. Stats.correlation ys xs) < 1e-9)
+      match (Stats.correlation xs ys, Stats.correlation ys xs) with
+      | Some r1, Some r2 -> Float.abs (r1 -. r2) < 1e-9
+      | None, None -> true
+      | _ -> false)
 
 let table_render () =
   let t = Table.create ~title:"demo" [ ("a", Table.Left); ("bb", Table.Right) ] in
@@ -104,6 +123,46 @@ let formatting () =
   Alcotest.check Alcotest.string "big" "2.352e+08" (Table.fnum 2.352e8);
   Alcotest.check Alcotest.string "int" "42" (Table.fnum 42.0)
 
+let json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.String "mcf \"train\"\n");
+        ("n", Json.Int (-42));
+        ("pct", Json.Float 3.25);
+        ("ok", Json.Bool true);
+        ("missing", Json.Null);
+        ("xs", Json.List [ Json.Int 1; Json.Float 0.5; Json.String "" ]);
+        ("nested", Json.Obj [ ("empty", Json.List []) ]);
+      ]
+  in
+  let s = Json.to_string ~indent:true v in
+  Alcotest.(check bool) "roundtrip" true (Json.of_string s = v);
+  let s' = Json.to_string v in
+  Alcotest.(check bool) "compact roundtrip" true (Json.of_string s' = v)
+
+let json_edge_cases () =
+  (* non-finite floats are not representable in JSON: emitted as null *)
+  Alcotest.(check string) "nan is null" "null"
+    (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check bool) "member hit" true
+    (Json.member "a" (Json.Obj [ ("a", Json.Int 1) ]) = Some (Json.Int 1));
+  Alcotest.(check bool) "member miss" true
+    (Json.member "b" (Json.Obj [ ("a", Json.Int 1) ]) = None);
+  Alcotest.(check bool) "escape roundtrip" true
+    (Json.of_string (Json.to_string (Json.String "a\\b\"c\tz\x01"))
+     = Json.String "a\\b\"c\tz\x01");
+  let raises s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "trailing garbage rejected" true (raises "1 2");
+  Alcotest.(check bool) "unterminated string rejected" true (raises "\"ab");
+  Alcotest.(check bool) "bare word rejected" true (raises "nope")
+
 let () =
   Alcotest.run "util"
     [
@@ -123,5 +182,10 @@ let () =
         [
           Alcotest.test_case "render" `Quick table_render;
           Alcotest.test_case "formatting" `Quick formatting;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick json_roundtrip;
+          Alcotest.test_case "edge cases" `Quick json_edge_cases;
         ] );
     ]
