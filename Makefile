@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz bench bench-smoke clean
+.PHONY: all build test fuzz bench bench-smoke perf clean
 
 # worker domains for the bench harness
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
@@ -19,12 +19,28 @@ fuzz:
 bench:
 	dune exec bench/main.exe -- --jobs $(JOBS)
 
-# a fast slice for CI: Table 1 plus one Table 3 row, parallel path exercised
+# a fast slice for CI: Table 1 plus one Table 3 row under each VM
+# backend; the compare step fails if the walk and closure artifacts
+# disagree on anything but wall-clock
 bench-smoke:
 	dune exec bench/main.exe -- table1 --jobs 2 \
 	  --out _artifacts/BENCH-table1.json
 	dune exec bench/main.exe -- table3 --only 179.art --jobs 2 \
-	  --out _artifacts/BENCH-table3-smoke.json
+	  --backend walk --out _artifacts/BENCH-table3-walk.json
+	dune exec bench/main.exe -- table3 --only 179.art --jobs 2 \
+	  --backend closure --out _artifacts/BENCH-table3-smoke.json
+	dune exec bench/compare.exe -- _artifacts/BENCH-table3-walk.json \
+	  _artifacts/BENCH-table3-smoke.json
+
+# measure-phase speedup of the closure-compiled backend: the full
+# Table 3 under each backend, then the walk/closure wall-clock ratio
+perf:
+	dune exec bench/main.exe -- table3 --jobs 1 \
+	  --backend walk --out _artifacts/BENCH-walk.json
+	dune exec bench/main.exe -- table3 --jobs 1 \
+	  --backend closure --out _artifacts/BENCH-closure.json
+	dune exec bench/compare.exe -- _artifacts/BENCH-walk.json \
+	  _artifacts/BENCH-closure.json
 
 clean:
 	dune clean

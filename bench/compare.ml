@@ -1,0 +1,108 @@
+(* Compare two BENCH.json artifacts modulo wall-clock.
+
+   Usage:
+     dune exec bench/compare.exe -- A.json B.json
+
+   The two files must contain the same result rows once every
+   timing-derived field (the [timings_ms] block and the
+   [measure_msteps_per_s] throughput) is stripped — cycles, steps, miss
+   counters and speedups are all deterministic, so any difference is a
+   real behavioural divergence, not noise. This is how CI pins the walk
+   and closure VM backends to each other at the artifact level.
+
+   On success the measure-phase totals of both files are printed along
+   with their ratio (file A total / file B total) — run A with
+   [--backend walk] and B with [--backend closure] to read off the
+   closure engine's measure-phase speedup. Exits 1 on any semantic
+   mismatch, 2 on usage/parse errors. *)
+
+module Json = Slo_util.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> die "cannot open %s: %s" path msg
+  | ic ->
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Json.of_string s with
+    | j -> j
+    | exception Json.Parse_error msg -> die "%s: %s" path msg)
+
+let str_member key j =
+  match Json.member key j with Some (Json.String s) -> s | _ -> "?"
+
+let rows j =
+  match Json.member "results" j with
+  | Some (Json.List rs) -> rs
+  | _ -> die "missing 'results' list"
+
+(* a row with every wall-clock-derived field removed *)
+let strip_row = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter
+         (fun (k, _) ->
+           not (String.equal k "timings_ms"
+               || String.equal k "measure_msteps_per_s"))
+         fields)
+  | j -> j
+
+let row_label = function
+  | Json.Obj _ as row ->
+    Printf.sprintf "%s/%s [%s]" (str_member "experiment" row)
+      (str_member "benchmark" row) (str_member "scheme" row)
+  | _ -> "?"
+
+let measure_total_ms j =
+  List.fold_left
+    (fun acc row ->
+      match Json.member "timings_ms" row with
+      | Some tm -> (
+        match Json.member "measure" tm with
+        | Some (Json.Float ms) -> acc +. ms
+        | Some (Json.Int ms) -> acc +. float_of_int ms
+        | _ -> acc)
+      | None -> acc)
+    0.0 (rows j)
+
+let () =
+  let path_a, path_b =
+    match Sys.argv with
+    | [| _; a; b |] -> (a, b)
+    | _ -> die "usage: compare.exe A.json B.json"
+  in
+  let ja = read_file path_a and jb = read_file path_b in
+  let ra = rows ja and rb = rows jb in
+  let mismatches = ref 0 in
+  let complain fmt =
+    Printf.ksprintf (fun s -> incr mismatches; prerr_endline s) fmt
+  in
+  if List.length ra <> List.length rb then
+    complain "row count differs: %d in %s, %d in %s" (List.length ra) path_a
+      (List.length rb) path_b
+  else
+    List.iter2
+      (fun a b ->
+        let sa = Json.to_string ~indent:false (strip_row a) in
+        let sb = Json.to_string ~indent:false (strip_row b) in
+        if not (String.equal sa sb) then
+          complain "row %s differs:\n  %s: %s\n  %s: %s" (row_label a) path_a
+            sa path_b sb)
+      ra rb;
+  let ta = measure_total_ms ja and tb = measure_total_ms jb in
+  Printf.printf "%-12s backend=%-8s measure total %10.1f ms\n" path_a
+    (str_member "backend" ja) ta;
+  Printf.printf "%-12s backend=%-8s measure total %10.1f ms\n" path_b
+    (str_member "backend" jb) tb;
+  if tb > 0.0 then
+    Printf.printf "measure-phase ratio (%s / %s): %.2fx\n" path_a path_b
+      (ta /. tb);
+  if !mismatches = 0 then
+    Printf.printf "rows agree: %d rows semantically identical (modulo timings)\n"
+      (List.length ra)
+  else begin
+    Printf.eprintf "%d mismatch(es)\n" !mismatches;
+    exit 1
+  end

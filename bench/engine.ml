@@ -8,6 +8,7 @@ module Suite = Slo_suite.Suite
 module Table = Slo_util.Table
 module Json = Slo_util.Json
 module Pool = Slo_exec.Pool
+module Backend = Slo_vm.Backend
 
 type timings = {
   t_compile_ms : float;
@@ -27,6 +28,7 @@ type record = {
   r_scheme : string option;
   r_error : string option;
   r_cycles : (int * int) option;
+  r_steps : (int * int) option;
   r_l1_misses : (int * int) option;
   r_l2_misses : (int * int) option;
   r_speedup_pct : float option;
@@ -121,14 +123,17 @@ let reset_caches () =
 
 type run = {
   pool : Pool.t;
+  run_backend : Backend.t;
   mutable recs : record list; (* reversed *)
   t_start : float;
 }
 
-let create_run ~jobs =
-  { pool = Pool.create ~jobs; recs = []; t_start = Unix.gettimeofday () }
+let create_run ?(backend = Backend.default) ~jobs () =
+  { pool = Pool.create ~jobs; run_backend = backend; recs = [];
+    t_start = Unix.gettimeofday () }
 
 let jobs run = Pool.jobs run.pool
+let backend run = run.run_backend
 let records run = List.rev run.recs
 let push_record run r = run.recs <- r :: run.recs
 let finish run = Pool.shutdown run.pool
@@ -217,7 +222,8 @@ let table1 run ~roster =
         push_record run
           {
             r_experiment = "table1"; r_benchmark = e.name; r_scheme = None;
-            r_error = None; r_cycles = None; r_l1_misses = None;
+            r_error = None; r_cycles = None; r_steps = None;
+            r_l1_misses = None;
             r_l2_misses = None; r_speedup_pct = None;
             r_timings =
               { no_timings with t_compile_ms = row.t1_compile_ms;
@@ -230,7 +236,8 @@ let table1 run ~roster =
         push_record run
           {
             r_experiment = "table1"; r_benchmark = e.name; r_scheme = None;
-            r_error = Some err.err_exn; r_cycles = None; r_l1_misses = None;
+            r_error = Some err.err_exn; r_cycles = None; r_steps = None;
+            r_l1_misses = None;
             r_l2_misses = None; r_speedup_pct = None; r_timings = no_timings;
           })
     futures;
@@ -260,13 +267,14 @@ type t3_row = {
   t3_split_dead : int;
   t3_speedup_pct : float;
   t3_cycles : int * int;
+  t3_steps : int * int;
   t3_l1 : int * int;
   t3_l2 : int * int;
   t3_mismatch : bool;
   t3_timings : timings;
 }
 
-let t3_job (e : Suite.entry) scheme () =
+let t3_job ~backend (e : Suite.entry) scheme () =
   let prog, t_compile = compile e in
   let feedback, t_profile =
     if W.needs_profile scheme then begin
@@ -275,7 +283,7 @@ let t3_job (e : Suite.entry) scheme () =
     end
     else (None, 0.0)
   in
-  let ev = D.evaluate ~args:e.ref_args ~verify:true ~scheme ~feedback prog in
+  let ev = D.evaluate ~args:e.ref_args ~verify:true ~backend ~scheme ~feedback prog in
   let transformed =
     List.length
       (List.filter (fun (d : H.decision) -> d.d_plan <> None) ev.e_decisions)
@@ -297,6 +305,7 @@ let t3_job (e : Suite.entry) scheme () =
     t3_split_dead = split_dead;
     t3_speedup_pct = ev.e_speedup_pct;
     t3_cycles = (ev.e_before.m_cycles, ev.e_after.m_cycles);
+    t3_steps = (ev.e_before.m_result.steps, ev.e_after.m_result.steps);
     t3_l1 = (ev.e_before.m_l1_misses, ev.e_after.m_l1_misses);
     t3_l2 = (ev.e_before.m_l2_misses, ev.e_after.m_l2_misses);
     t3_mismatch = ev.e_before.m_result.output <> ev.e_after.m_result.output;
@@ -333,10 +342,12 @@ let table3 run ~roster =
     List.map
       (fun (e, scheme, label) ->
         progress "(evaluating %s [%s]...)" e.Suite.name label;
-        (e, scheme, label, Pool.submit run.pool (t3_job e scheme)))
+        ( e, scheme, label,
+          Pool.submit run.pool (t3_job ~backend:run.run_backend e scheme) ))
       units
   in
   let warnings = ref [] in
+  let sum_steps = ref 0 and sum_measure_ms = ref 0.0 in
   List.iter
     (fun ((e : Suite.entry), scheme, label, fut) ->
       let paper =
@@ -349,6 +360,9 @@ let table3 run ~roster =
             Printf.sprintf "!! OUTPUT MISMATCH on %s — transformation bug"
               e.name
             :: !warnings;
+        let sb, sa = row.t3_steps in
+        sum_steps := !sum_steps + sb + sa;
+        sum_measure_ms := !sum_measure_ms +. row.t3_timings.t_measure_ms;
         Table.add_row t
           [ e.name; label; string_of_int row.t3_total;
             string_of_int row.t3_transformed;
@@ -358,7 +372,8 @@ let table3 run ~roster =
           {
             r_experiment = "table3"; r_benchmark = e.name;
             r_scheme = Some (W.name scheme); r_error = None;
-            r_cycles = Some row.t3_cycles; r_l1_misses = Some row.t3_l1;
+            r_cycles = Some row.t3_cycles; r_steps = Some row.t3_steps;
+            r_l1_misses = Some row.t3_l1;
             r_l2_misses = Some row.t3_l2;
             r_speedup_pct = Some row.t3_speedup_pct;
             r_timings = row.t3_timings;
@@ -374,12 +389,20 @@ let table3 run ~roster =
           {
             r_experiment = "table3"; r_benchmark = e.name;
             r_scheme = Some (W.name scheme); r_error = Some err.err_exn;
-            r_cycles = None; r_l1_misses = None; r_l2_misses = None;
+            r_cycles = None; r_steps = None; r_l1_misses = None;
+            r_l2_misses = None;
             r_speedup_pct = None; r_timings = no_timings;
           })
     futures;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Table.render t);
+  (* the measure phase dominates bench wall-clock; report its aggregate
+     VM throughput so backend speedups are visible at a glance *)
+  if !sum_measure_ms > 0.0 then
+    Buffer.add_string buf
+      (Printf.sprintf "measure: %.1f Msteps/s [%s backend]\n"
+         (float_of_int !sum_steps /. !sum_measure_ms /. 1000.0)
+         (Backend.to_string run.run_backend));
   List.iter
     (fun w -> Buffer.add_string buf (w ^ "\n"))
     (List.rev !warnings);
@@ -396,8 +419,17 @@ let json_of_pair = function
 let json_of_record ?(with_timings = true) r =
   let tm = if with_timings then r.r_timings else no_timings in
   let cyc_b, cyc_a = json_of_pair r.r_cycles in
+  let stp_b, stp_a = json_of_pair r.r_steps in
   let l1_b, l1_a = json_of_pair r.r_l1_misses in
   let l2_b, l2_a = json_of_pair r.r_l2_misses in
+  (* VM throughput of this row's measure phase; derived from a timing, so
+     it is nulled alongside them under [~with_timings:false] *)
+  let msteps =
+    match r.r_steps with
+    | Some (b, a) when with_timings && tm.t_measure_ms > 0.0 ->
+      Json.Float (float_of_int (b + a) /. tm.t_measure_ms /. 1000.0)
+    | _ -> Json.Null
+  in
   Json.Obj
     [ ("experiment", Json.String r.r_experiment);
       ("benchmark", Json.String r.r_benchmark);
@@ -406,10 +438,12 @@ let json_of_record ?(with_timings = true) r =
       ("error",
        match r.r_error with Some e -> Json.String e | None -> Json.Null);
       ("cycles_before", cyc_b); ("cycles_after", cyc_a);
+      ("steps_before", stp_b); ("steps_after", stp_a);
       ("l1_misses_before", l1_b); ("l1_misses_after", l1_a);
       ("l2_misses_before", l2_b); ("l2_misses_after", l2_a);
       ("speedup_pct",
        match r.r_speedup_pct with Some p -> Json.Float p | None -> Json.Null);
+      ("measure_msteps_per_s", msteps);
       ("timings_ms",
        Json.Obj
          [ ("compile", Json.Float tm.t_compile_ms);
@@ -429,9 +463,10 @@ let git_rev () =
 let write_json run ~path =
   let doc =
     Json.Obj
-      [ ("schema_version", Json.Int 1);
+      [ ("schema_version", Json.Int 2);
         ("tool", Json.String "slo-bench");
         ("git_rev", Json.String (git_rev ()));
+        ("backend", Json.String (Backend.to_string run.run_backend));
         ("jobs", Json.Int (jobs run));
         ("wall_clock_s",
          Json.Float (Unix.gettimeofday () -. run.t_start));

@@ -25,6 +25,7 @@ type record = {
   r_scheme : string option;     (** [None] for analysis-only rows *)
   r_error : string option;      (** [Some exn] for a crashed job's row *)
   r_cycles : (int * int) option;       (** before, after *)
+  r_steps : (int * int) option;        (** VM steps before, after *)
   r_l1_misses : (int * int) option;
   r_l2_misses : (int * int) option;
   r_speedup_pct : float option;
@@ -61,10 +62,16 @@ val reset_caches : unit -> unit
 
 type run
 
-val create_run : jobs:int -> run
-(** Start a run backed by a fresh pool of [jobs] worker domains. *)
+val create_run : ?backend:Slo_vm.Backend.t -> jobs:int -> unit -> run
+(** Start a run backed by a fresh pool of [jobs] worker domains.
+    [backend] selects the VM engine for every measurement run (default
+    {!Slo_vm.Backend.default}, the closure-compiled one); both backends
+    produce identical counters, so the choice only affects wall-clock
+    speed — which the per-row [measure_msteps_per_s] and the table3
+    throughput summary make visible. *)
 
 val jobs : run -> int
+val backend : run -> Slo_vm.Backend.t
 
 val records : run -> record list
 (** All records accumulated so far, in submission order. *)

@@ -10,6 +10,9 @@
                        (table1, table3); default 1
      --only NAME       restrict table1/table3 to this roster entry
                        (repeatable)
+     --backend B       VM engine for the measurement runs: walk (the
+                       tree-walking reference) or closure (the
+                       closure-compiled engine; default)
      --out FILE        where to write the machine-readable results
                        (default _artifacts/BENCH.json)
 
@@ -447,7 +450,8 @@ let timings () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [TARGET...] [--jobs N|-j N] [--only NAME] [--out FILE]\n\
+    "usage: main.exe [TARGET...] [--jobs N|-j N] [--only NAME]\n\
+     \       [--backend walk|closure] [--out FILE]\n\
      targets: table1 table2 table3 figure1 figure2 ablation overhead\n\
      \         casestudies timings";
   exit 2
@@ -455,6 +459,7 @@ let usage () =
 let () =
   let jobs = ref 1 in
   let only = ref [] in
+  let backend = ref Slo_vm.Backend.default in
   let out = ref (Filename.concat "_artifacts" "BENCH.json") in
   let targets = ref [] in
   let rec parse = function
@@ -465,7 +470,14 @@ let () =
       | _ ->
         Printf.eprintf "bad --jobs value %S\n" v;
         exit 2)
-    | [ "--jobs" ] | [ "-j" ] | [ "--only" ] | [ "--out" ] -> usage ()
+    | [ "--jobs" ] | [ "-j" ] | [ "--only" ] | [ "--out" ] | [ "--backend" ] ->
+      usage ()
+    | "--backend" :: v :: rest -> (
+      match Slo_vm.Backend.of_string v with
+      | Some b -> backend := b; parse rest
+      | None ->
+        Printf.eprintf "bad --backend value %S (walk|closure)\n" v;
+        exit 2)
     | "--only" :: v :: rest -> only := v :: !only; parse rest
     | "--out" :: v :: rest -> out := v; parse rest
     | t :: rest ->
@@ -492,7 +504,7 @@ let () =
         names;
       List.filter (fun (e : Suite.entry) -> List.mem e.name names) Suite.roster
   in
-  let run = Engine.create_run ~jobs:!jobs in
+  let run = Engine.create_run ~backend:!backend ~jobs:!jobs () in
   let dispatch = function
     | "table1" -> table1 run roster
     | "table2" -> table2 ()

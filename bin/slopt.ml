@@ -90,6 +90,20 @@ let feedback_of = function
   | None -> None
   | Some path -> Some (Slo_profile.Feedback.of_string (read_file path))
 
+let backend_conv =
+  Arg.enum
+    (List.map
+       (fun b -> (Slo_vm.Backend.to_string b, b))
+       Slo_vm.Backend.all)
+
+let backend_arg =
+  Arg.(value & opt backend_conv Slo_vm.Backend.default
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"VM execution engine: $(b,walk) (the tree-walking reference \
+                 interpreter) or $(b,closure) (the closure-compiled engine, \
+                 default). Both produce identical output and counters; only \
+                 wall-clock speed differs.")
+
 let parse_cmd =
   let run file verify =
     let prog = or_die (load ~verify file) in
@@ -192,9 +206,9 @@ let transform_cmd =
           $ verify_arg)
 
 let run_cmd =
-  let run file args =
+  let run file args backend =
     let prog = or_die (load file) in
-    let m = D.measure ~args prog in
+    let m = D.measure ~args ~backend prog in
     print_string m.m_result.output;
     Printf.printf
       "exit=%d steps=%d cycles=%d l1miss=%d l2miss=%d accesses=%d\n"
@@ -203,7 +217,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute under the Itanium-like cache simulator")
-    Term.(const run $ file_arg $ args_arg)
+    Term.(const run $ file_arg $ args_arg $ backend_arg)
 
 let jobs_arg =
   Arg.(value & opt int 1
@@ -212,7 +226,7 @@ let jobs_arg =
                  before/after measurement runs execute in parallel.")
 
 let bench_cmd =
-  let run file args profile scheme verify jobs =
+  let run file args profile scheme verify jobs backend =
     if jobs < 1 then begin
       prerr_endline "ERROR: --jobs must be >= 1";
       exit 2
@@ -221,7 +235,8 @@ let bench_cmd =
     let feedback = feedback_of profile in
     let scheme = if feedback <> None then W.PBO else scheme in
     let ev =
-      checked (fun () -> D.evaluate ~args ~verify ~jobs ~scheme ~feedback prog)
+      checked (fun () ->
+          D.evaluate ~args ~verify ~jobs ~backend ~scheme ~feedback prog)
     in
     List.iter
       (fun (d : H.decision) ->
@@ -239,7 +254,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Measure original vs transformed program")
     Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg
-          $ verify_arg $ jobs_arg)
+          $ verify_arg $ jobs_arg $ backend_arg)
 
 let () =
   let doc = "structure layout optimization framework (CGO'06 reproduction)" in

@@ -3,6 +3,9 @@ type t = {
   line : int;
   assoc : int;
   nsets : int;
+  line_shift : int;    (* log2 line; line is validated as a power of 2 *)
+  set_mask : int;      (* nsets - 1 when nsets is a power of 2, else 0 *)
+  set_shift : int;     (* log2 nsets when a power of 2, else -1 *)
   tags : int array;    (* nsets * assoc; -1 = invalid *)
   stamps : int array;  (* LRU timestamps *)
   mutable tick : int;
@@ -11,6 +14,10 @@ type t = {
 }
 
 let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let log2 x =
+  let rec go n x = if x <= 1 then n else go (n + 1) (x lsr 1) in
+  go 0 x
 
 let create ~name ~size ~line ~assoc =
   if line <= 0 || assoc <= 0 || size <= 0 then
@@ -21,39 +28,52 @@ let create ~name ~size ~line ~assoc =
   let nsets = size / (line * assoc) in
   {
     cname = name; line; assoc; nsets;
+    line_shift = log2 line;
+    set_mask = (if is_pow2 nsets then nsets - 1 else 0);
+    set_shift = (if is_pow2 nsets then log2 nsets else -1);
     tags = Array.make (nsets * assoc) (-1);
     stamps = Array.make (nsets * assoc) 0;
     tick = 0; hits = 0; misses = 0;
   }
 
 let access t ~addr ~write:_ =
-  let line_no = addr / t.line in
-  let set = line_no mod t.nsets in
-  let tag = line_no / t.nsets in
+  let line_no = addr lsr t.line_shift in
+  (* set/tag split by shift/mask on the (usual) power-of-two set count;
+     division only in the odd-set-count fallback *)
+  let set, tag =
+    if t.set_shift >= 0 then (line_no land t.set_mask, line_no lsr t.set_shift)
+    else (line_no mod t.nsets, line_no / t.nsets)
+  in
   let base = set * t.assoc in
-  t.tick <- t.tick + 1;
-  let found = ref (-1) in
-  for w = 0 to t.assoc - 1 do
-    if !found < 0 && t.tags.(base + w) = tag then found := w
-  done;
-  if !found >= 0 then begin
-    t.stamps.(base + !found) <- t.tick;
+  let tick = t.tick + 1 in
+  t.tick <- tick;
+  (* probe the set inline (a helper function call per way costs ~4x the
+     probe itself without cross-function inlining); early-exits on the
+     first match — indices are in bounds by construction:
+     base + assoc <= nsets * assoc *)
+  let tags = t.tags in
+  let lim = base + t.assoc in
+  let i = ref base in
+  while !i < lim && Array.unsafe_get tags !i <> tag do incr i done;
+  if !i < lim then begin
+    Array.unsafe_set t.stamps !i tick;
     t.hits <- t.hits + 1;
     true
   end
   else begin
     t.misses <- t.misses + 1;
     (* evict LRU way *)
-    let victim = ref 0 in
-    for w = 1 to t.assoc - 1 do
-      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+    let victim = ref base in
+    for w = base + 1 to lim - 1 do
+      if t.stamps.(w) < t.stamps.(!victim) then victim := w
     done;
-    t.tags.(base + !victim) <- tag;
-    t.stamps.(base + !victim) <- t.tick;
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- tick;
     false
   end
 
 let line_size t = t.line
+let line_shift t = t.line_shift
 let name t = t.cname
 let hits t = t.hits
 let misses t = t.misses

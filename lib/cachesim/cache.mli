@@ -13,9 +13,16 @@ val create : name:string -> size:int -> line:int -> assoc:int -> t
 
 val access : t -> addr:int -> write:bool -> bool
 (** Touch the line containing [addr]; returns [true] on hit. Updates LRU
-    state and hit/miss counters. *)
+    state and hit/miss counters. [addr] must be non-negative (the VM's
+    address space); set indexing is shift/mask on power-of-two
+    geometries, with a divide fallback for odd set counts. *)
 
 val line_size : t -> int
+
+val line_shift : t -> int
+(** [log2 (line_size t)] — for callers that split addresses into lines
+    without dividing. *)
+
 val name : t -> string
 val hits : t -> int
 val misses : t -> int

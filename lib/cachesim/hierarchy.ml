@@ -31,6 +31,11 @@ type t = {
   cfg : config;
   c1 : Cache.t;
   c2 : Cache.t;
+  (* hot-path constants, hoisted out of [cfg]/[c1] for [access_quiet] *)
+  shift1 : int;      (* log2 of the L1 line size *)
+  fpb : bool;        (* cfg.fp_bypass_l1 *)
+  l2_extra : int;    (* max 0 (l2_lat - l1_lat) *)
+  mem_extra : int;   (* max 0 (mem_lat - l1_lat) *)
   mutable extra : int;
   mutable n_access : int;
   mutable by_l1 : int;
@@ -39,10 +44,17 @@ type t = {
 }
 
 let create cfg =
+  let c1 =
+    Cache.create ~name:"L1D" ~size:cfg.l1_size ~line:cfg.l1_line
+      ~assoc:cfg.l1_assoc
+  in
   {
-    cfg;
-    c1 = Cache.create ~name:"L1D" ~size:cfg.l1_size ~line:cfg.l1_line ~assoc:cfg.l1_assoc;
+    cfg; c1;
     c2 = Cache.create ~name:"L2" ~size:cfg.l2_size ~line:cfg.l2_line ~assoc:cfg.l2_assoc;
+    shift1 = Cache.line_shift c1;
+    fpb = cfg.fp_bypass_l1;
+    l2_extra = max 0 (cfg.l2_lat - cfg.l1_lat);
+    mem_extra = max 0 (cfg.mem_lat - cfg.l1_lat);
     extra = 0; n_access = 0; by_l1 = 0; by_l2 = 0; by_mem = 0;
   }
 
@@ -63,54 +75,112 @@ let touch c ~addr ~size ~write =
 let descend_line t ~l1_base ~write =
   touch t.c2 ~addr:l1_base ~size:(Cache.line_size t.c1) ~write
 
-let access t ~addr ~size ~write ~is_float =
-  t.n_access <- t.n_access + 1;
-  let lat, lvl =
-    if is_float && t.cfg.fp_bypass_l1 then begin
-      (* FP bypasses L1: L2 is its first level; L2-missing lines go to
-         memory, which holds no state to touch *)
-      if touch t.c2 ~addr ~size ~write then (t.cfg.l2_lat, L2)
-      else (t.cfg.mem_lat, Mem)
+(* which level served the access; counters and LRU state are updated as
+   a side effect, the latency/extra-cycle accounting is the caller's *)
+let serve_level t ~addr ~size ~write ~is_float : level =
+  if is_float && t.cfg.fp_bypass_l1 then begin
+    (* FP bypasses L1: L2 is its first level; L2-missing lines go to
+       memory, which holds no state to touch *)
+    if touch t.c2 ~addr ~size ~write then L2 else Mem
+  end
+  else begin
+    let sh = Cache.line_shift t.c1 in
+    let first = addr lsr sh and last = (addr + max size 1 - 1) lsr sh in
+    if first = last then begin
+      (* the common single-line access: no list bookkeeping *)
+      if Cache.access t.c1 ~addr ~write then L1
+      else if descend_line t ~l1_base:(first lsl sh) ~write then L2
+      else Mem
     end
     else begin
-      let line1 = Cache.line_size t.c1 in
-      let first = addr / line1 and last = (addr + max size 1 - 1) / line1 in
-      if first = last then begin
-        (* the common single-line access: no list bookkeeping *)
-        if Cache.access t.c1 ~addr:(first * line1) ~write then
-          (t.cfg.l1_lat, L1)
-        else if descend_line t ~l1_base:(first * line1) ~write then
-          (t.cfg.l2_lat, L2)
-        else (t.cfg.mem_lat, Mem)
-      end
-      else begin
-        (* line-straddling access: only the L1-missing lines descend to
-           L2 (the lines that hit in L1 are served there and must not
-           inflate L2 traffic or perturb its LRU state) *)
-        let any_l1_miss = ref false and all_l2_hit = ref true in
-        for l = first to last do
-          if not (Cache.access t.c1 ~addr:(l * line1) ~write) then begin
-            any_l1_miss := true;
-            if not (descend_line t ~l1_base:(l * line1) ~write) then
-              all_l2_hit := false
-          end
-        done;
-        if not !any_l1_miss then (t.cfg.l1_lat, L1)
-        else if !all_l2_hit then (t.cfg.l2_lat, L2)
-        else (t.cfg.mem_lat, Mem)
-      end
+      (* line-straddling access: only the L1-missing lines descend to
+         L2 (the lines that hit in L1 are served there and must not
+         inflate L2 traffic or perturb its LRU state) *)
+      let any_l1_miss = ref false and all_l2_hit = ref true in
+      for l = first to last do
+        if not (Cache.access t.c1 ~addr:(l lsl sh) ~write) then begin
+          any_l1_miss := true;
+          if not (descend_line t ~l1_base:(l lsl sh) ~write) then
+            all_l2_hit := false
+        end
+      done;
+      if not !any_l1_miss then L1
+      else if !all_l2_hit then L2
+      else Mem
     end
+  end
+
+let access t ~addr ~size ~write ~is_float =
+  t.n_access <- t.n_access + 1;
+  let lvl = serve_level t ~addr ~size ~write ~is_float in
+  let lat =
+    match lvl with
+    | L1 ->
+      t.by_l1 <- t.by_l1 + 1;
+      t.cfg.l1_lat
+    | L2 ->
+      t.by_l2 <- t.by_l2 + 1;
+      t.cfg.l2_lat
+    | Mem ->
+      t.by_mem <- t.by_mem + 1;
+      t.cfg.mem_lat
   in
-  (match lvl with
-  | L1 -> t.by_l1 <- t.by_l1 + 1
-  | L2 -> t.by_l2 <- t.by_l2 + 1
-  | Mem -> t.by_mem <- t.by_mem + 1);
   (* the instruction's own base cycle covers an L1-hit-equivalent *)
   t.extra <- t.extra + max 0 (lat - t.cfg.l1_lat);
   (lat, lvl)
 
+(* the measurement hot path: no result tuple, and the overwhelmingly
+   common case — a single-line integer access that hits L1 — is one
+   line-split, one tag probe and one counter bump (an L1 hit adds no
+   extra cycles, so the latency arithmetic is skipped entirely) *)
 let access_quiet t ~addr ~size ~write ~is_float =
-  ignore (access t ~addr ~size ~write ~is_float)
+  t.n_access <- t.n_access + 1;
+  if is_float && t.fpb then begin
+    if touch t.c2 ~addr ~size ~write then begin
+      t.by_l2 <- t.by_l2 + 1;
+      t.extra <- t.extra + t.l2_extra
+    end
+    else begin
+      t.by_mem <- t.by_mem + 1;
+      t.extra <- t.extra + t.mem_extra
+    end
+  end
+  else begin
+    let sh = t.shift1 in
+    let first = addr lsr sh and last = (addr + max size 1 - 1) lsr sh in
+    if first = last then begin
+      if Cache.access t.c1 ~addr ~write then
+        (* L1 hit: no extra cycles, nothing else to account *)
+        t.by_l1 <- t.by_l1 + 1
+      else if descend_line t ~l1_base:(first lsl sh) ~write then begin
+        t.by_l2 <- t.by_l2 + 1;
+        t.extra <- t.extra + t.l2_extra
+      end
+      else begin
+        t.by_mem <- t.by_mem + 1;
+        t.extra <- t.extra + t.mem_extra
+      end
+    end
+    else begin
+      let any_l1_miss = ref false and all_l2_hit = ref true in
+      for l = first to last do
+        if not (Cache.access t.c1 ~addr:(l lsl sh) ~write) then begin
+          any_l1_miss := true;
+          if not (descend_line t ~l1_base:(l lsl sh) ~write) then
+            all_l2_hit := false
+        end
+      done;
+      if not !any_l1_miss then t.by_l1 <- t.by_l1 + 1
+      else if !all_l2_hit then begin
+        t.by_l2 <- t.by_l2 + 1;
+        t.extra <- t.extra + t.l2_extra
+      end
+      else begin
+        t.by_mem <- t.by_mem + 1;
+        t.extra <- t.extra + t.mem_extra
+      end
+    end
+  end
 
 let extra_cycles t = t.extra
 let l1 t = t.c1

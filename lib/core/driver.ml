@@ -1,4 +1,5 @@
 module Interp = Slo_vm.Interp
+module Backend = Slo_vm.Backend
 module Hierarchy = Slo_cachesim.Hierarchy
 module Weights = Slo_profile.Weights
 module Feedback = Slo_profile.Feedback
@@ -34,14 +35,14 @@ let compile ?(verify = false) source =
   if verify then Verify.check prog;
   prog
 
-let measure ?(args = []) ?(config = Hierarchy.itanium) (prog : Ir.program) :
-    measurement =
+let measure ?(args = []) ?(config = Hierarchy.itanium)
+    ?(backend = Backend.default) (prog : Ir.program) : measurement =
   let hier = Hierarchy.create config in
   let mem_hook addr size write is_float _iid =
     Hierarchy.access_quiet hier ~addr ~size ~write ~is_float
   in
-  let vm = Interp.create ~mem_hook prog in
-  let result = Interp.run ~args vm in
+  let vm = Backend.create ~mem_hook backend prog in
+  let result = Backend.run ~args vm in
   {
     m_result = result;
     m_cycles = result.steps + Hierarchy.extra_cycles hier;
@@ -78,8 +79,8 @@ let timed f =
   (r, (Unix.gettimeofday () -. t0) *. 1000.0)
 
 let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold
-    ?(verify = false) ?(jobs = 1) ~scheme ~feedback (prog : Ir.program) :
-    evaluation =
+    ?(verify = false) ?(jobs = 1) ?(backend = Backend.default) ~scheme
+    ~feedback (prog : Ir.program) : evaluation =
   let (leg, aff), t_an = timed (fun () -> analyze prog ~scheme ~feedback) in
   let decisions, t_dec =
     timed (fun () -> Heuristics.decide ?threshold prog leg aff ~scheme)
@@ -93,15 +94,20 @@ let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold
         if jobs > 1 then begin
           (* the two measurement runs are independent; overlap them *)
           let pool = Pool.create ~jobs:2 in
-          let fb = Pool.submit pool (fun () -> measure ~args ~config prog) in
+          let fb =
+            Pool.submit pool (fun () -> measure ~args ~config ~backend prog)
+          in
           let fa =
-            Pool.submit pool (fun () -> measure ~args ~config transformed)
+            Pool.submit pool (fun () ->
+                measure ~args ~config ~backend transformed)
           in
           let before = Pool.await_exn fb and after = Pool.await_exn fa in
           Pool.shutdown pool;
           (before, after)
         end
-        else (measure ~args ~config prog, measure ~args ~config transformed))
+        else
+          ( measure ~args ~config ~backend prog,
+            measure ~args ~config ~backend transformed ))
   in
   {
     e_before = before;

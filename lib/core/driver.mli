@@ -42,8 +42,13 @@ val compile : ?verify:bool -> string -> Ir.program
 val measure :
   ?args:int list ->
   ?config:Slo_cachesim.Hierarchy.config ->
+  ?backend:Slo_vm.Backend.t ->
   Ir.program ->
   measurement
+(** Run under the cache hierarchy and report cycles/miss counters.
+    [backend] selects the VM engine (default {!Slo_vm.Backend.default},
+    the closure-compiled one); both backends yield identical
+    measurements, the choice only affects wall-clock speed. *)
 
 val analyze :
   Ir.program ->
@@ -64,13 +69,15 @@ val evaluate :
   ?threshold:float ->
   ?verify:bool ->
   ?jobs:int ->
+  ?backend:Slo_vm.Backend.t ->
   scheme:Slo_profile.Weights.scheme ->
   feedback:Slo_profile.Feedback.t option ->
   Ir.program ->
   evaluation
 (** Full pipeline on an already-compiled program. With [~jobs] > 1
     (default 1) the before/after measurement runs execute on two worker
-    domains in parallel. Raises [Invalid_argument] if a profile-based
+    domains in parallel; [backend] selects the VM engine used for both
+    measurement runs (default the closure-compiled one). Raises [Invalid_argument] if a profile-based
     scheme is given no feedback, and {!Verify.Ill_formed} if
     [~verify:true] and the transformed IR is malformed. *)
 

@@ -1,4 +1,5 @@
 module Interp = Slo_vm.Interp
+module Backend = Slo_vm.Backend
 module Hierarchy = Slo_cachesim.Hierarchy
 module Pmu = Slo_cachesim.Pmu
 
@@ -9,7 +10,8 @@ type run_stats = {
 }
 
 let collect ?(args = []) ?(instrument = true)
-    ?(config = Hierarchy.itanium) ?(sample_period = 251) (prog : Ir.program) =
+    ?(config = Hierarchy.itanium) ?(sample_period = 251)
+    ?(backend = Backend.default) (prog : Ir.program) =
   let hier = Hierarchy.create config in
   (* instrumentation perturbs sampling alignment a little: model it as a
      phase offset (the paper measures the effect as correlation 0.996
@@ -46,8 +48,8 @@ let collect ?(args = []) ?(instrument = true)
     let lat, level = Hierarchy.access hier ~addr ~size ~write ~is_float in
     Pmu.record pmu ~iid ~level ~latency:lat ~is_float
   in
-  let vm = Interp.create ~mem_hook ?edge_hook prog in
-  let result = Interp.run ~args vm in
+  let vm = Backend.create ~mem_hook ?edge_hook backend prog in
+  let result = Backend.run ~args vm in
   (* assemble the feedback file *)
   let fb = Feedback.create () in
   List.iter

@@ -23,6 +23,10 @@ val collect :
   ?instrument:bool ->
   ?config:Slo_cachesim.Hierarchy.config ->
   ?sample_period:int ->
+  ?backend:Slo_vm.Backend.t ->
   Ir.program ->
   Feedback.t * run_stats
-(** Defaults: [instrument = true], Itanium-like hierarchy, period 251. *)
+(** Defaults: [instrument = true], Itanium-like hierarchy, period 251,
+    the closure-compiled VM backend. Both backends drive identical
+    edge/PMU event streams, so the collected feedback is backend
+    independent (pinned by tests). *)

@@ -17,6 +17,9 @@
    or duplicates an access, still miscounts. *)
 
 module Interp = Slo_vm.Interp
+module Backend = Slo_vm.Backend
+module Hierarchy = Slo_cachesim.Hierarchy
+module Cache = Slo_cachesim.Cache
 module D = Slo_core.Driver
 module H = Slo_core.Heuristics
 module T = Slo_core.Transform
@@ -156,3 +159,64 @@ let run ?args ?check_accesses (prog : Ir.program) (plans : H.plan list) :
 
 let run_source ?args ?check_accesses source plans : report =
   run ?args ?check_accesses (D.compile source) plans
+
+(* ------------------------------------------------------------------ *)
+(* Backend equivalence                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The same differential idea turned on the VM itself: the
+   closure-compiled engine is only trusted because every program run
+   under both backends produces byte-identical output, identical step
+   counts and an identical cache-event stream (same L1/L2 hit+miss
+   counters, same level distribution, same extra cycles). *)
+
+type backend_mismatch =
+  | B_exit of int * int
+  | B_output of string * string
+  | B_counter of string * int * int  (** counter name, walk, closure *)
+
+let string_of_backend_mismatch = function
+  | B_exit (w, c) ->
+    Printf.sprintf "exit code differs: walk %d, closure %d" w c
+  | B_output (w, c) ->
+    Printf.sprintf "output differs:\n--- walk ---\n%s--- closure ---\n%s" w c
+  | B_counter (name, w, c) ->
+    Printf.sprintf "%s differs: walk %d, closure %d" name w c
+
+let measured_run backend ~args ~config (prog : Ir.program) =
+  let hier = Hierarchy.create config in
+  let mem_hook addr size write is_float _iid =
+    Hierarchy.access_quiet hier ~addr ~size ~write ~is_float
+  in
+  let vm = Backend.create ~mem_hook backend prog in
+  (Backend.run ~args vm, hier)
+
+let compare_backends ?(args = []) ?(config = Hierarchy.itanium)
+    (prog : Ir.program) : backend_mismatch list =
+  let rw, hw = measured_run Backend.Walk ~args ~config prog in
+  let rc, hc = measured_run Backend.Closure ~args ~config prog in
+  let ms = ref [] in
+  let push m = ms := m :: !ms in
+  if rw.Interp.exit_code <> rc.Interp.exit_code then
+    push (B_exit (rw.Interp.exit_code, rc.Interp.exit_code));
+  if not (String.equal rw.Interp.output rc.Interp.output) then
+    push (B_output (rw.Interp.output, rc.Interp.output));
+  let counter name w c = if w <> c then push (B_counter (name, w, c)) in
+  counter "steps" rw.Interp.steps rc.Interp.steps;
+  counter "accesses" (Hierarchy.accesses hw) (Hierarchy.accesses hc);
+  counter "L1 hits" (Cache.hits (Hierarchy.l1 hw)) (Cache.hits (Hierarchy.l1 hc));
+  counter "L1 misses" (Cache.misses (Hierarchy.l1 hw))
+    (Cache.misses (Hierarchy.l1 hc));
+  counter "L2 hits" (Cache.hits (Hierarchy.l2 hw)) (Cache.hits (Hierarchy.l2 hc));
+  counter "L2 misses" (Cache.misses (Hierarchy.l2 hw))
+    (Cache.misses (Hierarchy.l2 hc));
+  let w1, w2, wm = Hierarchy.level_counts hw in
+  let c1, c2, cm = Hierarchy.level_counts hc in
+  counter "accesses served by L1" w1 c1;
+  counter "accesses served by L2" w2 c2;
+  counter "accesses served by memory" wm cm;
+  counter "extra cycles" (Hierarchy.extra_cycles hw) (Hierarchy.extra_cycles hc);
+  List.rev !ms
+
+let backends_agree ?args ?config prog =
+  compare_backends ?args ?config prog = []

@@ -57,3 +57,36 @@ val run_source :
   Slo_core.Heuristics.plan list ->
   report
 (** {!run} on a compiled Mini-C source. *)
+
+(** {1 Backend equivalence}
+
+    The same differential idea turned on the VM itself: the
+    closure-compiled engine ({!Slo_vm.Compile}) is pinned to the
+    tree-walking reference ({!Slo_vm.Interp}) — byte-identical output,
+    identical step counts, and an identical cache-simulation outcome
+    (L1/L2 hit and miss counters, per-level access counts, extra
+    cycles) under the same hierarchy configuration. *)
+
+type backend_mismatch =
+  | B_exit of int * int  (** walk, closure *)
+  | B_output of string * string  (** walk, closure *)
+  | B_counter of string * int * int  (** counter name, walk, closure *)
+
+val string_of_backend_mismatch : backend_mismatch -> string
+
+val compare_backends :
+  ?args:int list ->
+  ?config:Slo_cachesim.Hierarchy.config ->
+  Ir.program ->
+  backend_mismatch list
+(** Run [prog] once under each backend with the cache-measurement hook
+    attached and report every observable difference (empty list = the
+    backends agree). Runtime errors propagate — both backends raise the
+    same {!Slo_vm.Interp.Runtime_error} on the same programs. *)
+
+val backends_agree :
+  ?args:int list ->
+  ?config:Slo_cachesim.Hierarchy.config ->
+  Ir.program ->
+  bool
+(** [compare_backends] = []. *)

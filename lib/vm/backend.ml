@@ -1,0 +1,38 @@
+(* The execution-backend selector.
+
+   [Walk] is the tree-walking reference interpreter ({!Interp});
+   [Closure] is the closure-compiled engine ({!Compile}). They are
+   observationally identical — same output bytes, step counts, hook
+   event streams and error messages — which the differential tests
+   enforce, so [Closure] is the default everywhere speed matters and
+   [Walk] remains the semantic baseline the fast path is checked
+   against. *)
+
+exception Runtime_error = Rt.Runtime_error
+
+type result = Rt.result = { exit_code : int; output : string; steps : int }
+
+type t = Walk | Closure
+
+let default = Closure
+let all = [ Walk; Closure ]
+let to_string = function Walk -> "walk" | Closure -> "closure"
+
+let of_string = function
+  | "walk" -> Some Walk
+  | "closure" -> Some Closure
+  | _ -> None
+
+type vm = Vwalk of Interp.t | Vclosure of Compile.t
+
+let create ?mem_hook ?edge_hook ?max_steps backend prog =
+  match backend with
+  | Walk -> Vwalk (Interp.create ?mem_hook ?edge_hook ?max_steps prog)
+  | Closure -> Vclosure (Compile.create ?mem_hook ?edge_hook ?max_steps prog)
+
+let run ?args = function
+  | Vwalk vm -> Interp.run ?args vm
+  | Vclosure vm -> Compile.run ?args vm
+
+let run_program ?mem_hook ?edge_hook ?max_steps ?args backend prog =
+  run ?args (create ?mem_hook ?edge_hook ?max_steps backend prog)

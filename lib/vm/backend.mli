@@ -1,0 +1,49 @@
+(** Execution-backend selector: the tree-walking reference interpreter
+    ({!Interp}) versus the closure-compiled engine ({!Compile}).
+
+    The two backends are observationally identical — byte-identical
+    output, identical step counts, identical hook event streams (and
+    therefore identical cache-simulation counters) — a property pinned
+    by the differential tests. [Closure] is the default; [Walk] is the
+    semantic baseline. *)
+
+exception Runtime_error of string
+
+type result = Rt.result = {
+  exit_code : int;
+  output : string;
+  steps : int;
+}
+
+type t = Walk | Closure
+
+val default : t
+(** [Closure]. *)
+
+val all : t list
+
+val to_string : t -> string
+(** ["walk"] / ["closure"] — the CLI spelling. *)
+
+val of_string : string -> t option
+
+type vm
+
+val create :
+  ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
+  ?edge_hook:(string -> int -> int -> unit) ->
+  ?max_steps:int ->
+  t ->
+  Ir.program ->
+  vm
+
+val run : ?args:int list -> vm -> result
+
+val run_program :
+  ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
+  ?edge_hook:(string -> int -> int -> unit) ->
+  ?max_steps:int ->
+  ?args:int list ->
+  t ->
+  Ir.program ->
+  result

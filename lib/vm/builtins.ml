@@ -1,0 +1,145 @@
+(* Builtin functions shared by the VM backends: math, printf-style
+   output, and the deterministic LCG behind [rand]/[srand].
+
+   [env] is the slice of interpreter state the builtins touch; both
+   engines embed one, so a program's output bytes and random sequence
+   are identical whichever backend runs it. *)
+
+open Rt
+
+type env = { mem : Memory.t; out : Buffer.t; mutable rng : int }
+
+let create_env mem = { mem; out = Buffer.create 256; rng = 123456789 }
+
+(* printf: the spec (flags/width/precision, minus C's 'l' length
+   modifier) is collected in a single pass into a scratch buffer — one
+   [Buffer.contents] per conversion, no per-character list building *)
+let format_printf mem fmt args =
+  let buf = Buffer.create 64 in
+  let spec = Buffer.create 8 in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> error "printf: not enough arguments for format %S" fmt
+    | a :: rest ->
+      args := rest;
+      a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c <> '%' then begin
+      Buffer.add_char buf c;
+      incr i
+    end
+    else begin
+      incr i;
+      (* collect flags/width/precision ('l' is parsed but dropped) *)
+      Buffer.clear spec;
+      Buffer.add_char spec '%';
+      while
+        !i < n
+        && (match fmt.[!i] with
+           | '0' .. '9' | '.' | '-' | '+' | ' ' | 'l' -> true
+           | _ -> false)
+      do
+        (match fmt.[!i] with 'l' -> () | c -> Buffer.add_char spec c);
+        incr i
+      done;
+      if !i >= n then Buffer.add_char buf '%'
+      else begin
+        let conv = fmt.[!i] in
+        (match conv with
+        | 'd' | 'i' | 'u' -> (
+          match next () with
+          | AInt v ->
+            Buffer.add_char spec 'd';
+            Buffer.add_string buf
+              (Printf.sprintf
+                 (Scanf.format_from_string (Buffer.contents spec) "%d")
+                 v)
+          | AFloat v -> Buffer.add_string buf (string_of_int (int_of_float v)))
+        | 'x' -> (
+          match next () with
+          | AInt v ->
+            Buffer.add_char spec 'x';
+            Buffer.add_string buf
+              (Printf.sprintf
+                 (Scanf.format_from_string (Buffer.contents spec) "%x")
+                 v)
+          | AFloat _ -> error "printf: %%x with float")
+        | 'c' -> (
+          match next () with
+          | AInt v -> Buffer.add_char buf (Char.chr (v land 0xff))
+          | AFloat _ -> error "printf: %%c with float")
+        | 'f' | 'e' | 'g' ->
+          Buffer.add_char spec conv;
+          let v =
+            match next () with AFloat v -> v | AInt v -> float_of_int v
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               (Scanf.format_from_string (Buffer.contents spec) "%f")
+               v)
+        | 's' -> (
+          match next () with
+          | AInt addr -> Buffer.add_string buf (Memory.read_string mem addr)
+          | AFloat _ -> error "printf: %%s with float")
+        | '%' -> Buffer.add_char buf '%'
+        | c -> error "printf: unsupported conversion %%%c" c);
+        incr i
+      end
+    end
+  done;
+  Buffer.contents buf
+
+let exec env name (args : argval list) : retval =
+  let f1 () =
+    match args with
+    | [ AFloat v ] -> v
+    | [ AInt v ] -> float_of_int v
+    | _ -> error "builtin %s: bad arguments" name
+  in
+  match name with
+  | "sqrt" -> RFloat (sqrt (f1 ()))
+  | "exp" -> RFloat (exp (f1 ()))
+  | "log" -> RFloat (log (f1 ()))
+  | "fabs" -> RFloat (Float.abs (f1 ()))
+  | "floor" -> RFloat (floor (f1 ()))
+  | "pow" -> (
+    match args with
+    | [ a; b ] ->
+      let fa = match a with AFloat v -> v | AInt v -> float_of_int v in
+      let fb = match b with AFloat v -> v | AInt v -> float_of_int v in
+      RFloat (Float.pow fa fb)
+    | _ -> error "pow: bad arguments")
+  | "printf" -> (
+    match args with
+    | AInt fmt_addr :: rest ->
+      let fmt = Memory.read_string env.mem fmt_addr in
+      let s = format_printf env.mem fmt rest in
+      Buffer.add_string env.out s;
+      RInt (String.length s)
+    | _ -> error "printf: bad arguments")
+  | "putint" -> (
+    match args with
+    | [ AInt v ] ->
+      Buffer.add_string env.out (string_of_int v);
+      Buffer.add_char env.out '\n';
+      RInt 0
+    | _ -> error "putint: bad arguments")
+  | "putfloat" ->
+    Buffer.add_string env.out (Printf.sprintf "%.6f\n" (f1 ()));
+    RVoid
+  | "rand" ->
+    (* deterministic LCG (numerical recipes) *)
+    env.rng <- ((env.rng * 1664525) + 1013904223) land 0x3fffffff;
+    RInt env.rng
+  | "srand" -> (
+    match args with
+    | [ AInt v ] ->
+      env.rng <- v land 0x3fffffff;
+      RVoid
+    | _ -> error "srand: bad arguments")
+  | n -> error "unknown builtin '%s'" n

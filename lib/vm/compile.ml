@@ -1,0 +1,762 @@
+(* Closure-compiled (threaded-code) VM backend.
+
+   At [create] time each [Ir.instr] is pre-resolved into an OCaml
+   closure over a [frame]; running a block is then just an array sweep
+   of [frame -> unit] thunks plus one closure for the terminator. The
+   compilation step bakes in everything the tree-walker re-derives per
+   executed instruction:
+
+   - operand accessors specialized by register bank — no [fl.(r)] test
+     per operand read, the bank is chosen once at compile time;
+   - locals, globals, interned strings and function addresses folded to
+     constant offsets (no [Hashtbl] lookups on the hot path);
+   - [Layout.sizeof] results and bit-field (unit size, shift, mask)
+     triples computed once per instruction;
+   - the [mem_hook]/[edge_hook] option branches specialized away: a
+     hook-free [run] compiles to closures with no event plumbing at
+     all, the profile/measure path to closures that call the hook
+     directly;
+   - direct calls bind arguments through per-call-site closures that
+     already know the callee's parameter offsets, types and sizes.
+
+   Semantics are identical to {!Interp} by construction: both engines
+   share {!Prep} (register banks, frame layout, memory image) and
+   {!Builtins} (output, printf, LCG), raise the same {!Rt.Runtime_error}
+   messages, and count steps the same way (one per instruction plus one
+   per terminator — this backend adds them blockwise, which yields the
+   same totals and the same step-limit failures). Compile-time name
+   resolution failures are not reported eagerly: an unknown global or
+   local compiles to a closure that raises the interpreter's exact
+   error if (and only if) the instruction is actually executed. *)
+
+exception Runtime_error = Rt.Runtime_error
+
+open Rt
+
+type result = Rt.result = { exit_code : int; output : string; steps : int }
+
+let error = Rt.error
+
+(* per-activation state: frame base plus the two register banks *)
+type frame = { fb : int; ir : int array; fr : float array }
+
+(* a compiled basic block *)
+type bcode = {
+  bc_steps : int;  (* instruction count + 1 for the terminator *)
+  bc_body : (frame -> unit) array;
+  bc_term : frame -> int;  (* successor block id, or -1 to return *)
+  bc_ret : frame -> retval;  (* only consulted when bc_term yields -1 *)
+}
+
+(* a compiled function; fields are filled in two passes (signature-level
+   facts first, bodies second) so call sites can resolve forward
+   references at compile time *)
+type fcode = {
+  fc_name : string;
+  mutable fc_entry : int;
+  mutable fc_nregs : int;
+  mutable fc_frame_size : int;
+  mutable fc_blocks : bcode array;
+  mutable fc_bind : argval list -> int -> unit;  (* generic binder *)
+  mutable fc_entry_hook : unit -> unit;
+}
+
+type t = {
+  mem : Memory.t;
+  (* indexed like Ir.program.funcs, but resolved through the name table
+     so duplicate names dispatch to the same function as the walker *)
+  dispatch : fcode array;
+  fcode_tbl : (string, fcode) Hashtbl.t;
+  benv : Builtins.env;
+  out : Buffer.t;
+  mutable sp : int;
+  mutable steps : int;
+  max_steps : int;
+  mem_hook : (int -> int -> bool -> bool -> int -> unit) option;
+  edge_hook : (string -> int -> int -> unit) option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Execution core                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let exec_fcode t (fc : fcode) (frame : frame) : retval =
+  let blocks = fc.fc_blocks in
+  let max_steps = t.max_steps in
+  let rec go bid =
+    let bc = blocks.(bid) in
+    let s = t.steps + bc.bc_steps in
+    t.steps <- s;
+    if s > max_steps then error "step limit exceeded";
+    let body = bc.bc_body in
+    for k = 0 to Array.length body - 1 do
+      (Array.unsafe_get body k) frame
+    done;
+    let nxt = bc.bc_term frame in
+    if nxt >= 0 then go nxt else bc.bc_ret frame
+  in
+  go fc.fc_entry
+
+(* the argval-list calling path: [main] and indirect calls *)
+let call_generic t (fc : fcode) (args : argval list) : retval =
+  let frame_base = t.sp - fc.fc_frame_size in
+  if frame_base < Memory.stack_limit then
+    error "stack overflow in '%s'" fc.fc_name;
+  let saved_sp = t.sp in
+  t.sp <- frame_base;
+  fc.fc_bind args frame_base;
+  fc.fc_entry_hook ();
+  let frame =
+    { fb = frame_base; ir = Array.make fc.fc_nregs 0;
+      fr = Array.make fc.fc_nregs 0.0 }
+  in
+  let res = exec_fcode t fc frame in
+  t.sp <- saved_sp;
+  res
+
+let touch_range h addr len write iid =
+  let pos = ref addr in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let chunk = min 8 !remaining in
+    h !pos chunk write false iid;
+    pos := !pos + chunk;
+    remaining := !remaining - chunk
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* per-function facts shared between the two compile passes *)
+type pre = {
+  p_func : Ir.func;
+  p_fc : fcode;
+  p_fl : bool array;
+  mutable p_locals : (string, int * Irty.t) Hashtbl.t;
+}
+
+(* pass 1: everything derivable from the signature and frame layout *)
+let compile_signature t layout (p : pre) =
+  let func = p.p_func and fc = p.p_fc in
+  let mem = t.mem in
+  fc.fc_entry <- Prep.entry_block func;
+  fc.fc_nregs <- func.next_reg;
+  let locals, frame_size = Prep.locals_layout layout func in
+  p.p_locals <- locals;
+  fc.fc_frame_size <- frame_size;
+  fc.fc_entry_hook <-
+    (match t.edge_hook with
+    | Some h ->
+      let name = fc.fc_name and entry = fc.fc_entry in
+      fun () -> h name (-1) entry
+    | None -> fun () -> ());
+  (* the generic binder: one pre-resolved slot writer per parameter *)
+  let fname = fc.fc_name in
+  let slot_writers =
+    Array.of_list
+      (List.map
+         (fun (pname, pty) ->
+           match Hashtbl.find_opt p.p_locals pname with
+           | None ->
+             fun (_ : argval) (_ : int) ->
+               error "no stack slot for parameter '%s' of function '%s'" pname
+                 fname
+           | Some (off, _) -> (
+             match pty with
+             | Irty.Float ->
+               fun a fb ->
+                 Memory.store_f32 mem ~addr:(fb + off)
+                   (match a with AFloat v -> v | AInt v -> float_of_int v)
+             | Irty.Double ->
+               fun a fb ->
+                 Memory.store_f64 mem ~addr:(fb + off)
+                   (match a with AFloat v -> v | AInt v -> float_of_int v)
+             | _ ->
+               let size = min 8 (max 1 (Layout.sizeof layout pty)) in
+               fun a fb ->
+                 Memory.store_int mem ~addr:(fb + off) ~size
+                   (match a with AInt v -> v | AFloat v -> int_of_float v)))
+         func.fparams)
+  in
+  fc.fc_bind <-
+    (fun args fb ->
+      let n = Array.length slot_writers in
+      let rec go k args =
+        if k < n then
+          match args with
+          | [] -> error "too few arguments to '%s'" fname
+          | a :: rest ->
+            (Array.unsafe_get slot_writers k) a fb;
+            go (k + 1) rest
+      in
+      go 0 args)
+
+(* pass 2: block bodies *)
+let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
+    pre_of (p : pre) =
+  let func = p.p_func and fc = p.p_fc in
+  let fl = p.p_fl and clocals = p.p_locals in
+  let mem = t.mem in
+  (* operand accessors, bank-resolved at compile time *)
+  let geti (o : Ir.operand) : frame -> int =
+    match o with
+    | Ir.Oreg r ->
+      if fl.(r) then fun f -> int_of_float (Array.unsafe_get f.fr r)
+      else fun f -> Array.unsafe_get f.ir r
+    | Ir.Oimm n ->
+      let v = Int64.to_int n in
+      fun _ -> v
+    | Ir.Ofimm x ->
+      let v = int_of_float x in
+      fun _ -> v
+  in
+  let getf (o : Ir.operand) : frame -> float =
+    match o with
+    | Ir.Oreg r ->
+      if fl.(r) then fun f -> Array.unsafe_get f.fr r
+      else fun f -> float_of_int (Array.unsafe_get f.ir r)
+    | Ir.Oimm n ->
+      let v = Int64.to_float n in
+      fun _ -> v
+    | Ir.Ofimm x -> fun _ -> x
+  in
+  let getarg (o : Ir.operand) : frame -> argval =
+    match o with
+    | Ir.Oreg r ->
+      if fl.(r) then fun f -> AFloat (Array.unsafe_get f.fr r)
+      else fun f -> AInt (Array.unsafe_get f.ir r)
+    | Ir.Oimm n ->
+      let v = AInt (Int64.to_int n) in
+      fun _ -> v
+    | Ir.Ofimm x ->
+      let v = AFloat x in
+      fun _ -> v
+  in
+  let seti r : frame -> int -> unit =
+    if fl.(r) then fun f v -> Array.unsafe_set f.fr r (float_of_int v)
+    else fun f v -> Array.unsafe_set f.ir r v
+  in
+  let setf r : frame -> float -> unit =
+    if fl.(r) then fun f v -> Array.unsafe_set f.fr r v
+    else fun f v -> Array.unsafe_set f.ir r (int_of_float v)
+  in
+  (* result write-back for calls *)
+  let assign_of dst : frame -> retval -> unit =
+    match dst with
+    | None -> fun _ _ -> ()
+    | Some r ->
+      let sti = seti r and stf = setf r in
+      fun f res ->
+        (match res with
+        | RInt v -> sti f v
+        | RFloat v -> stf f v
+        | RVoid -> sti f 0)
+  in
+  (* a direct call with compile-time-known callee: per-call-site binder
+     closures write arguments straight into the callee frame *)
+  let compile_direct_call dst (callee_p : pre) (args : Ir.operand list) :
+      frame -> unit =
+    let callee = callee_p.p_fc in
+    let assign = assign_of dst in
+    let params = callee_p.p_func.fparams in
+    if List.length args < List.length params then
+      (* the walker only reports missing arguments once the frame fits *)
+      fun _ ->
+        if t.sp - callee.fc_frame_size < Memory.stack_limit then
+          error "stack overflow in '%s'" callee.fc_name;
+        error "too few arguments to '%s'" callee.fc_name
+    else begin
+      let rec take params args =
+        match (params, args) with
+        | [], _ -> []
+        | (pname, pty) :: ps, a :: rest ->
+          let binder =
+            match Hashtbl.find_opt callee_p.p_locals pname with
+            | None ->
+              let cname = callee.fc_name in
+              fun (_ : frame) (_ : int) ->
+                error "no stack slot for parameter '%s' of function '%s'" pname
+                  cname
+            | Some (off, _) -> (
+              match pty with
+              | Irty.Float ->
+                let g = getf a in
+                fun f fb -> Memory.store_f32 mem ~addr:(fb + off) (g f)
+              | Irty.Double ->
+                let g = getf a in
+                fun f fb -> Memory.store_f64 mem ~addr:(fb + off) (g f)
+              | _ ->
+                let size = min 8 (max 1 (Layout.sizeof layout pty)) in
+                let g = geti a in
+                fun f fb -> Memory.store_int mem ~addr:(fb + off) ~size (g f))
+          in
+          binder :: take ps rest
+        | _ :: _, [] -> assert false (* length-checked above *)
+      in
+      let binders = Array.of_list (take params args) in
+      fun f ->
+        let frame_base = t.sp - callee.fc_frame_size in
+        if frame_base < Memory.stack_limit then
+          error "stack overflow in '%s'" callee.fc_name;
+        let saved_sp = t.sp in
+        t.sp <- frame_base;
+        for k = 0 to Array.length binders - 1 do
+          (Array.unsafe_get binders k) f frame_base
+        done;
+        callee.fc_entry_hook ();
+        let nf =
+          { fb = frame_base; ir = Array.make callee.fc_nregs 0;
+            fr = Array.make callee.fc_nregs 0.0 }
+        in
+        let res = exec_fcode t callee nf in
+        t.sp <- saved_sp;
+        assign f res
+    end
+  in
+  let compile_instr (i : Ir.instr) : frame -> unit =
+    let iid = i.iid in
+    match i.idesc with
+    | Ir.Imov (r, o) ->
+      if fl.(r) then
+        let g = getf o in
+        fun f -> Array.unsafe_set f.fr r (g f)
+      else
+        let g = geti o in
+        fun f -> Array.unsafe_set f.ir r (g f)
+    | Ir.Ibin (r, op, ty, a, b) ->
+      if Irty.is_float_ty ty then begin
+        let x = getf a and y = getf b in
+        let stf () = setf r and sti () = seti r in
+        match op with
+        | Ir.Add -> let st = stf () in fun f -> st f (x f +. y f)
+        | Ir.Sub -> let st = stf () in fun f -> st f (x f -. y f)
+        | Ir.Mul -> let st = stf () in fun f -> st f (x f *. y f)
+        | Ir.Div -> let st = stf () in fun f -> st f (x f /. y f)
+        | Ir.Lt -> let st = sti () in fun f -> st f (if x f < y f then 1 else 0)
+        | Ir.Le -> let st = sti () in fun f -> st f (if x f <= y f then 1 else 0)
+        | Ir.Gt -> let st = sti () in fun f -> st f (if x f > y f then 1 else 0)
+        | Ir.Ge -> let st = sti () in fun f -> st f (if x f >= y f then 1 else 0)
+        | Ir.Eq -> let st = sti () in fun f -> st f (if x f = y f then 1 else 0)
+        | Ir.Ne -> let st = sti () in fun f -> st f (if x f <> y f then 1 else 0)
+        | Ir.Mod | Ir.Band | Ir.Bor | Ir.Bxor | Ir.Shl | Ir.Shr ->
+          fun _ -> error "float operand to integer-only operator"
+      end
+      else begin
+        let x = geti a and y = geti b in
+        let st = seti r in
+        match op with
+        | Ir.Add -> fun f -> st f (x f + y f)
+        | Ir.Sub -> fun f -> st f (x f - y f)
+        | Ir.Mul -> fun f -> st f (x f * y f)
+        | Ir.Div ->
+          fun f ->
+            let d = y f in
+            if d = 0 then error "integer division by zero";
+            st f (x f / d)
+        | Ir.Mod ->
+          fun f ->
+            let d = y f in
+            if d = 0 then error "integer modulo by zero";
+            st f (x f mod d)
+        | Ir.Band -> fun f -> st f (x f land y f)
+        | Ir.Bor -> fun f -> st f (x f lor y f)
+        | Ir.Bxor -> fun f -> st f (x f lxor y f)
+        | Ir.Shl -> fun f -> st f (x f lsl (y f land 63))
+        | Ir.Shr -> fun f -> st f (x f asr (y f land 63))
+        | Ir.Lt -> fun f -> st f (if x f < y f then 1 else 0)
+        | Ir.Le -> fun f -> st f (if x f <= y f then 1 else 0)
+        | Ir.Gt -> fun f -> st f (if x f > y f then 1 else 0)
+        | Ir.Ge -> fun f -> st f (if x f >= y f then 1 else 0)
+        | Ir.Eq -> fun f -> st f (if x f = y f then 1 else 0)
+        | Ir.Ne -> fun f -> st f (if x f <> y f then 1 else 0)
+      end
+    | Ir.Iun (r, op, ty, a) -> (
+      match op with
+      | Ir.Neg ->
+        if Irty.is_float_ty ty then
+          let g = getf a and st = setf r in
+          fun f -> st f (-.g f)
+        else
+          let g = geti a and st = seti r in
+          fun f -> st f (-g f)
+      | Ir.Lnot ->
+        let st = seti r in
+        if Irty.is_float_ty ty then
+          let g = getf a in
+          fun f -> st f (if g f = 0.0 then 1 else 0)
+        else
+          let g = geti a in
+          fun f -> st f (if g f = 0 then 1 else 0)
+      | Ir.Bnot ->
+        let g = geti a and st = seti r in
+        fun f -> st f (lnot (g f)))
+    | Ir.Icast (r, from_, to_, a, _) -> (
+      match (Irty.is_float_ty from_, Irty.is_float_ty to_) with
+      | true, true -> (
+        let g = getf a and st = setf r in
+        match to_ with
+        | Irty.Float ->
+          fun f -> st f (Int32.float_of_bits (Int32.bits_of_float (g f)))
+        | _ -> fun f -> st f (g f))
+      | true, false ->
+        let g = getf a and st = seti r in
+        fun f -> st f (int_of_float (g f))
+      | false, true ->
+        let g = geti a and st = setf r in
+        fun f -> st f (float_of_int (g f))
+      | false, false -> (
+        let g = geti a and st = seti r in
+        match to_ with
+        | Irty.Char -> fun f -> st f (truncate_int 1 (g f))
+        | Irty.Short -> fun f -> st f (truncate_int 2 (g f))
+        | Irty.Int -> fun f -> st f (truncate_int 4 (g f))
+        | _ -> fun f -> st f (g f)))
+    | Ir.Iload (r, a, ty, acc) -> (
+      let ga = geti a in
+      match
+        match acc with
+        | Some ac -> Prep.bitfield_info prog layout ac
+        | None -> None
+      with
+      | Some (unit_size, bit_off, width) -> (
+        let mask = (1 lsl width) - 1 in
+        let st = seti r in
+        match t.mem_hook with
+        | Some h ->
+          fun f ->
+            let addr = ga f in
+            h addr unit_size false false iid;
+            st f (Memory.load_int mem ~addr ~size:unit_size asr bit_off land mask)
+        | None ->
+          fun f ->
+            st f
+              (Memory.load_int mem ~addr:(ga f) ~size:unit_size
+               asr bit_off land mask))
+      | None -> (
+        match ty with
+        | Irty.Float -> (
+          let st = setf r in
+          match t.mem_hook with
+          | Some h ->
+            fun f ->
+              let addr = ga f in
+              h addr 4 false true iid;
+              st f (Memory.load_f32 mem ~addr)
+          | None -> fun f -> st f (Memory.load_f32 mem ~addr:(ga f)))
+        | Irty.Double -> (
+          let st = setf r in
+          match t.mem_hook with
+          | Some h ->
+            fun f ->
+              let addr = ga f in
+              h addr 8 false true iid;
+              st f (Memory.load_f64 mem ~addr)
+          | None -> fun f -> st f (Memory.load_f64 mem ~addr:(ga f)))
+        | _ -> (
+          let size = max 1 (min 8 (Layout.sizeof layout ty)) in
+          let st = seti r in
+          match t.mem_hook with
+          | Some h ->
+            fun f ->
+              let addr = ga f in
+              h addr size false false iid;
+              st f (Memory.load_int mem ~addr ~size)
+          | None -> fun f -> st f (Memory.load_int mem ~addr:(ga f) ~size))))
+    | Ir.Istore (a, v, ty, acc) -> (
+      let ga = geti a in
+      match
+        match acc with
+        | Some ac -> Prep.bitfield_info prog layout ac
+        | None -> None
+      with
+      | Some (unit_size, bit_off, width) -> (
+        let gv = geti v in
+        let mask = ((1 lsl width) - 1) lsl bit_off in
+        let update f addr =
+          let old = Memory.load_int mem ~addr ~size:unit_size in
+          let nv = (old land lnot mask) lor ((gv f lsl bit_off) land mask) in
+          Memory.store_int mem ~addr ~size:unit_size nv
+        in
+        match t.mem_hook with
+        | Some h ->
+          fun f ->
+            let addr = ga f in
+            h addr unit_size true false iid;
+            update f addr
+        | None -> fun f -> update f (ga f))
+      | None -> (
+        match ty with
+        | Irty.Float -> (
+          let gv = getf v in
+          match t.mem_hook with
+          | Some h ->
+            fun f ->
+              let addr = ga f in
+              h addr 4 true true iid;
+              Memory.store_f32 mem ~addr (gv f)
+          | None -> fun f -> Memory.store_f32 mem ~addr:(ga f) (gv f))
+        | Irty.Double -> (
+          let gv = getf v in
+          match t.mem_hook with
+          | Some h ->
+            fun f ->
+              let addr = ga f in
+              h addr 8 true true iid;
+              Memory.store_f64 mem ~addr (gv f)
+          | None -> fun f -> Memory.store_f64 mem ~addr:(ga f) (gv f))
+        | _ -> (
+          let size = max 1 (min 8 (Layout.sizeof layout ty)) in
+          let gv = geti v in
+          match t.mem_hook with
+          | Some h ->
+            fun f ->
+              let addr = ga f in
+              h addr size true false iid;
+              Memory.store_int mem ~addr ~size (gv f)
+          | None -> fun f -> Memory.store_int mem ~addr:(ga f) ~size (gv f))))
+    | Ir.Iaddrglob (r, g) -> (
+      match Hashtbl.find_opt globals_addr g with
+      | Some (addr, _) ->
+        let st = seti r in
+        fun f -> st f addr
+      | None -> fun _ -> error "unknown global '%s'" g)
+    | Ir.Iaddrlocal (r, l) -> (
+      match Hashtbl.find_opt clocals l with
+      | Some (off, _) ->
+        let st = seti r in
+        fun f -> st f (f.fb + off)
+      | None ->
+        let fname = func.fname in
+        fun _ -> error "unknown local '%s' in '%s'" l fname)
+    | Ir.Iaddrstr (r, s) -> (
+      match Hashtbl.find_opt strings s with
+      | Some addr ->
+        let st = seti r in
+        fun f -> st f addr
+      | None -> fun _ -> raise Not_found (* interned from this program *))
+    | Ir.Iaddrfunc (r, fn) -> (
+      match Hashtbl.find_opt func_addr fn with
+      | Some a ->
+        let st = seti r in
+        fun f -> st f a
+      | None -> fun _ -> error "address of undefined function '%s'" fn)
+    | Ir.Ifieldaddr (r, b, s, fi) ->
+      let gb = geti b in
+      let off = (Layout.field_layout layout s fi).Layout.byte_off in
+      let st = seti r in
+      fun f -> st f (gb f + off)
+    | Ir.Iptradd (r, b, idx, ty) ->
+      let gb = geti b and gi = geti idx in
+      let sz = Layout.sizeof layout ty in
+      let st = seti r in
+      fun f -> st f (gb f + (gi f * sz))
+    | Ir.Icall (dst, callee, args) -> (
+      match callee with
+      | Ir.Cdirect n -> (
+        match Hashtbl.find_opt pre_of n with
+        | Some callee_p -> compile_direct_call dst callee_p args
+        | None -> fun _ -> error "call to undefined function '%s'" n)
+      | Ir.Cbuiltin n ->
+        let getters = Array.of_list (List.map getarg args) in
+        let assign = assign_of dst in
+        let benv = t.benv in
+        fun f ->
+          let vals = Array.to_list (Array.map (fun g -> g f) getters) in
+          assign f (Builtins.exec benv n vals)
+      | Ir.Cextern _ ->
+        (* library functions outside the compilation scope are stubs: the
+           legality analysis (LIBC) is about what the compiler may assume,
+           not whether the program runs *)
+        let assign = assign_of dst in
+        fun f -> assign f (RInt 0)
+      | Ir.Cindirect o ->
+        let go = geti o in
+        let getters = Array.of_list (List.map getarg args) in
+        let assign = assign_of dst in
+        let dispatch = t.dispatch in
+        let nfuncs = Array.length dispatch in
+        fun f ->
+          let vals = Array.to_list (Array.map (fun g -> g f) getters) in
+          let a = go f in
+          let idx = a - func_addr_base in
+          if idx < 0 || idx >= nfuncs then
+            error "indirect call through bad pointer 0x%x" a;
+          assign f (call_generic t (Array.unsafe_get dispatch idx) vals))
+    | Ir.Ialloc (r, kind, count, elem) -> (
+      let gc = geti count in
+      let elem_size = max 1 (Layout.sizeof layout elem) in
+      let st = seti r in
+      match kind with
+      | Ir.Amalloc ->
+        fun f -> st f (Memory.alloc_heap mem ~size:(gc f * elem_size) ~zero:false)
+      | Ir.Acalloc ->
+        fun f -> st f (Memory.alloc_heap mem ~size:(gc f * elem_size) ~zero:true)
+      | Ir.Arealloc old_op ->
+        let go = geti old_op in
+        fun f ->
+          let bytes = gc f * elem_size in
+          let old = go f in
+          let na = Memory.alloc_heap mem ~size:bytes ~zero:false in
+          (if old <> 0 then
+             match Memory.alloc_size mem old with
+             | Some osz -> Memory.blit mem ~dst:na ~src:old ~len:(min osz bytes)
+             | None -> error "realloc of invalid pointer 0x%x" old);
+          st f na)
+    | Ir.Ifree o ->
+      let g = geti o in
+      fun f -> Memory.free_heap mem (g f)
+    | Ir.Imemset (d, v, n, _) -> (
+      let gd = geti d and gv = geti v and gn = geti n in
+      match t.mem_hook with
+      | Some h ->
+        fun f ->
+          let dst = gd f and byte = gv f and len = gn f in
+          touch_range h dst len true iid;
+          Memory.fill mem ~dst ~byte ~len
+      | None -> fun f -> Memory.fill mem ~dst:(gd f) ~byte:(gv f) ~len:(gn f))
+    | Ir.Imemcpy (d, s, n, _) -> (
+      let gd = geti d and gs = geti s and gn = geti n in
+      match t.mem_hook with
+      | Some h ->
+        fun f ->
+          let dst = gd f and src = gs f and len = gn f in
+          touch_range h src len false iid;
+          touch_range h dst len true iid;
+          Memory.blit mem ~dst ~src ~len
+      | None -> fun f -> Memory.blit mem ~dst:(gd f) ~src:(gs f) ~len:(gn f))
+  in
+  let never_ret : frame -> retval = fun _ -> RVoid in
+  let compile_term (b : Ir.block) : (frame -> int) * (frame -> retval) =
+    match b.btermin with
+    | Ir.Tret None -> ((fun _ -> -1), fun _ -> RVoid)
+    | Ir.Tret (Some o) ->
+      let retc =
+        if Irty.is_float_ty func.fret then
+          let g = getf o in
+          fun f -> RFloat (g f)
+        else
+          let g = geti o in
+          fun f -> RInt (g f)
+      in
+      ((fun _ -> -1), retc)
+    | Ir.Tjmp dst -> (
+      match t.edge_hook with
+      | Some h ->
+        let name = func.fname and src = b.bid in
+        ((fun _ -> h name src dst; dst), never_ret)
+      | None -> ((fun _ -> dst), never_ret))
+    | Ir.Tbr (c, x, y) -> (
+      let g = geti c in
+      match t.edge_hook with
+      | Some h ->
+        let name = func.fname and src = b.bid in
+        ( (fun f ->
+            let dst = if g f <> 0 then x else y in
+            h name src dst;
+            dst),
+          never_ret )
+      | None -> ((fun f -> if g f <> 0 then x else y), never_ret))
+  in
+  (* an unreferenced block id executes as an empty body + [Tret None],
+     exactly like the tree-walker's defaults *)
+  let empty =
+    { bc_steps = 1; bc_body = [||]; bc_term = (fun _ -> -1);
+      bc_ret = (fun _ -> RVoid) }
+  in
+  let blocks = Array.make func.next_block empty in
+  List.iter
+    (fun (b : Ir.block) ->
+      let body =
+        Array.of_list
+          (List.map
+             (fun i ->
+               (* name-resolution and layout failures compile to raising
+                  closures so they surface only if the instruction runs,
+                  matching the tree-walker's lazy failure points *)
+               match compile_instr i with
+               | code -> code
+               | exception e -> fun _ -> raise e)
+             b.instrs)
+      in
+      let term, ret =
+        match compile_term b with
+        | r -> r
+        | exception e -> ((fun _ -> raise e), never_ret)
+      in
+      blocks.(b.bid) <-
+        { bc_steps = Array.length body + 1; bc_body = body; bc_term = term;
+          bc_ret = ret })
+    func.fblocks;
+  fc.fc_blocks <- blocks
+
+(* ------------------------------------------------------------------ *)
+(* Setup and entry points                                              *)
+(* ------------------------------------------------------------------ *)
+
+let create ?mem_hook ?edge_hook ?(max_steps = Rt.default_max_steps)
+    (prog : Ir.program) : t =
+  let layout = Layout.create prog.structs in
+  let mem = Memory.create () in
+  (* identical image to the tree-walker: globals first, strings second *)
+  let globals_addr = Prep.alloc_globals layout mem prog in
+  let strings = Prep.intern_strings mem prog in
+  let fcodes =
+    Array.of_list
+      (List.map
+         (fun (f : Ir.func) ->
+           {
+             fc_name = f.fname; fc_entry = 0; fc_nregs = 0; fc_frame_size = 0;
+             fc_blocks = [||]; fc_bind = (fun _ _ -> ());
+             fc_entry_hook = (fun () -> ());
+           })
+         prog.funcs)
+  in
+  let fcode_tbl = Hashtbl.create 16 in
+  Array.iter (fun fc -> Hashtbl.replace fcode_tbl fc.fc_name fc) fcodes;
+  let dispatch = Array.map (fun fc -> Hashtbl.find fcode_tbl fc.fc_name) fcodes in
+  let func_addr = Hashtbl.create 16 in
+  Array.iteri
+    (fun i fc -> Hashtbl.replace func_addr fc.fc_name (func_addr_base + i))
+    fcodes;
+  let benv = Builtins.create_env mem in
+  let t =
+    {
+      mem; dispatch; fcode_tbl; benv; out = benv.Builtins.out;
+      sp = Memory.stack_top; steps = 0; max_steps; mem_hook; edge_hook;
+    }
+  in
+  let pres =
+    List.mapi
+      (fun i f ->
+        {
+          p_func = f; p_fc = fcodes.(i); p_fl = Prep.float_banks prog f;
+          p_locals = Hashtbl.create 16;
+        })
+      prog.funcs
+  in
+  let pre_of = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace pre_of p.p_func.Ir.fname p) pres;
+  List.iter (fun p -> compile_signature t layout p) pres;
+  List.iter
+    (fun p -> compile_body t prog layout globals_addr strings func_addr pre_of p)
+    pres;
+  t
+
+let run ?(args = []) (t : t) : Rt.result =
+  Buffer.clear t.out;
+  t.steps <- 0;
+  t.sp <- Memory.stack_top;
+  if not (Hashtbl.mem t.fcode_tbl "main") then error "program has no 'main'";
+  let res =
+    try
+      call_generic t
+        (Hashtbl.find t.fcode_tbl "main")
+        (List.map (fun v -> AInt v) args)
+    with Memory.Fault msg -> error "memory fault: %s" msg
+  in
+  { exit_code = Rt.exit_code_of_retval res;
+    output = Buffer.contents t.out;
+    steps = t.steps }
+
+let run_program ?args prog = run ?args (create prog)

@@ -1,0 +1,40 @@
+(** Closure-compiled (threaded-code) execution backend.
+
+    Same observable semantics, hooks and determinism guarantees as
+    {!Interp} (see that module's documentation): each [Ir.instr] is
+    pre-resolved into an OCaml closure at {!create} time — operand
+    accessors specialized by register bank, names folded to constant
+    addresses, layout sizes and bit-field masks baked in, and the hook
+    option-branches compiled away — so the per-instruction execution
+    cost is one indirect call. The differential tests pin its output,
+    step counts and cache-event stream to the tree-walker's. *)
+
+exception Runtime_error of string
+
+type result = Rt.result = {
+  exit_code : int;
+  output : string;
+  steps : int;  (** instructions executed *)
+}
+
+type t
+
+val create :
+  ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
+  ?edge_hook:(string -> int -> int -> unit) ->
+  ?max_steps:int ->
+  Ir.program ->
+  t
+(** Compile a program to closures: lays out globals, interns strings,
+    pre-resolves every instruction. Default [max_steps] is
+    2_000_000_000. *)
+
+val run : ?args:int list -> t -> result
+(** Execute [main]. Raises {!Runtime_error} exactly where {!Interp.run}
+    does (same messages), with one caveat: the step limit is enforced
+    per basic block rather than per instruction, which raises on exactly
+    the same programs but may execute up to a block's worth of trailing
+    instructions less before doing so. *)
+
+val run_program : ?args:int list -> Ir.program -> result
+(** [create] + [run] without hooks. *)

@@ -1,8 +1,10 @@
-exception Runtime_error of string
+exception Runtime_error = Rt.Runtime_error
 
-let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+open Rt
 
-type result = { exit_code : int; output : string; steps : int }
+let error = Rt.error
+
+type result = Rt.result = { exit_code : int; output : string; steps : int }
 
 (* pre-compiled function *)
 type code = {
@@ -24,24 +26,20 @@ type t = {
   func_addr : (string, int) Hashtbl.t;
   globals_addr : (string, int * Irty.t) Hashtbl.t;
   strings : (string, int) Hashtbl.t;
+  benv : Builtins.env;
   out : Buffer.t;
   mutable sp : int;
   mutable steps : int;
-  mutable rng : int;
   mem_hook : (int -> int -> bool -> bool -> int -> unit) option;
   edge_hook : (string -> int -> int -> unit) option;
   max_steps : int;
 }
 
-let func_addr_base = 0x7f00_0000
+let func_addr_base = Rt.func_addr_base
 
 (* ------------------------------------------------------------------ *)
 (* Pre-compilation                                                     *)
 (* ------------------------------------------------------------------ *)
-
-let builtin_returns_float = function
-  | "sqrt" | "exp" | "log" | "fabs" | "pow" | "floor" -> true
-  | _ -> false
 
 let compile_func (prog : Ir.program) layout (f : Ir.func) : code =
   let nb = f.next_block in
@@ -52,10 +50,7 @@ let compile_func (prog : Ir.program) layout (f : Ir.func) : code =
      per-access layout lookup (the shared IR keeps its tags for the
      analyses) *)
   let is_bitfield (a : Ir.access) =
-    match Structs.find_opt prog.structs a.astruct with
-    | Some d when a.afield < Array.length d.fields ->
-      d.fields.(a.afield).bits <> None
-    | Some _ | None -> false
+    Prep.bitfield_info prog layout a <> None
   in
   let specialize (i : Ir.instr) =
     match i.idesc with
@@ -70,116 +65,23 @@ let compile_func (prog : Ir.program) layout (f : Ir.func) : code =
       cblocks.(b.bid) <- Array.of_list (List.map specialize b.instrs);
       cterms.(b.bid) <- b.btermin)
     f.fblocks;
-  let clocals = Hashtbl.create 16 in
-  let off = ref 0 in
-  List.iter
-    (fun (name, ty) ->
-      let a = Layout.alignof layout ty in
-      let a = max a 1 in
-      off := (!off + a - 1) / a * a;
-      Hashtbl.replace clocals name (!off, ty);
-      off := !off + max (Layout.sizeof layout ty) 1)
-    f.flocals;
-  let cframe_size = (!off + 15) / 16 * 16 in
-  (* register bank inference: two passes over all instructions *)
-  let nregs = f.next_reg in
-  let fl = Array.make nregs false in
-  let op_float = function
-    | Ir.Oreg r -> fl.(r)
-    | Ir.Ofimm _ -> true
-    | Ir.Oimm _ -> false
-  in
-  let scan () =
-    List.iter
-      (fun (b : Ir.block) ->
-        List.iter
-          (fun (i : Ir.instr) ->
-            match i.idesc with
-            | Ir.Imov (r, o) -> if op_float o then fl.(r) <- true
-            | Ir.Ibin (r, _, ty, _, _) ->
-              if Irty.is_float_ty ty then
-                (match i.idesc with
-                | Ir.Ibin (_, (Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge | Ir.Eq | Ir.Ne), _, _, _) ->
-                  () (* comparisons yield ints *)
-                | _ -> fl.(r) <- true)
-            | Ir.Iun (r, u, ty, _) ->
-              if Irty.is_float_ty ty && u = Ir.Neg then fl.(r) <- true
-            | Ir.Icast (r, _, to_, _, _) ->
-              if Irty.is_float_ty to_ then fl.(r) <- true
-            | Ir.Iload (r, _, ty, _) -> if Irty.is_float_ty ty then fl.(r) <- true
-            | Ir.Icall (Some r, callee, _) -> (
-              match callee with
-              | Ir.Cdirect n -> (
-                match Ir.find_func prog n with
-                | Some g -> if Irty.is_float_ty g.fret then fl.(r) <- true
-                | None -> ())
-              | Ir.Cbuiltin n -> if builtin_returns_float n then fl.(r) <- true
-              | Ir.Cextern _ | Ir.Cindirect _ -> ())
-            | Ir.Iaddrglob _ | Ir.Iaddrlocal _ | Ir.Iaddrstr _
-            | Ir.Iaddrfunc _ | Ir.Ifieldaddr _ | Ir.Iptradd _ | Ir.Ialloc _
-            | Ir.Istore _ | Ir.Ifree _ | Ir.Imemset _ | Ir.Imemcpy _
-            | Ir.Icall (None, _, _) ->
-              ())
-          b.instrs)
-      f.fblocks
-  in
-  scan ();
-  scan ();
+  let clocals, cframe_size = Prep.locals_layout layout f in
   {
     cfunc = f; cblocks; cterms;
-    centry = (match f.fblocks with b :: _ -> b.bid | [] -> 0);
-    clocals; cframe_size; cfloat_reg = fl;
+    centry = Prep.entry_block f;
+    clocals; cframe_size; cfloat_reg = Prep.float_banks prog f;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Setup                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let create ?mem_hook ?edge_hook ?(max_steps = 2_000_000_000) (prog : Ir.program) : t
-    =
+let create ?mem_hook ?edge_hook ?(max_steps = Rt.default_max_steps)
+    (prog : Ir.program) : t =
   let layout = Layout.create prog.structs in
   let mem = Memory.create () in
-  let globals_addr = Hashtbl.create 16 in
-  List.iter
-    (fun (name, ty, init) ->
-      let size = max (Layout.sizeof layout ty) 1 in
-      let align = max (Layout.alignof layout ty) 1 in
-      let addr = Memory.alloc_global mem ~size ~align in
-      Hashtbl.replace globals_addr name (addr, ty);
-      match init with
-      | None -> ()
-      | Some bits -> (
-        match ty with
-        | Irty.Float -> Memory.store_f32 mem ~addr (Int64.float_of_bits bits)
-        | Irty.Double -> Memory.store_f64 mem ~addr (Int64.float_of_bits bits)
-        | _ ->
-          Memory.store_int mem ~addr
-            ~size:(min 8 size)
-            (Int64.to_int bits)))
-    prog.globals;
-  (* intern string literals *)
-  let strings = Hashtbl.create 16 in
-  let intern s =
-    if not (Hashtbl.mem strings s) then begin
-      let addr =
-        Memory.alloc_global mem ~size:(String.length s + 1) ~align:1
-      in
-      Memory.write_string mem addr s;
-      Hashtbl.replace strings s addr
-    end
-  in
-  List.iter
-    (fun (f : Ir.func) ->
-      List.iter
-        (fun (b : Ir.block) ->
-          List.iter
-            (fun (i : Ir.instr) ->
-              match i.idesc with
-              | Ir.Iaddrstr (_, s) -> intern s
-              | _ -> ())
-            b.instrs)
-        f.fblocks)
-    prog.funcs;
+  let globals_addr = Prep.alloc_globals layout mem prog in
+  let strings = Prep.intern_strings mem prog in
   let codes = Hashtbl.create 16 in
   List.iter
     (fun f -> Hashtbl.replace codes f.Ir.fname (compile_func prog layout f))
@@ -189,111 +91,16 @@ let create ?mem_hook ?edge_hook ?(max_steps = 2_000_000_000) (prog : Ir.program)
   Array.iteri
     (fun i n -> Hashtbl.replace func_addr n (func_addr_base + i))
     func_by_index;
+  let benv = Builtins.create_env mem in
   {
     prog; layout; mem; codes; func_by_index; func_addr; globals_addr;
-    strings; out = Buffer.create 256; sp = Memory.stack_top; steps = 0;
-    rng = 123456789; mem_hook; edge_hook; max_steps;
+    strings; benv; out = benv.Builtins.out; sp = Memory.stack_top; steps = 0;
+    mem_hook; edge_hook; max_steps;
   }
-
-(* ------------------------------------------------------------------ *)
-(* printf                                                              *)
-(* ------------------------------------------------------------------ *)
-
-type argval = AInt of int | AFloat of float
-
-let format_printf t fmt args =
-  let buf = Buffer.create 64 in
-  let args = ref args in
-  let next () =
-    match !args with
-    | [] -> error "printf: not enough arguments for format %S" fmt
-    | a :: rest ->
-      args := rest;
-      a
-  in
-  let n = String.length fmt in
-  let i = ref 0 in
-  while !i < n do
-    let c = fmt.[!i] in
-    if c <> '%' then begin
-      Buffer.add_char buf c;
-      incr i
-    end
-    else begin
-      incr i;
-      (* collect flags/width/precision *)
-      let spec_start = !i in
-      while
-        !i < n
-        && (match fmt.[!i] with
-           | '0' .. '9' | '.' | '-' | '+' | ' ' | 'l' -> true
-           | _ -> false)
-      do
-        incr i
-      done;
-      if !i >= n then Buffer.add_char buf '%'
-      else begin
-        let conv = fmt.[!i] in
-        let spec =
-          String.concat ""
-            [ "%";
-              String.concat ""
-                (List.filter (fun s -> s <> "l")
-                   (List.init (!i - spec_start) (fun k ->
-                        String.make 1 fmt.[spec_start + k]))) ]
-        in
-        (match conv with
-        | 'd' | 'i' | 'u' -> (
-          match next () with
-          | AInt v -> Buffer.add_string buf (Printf.sprintf (Scanf.format_from_string (spec ^ "d") "%d") v)
-          | AFloat v -> Buffer.add_string buf (string_of_int (int_of_float v)))
-        | 'x' -> (
-          match next () with
-          | AInt v -> Buffer.add_string buf (Printf.sprintf (Scanf.format_from_string (spec ^ "x") "%x") v)
-          | AFloat _ -> error "printf: %%x with float")
-        | 'c' -> (
-          match next () with
-          | AInt v -> Buffer.add_char buf (Char.chr (v land 0xff))
-          | AFloat _ -> error "printf: %%c with float")
-        | 'f' | 'e' | 'g' -> (
-          let fspec = spec ^ String.make 1 conv in
-          match next () with
-          | AFloat v ->
-            Buffer.add_string buf
-              (Printf.sprintf (Scanf.format_from_string fspec "%f") v)
-          | AInt v ->
-            Buffer.add_string buf
-              (Printf.sprintf (Scanf.format_from_string fspec "%f") (float_of_int v)))
-        | 's' -> (
-          match next () with
-          | AInt addr -> Buffer.add_string buf (Memory.read_string t.mem addr)
-          | AFloat _ -> error "printf: %%s with float")
-        | '%' -> Buffer.add_char buf '%'
-        | c -> error "printf: unsupported conversion %%%c" c);
-        incr i
-      end
-    end
-  done;
-  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
-
-type retval = RVoid | RInt of int | RFloat of float
-
-let truncate_int size v =
-  match size with
-  | 1 ->
-    let v = v land 0xff in
-    if v >= 0x80 then v - 0x100 else v
-  | 2 ->
-    let v = v land 0xffff in
-    if v >= 0x8000 then v - 0x10000 else v
-  | 4 ->
-    let v = v land 0xffffffff in
-    if v >= 0x80000000 then v - 0x100000000 else v
-  | _ -> v
 
 let rec call t fname (args : argval list) : retval =
   match Hashtbl.find_opt t.codes fname with
@@ -311,7 +118,13 @@ let rec call t fname (args : argval list) : retval =
       match (params, args) with
       | [], _ -> ()
       | (pname, pty) :: ps, a :: rest ->
-        let off, _ = Hashtbl.find code.clocals pname in
+        let off =
+          match Hashtbl.find_opt code.clocals pname with
+          | Some (off, _) -> off
+          | None ->
+            error "no stack slot for parameter '%s' of function '%s'" pname
+              fname
+        in
         let addr = frame_base + off in
         (match (pty, a) with
         | Irty.Float, AFloat v -> Memory.store_f32 t.mem ~addr v
@@ -533,7 +346,7 @@ and exec_blocks t code frame_base iregs fregs entry : retval =
       let res =
         match callee with
         | Ir.Cdirect n -> call t n argvals
-        | Ir.Cbuiltin n -> exec_builtin t n argvals
+        | Ir.Cbuiltin n -> Builtins.exec t.benv n argvals
         | Ir.Cextern _ ->
           (* library functions outside the compilation scope are stubs: the
              legality analysis (LIBC) is about what the compiler may assume,
@@ -588,55 +401,6 @@ and exec_blocks t code frame_base iregs fregs entry : retval =
         pos := !pos + chunk;
         remaining := !remaining - chunk
       done
-  and exec_builtin t name (args : argval list) : retval =
-    let f1 () =
-      match args with
-      | [ AFloat v ] -> v
-      | [ AInt v ] -> float_of_int v
-      | _ -> error "builtin %s: bad arguments" name
-    in
-    match name with
-    | "sqrt" -> RFloat (sqrt (f1 ()))
-    | "exp" -> RFloat (exp (f1 ()))
-    | "log" -> RFloat (log (f1 ()))
-    | "fabs" -> RFloat (Float.abs (f1 ()))
-    | "floor" -> RFloat (floor (f1 ()))
-    | "pow" -> (
-      match args with
-      | [ a; b ] ->
-        let fa = (match a with AFloat v -> v | AInt v -> float_of_int v) in
-        let fb = (match b with AFloat v -> v | AInt v -> float_of_int v) in
-        RFloat (Float.pow fa fb)
-      | _ -> error "pow: bad arguments")
-    | "printf" -> (
-      match args with
-      | AInt fmt_addr :: rest ->
-        let fmt = Memory.read_string t.mem fmt_addr in
-        let s = format_printf t fmt rest in
-        Buffer.add_string t.out s;
-        RInt (String.length s)
-      | _ -> error "printf: bad arguments")
-    | "putint" -> (
-      match args with
-      | [ AInt v ] ->
-        Buffer.add_string t.out (string_of_int v);
-        Buffer.add_char t.out '\n';
-        RInt 0
-      | _ -> error "putint: bad arguments")
-    | "putfloat" ->
-      Buffer.add_string t.out (Printf.sprintf "%.6f\n" (f1 ()));
-      RVoid
-    | "rand" ->
-      (* deterministic LCG (numerical recipes) *)
-      t.rng <- (t.rng * 1664525 + 1013904223) land 0x3fffffff;
-      RInt t.rng
-    | "srand" -> (
-      match args with
-      | [ AInt v ] ->
-        t.rng <- v land 0x3fffffff;
-        RVoid
-      | _ -> error "srand: bad arguments")
-    | n -> error "unknown builtin '%s'" n
   in
   run_block entry
 
@@ -649,7 +413,8 @@ let run ?(args = []) (t : t) : result =
     try call t "main" (List.map (fun v -> AInt v) args)
     with Memory.Fault msg -> error "memory fault: %s" msg
   in
-  let exit_code = match res with RInt v -> v | RFloat v -> int_of_float v | RVoid -> 0 in
-  { exit_code; output = Buffer.contents t.out; steps = t.steps }
+  { exit_code = Rt.exit_code_of_retval res;
+    output = Buffer.contents t.out;
+    steps = t.steps }
 
 let run_program ?args prog = run ?args (create prog)

@@ -16,7 +16,7 @@
 
 exception Runtime_error of string
 
-type result = {
+type result = Rt.result = {
   exit_code : int;
   output : string;
   steps : int;  (** instructions executed *)

@@ -66,6 +66,79 @@ let prop_miss_bound =
       Cache.misses c + Cache.hits c = List.length addrs
       && Cache.misses c <= List.length addrs)
 
+(* A transparent reference model of a set-associative LRU cache, using
+   the plain division/modulo set-index arithmetic the production code
+   replaced with shift/mask fast paths: per-access results and final
+   hit/miss totals must match exactly, on power-of-two and (L2-Itanium-
+   style) non-power-of-two set counts alike. *)
+module Ref_model = struct
+  type t = {
+    line : int;
+    nsets : int;
+    assoc : int;
+    sets : (int * int) array array;  (* (tag, stamp); tag -1 = invalid *)
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~size ~line ~assoc =
+    let nsets = size / (line * assoc) in
+    { line; nsets; assoc;
+      sets = Array.init nsets (fun _ -> Array.make assoc (-1, 0));
+      tick = 0; hits = 0; misses = 0 }
+
+  let access t ~addr =
+    let line_no = addr / t.line in
+    let set = t.sets.(line_no mod t.nsets) in
+    let tag = line_no / t.nsets in
+    t.tick <- t.tick + 1;
+    let way = ref (-1) in
+    Array.iteri (fun w (tg, _) -> if tg = tag then way := w) set;
+    if !way >= 0 then begin
+      set.(!way) <- (tag, t.tick);
+      t.hits <- t.hits + 1;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      let victim = ref 0 in
+      for w = 1 to t.assoc - 1 do
+        if snd set.(w) < snd set.(!victim) then victim := w
+      done;
+      set.(!victim) <- (tag, t.tick);
+      false
+    end
+end
+
+(* random geometries: line always a power of two, set count sometimes
+   not (e.g. 6144-set Itanium L2 shape scaled down: 3 sets here) *)
+let gen_geometry =
+  QCheck.Gen.(
+    oneofl [ 16; 32; 64; 128 ] >>= fun line ->
+    oneofl [ 1; 2; 4; 8 ] >>= fun assoc ->
+    oneofl [ 2; 3; 4; 6; 8; 16 ] >>= fun nsets ->
+    return (line, assoc, nsets))
+
+let prop_matches_reference_model =
+  QCheck.Test.make ~count:200
+    ~name:"shift/mask access matches div/mod reference model"
+    QCheck.(
+      pair
+        (make gen_geometry
+           ~print:(fun (l, a, s) -> Printf.sprintf "line=%d assoc=%d nsets=%d" l a s))
+        (list_of_size (Gen.int_range 1 300) (int_range 0 1_000_000)))
+    (fun ((line, assoc, nsets), addrs) ->
+      let size = line * assoc * nsets in
+      let c = Cache.create ~name:"t" ~size ~line ~assoc in
+      let r = Ref_model.create ~size ~line ~assoc in
+      List.for_all
+        (fun addr ->
+          Cache.access c ~addr ~write:false = Ref_model.access r ~addr)
+        addrs
+      && Cache.hits c = r.Ref_model.hits
+      && Cache.misses c = r.Ref_model.misses)
+
 (* ------------------------- hierarchy ------------------------- *)
 
 let hierarchy_levels () =
@@ -255,6 +328,7 @@ let () =
           Alcotest.test_case "bad config" `Quick bad_config;
           QCheck_alcotest.to_alcotest prop_working_set;
           QCheck_alcotest.to_alcotest prop_miss_bound;
+          QCheck_alcotest.to_alcotest prop_matches_reference_model;
         ] );
       ( "hierarchy",
         [

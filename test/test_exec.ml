@@ -89,9 +89,9 @@ let mk_entry name : Slo_suite.Suite.entry =
 
 let mini_roster = List.map mk_entry [ "mini-a"; "mini-b"; "mini-c" ]
 
-let run_tables ~jobs roster =
+let run_tables ?backend ~jobs roster =
   Engine.reset_caches ();
-  let run = Engine.create_run ~jobs in
+  let run = Engine.create_run ?backend ~jobs () in
   let t1 = Engine.table1 run ~roster in
   let t3 = Engine.table3 run ~roster in
   let recs = Engine.records run in
@@ -103,15 +103,39 @@ let strip_timings recs =
     (fun r -> Json.to_string (Engine.json_of_record ~with_timings:false r))
     recs
 
+(* the table3 throughput summary is wall-clock-derived; drop it before
+   comparing renders for determinism *)
+let strip_throughput t3 =
+  String.concat "\n"
+    (List.filter
+       (fun l -> not (Astring.String.is_prefix ~affix:"measure:" l))
+       (String.split_on_char '\n' t3))
+
 let engine_jobs_equivalence () =
   let t1a, t3a, ra = run_tables ~jobs:1 mini_roster in
   let t1b, t3b, rb = run_tables ~jobs:4 mini_roster in
   Alcotest.(check string) "table1 identical across --jobs" t1a t1b;
-  Alcotest.(check string) "table3 identical across --jobs" t3a t3b;
+  Alcotest.(check string) "table3 identical across --jobs"
+    (strip_throughput t3a) (strip_throughput t3b);
   Alcotest.(check (list string)) "JSON rows identical modulo timings"
     (strip_timings ra) (strip_timings rb);
   Alcotest.(check bool) "rows for every unit" true
     (List.length ra = 2 * List.length mini_roster)
+
+(* the bench-smoke CI check in executable form: the walk and closure
+   backends must produce identical tables and identical JSON rows once
+   the wall-clock-dependent fields (timings, throughput) are stripped *)
+let engine_backend_equivalence () =
+  let _, t3w, rw =
+    run_tables ~backend:Slo_vm.Backend.Walk ~jobs:1 mini_roster
+  in
+  let _, t3c, rc =
+    run_tables ~backend:Slo_vm.Backend.Closure ~jobs:1 mini_roster
+  in
+  Alcotest.(check string) "table3 identical across backends"
+    (strip_throughput t3w) (strip_throughput t3c);
+  Alcotest.(check (list string)) "JSON rows identical modulo timings"
+    (strip_timings rw) (strip_timings rc)
 
 let engine_crash_is_error_row () =
   let broken =
@@ -119,7 +143,7 @@ let engine_crash_is_error_row () =
   in
   let roster = [ List.hd mini_roster; broken ] in
   Engine.reset_caches ();
-  let run = Engine.create_run ~jobs:2 in
+  let run = Engine.create_run ~jobs:2 () in
   let t3 = Engine.table3 run ~roster in
   let recs = Engine.records run in
   Engine.finish run;
@@ -136,7 +160,7 @@ let engine_crash_is_error_row () =
 
 let engine_json_artifact () =
   Engine.reset_caches ();
-  let run = Engine.create_run ~jobs:2 in
+  let run = Engine.create_run ~jobs:2 () in
   let (_ : string) = Engine.table3 run ~roster:[ List.hd mini_roster ] in
   let path = Filename.temp_file "slo_bench" ".json" in
   Engine.write_json run ~path;
@@ -146,8 +170,10 @@ let engine_json_artifact () =
   close_in ic;
   Sys.remove path;
   let j = Json.of_string s in
-  Alcotest.(check bool) "schema_version = 1" true
-    (Json.member "schema_version" j = Some (Json.Int 1));
+  Alcotest.(check bool) "schema_version = 2" true
+    (Json.member "schema_version" j = Some (Json.Int 2));
+  Alcotest.(check bool) "backend recorded" true
+    (Json.member "backend" j = Some (Json.String "closure"));
   Alcotest.(check bool) "jobs recorded" true
     (Json.member "jobs" j = Some (Json.Int 2));
   (match Json.member "results" j with
@@ -168,6 +194,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "jobs equivalence" `Quick engine_jobs_equivalence;
+          Alcotest.test_case "backend equivalence" `Quick
+            engine_backend_equivalence;
           Alcotest.test_case "crash is error row" `Quick
             engine_crash_is_error_row;
           Alcotest.test_case "json artifact" `Quick engine_json_artifact;

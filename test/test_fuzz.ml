@@ -209,6 +209,28 @@ let prop_driver_end_to_end =
       let plans = H.plans (H.decide compiled leg aff ~scheme:W.ISPBO) in
       oracle_holds src plans)
 
+(* the differential oracle turned on the VM itself: every generated
+   program — and its framework-transformed rewrite — must produce
+   byte-identical output, step counts and cache counters under the
+   tree-walking and the closure-compiled backend *)
+let backends_agree_or_report prog =
+  match O.compare_backends ~config:Slo_cachesim.Hierarchy.small prog with
+  | [] -> true
+  | ms ->
+    QCheck.Test.fail_reportf "%s"
+      (String.concat "\n" (List.map O.string_of_backend_mismatch ms))
+
+let prop_backends_agree =
+  QCheck.Test.make ~count:(iters 40)
+    ~name:"walk and closure backends agree" arbitrary_spec
+    (fun sp ->
+      let compiled = D.compile (render sp) in
+      let leg, aff = D.analyze compiled ~scheme:W.ISPBO ~feedback:None in
+      let plans = H.plans (H.decide compiled leg aff ~scheme:W.ISPBO) in
+      let transformed = D.transform_with_plans compiled plans in
+      backends_agree_or_report compiled
+      && backends_agree_or_report transformed)
+
 (* ------------------------------------------------------------------ *)
 (* Mutation canaries: a deliberately injected transform bug must be     *)
 (* caught by the oracle                                                 *)
@@ -317,6 +339,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_random_peel;
           QCheck_alcotest.to_alcotest prop_random_rebuild;
           QCheck_alcotest.to_alcotest prop_driver_end_to_end;
+          QCheck_alcotest.to_alcotest prop_backends_agree;
         ] );
       ( "mutation canaries",
         [

@@ -52,6 +52,21 @@ let transform_preserves (e : Suite.entry) () =
   let after = Slo_vm.Interp.run_program ~args transformed in
   Alcotest.(check string) "output preserved" before.output after.output
 
+(* the closure-compiled backend is pinned to the tree-walking reference
+   on every roster program: identical output, steps and cache counters
+   under the same (small) hierarchy *)
+let backends_agree (e : Suite.entry) () =
+  let prog = D.compile e.source in
+  match
+    Slo_suite.Oracle.compare_backends ~args:(tiny_args e)
+      ~config:Slo_cachesim.Hierarchy.small prog
+  with
+  | [] -> ()
+  | ms ->
+    Alcotest.fail
+      (String.concat "\n"
+         (List.map Slo_suite.Oracle.string_of_backend_mismatch ms))
+
 let expected_transforms () =
   (* the paper's headline transformations happen *)
   let check_plan name expected =
@@ -141,6 +156,7 @@ let () =
       ("compile+run", per_entry compile_runs);
       ("legality shape", per_entry legality_shape);
       ("transform preserves output", per_entry transform_preserves);
+      ("backends agree", per_entry backends_agree);
       ( "paper expectations",
         [
           Alcotest.test_case "art and peel2 peel" `Quick expected_transforms;

@@ -1,12 +1,19 @@
-(* VM: memory model, interpreter semantics, builtins, hooks. *)
+(* VM: memory model, interpreter semantics, builtins, hooks.
+
+   Every semantics/builtin/hook test runs twice — once under the
+   tree-walking reference interpreter and once under the
+   closure-compiled engine — so the whole suite doubles as a
+   per-feature backend-equivalence check (the differential oracle in
+   test_suite/test_fuzz covers whole programs; this pins each language
+   feature individually). *)
 
 module Memory = Slo_vm.Memory
-module Interp = Slo_vm.Interp
+module Backend = Slo_vm.Backend
 
-let run ?args src = Interp.run_program ?args (Lower.lower_source src)
+let run ?args b src = Backend.run_program ?args b (Lower.lower_source src)
 
-let exit_of ?args src = (run ?args src).exit_code
-let out_of ?args src = (run ?args src).output
+let exit_of ?args b src = (run ?args b src).Backend.exit_code
+let out_of ?args b src = (run ?args b src).Backend.output
 
 (* ------------------------- memory ------------------------- *)
 
@@ -48,45 +55,70 @@ let mem_strings () =
 
 (* ------------------------- semantics ------------------------- *)
 
-let arith () =
+let arith b () =
   Alcotest.(check int) "int arith" 17
-    (exit_of "int main() { return 3 + 4 * 5 - 6 / 2 - 10 % 7; }");
+    (exit_of b "int main() { return 3 + 4 * 5 - 6 / 2 - 10 % 7; }");
   (* C precedence: << binds tighter than &, & tighter than ^, ^ than | *)
   Alcotest.(check int) "shift/mask" 23
-    (exit_of "int main() { return (1 << 4 | 5 & 7 ^ 2); }");
+    (exit_of b "int main() { return (1 << 4 | 5 & 7 ^ 2); }");
   Alcotest.(check int) "unary" 1
-    (exit_of "int main() { return -(-1) + !0 + ~0; }");
+    (exit_of b "int main() { return -(-1) + !0 + ~0; }");
   Alcotest.(check int) "cmp chain" 1
-    (exit_of "int main() { return (1 < 2) == (3 >= 3); }")
+    (exit_of b "int main() { return (1 < 2) == (3 >= 3); }")
 
-let float_semantics () =
+let float_semantics b () =
   Alcotest.(check string) "div and conv" "3.5 3\n"
-    (out_of
+    (out_of b
        "int main() { double d; int i; d = 7.0 / 2.0; i = (int)d;\n\
         printf(\"%g %d\\n\", d, i); return 0; }");
   Alcotest.(check string) "builtins" "5 2.718 1 8\n"
-    (out_of
+    (out_of b
        "int main() { printf(\"%g %.3f %g %g\\n\", sqrt(25.0), exp(1.0),\n\
         fabs(-1.0), pow(2.0, 3.0)); return 0; }")
 
-let control_flow () =
+(* the printf spec machinery: widths, flags, precision, every supported
+   conversion, a trailing '%' and the literal escape *)
+let printf_specs b () =
+  Alcotest.(check string) "width and flags" "|   42|42   |00042|+42|\n"
+    (out_of b
+       "int main() { printf(\"|%5d|%-5d|%05d|%+d|\\n\", 42, 42, 42, 42);\n\
+        return 0; }");
+  Alcotest.(check string) "precision and conversions" "2a*x*ok*3.14*1e+01\n"
+    (out_of b
+       "int main() { printf(\"%x*%c*%s*%.2f*%.0e\\n\", 42, 120, \"ok\",\n\
+        3.14159, 10.0); return 0; }");
+  Alcotest.(check string) "long modifier skipped" "7 7\n"
+    (out_of b "int main() { printf(\"%ld %lu\\n\", 7, 7); return 0; }");
+  Alcotest.(check string) "literal percent" "100% done\n"
+    (out_of b "int main() { printf(\"100%% done\\n\"); return 0; }");
+  (* a trailing incomplete spec is emitted as the bare '%' *)
+  Alcotest.(check string) "trailing percent" "x%"
+    (out_of b "int main() { printf(\"x%\"); return 0; }");
+  match run b "int main() { printf(\"%q\", 1); return 0; }" with
+  | exception Backend.Runtime_error msg ->
+    Alcotest.(check bool) "unsupported conversion named" true
+      (Astring.String.is_infix ~affix:"%q" msg)
+  | _ -> Alcotest.fail "expected runtime error for %q"
+
+let control_flow b () =
   Alcotest.(check int) "fib 10" 55
-    (exit_of
+    (exit_of b
        "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n\
         int main() { return fib(10); }");
   Alcotest.(check int) "break/continue" 25
-    (exit_of
+    (exit_of b
        "int main() { int i; int s = 0;\n\
         for (i = 0; i < 100; i++) { if (i % 2 == 0) { continue; }\n\
         if (i > 9) { break; } s = s + i; } return s; }");
   Alcotest.(check int) "do-while" 10
-    (exit_of "int main() { int i = 0; do { i = i + 2; } while (i < 10); return i; }");
+    (exit_of b
+       "int main() { int i = 0; do { i = i + 2; } while (i < 10); return i; }");
   Alcotest.(check int) "ternary" 7
-    (exit_of "int main() { int a = 3; return a > 2 ? 7 : 9; }")
+    (exit_of b "int main() { int a = 3; return a > 2 ? 7 : 9; }")
 
-let pointers_structs () =
+let pointers_structs b () =
   Alcotest.(check int) "linked list sum" 10
-    (exit_of
+    (exit_of b
        "struct n { int v; struct n *next; };\n\
         int main() { struct n *h; struct n *c; int i; int s; h = (struct n*)0;\n\
         for (i = 1; i <= 4; i++) {\n\
@@ -95,17 +127,17 @@ let pointers_structs () =
         s = 0; while (h != (struct n*)0) { s = s + h->v; h = h->next; }\n\
         return s; }");
   Alcotest.(check int) "pointer arithmetic" 30
-    (exit_of
+    (exit_of b
        "int main() { int *a; int i; int s; a = (int*)malloc(10 * sizeof(int));\n\
         for (i = 0; i < 10; i++) { a[i] = i; }\n\
         s = *(a + 3) + a[9] * 3; return s; }");
   Alcotest.(check int) "address of local" 42
-    (exit_of
+    (exit_of b
        "int main() { int x; int *p; x = 0; p = &x; *p = 42; return x; }")
 
-let bitfields_vm () =
+let bitfields_vm b () =
   Alcotest.(check string) "bitfield pack/unpack" "5 3 5 3\n"
-    (out_of
+    (out_of b
        "struct f { int a : 3; int b : 4; };\n\
         struct f *p;\n\
         int main() { p = (struct f*)malloc(2 * sizeof(struct f));\n\
@@ -113,16 +145,16 @@ let bitfields_vm () =
         printf(\"%d %d %d %d\\n\", p[0].a, p[0].b, p[1].a, p[1].b);\n\
         return 0; }")
 
-let memops () =
+let memops b () =
   Alcotest.(check int) "memset/memcpy" 0
-    (exit_of
+    (exit_of b
        "int main() { char *a; char *b; int i; int bad = 0;\n\
         a = (char*)malloc(64); b = (char*)malloc(64);\n\
         memset(a, 7, 64); memcpy(b, a, 64);\n\
         for (i = 0; i < 64; i++) { if (b[i] != 7) { bad = 1; } }\n\
         return bad; }");
   Alcotest.(check int) "realloc preserves" 15
-    (exit_of
+    (exit_of b
        "int main() { long *a; int i; long s;\n\
         a = (long*)malloc(4 * sizeof(long));\n\
         for (i = 0; i < 4; i++) { a[i] = i; }\n\
@@ -130,50 +162,66 @@ let memops () =
         a[4] = 9; s = 0;\n\
         for (i = 0; i < 5; i++) { s = s + a[i]; } return (int)s; }")
 
-let indirect_calls () =
+let indirect_calls b () =
   Alcotest.(check int) "function pointer" 12
-    (exit_of
+    (exit_of b
        "typedef int (*binop)(int, int);\n\
         int add(int a, int b) { return a + b; }\n\
         int mul(int a, int b) { return a * b; }\n\
         int apply(binop f, int a, int b) { return f(a, b); }\n\
         int main() { binop f; f = (&add); return apply(f, 2, 4) + apply((&mul), 2, 3); }")
 
-let deterministic_rand () =
+let deterministic_rand b () =
   let src =
     "int main() { int i; long s = 0; srand(7);\n\
      for (i = 0; i < 5; i++) { s = s + rand() % 100; }\n\
      printf(\"%ld\\n\", s); return 0; }"
   in
-  Alcotest.(check string) "same seed, same stream" (out_of src) (out_of src)
+  Alcotest.(check string) "same seed, same stream" (out_of b src) (out_of b src)
 
-let args_passing () =
+let args_passing b () =
   Alcotest.(check int) "main args" 7
-    (exit_of ~args:[ 3; 4 ] "int main(int a, int b) { return a + b; }")
+    (exit_of ~args:[ 3; 4 ] b "int main(int a, int b) { return a + b; }")
 
-let runtime_errors () =
+let runtime_errors b () =
   let expect_error src =
-    match run src with
-    | exception Interp.Runtime_error _ -> ()
+    match run b src with
+    | exception Backend.Runtime_error _ -> ()
     | _ -> Alcotest.failf "expected runtime error for %S" src
   in
   expect_error "int main() { int *p; p = (int*)0; return *p; }";
   expect_error "int main() { return 1 / 0; }";
   (* the step limit catches runaway programs *)
   let vm =
-    Interp.create ~max_steps:10_000
+    Backend.create ~max_steps:10_000 b
       (Lower.lower_source "int main() { while (1) { } return 0; }")
   in
-  match Interp.run vm with
-  | exception Interp.Runtime_error _ -> ()
+  match Backend.run vm with
+  | exception Backend.Runtime_error _ -> ()
   | _ -> Alcotest.fail "expected step-limit error"
 
-let step_counting () =
-  let prog = Lower.lower_source "int main() { return 0; }" in
-  let r = Interp.run_program prog in
-  Alcotest.(check bool) "counts steps" true (r.steps > 0 && r.steps < 10)
+(* a parameter without a stack slot (malformed IR) must be reported as a
+   named runtime error, not a bare [Not_found] *)
+let missing_param_slot b () =
+  let prog =
+    Lower.lower_source
+      "int f(int x) { return x; } int main() { return f(3); }"
+  in
+  let f = List.find (fun (f : Ir.func) -> f.fname = "f") prog.Ir.funcs in
+  f.Ir.flocals <-
+    List.filter (fun (n, _) -> not (String.equal n "x")) f.Ir.flocals;
+  match Backend.run_program b prog with
+  | exception Backend.Runtime_error msg ->
+    Alcotest.(check bool) "names the parameter and function" true
+      (Astring.String.is_infix ~affix:"parameter 'x' of function 'f'" msg)
+  | _ -> Alcotest.fail "expected runtime error for missing slot"
 
-let mem_hook_sees_accesses () =
+let step_counting b () =
+  let prog = Lower.lower_source "int main() { return 0; }" in
+  let r = Backend.run_program b prog in
+  Alcotest.(check bool) "counts steps" true (r.Backend.steps > 0 && r.Backend.steps < 10)
+
+let mem_hook_sees_accesses b () =
   let prog =
     Lower.lower_source
       "struct s { double d; int i; };\n\
@@ -183,17 +231,17 @@ let mem_hook_sees_accesses () =
   in
   let float_writes = ref 0 and int_ops = ref 0 in
   let vm =
-    Interp.create
+    Backend.create
       ~mem_hook:(fun _addr size write is_float _iid ->
         if is_float && write then incr float_writes;
         if (not is_float) && size = 4 then incr int_ops)
-      prog
+      b prog
   in
-  ignore (Interp.run vm);
+  ignore (Backend.run vm);
   Alcotest.(check int) "one float store" 1 !float_writes;
   Alcotest.(check bool) "int field traffic seen" true (!int_ops >= 2)
 
-let edge_hook_counts () =
+let edge_hook_counts b () =
   let prog =
     Lower.lower_source
       "int main() { int i; int s = 0;\n\
@@ -201,16 +249,41 @@ let edge_hook_counts () =
   in
   let entries = ref 0 and edges = ref 0 in
   let vm =
-    Interp.create
+    Backend.create
       ~edge_hook:(fun _f src _dst -> if src = -1 then incr entries else incr edges)
-      prog
+      b prog
   in
-  let r = Interp.run vm in
-  Alcotest.(check int) "result" 45 r.exit_code;
+  let r = Backend.run vm in
+  Alcotest.(check int) "result" 45 r.Backend.exit_code;
   Alcotest.(check int) "one entry" 1 !entries;
   (* loop executes 10 times: header->body 10, body->step 10, step->header 10,
      header->exit 1, entry->header 1 => 32 *)
   Alcotest.(check int) "taken edges" 32 !edges
+
+(* ------------------------- suites ------------------------- *)
+
+let semantics_cases b =
+  [
+    Alcotest.test_case "arith" `Quick (arith b);
+    Alcotest.test_case "floats" `Quick (float_semantics b);
+    Alcotest.test_case "printf specs" `Quick (printf_specs b);
+    Alcotest.test_case "control flow" `Quick (control_flow b);
+    Alcotest.test_case "pointers+structs" `Quick (pointers_structs b);
+    Alcotest.test_case "bitfields" `Quick (bitfields_vm b);
+    Alcotest.test_case "memops" `Quick (memops b);
+    Alcotest.test_case "indirect calls" `Quick (indirect_calls b);
+    Alcotest.test_case "deterministic rand" `Quick (deterministic_rand b);
+    Alcotest.test_case "args" `Quick (args_passing b);
+    Alcotest.test_case "runtime errors" `Quick (runtime_errors b);
+    Alcotest.test_case "missing param slot" `Quick (missing_param_slot b);
+  ]
+
+let hooks_cases b =
+  [
+    Alcotest.test_case "step counting" `Quick (step_counting b);
+    Alcotest.test_case "mem hook" `Quick (mem_hook_sees_accesses b);
+    Alcotest.test_case "edge hook" `Quick (edge_hook_counts b);
+  ]
 
 let () =
   Alcotest.run "vm"
@@ -221,23 +294,8 @@ let () =
           Alcotest.test_case "faults" `Quick mem_faults;
           Alcotest.test_case "strings" `Quick mem_strings;
         ] );
-      ( "semantics",
-        [
-          Alcotest.test_case "arith" `Quick arith;
-          Alcotest.test_case "floats" `Quick float_semantics;
-          Alcotest.test_case "control flow" `Quick control_flow;
-          Alcotest.test_case "pointers+structs" `Quick pointers_structs;
-          Alcotest.test_case "bitfields" `Quick bitfields_vm;
-          Alcotest.test_case "memops" `Quick memops;
-          Alcotest.test_case "indirect calls" `Quick indirect_calls;
-          Alcotest.test_case "deterministic rand" `Quick deterministic_rand;
-          Alcotest.test_case "args" `Quick args_passing;
-          Alcotest.test_case "runtime errors" `Quick runtime_errors;
-        ] );
-      ( "hooks",
-        [
-          Alcotest.test_case "step counting" `Quick step_counting;
-          Alcotest.test_case "mem hook" `Quick mem_hook_sees_accesses;
-          Alcotest.test_case "edge hook" `Quick edge_hook_counts;
-        ] );
+      ("semantics[walk]", semantics_cases Backend.Walk);
+      ("semantics[closure]", semantics_cases Backend.Closure);
+      ("hooks[walk]", hooks_cases Backend.Walk);
+      ("hooks[closure]", hooks_cases Backend.Closure);
     ]
