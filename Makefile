@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz bench bench-smoke perf clean
+.PHONY: all build test fuzz bench bench-smoke serve-smoke perf clean
 
 # worker domains for the bench harness
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
@@ -31,6 +31,27 @@ bench-smoke:
 	  --backend closure --out _artifacts/BENCH-table3-smoke.json
 	dune exec bench/compare.exe -- _artifacts/BENCH-table3-walk.json \
 	  _artifacts/BENCH-table3-smoke.json
+
+# the advice daemon end to end: start it on a scratch socket, drive one
+# advise + one bench + stats through the CLI client, shut it down
+# cleanly, then hammer it with the load generator and require a warm
+# cache (SERVE.json lands in _artifacts/)
+serve-smoke:
+	dune build bin/slopt.exe bench/loadgen.exe
+	set -e; \
+	SLOPT=_build/default/bin/slopt.exe; \
+	SOCK=$$(mktemp -u /tmp/slo-smoke-XXXXXX.sock); \
+	$$SLOPT serve --socket $$SOCK & \
+	SRV=$$!; \
+	trap 'kill $$SRV 2>/dev/null || true' EXIT; \
+	$$SLOPT client advise --socket $$SOCK --name 179.art; \
+	$$SLOPT client bench --socket $$SOCK --name 179.art; \
+	$$SLOPT client stats --socket $$SOCK; \
+	$$SLOPT client shutdown --socket $$SOCK; \
+	wait $$SRV; \
+	trap - EXIT
+	_build/default/bench/loadgen.exe --clients 4 --rounds 2 \
+	  --check-hit-rate 90 --out _artifacts/SERVE.json
 
 # measure-phase speedup of the closure-compiled backend: the full
 # Table 3 under each backend, then the walk/closure wall-clock ratio

@@ -1,0 +1,268 @@
+(* loadgen — a closed-loop multi-client load generator for the
+   layout-advice daemon.
+
+   Each client thread holds one connection and sends the request list
+   round-robin, waiting for every reply before sending the next (closed
+   loop: concurrency == --clients). The request list is the benchmark
+   roster, so repeated rounds against a warm daemon measure the
+   content-addressed cache, not the compiler. Results go to
+   _artifacts/SERVE.json so the serving path gets a perf trajectory like
+   BENCH.json.
+
+   With no --socket the daemon is spawned in-process on a private socket
+   and shut down at the end, which is what `make serve-smoke` and CI
+   use; --socket drives an externally managed daemon instead. *)
+
+module Json = Slo_util.Json
+module Histogram = Slo_util.Histogram
+module P = Slo_server.Protocol
+module Client = Slo_server.Client
+module Server = Slo_server.Server
+module Suite = Slo_suite.Suite
+
+let socket = ref ""
+let clients = ref 8
+let rounds = ref 3
+let kind = ref "advise"
+let jobs = ref 0
+let cache_mb = ref 64
+let deadline_ms = ref 0.0
+let out = ref "_artifacts/SERVE.json"
+let check_hit_rate = ref (-1.0)
+let verbose = ref false
+
+let spec =
+  [
+    ("--socket", Arg.Set_string socket,
+     "PATH  drive an already-running daemon (default: spawn in-process)");
+    ("--clients", Arg.Set_int clients, "N  concurrent closed-loop clients (8)");
+    ("--rounds", Arg.Set_int rounds,
+     "N  times each client replays the request list (3)");
+    ("--kind", Arg.Symbol ([ "advise"; "bench"; "mixed" ], fun s -> kind := s),
+     "  request mix: advise | bench | mixed (advise)");
+    ("--jobs", Arg.Set_int jobs,
+     "N  worker domains for a spawned daemon (0 = auto)");
+    ("--cache-mb", Arg.Set_int cache_mb,
+     "MB  cache budget for a spawned daemon (64)");
+    ("--deadline-ms", Arg.Set_float deadline_ms,
+     "MS  per-request deadline (0 = none)");
+    ("--out", Arg.Set_string out, "PATH  result artifact (_artifacts/SERVE.json)");
+    ("--check-hit-rate", Arg.Set_float check_hit_rate,
+     "PCT  exit non-zero if the measured result-cache hit rate is lower");
+    ("--verbose", Arg.Set verbose, "  daemon + progress logs on stderr");
+  ]
+
+let usage = "loadgen [options]  (see bench/loadgen.ml)"
+
+let log fmt =
+  Printf.ksprintf (fun s -> if !verbose then Printf.eprintf "loadgen: %s\n%!" s) fmt
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if String.equal line "" then "unknown" else line
+  with _ -> "unknown"
+
+(* the request list: one advise and/or bench per roster entry *)
+let requests () =
+  let deadline =
+    if !deadline_ms > 0.0 then Some !deadline_ms else None
+  in
+  let advise (e : Suite.entry) =
+    P.Advise
+      { src = e.source; scheme = Some "ispbo"; args = []; deadline_ms = deadline }
+  in
+  let bench (e : Suite.entry) =
+    P.Bench
+      {
+        src = e.source;
+        scheme = Some "spbo";
+        backend = None;
+        args = e.train_args;
+        deadline_ms = deadline;
+      }
+  in
+  match !kind with
+  | "advise" -> List.map advise Suite.roster
+  | "bench" -> List.map bench Suite.roster
+  | _ ->
+    (* mixed: advice across the roster plus one measured bench *)
+    List.map advise Suite.roster @ [ bench (List.hd Suite.roster) ]
+
+let fetch_stats conn =
+  match Client.rpc conn P.Stats with
+  | P.R_stats s -> s
+  | _ -> failwith "stats request did not return stats"
+
+type client_result = { hist : Histogram.t; mutable errors : int }
+
+let client_thread ~socket ~reqs ~rounds r =
+  let conn = Client.connect ~retry_for_s:5.0 ~socket () in
+  for _ = 1 to rounds do
+    List.iter
+      (fun req ->
+        let t0 = Unix.gettimeofday () in
+        (match Client.rpc conn req with
+        | P.R_error _ -> r.errors <- r.errors + 1
+        | _ -> ());
+        Histogram.record r.hist ((Unix.gettimeofday () -. t0) *. 1000.0))
+      reqs
+  done;
+  Client.close conn
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !clients < 1 || !rounds < 1 then begin
+    prerr_endline "loadgen: --clients and --rounds must be >= 1";
+    exit 2
+  end;
+  let spawned = String.equal !socket "" in
+  let socket_path =
+    if spawned then
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "slo-loadgen-%d.sock" (Unix.getpid ()))
+    else !socket
+  in
+  let server_jobs =
+    if !jobs > 0 then !jobs else Slo_exec.Pool.default_jobs ()
+  in
+  let server_thread =
+    if not spawned then None
+    else begin
+      log "spawning in-process daemon on %s" socket_path;
+      let cfg =
+        { (Server.default_config ~socket_path) with
+          jobs = server_jobs;
+          cache_mb = !cache_mb;
+          handle_sigterm = false;
+          log = (fun s -> log "daemon: %s" s);
+        }
+      in
+      Some (Thread.create Server.run cfg)
+    end
+  in
+  let reqs = requests () in
+  (* warmup: populate the cache once so the measured phase exercises the
+     content-addressed hit path, which is the serving steady state *)
+  log "warmup: %d unique requests" (List.length reqs);
+  let warm = Client.connect ~retry_for_s:10.0 ~socket:socket_path () in
+  let warm_errors =
+    List.fold_left
+      (fun acc req ->
+        match Client.rpc warm req with
+        | P.R_error { code = P.Timeout; _ } ->
+          (* the computation continues server-side; await it via a
+             repeat request below *)
+          acc + 1
+        | P.R_error { code; message } ->
+          Printf.eprintf "loadgen: warmup error [%s]: %s\n"
+            (P.error_code_name code) message;
+          acc + 1
+        | _ -> acc)
+      0 reqs
+  in
+  let s0 = fetch_stats warm in
+  log "measuring: %d clients x %d rounds x %d requests" !clients !rounds
+    (List.length reqs);
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.init !clients (fun _ -> { hist = Histogram.create (); errors = 0 })
+  in
+  let threads =
+    List.map
+      (fun r ->
+        Thread.create (client_thread ~socket:socket_path ~reqs ~rounds:!rounds) r)
+      results
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let s1 = fetch_stats warm in
+  Client.close warm;
+  (* merge per-client latency histograms *)
+  let hist = Histogram.create () in
+  let errors =
+    List.fold_left
+      (fun acc r ->
+        Histogram.merge hist r.hist;
+        acc + r.errors)
+      0 results
+  in
+  let total = Histogram.count hist in
+  let throughput = if wall_s > 0.0 then float total /. wall_s else 0.0 in
+  let d_hits = s1.P.s_result_hits - s0.P.s_result_hits in
+  let d_misses = s1.P.s_result_misses - s0.P.s_result_misses in
+  let hit_rate =
+    if d_hits + d_misses = 0 then 0.0
+    else 100.0 *. float d_hits /. float (d_hits + d_misses)
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("tool", Json.String "slo-loadgen");
+        ("git_rev", Json.String (git_rev ()));
+        ("kind", Json.String !kind);
+        ("clients", Json.Int !clients);
+        ("rounds", Json.Int !rounds);
+        ("unique_requests", Json.Int (List.length reqs));
+        ("total_requests", Json.Int total);
+        ("errors", Json.Int errors);
+        ("warmup_errors", Json.Int warm_errors);
+        ("duration_s", Json.Float wall_s);
+        ("throughput_rps", Json.Float throughput);
+        ( "latency_ms",
+          Json.Obj
+            [
+              ("count", Json.Int total);
+              ("p50", Json.Float (Histogram.percentile hist 50.0));
+              ("p95", Json.Float (Histogram.percentile hist 95.0));
+              ("p99", Json.Float (Histogram.percentile hist 99.0));
+              ("max", Json.Float (Histogram.max_ms hist));
+              ("mean", Json.Float (Histogram.mean_ms hist));
+            ] );
+        ( "cache",
+          Json.Obj
+            [
+              ("result_hits", Json.Int d_hits);
+              ("result_misses", Json.Int d_misses);
+              ("hit_rate_pct", Json.Float hit_rate);
+              ("ir_hits", Json.Int (s1.P.s_ir_hits - s0.P.s_ir_hits));
+              ("ir_misses", Json.Int (s1.P.s_ir_misses - s0.P.s_ir_misses));
+            ] );
+        ( "server",
+          Json.Obj
+            [
+              ("jobs", Json.Int server_jobs);
+              ("spawned", Json.Bool spawned);
+            ] );
+      ]
+  in
+  let dir = Filename.dirname !out in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out !out in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf
+    "loadgen: %d requests in %.2fs (%.1f req/s), p50=%.2fms p95=%.2fms \
+     p99=%.2fms, result-cache hit rate %.1f%%, %d errors -> %s\n"
+    total wall_s throughput
+    (Histogram.percentile hist 50.0)
+    (Histogram.percentile hist 95.0)
+    (Histogram.percentile hist 99.0)
+    hit_rate errors !out;
+  (if spawned then
+     let conn = Client.connect ~retry_for_s:5.0 ~socket:socket_path () in
+     ignore (Client.rpc conn P.Shutdown);
+     Client.close conn;
+     Option.iter Thread.join server_thread);
+  let failed_hit_rate =
+    !check_hit_rate >= 0.0 && hit_rate < !check_hit_rate
+  in
+  if failed_hit_rate then
+    Printf.eprintf "loadgen: FAIL hit rate %.1f%% below required %.1f%%\n"
+      hit_rate !check_hit_rate;
+  if errors > 0 then Printf.eprintf "loadgen: %d request errors\n" errors;
+  if failed_hit_rate || errors > 0 then exit 1

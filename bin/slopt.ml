@@ -256,6 +256,235 @@ let bench_cmd =
     Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg
           $ verify_arg $ jobs_arg $ backend_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Serving mode: the advice daemon and its client                      *)
+(* ------------------------------------------------------------------ *)
+
+module Srv = Slo_server.Server
+module Cli = Slo_server.Client
+module Proto = Slo_server.Protocol
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let serve_jobs =
+    Arg.(value & opt int 0
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for the compute pool (0 = one per \
+                   available core).")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64
+         & info [ "cache-mb" ] ~docv:"MB"
+             ~doc:"LRU budget for compiled IR and finished results, in MiB.")
+  in
+  let max_conns =
+    Arg.(value & opt int 64
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Concurrent connections before new ones are refused with \
+                   an $(i,overloaded) reply.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet"; "q" ] ~doc:"Suppress progress lines on stderr.")
+  in
+  let run socket jobs cache_mb max_conns quiet =
+    let jobs = if jobs = 0 then Slo_exec.Pool.default_jobs () else jobs in
+    if jobs < 1 || cache_mb < 1 || max_conns < 1 then begin
+      prerr_endline "ERROR: --jobs, --cache-mb and --max-conns must be >= 1";
+      exit 2
+    end;
+    let log s = if not quiet then Printf.eprintf "slopt-serve: %s\n%!" s in
+    Srv.run
+      { (Srv.default_config ~socket_path:socket) with
+        jobs; cache_mb; max_conns; log }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the layout-advice daemon (length-prefixed JSON over a Unix \
+             socket; advise/bench/stats/shutdown requests; content-addressed \
+             LRU caching; graceful drain on SIGTERM)")
+    Term.(const run $ socket_arg $ serve_jobs $ cache_mb $ max_conns $ quiet)
+
+let wait_arg =
+  Arg.(value & opt float 5.0
+       & info [ "wait" ] ~docv:"SECS"
+           ~doc:"Retry the connection for up to $(docv) seconds while the \
+                 daemon starts up (0 fails immediately).")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline; on expiry the daemon answers a \
+                 structured $(i,timeout) error while the computation \
+                 continues server-side and populates the cache.")
+
+let src_file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Mini-C source file to send inline.")
+
+let name_arg =
+  Arg.(value & opt (some string) None
+       & info [ "name" ] ~docv:"BENCH"
+           ~doc:"Use a benchmark-roster program (e.g. $(b,179.art)) as the \
+                 source instead of a file.")
+
+(* resolves the source text plus the args to run it with: an explicit
+   --args wins; a --name roster entry falls back to its train args *)
+let resolve_src file name args =
+  match (file, name) with
+  | Some f, None -> Ok (read_file f, Option.value ~default:[] args)
+  | None, Some n -> (
+    match Slo_suite.Suite.find n with
+    | e ->
+      Ok
+        ( e.Slo_suite.Suite.source,
+          Option.value ~default:e.Slo_suite.Suite.train_args args )
+    | exception Not_found -> Error (Printf.sprintf "unknown roster entry %S" n))
+  | None, None -> Error "need a FILE argument or --name"
+  | Some _, Some _ -> Error "FILE and --name are mutually exclusive"
+
+let client_args_arg =
+  Arg.(value & opt (some (list int)) None
+       & info [ "args" ] ~docv:"INTS"
+           ~doc:"Integer arguments passed to main() server-side (default: \
+                 the roster entry's train args with --name, else none).")
+
+let with_conn socket wait f =
+  match Cli.connect ~retry_for_s:wait ~socket () with
+  | exception Unix.Unix_error (e, _, _) ->
+    prerr_endline
+      (Printf.sprintf "ERROR: cannot connect to %s: %s" socket
+         (Unix.error_message e));
+    exit 1
+  | conn ->
+    Fun.protect ~finally:(fun () -> Cli.close conn) (fun () ->
+        match f conn with
+        | Proto.R_error { code; message } ->
+          Printf.eprintf "ERROR [%s]: %s\n" (Proto.error_code_name code)
+            message;
+          exit 3
+        | reply -> reply)
+
+let scheme_name_arg =
+  Arg.(value & opt (some string) None
+       & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:"Weighting scheme (pbo, spbo, ispbo, ...); profile-based \
+                 schemes make the daemon collect a training profile with \
+                 --args. Default ispbo.")
+
+let client_advise_cmd =
+  let run socket wait file name scheme args deadline =
+    let src, args = or_die (resolve_src file name args) in
+    match
+      with_conn socket wait (fun conn ->
+          Cli.rpc conn
+            (Proto.Advise { src; scheme; args; deadline_ms = deadline }))
+    with
+    | Proto.R_advise { a_report; a_cached } ->
+      if a_cached then prerr_endline "(served from cache)";
+      print_string a_report
+    | _ ->
+      prerr_endline "ERROR: unexpected reply kind";
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc:"Request an annotated-layout report")
+    Term.(const run $ socket_arg $ wait_arg $ src_file_arg $ name_arg
+          $ scheme_name_arg $ client_args_arg $ deadline_arg)
+
+let client_bench_cmd =
+  let backend_name_arg =
+    Arg.(value & opt (some string) None
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"VM engine for the measurement runs (walk or closure).")
+  in
+  let run socket wait file name scheme backend args deadline =
+    let src, args = or_die (resolve_src file name args) in
+    match
+      with_conn socket wait (fun conn ->
+          Cli.rpc conn
+            (Proto.Bench { src; scheme; backend; args; deadline_ms = deadline }))
+    with
+    | Proto.R_bench b ->
+      if b.b_cached then prerr_endline "(served from cache)";
+      List.iter (fun p -> Printf.printf "plan: %s\n" p) b.b_plans;
+      Printf.printf "before: %d cycles\nafter : %d cycles\nspeedup: %+.1f%%\n"
+        b.b_cycles_before b.b_cycles_after b.b_speedup_pct
+    | _ ->
+      prerr_endline "ERROR: unexpected reply kind";
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Request a before/after measurement")
+    Term.(const run $ socket_arg $ wait_arg $ src_file_arg $ name_arg
+          $ scheme_name_arg $ backend_name_arg $ client_args_arg $ deadline_arg)
+
+let client_stats_cmd =
+  let run socket wait =
+    match with_conn socket wait (fun conn -> Cli.rpc conn Proto.Stats) with
+    | Proto.R_stats s ->
+      let counts kvs =
+        if kvs = [] then "-"
+        else
+          String.concat " "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs)
+      in
+      let rate h m =
+        if h + m = 0 then "-"
+        else Printf.sprintf "%.1f%%" (100.0 *. float h /. float (h + m))
+      in
+      Printf.printf "uptime: %.1fs  conns: %d  inflight: %d\n" s.s_uptime_s
+        s.s_conns s.s_inflight;
+      Printf.printf "requests: %s\n" (counts s.s_requests);
+      Printf.printf "errors: %s\n" (counts s.s_errors);
+      Printf.printf
+        "cache: result %d/%d hits (%s), ir %d/%d hits (%s), %d entries, \
+         %d bytes, %d evictions\n"
+        s.s_result_hits
+        (s.s_result_hits + s.s_result_misses)
+        (rate s.s_result_hits s.s_result_misses)
+        s.s_ir_hits
+        (s.s_ir_hits + s.s_ir_misses)
+        (rate s.s_ir_hits s.s_ir_misses)
+        s.s_cache_entries s.s_cache_bytes s.s_cache_evictions;
+      Printf.printf "latency: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms \
+                     (n=%d)\n"
+        s.s_latency.l_p50_ms s.s_latency.l_p95_ms s.s_latency.l_p99_ms
+        s.s_latency.l_max_ms s.s_latency.l_count
+    | _ ->
+      prerr_endline "ERROR: unexpected reply kind";
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Request per-kind counters, cache hit rates and latency \
+             percentiles")
+    Term.(const run $ socket_arg $ wait_arg)
+
+let client_shutdown_cmd =
+  let run socket wait =
+    match with_conn socket wait (fun conn -> Cli.rpc conn Proto.Shutdown) with
+    | Proto.R_shutdown -> print_endline "daemon is draining"
+    | _ ->
+      prerr_endline "ERROR: unexpected reply kind";
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Ask the daemon to drain: in-flight requests finish, new work \
+             is refused, then the process exits")
+    Term.(const run $ socket_arg $ wait_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running layout-advice daemon")
+    [ client_advise_cmd; client_bench_cmd; client_stats_cmd;
+      client_shutdown_cmd ]
+
 let () =
   let doc = "structure layout optimization framework (CGO'06 reproduction)" in
   exit
@@ -263,4 +492,4 @@ let () =
        (Cmd.group
           (Cmd.info "slopt" ~doc)
           [ parse_cmd; analyze_cmd; profile_cmd; advise_cmd; transform_cmd;
-            run_cmd; bench_cmd ]))
+            run_cmd; bench_cmd; serve_cmd; client_cmd ]))

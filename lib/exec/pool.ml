@@ -108,6 +108,33 @@ let await fut =
 let await_exn fut =
   match await fut with Ok v -> v | Error e -> raise (Worker_error e)
 
+(* Condition.wait has no timed variant in the stdlib, so the deadline
+   wait polls the future state at a granularity well below any deadline
+   a caller would care about (0.2 ms). Each sleep releases the runtime
+   lock, so pollers do not starve the workers. *)
+let poll_interval_s = 0.0002
+
+let await_timeout fut ~timeout_ms =
+  let deadline = Unix.gettimeofday () +. (timeout_ms /. 1000.0) in
+  let rec go () =
+    let st =
+      Mutex.lock fut.f_mutex;
+      let st = fut.f_state in
+      Mutex.unlock fut.f_mutex;
+      st
+    in
+    match st with
+    | Done v -> Some (Ok v)
+    | Failed e -> Some (Error e)
+    | Pending ->
+      if Unix.gettimeofday () >= deadline then None
+      else begin
+        Unix.sleepf (min poll_interval_s (deadline -. Unix.gettimeofday ()));
+        go ()
+      end
+  in
+  go ()
+
 let shutdown t =
   Mutex.lock t.q_mutex;
   t.closed <- true;

@@ -52,6 +52,23 @@ val await : 'a future -> ('a, error) result
 val await_exn : 'a future -> 'a
 (** Like {!await} but re-raises the job's failure as {!Worker_error}. *)
 
+val await_timeout : 'a future -> timeout_ms:float -> ('a, error) result option
+(** [await_timeout fut ~timeout_ms] blocks until the job has run, but at
+    most [timeout_ms] milliseconds; [None] means the deadline expired
+    first.
+
+    Cancellation-on-deadline semantics: the deadline cancels the
+    {e wait}, never the {e job}. A job already running on a worker
+    domain cannot be interrupted, so after a [None] the job keeps
+    executing, its eventual result is stored in the future as usual
+    (a later {!await} or {!await_timeout} on the same future can still
+    retrieve it — this is how the advice server turns an abandoned
+    computation into a cache entry for the next request), and the
+    worker moves on afterwards. A job that crashes before the deadline
+    reports [Some (Error _)], exactly like {!await}; a crash {e after}
+    an expired deadline is only visible to callers still holding the
+    future. [timeout_ms <= 0.0] is an immediate poll. *)
+
 val shutdown : t -> unit
 (** Drain the queue, then join all worker domains. Jobs already submitted
     are completed; further {!submit}s are rejected. Idempotent. *)

@@ -1,0 +1,49 @@
+module Json = Slo_util.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+exception Protocol_error of string
+
+let connect ?(retry_for_s = 0.0) ~socket () =
+  let deadline = Unix.gettimeofday () +. retry_for_s in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () ->
+      { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.02;
+      go ()
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc t req =
+  (match
+     Protocol.write_frame t.oc
+       (Json.to_string ~indent:false (Protocol.json_of_request req))
+   with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    (* e.g. EPIPE from a server that refused and closed; any refusal
+       reply it sent first is still readable below *)
+    ());
+  match Protocol.read_frame t.ic with
+  | None -> raise (Protocol_error "server closed the connection")
+  | exception Protocol.Framing_error msg -> raise (Protocol_error msg)
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    raise (Protocol_error "connection reset by server")
+  | Some payload -> (
+    match Json.of_string payload with
+    | exception Json.Parse_error msg ->
+      raise (Protocol_error ("reply is not JSON: " ^ msg))
+    | j -> (
+      match Protocol.reply_of_json j with
+      | Ok r -> r
+      | Error msg -> raise (Protocol_error ("bad reply: " ^ msg))))

@@ -1,0 +1,26 @@
+(** Blocking client for the layout-advice daemon: one connection, any
+    number of in-order request/reply round-trips. Used by [slopt
+    client], the load generator and the protocol tests. *)
+
+type t
+
+exception Protocol_error of string
+(** The server closed mid-reply or sent something {!Protocol} cannot
+    decode. *)
+
+val connect : ?retry_for_s:float -> socket:string -> unit -> t
+(** Connect to the daemon's Unix socket. With [retry_for_s > 0]
+    (default [0.0]) a missing socket or refused connection is retried
+    every 20 ms until the budget is exhausted — the way to race a
+    daemon that is still starting up. Raises [Unix.Unix_error] once the
+    budget is spent. *)
+
+val close : t -> unit
+
+val rpc : t -> Protocol.request -> Protocol.reply
+(** Send one request, block for its reply. Error replies come back as
+    [R_error] values, not exceptions — the connection remains usable.
+    Every transport failure (connection closed, reset, undecodable
+    reply) raises {!Protocol_error}, never a bare [Sys_error]; a write
+    against a connection the server has already refused-and-closed
+    still reads the refusal reply the server sent first. *)

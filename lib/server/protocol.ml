@@ -1,0 +1,389 @@
+module Json = Slo_util.Json
+
+type error_code =
+  | Bad_request
+  | Parse_error
+  | Type_error
+  | Legality_error
+  | Worker_crash
+  | Timeout
+  | Overloaded
+  | Shutting_down
+
+let error_codes =
+  [
+    (Bad_request, "bad_request");
+    (Parse_error, "parse_error");
+    (Type_error, "type_error");
+    (Legality_error, "legality_error");
+    (Worker_crash, "worker_crash");
+    (Timeout, "timeout");
+    (Overloaded, "overloaded");
+    (Shutting_down, "shutting_down");
+  ]
+
+let error_code_name c = List.assoc c error_codes
+
+let error_code_of_name s =
+  List.find_map (fun (c, n) -> if n = s then Some c else None) error_codes
+
+type request =
+  | Advise of {
+      src : string;
+      scheme : string option;
+      args : int list;
+      deadline_ms : float option;
+    }
+  | Bench of {
+      src : string;
+      scheme : string option;
+      backend : string option;
+      args : int list;
+      deadline_ms : float option;
+    }
+  | Stats
+  | Shutdown
+
+type latency = {
+  l_count : int;
+  l_p50_ms : float;
+  l_p95_ms : float;
+  l_p99_ms : float;
+  l_max_ms : float;
+}
+
+type stats_reply = {
+  s_uptime_s : float;
+  s_requests : (string * int) list;
+  s_errors : (string * int) list;
+  s_result_hits : int;
+  s_result_misses : int;
+  s_ir_hits : int;
+  s_ir_misses : int;
+  s_cache_entries : int;
+  s_cache_bytes : int;
+  s_cache_evictions : int;
+  s_inflight : int;
+  s_conns : int;
+  s_latency : latency;
+}
+
+type reply =
+  | R_advise of { a_report : string; a_cached : bool }
+  | R_bench of {
+      b_cycles_before : int;
+      b_cycles_after : int;
+      b_speedup_pct : float;
+      b_plans : string list;
+      b_cached : bool;
+    }
+  | R_stats of stats_reply
+  | R_shutdown
+  | R_error of { code : error_code; message : string }
+
+(* ---------------- request codec ---------------- *)
+
+(* omit empty/None fields so frames stay small *)
+let opt_field k f = function None -> [] | Some v -> [ (k, f v) ]
+let list_field k f = function [] -> [] | xs -> [ (k, Json.List (List.map f xs)) ]
+
+let json_of_request = function
+  | Advise { src; scheme; args; deadline_ms } ->
+    Json.Obj
+      ([ ("kind", Json.String "advise"); ("src", Json.String src) ]
+      @ opt_field "scheme" (fun s -> Json.String s) scheme
+      @ list_field "args" (fun i -> Json.Int i) args
+      @ opt_field "deadline_ms" (fun f -> Json.Float f) deadline_ms)
+  | Bench { src; scheme; backend; args; deadline_ms } ->
+    Json.Obj
+      ([ ("kind", Json.String "bench"); ("src", Json.String src) ]
+      @ opt_field "scheme" (fun s -> Json.String s) scheme
+      @ opt_field "backend" (fun s -> Json.String s) backend
+      @ list_field "args" (fun i -> Json.Int i) args
+      @ opt_field "deadline_ms" (fun f -> Json.Float f) deadline_ms)
+  | Stats -> Json.Obj [ ("kind", Json.String "stats") ]
+  | Shutdown -> Json.Obj [ ("kind", Json.String "shutdown") ]
+
+let get_string j k =
+  match Json.member k j with
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+  | None -> Ok None
+
+let get_number j k =
+  match Json.member k j with
+  | Some (Json.Float f) -> Ok (Some f)
+  | Some (Json.Int i) -> Ok (Some (float_of_int i))
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" k)
+  | None -> Ok None
+
+let get_int_list j k =
+  match Json.member k j with
+  | Some (Json.List xs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Int i :: tl -> go (i :: acc) tl
+      | _ -> Error (Printf.sprintf "field %S must be a list of ints" k)
+    in
+    go [] xs
+  | Some _ -> Error (Printf.sprintf "field %S must be a list of ints" k)
+  | None -> Ok []
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ -> (
+    let* kind = get_string j "kind" in
+    match kind with
+    | None -> Error "missing \"kind\""
+    | Some ("advise" | "bench") as k -> (
+      let* src = get_string j "src" in
+      match src with
+      | None -> Error "missing \"src\""
+      | Some src ->
+        let* scheme = get_string j "scheme" in
+        let* args = get_int_list j "args" in
+        let* deadline_ms = get_number j "deadline_ms" in
+        if k = Some "advise" then
+          Ok (Advise { src; scheme; args; deadline_ms })
+        else
+          let* backend = get_string j "backend" in
+          Ok (Bench { src; scheme; backend; args; deadline_ms }))
+    | Some "stats" -> Ok Stats
+    | Some "shutdown" -> Ok Shutdown
+    | Some k -> Error (Printf.sprintf "unknown kind %S" k))
+  | _ -> Error "request must be a JSON object"
+
+(* ---------------- reply codec ---------------- *)
+
+let json_of_latency l =
+  Json.Obj
+    [
+      ("count", Json.Int l.l_count);
+      ("p50_ms", Json.Float l.l_p50_ms);
+      ("p95_ms", Json.Float l.l_p95_ms);
+      ("p99_ms", Json.Float l.l_p99_ms);
+      ("max_ms", Json.Float l.l_max_ms);
+    ]
+
+let json_of_counts kvs =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs)
+
+let json_of_reply = function
+  | R_advise { a_report; a_cached } ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("kind", Json.String "advise");
+        ("report", Json.String a_report);
+        ("cached", Json.Bool a_cached);
+      ]
+  | R_bench b ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("kind", Json.String "bench");
+        ("cycles_before", Json.Int b.b_cycles_before);
+        ("cycles_after", Json.Int b.b_cycles_after);
+        ("speedup_pct", Json.Float b.b_speedup_pct);
+        ("plans", Json.List (List.map (fun p -> Json.String p) b.b_plans));
+        ("cached", Json.Bool b.b_cached);
+      ]
+  | R_stats s ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("kind", Json.String "stats");
+        ("uptime_s", Json.Float s.s_uptime_s);
+        ("requests", json_of_counts s.s_requests);
+        ("errors", json_of_counts s.s_errors);
+        ( "cache",
+          Json.Obj
+            [
+              ("result_hits", Json.Int s.s_result_hits);
+              ("result_misses", Json.Int s.s_result_misses);
+              ("ir_hits", Json.Int s.s_ir_hits);
+              ("ir_misses", Json.Int s.s_ir_misses);
+              ("entries", Json.Int s.s_cache_entries);
+              ("bytes", Json.Int s.s_cache_bytes);
+              ("evictions", Json.Int s.s_cache_evictions);
+            ] );
+        ("inflight", Json.Int s.s_inflight);
+        ("conns", Json.Int s.s_conns);
+        ("latency_ms", json_of_latency s.s_latency);
+      ]
+  | R_shutdown ->
+    Json.Obj [ ("ok", Json.Bool true); ("kind", Json.String "shutdown") ]
+  | R_error { code; message } ->
+    Json.Obj
+      [
+        ("ok", Json.Bool false);
+        ("code", Json.String (error_code_name code));
+        ("message", Json.String message);
+      ]
+
+let counts_of_json j k =
+  match Json.member k j with
+  | Some (Json.Obj fields) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, Json.Int n) :: tl -> go ((name, n) :: acc) tl
+      | _ -> Error (Printf.sprintf "field %S must map names to ints" k)
+    in
+    go [] fields
+  | _ -> Error (Printf.sprintf "missing counts object %S" k)
+
+let req_int j k =
+  match Json.member k j with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing int field %S" k)
+
+let req_float j k =
+  match get_number j k with
+  | Ok (Some f) -> Ok f
+  | Ok None -> Error (Printf.sprintf "missing number field %S" k)
+  | Error e -> Error e
+
+let latency_of_json j =
+  let* l_count = req_int j "count" in
+  let* l_p50_ms = req_float j "p50_ms" in
+  let* l_p95_ms = req_float j "p95_ms" in
+  let* l_p99_ms = req_float j "p99_ms" in
+  let* l_max_ms = req_float j "max_ms" in
+  Ok { l_count; l_p50_ms; l_p95_ms; l_p99_ms; l_max_ms }
+
+let stats_of_json j =
+  let* s_uptime_s = req_float j "uptime_s" in
+  let* s_requests = counts_of_json j "requests" in
+  let* s_errors = counts_of_json j "errors" in
+  match Json.member "cache" j with
+  | None -> Error "missing \"cache\""
+  | Some c ->
+    let* s_result_hits = req_int c "result_hits" in
+    let* s_result_misses = req_int c "result_misses" in
+    let* s_ir_hits = req_int c "ir_hits" in
+    let* s_ir_misses = req_int c "ir_misses" in
+    let* s_cache_entries = req_int c "entries" in
+    let* s_cache_bytes = req_int c "bytes" in
+    let* s_cache_evictions = req_int c "evictions" in
+    let* s_inflight = req_int j "inflight" in
+    let* s_conns = req_int j "conns" in
+    (match Json.member "latency_ms" j with
+    | None -> Error "missing \"latency_ms\""
+    | Some l ->
+      let* s_latency = latency_of_json l in
+      Ok
+        {
+          s_uptime_s;
+          s_requests;
+          s_errors;
+          s_result_hits;
+          s_result_misses;
+          s_ir_hits;
+          s_ir_misses;
+          s_cache_entries;
+          s_cache_bytes;
+          s_cache_evictions;
+          s_inflight;
+          s_conns;
+          s_latency;
+        })
+
+let reply_of_json j =
+  match Json.member "ok" j with
+  | Some (Json.Bool false) -> (
+    let* code = get_string j "code" in
+    let* message = get_string j "message" in
+    match code with
+    | None -> Error "error reply missing \"code\""
+    | Some code -> (
+      match error_code_of_name code with
+      | None -> Error (Printf.sprintf "unknown error code %S" code)
+      | Some code ->
+        Ok (R_error { code; message = Option.value ~default:"" message })))
+  | Some (Json.Bool true) -> (
+    let* kind = get_string j "kind" in
+    match kind with
+    | Some "advise" -> (
+      let* report = get_string j "report" in
+      match (report, Json.member "cached" j) with
+      | Some a_report, Some (Json.Bool a_cached) ->
+        Ok (R_advise { a_report; a_cached })
+      | _ -> Error "advise reply missing report/cached")
+    | Some "bench" -> (
+      let* b_cycles_before = req_int j "cycles_before" in
+      let* b_cycles_after = req_int j "cycles_after" in
+      let* b_speedup_pct = req_float j "speedup_pct" in
+      let* b_plans =
+        match Json.member "plans" j with
+        | Some (Json.List xs) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | Json.String s :: tl -> go (s :: acc) tl
+            | _ -> Error "plans must be strings"
+          in
+          go [] xs
+        | _ -> Error "bench reply missing plans"
+      in
+      match Json.member "cached" j with
+      | Some (Json.Bool b_cached) ->
+        Ok
+          (R_bench
+             {
+               b_cycles_before;
+               b_cycles_after;
+               b_speedup_pct;
+               b_plans;
+               b_cached;
+             })
+      | _ -> Error "bench reply missing cached")
+    | Some "stats" ->
+      let* s = stats_of_json j in
+      Ok (R_stats s)
+    | Some "shutdown" -> Ok R_shutdown
+    | _ -> Error "reply missing kind")
+  | _ -> Error "reply missing \"ok\""
+
+(* ---------------- framing ---------------- *)
+
+exception Framing_error of string
+
+let max_frame_bytes = 64 * 1024 * 1024
+
+let write_frame oc payload =
+  let n = String.length payload in
+  if n > max_frame_bytes then
+    raise (Framing_error (Printf.sprintf "frame of %d bytes over limit" n));
+  output_string oc (string_of_int n);
+  output_char oc '\n';
+  output_string oc payload;
+  flush oc
+
+let read_frame ic =
+  (* length line: ASCII digits then '\n'; EOF before the first byte is a
+     clean end of stream *)
+  let rec read_len acc first =
+    match input_char ic with
+    | exception End_of_file ->
+      if first then None else raise (Framing_error "EOF inside frame length")
+    | '\n' ->
+      if first then raise (Framing_error "empty frame length") else Some acc
+    | '0' .. '9' as c ->
+      let acc = (acc * 10) + (Char.code c - Char.code '0') in
+      if acc > max_frame_bytes then
+        raise (Framing_error "frame length over limit");
+      read_len acc false
+    | c ->
+      raise
+        (Framing_error (Printf.sprintf "bad byte %C in frame length" c))
+  in
+  match read_len 0 true with
+  | None -> None
+  | Some n -> (
+    match really_input_string ic n with
+    | s -> Some s
+    | exception End_of_file ->
+      raise
+        (Framing_error
+           (Printf.sprintf "EOF inside frame payload (wanted %d bytes)" n)))

@@ -1,0 +1,125 @@
+(** Wire protocol of the layout-advice daemon.
+
+    {2 Framing}
+
+    A frame is the payload's byte length in ASCII decimal, a single
+    ['\n'], then exactly that many payload bytes. The payload is one
+    strict JSON document ({!Slo_util.Json.of_string} rejects trailing
+    garbage, so a frame is exactly one parse). Both directions use the
+    same framing; a connection carries any number of request/reply
+    round-trips, strictly in order.
+
+    {2 Requests}
+
+    {[ {"kind":"advise","src":"struct s {...};...","scheme":"ispbo",
+        "args":[3],"deadline_ms":250.0}
+       {"kind":"bench","src":"...","scheme":"spbo","backend":"closure"}
+       {"kind":"stats"}
+       {"kind":"shutdown"} ]}
+
+    [src] carries Mini-C source inline — the daemon is content-addressed,
+    there are no file paths in the protocol. [scheme] and [backend] are
+    spelled like the CLI flags; the server validates them and answers
+    [bad_request] for unknown spellings.
+
+    {2 Replies}
+
+    Success: [{"ok":true,"kind":...,...}]. Failure:
+    [{"ok":false,"code":"timeout","message":"..."}] — the connection
+    stays usable after an error reply (except [bad_frame], after which
+    the stream offset is unreliable and the server closes). *)
+
+type error_code =
+  | Bad_request     (** malformed JSON, unknown kind/scheme/backend *)
+  | Parse_error     (** Mini-C lexing or parsing failed *)
+  | Type_error      (** Mini-C type checking failed *)
+  | Legality_error  (** lowering unsupported, or the IR verifier failed *)
+  | Worker_crash    (** the pool job died; message carries the exception *)
+  | Timeout         (** the request's [deadline_ms] expired *)
+  | Overloaded      (** connection limit reached; server closes after *)
+  | Shutting_down   (** daemon is draining; no new work accepted *)
+
+val error_code_name : error_code -> string
+val error_code_of_name : string -> error_code option
+
+type request =
+  | Advise of {
+      src : string;
+      scheme : string option;       (** default ["ispbo"] *)
+      args : int list;              (** profile-collection args for PBO *)
+      deadline_ms : float option;
+    }
+  | Bench of {
+      src : string;
+      scheme : string option;
+      backend : string option;      (** default the VM default *)
+      args : int list;
+      deadline_ms : float option;
+    }
+  | Stats
+  | Shutdown
+
+type latency = {
+  l_count : int;
+  l_p50_ms : float;
+  l_p95_ms : float;
+  l_p99_ms : float;
+  l_max_ms : float;
+}
+
+type stats_reply = {
+  s_uptime_s : float;
+  s_requests : (string * int) list;  (** request kind -> served count *)
+  s_errors : (string * int) list;    (** error code -> reply count *)
+  s_result_hits : int;               (** (digest, scheme, backend) cache *)
+  s_result_misses : int;
+  s_ir_hits : int;                   (** digest -> compiled IR cache *)
+  s_ir_misses : int;
+  s_cache_entries : int;
+  s_cache_bytes : int;
+  s_cache_evictions : int;
+  s_inflight : int;                  (** requests being processed now *)
+  s_conns : int;                     (** open connections *)
+  s_latency : latency;               (** service latency, all kinds *)
+}
+
+type reply =
+  | R_advise of { a_report : string; a_cached : bool }
+  | R_bench of {
+      b_cycles_before : int;
+      b_cycles_after : int;
+      b_speedup_pct : float;
+      b_plans : string list;         (** one summary line per applied plan *)
+      b_cached : bool;
+    }
+  | R_stats of stats_reply
+  | R_shutdown
+  | R_error of { code : error_code; message : string }
+
+(* ---------------- JSON codecs ---------------- *)
+
+val json_of_request : request -> Slo_util.Json.t
+
+val request_of_json : Slo_util.Json.t -> (request, string) result
+(** [Error] is a human-readable reason, sent back as [bad_request]. *)
+
+val json_of_reply : reply -> Slo_util.Json.t
+
+val reply_of_json : Slo_util.Json.t -> (reply, string) result
+
+(* ---------------- framing ---------------- *)
+
+exception Framing_error of string
+(** Malformed length line, an over-limit frame, or EOF mid-frame. After
+    this the stream offset is unreliable: close the connection. *)
+
+val max_frame_bytes : int
+(** 64 MiB — an inline source or report will not legitimately exceed
+    this; anything bigger is a protocol error, not a big request. *)
+
+val write_frame : out_channel -> string -> unit
+(** Write one frame and flush. *)
+
+val read_frame : in_channel -> string option
+(** [None] on a clean EOF at a frame boundary; raises {!Framing_error}
+    otherwise. *)

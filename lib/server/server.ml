@@ -1,0 +1,471 @@
+module Json = Slo_util.Json
+module Lru = Slo_util.Lru
+module Histogram = Slo_util.Histogram
+module Pool = Slo_exec.Pool
+module P = Protocol
+module D = Slo_core.Driver
+module H = Slo_core.Heuristics
+module Adv = Slo_core.Advisor
+module W = Slo_profile.Weights
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  cache_mb : int;
+  max_conns : int;
+  handle_sigterm : bool;
+  log : string -> unit;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = Pool.default_jobs ();
+    cache_mb = 64;
+    max_conns = 64;
+    handle_sigterm = true;
+    log = ignore;
+  }
+
+(* one cache holds both key spaces; the "ir:"/"res:" key prefixes keep
+   them disjoint *)
+type cached = Cir of Ir.program | Creply of P.reply
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  listen_fd : Unix.file_descr;
+  stopping : bool Atomic.t;
+  lock : Mutex.t; (* guards every mutable field below *)
+  drained : Condition.t; (* broadcast when inflight drops to 0 *)
+  cache : (string, cached) Lru.t;
+  pending : (string, P.reply Pool.future) Hashtbl.t;
+  req_counts : (string, int) Hashtbl.t;
+  err_counts : (string, int) Hashtbl.t;
+  hist : Histogram.t;
+  mutable result_hits : int;
+  mutable result_misses : int;
+  mutable ir_hits : int;
+  mutable ir_misses : int;
+  mutable inflight : int;
+  mutable conns : (int * Unix.file_descr) list;
+  mutable threads : Thread.t list;
+  mutable next_conn : int;
+  started : float;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let bump tbl k =
+  Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let count_error t code = locked t (fun () -> bump t.err_counts (P.error_code_name code))
+
+let err code fmt =
+  Printf.ksprintf (fun message -> P.R_error { code; message }) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Compute jobs (run on pool worker domains)                           *)
+(* ------------------------------------------------------------------ *)
+
+let heap_bytes v = Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
+
+let get_ir t ~digest ~src =
+  let key = "ir:" ^ digest in
+  let hit =
+    locked t (fun () ->
+        match Lru.find t.cache key with
+        | Some (Cir p) ->
+          t.ir_hits <- t.ir_hits + 1;
+          Some p
+        | Some (Creply _) -> assert false (* key spaces are disjoint *)
+        | None ->
+          t.ir_misses <- t.ir_misses + 1;
+          None)
+  in
+  match hit with
+  | Some p -> p
+  | None ->
+    let prog = D.compile ~verify:true src in
+    locked t (fun () ->
+        ignore (Lru.add t.cache key (Cir prog) ~bytes:(heap_bytes prog)));
+    prog
+
+let scheme_of_name name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun s -> String.lowercase_ascii (W.name s) = name) W.all
+
+let compute t ~kind ~digest ~src ~scheme ~backend ~args =
+  let prog = get_ir t ~digest ~src in
+  let feedback =
+    if W.needs_profile scheme then
+      Some (fst (Slo_profile.Collect.collect ~args prog))
+    else None
+  in
+  match kind with
+  | `Advise ->
+    let leg, aff = D.analyze prog ~scheme ~feedback in
+    let decisions = H.decide prog leg aff ~scheme in
+    let dcache =
+      Option.map
+        (fun fb ->
+          (Slo_profile.Matching.apply prog fb).Slo_profile.Matching.instr_dcache)
+        feedback
+    in
+    let adv = Adv.build prog leg aff ~decisions ~dcache in
+    P.R_advise { a_report = Adv.report adv; a_cached = false }
+  | `Bench ->
+    let ev = D.evaluate ~args ~verify:true ~jobs:1 ~backend ~scheme ~feedback prog in
+    P.R_bench
+      {
+        b_cycles_before = ev.D.e_before.D.m_cycles;
+        b_cycles_after = ev.D.e_after.D.m_cycles;
+        b_speedup_pct = ev.D.e_speedup_pct;
+        b_plans =
+          List.filter_map
+            (fun (d : H.decision) -> Option.map H.plan_summary d.d_plan)
+            ev.D.e_decisions;
+        b_cached = false;
+      }
+
+(* Everything a request can legitimately fail with becomes a structured
+   error reply; only true surprises surface as [worker_crash]. The job
+   always cleans its [pending] slot and caches successful replies. *)
+let job t ~key ~kind ~digest ~src ~scheme ~backend ~args () =
+  let reply =
+    match compute t ~kind ~digest ~src ~scheme ~backend ~args with
+    | r -> r
+    | exception Slo_minic.Lexer.Error (msg, loc) ->
+      err P.Parse_error "%s: lexical error: %s" (Slo_minic.Loc.to_string loc) msg
+    | exception Slo_minic.Parser.Error (msg, loc) ->
+      err P.Parse_error "%s: syntax error: %s" (Slo_minic.Loc.to_string loc) msg
+    | exception Slo_minic.Typecheck.Error (msg, loc) ->
+      err P.Type_error "%s: type error: %s" (Slo_minic.Loc.to_string loc) msg
+    | exception Lower.Unsupported (msg, loc) ->
+      err P.Legality_error "%s: unsupported: %s" (Slo_minic.Loc.to_string loc) msg
+    | exception Verify.Ill_formed errs ->
+      err P.Legality_error "ill-formed IR:\n%s" (Verify.report errs)
+    | exception e -> err P.Worker_crash "%s" (Printexc.to_string e)
+  in
+  locked t (fun () ->
+      Hashtbl.remove t.pending key;
+      match reply with
+      | P.R_advise _ | P.R_bench _ ->
+        ignore (Lru.add t.cache key (Creply reply) ~bytes:(heap_bytes reply))
+      | _ -> ());
+  reply
+
+(* ------------------------------------------------------------------ *)
+(* Request handling (runs on connection threads)                       *)
+(* ------------------------------------------------------------------ *)
+
+let mark_cached = function
+  | P.R_advise a -> P.R_advise { a with a_cached = true }
+  | P.R_bench b -> P.R_bench { b with b_cached = true }
+  | r -> r
+
+let serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms =
+  let scheme_name = Option.value ~default:"ispbo" scheme in
+  match scheme_of_name scheme_name with
+  | None -> err P.Bad_request "unknown scheme %S" scheme_name
+  | Some scheme when W.is_dcache scheme ->
+    err P.Bad_request
+      "d-cache scheme %S attributes PMU samples, not block weights; it is \
+       not servable over the wire"
+      scheme_name
+  | Some scheme -> (
+    let backend_name =
+      Option.value ~default:(Slo_vm.Backend.to_string Slo_vm.Backend.default)
+        backend
+    in
+    match Slo_vm.Backend.of_string backend_name with
+    | None -> err P.Bad_request "unknown backend %S" backend_name
+    | Some backend -> (
+      let digest = Digest.to_hex (Digest.string src) in
+      let key =
+        Printf.sprintf "res:%s:%s:%s:%s:%s" digest
+          (match kind with `Advise -> "advise" | `Bench -> "bench")
+          (W.name scheme) (Slo_vm.Backend.to_string backend)
+          (String.concat "," (List.map string_of_int args))
+      in
+      let outcome =
+        locked t (fun () ->
+            match Lru.find t.cache key with
+            | Some (Creply r) ->
+              t.result_hits <- t.result_hits + 1;
+              `Hit r
+            | Some (Cir _) -> assert false
+            | None ->
+              t.result_misses <- t.result_misses + 1;
+              let fut =
+                match Hashtbl.find_opt t.pending key with
+                | Some f -> f (* coalesce with the in-flight computation *)
+                | None ->
+                  let f =
+                    Pool.submit t.pool
+                      (job t ~key ~kind ~digest ~src ~scheme ~backend ~args)
+                  in
+                  Hashtbl.add t.pending key f;
+                  f
+              in
+              `Await fut)
+      in
+      match outcome with
+      | `Hit r -> mark_cached r
+      | `Await fut -> (
+        let res =
+          match deadline_ms with
+          | None -> Some (Pool.await fut)
+          | Some ms -> Pool.await_timeout fut ~timeout_ms:ms
+        in
+        match res with
+        | None ->
+          err P.Timeout
+            "deadline of %gms expired; the computation continues and will \
+             be cached"
+            (Option.get deadline_ms)
+        | Some (Ok reply) -> reply
+        | Some (Error (e : Pool.error)) ->
+          err P.Worker_crash "%s" e.Pool.err_exn)))
+
+let build_stats t =
+  locked t (fun () ->
+      let sorted tbl =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+      in
+      let p q = Histogram.percentile t.hist q in
+      P.R_stats
+        {
+          s_uptime_s = Unix.gettimeofday () -. t.started;
+          s_requests = sorted t.req_counts;
+          s_errors = sorted t.err_counts;
+          s_result_hits = t.result_hits;
+          s_result_misses = t.result_misses;
+          s_ir_hits = t.ir_hits;
+          s_ir_misses = t.ir_misses;
+          s_cache_entries = Lru.length t.cache;
+          s_cache_bytes = Lru.bytes t.cache;
+          s_cache_evictions = Lru.evictions t.cache;
+          s_inflight = t.inflight;
+          s_conns = List.length t.conns;
+          s_latency =
+            {
+              P.l_count = Histogram.count t.hist;
+              l_p50_ms = p 50.0;
+              l_p95_ms = p 95.0;
+              l_p99_ms = p 99.0;
+              l_max_ms = Histogram.max_ms t.hist;
+            };
+        })
+
+(* returns the reply plus what to do with the connection afterwards *)
+let handle_payload t payload =
+  match Json.of_string payload with
+  | exception Json.Parse_error msg ->
+    (err P.Bad_request "request is not JSON: %s" msg, `Continue)
+  | j -> (
+    match P.request_of_json j with
+    | Error msg -> (err P.Bad_request "%s" msg, `Continue)
+    | Ok req -> (
+      let kind_name =
+        match req with
+        | P.Advise _ -> "advise"
+        | P.Bench _ -> "bench"
+        | P.Stats -> "stats"
+        | P.Shutdown -> "shutdown"
+      in
+      locked t (fun () -> bump t.req_counts kind_name);
+      match req with
+      | P.Stats -> (build_stats t, `Continue)
+      | P.Shutdown -> (P.R_shutdown, `Stop)
+      | P.Advise { src; scheme; args; deadline_ms } ->
+        ( serve_compute t ~kind:`Advise ~src ~scheme ~backend:None ~args
+            ~deadline_ms,
+          `Continue )
+      | P.Bench { src; scheme; backend; args; deadline_ms } ->
+        ( serve_compute t ~kind:`Bench ~src ~scheme ~backend ~args ~deadline_ms,
+          `Continue )))
+
+let request_stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    t.cfg.log "drain requested";
+    (* Waking a thread blocked in accept(2) is the hard part: close(2)
+       from another thread does NOT unblock it on Linux (the in-flight
+       syscall pins the descriptor), so shut the listener down and poke
+       it with a throwaway connection; the accept loop re-checks the
+       stopping flag on every wake-up. The fd itself is closed by
+       [drain] after the loop has exited. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+       with Unix.Unix_error _ -> ());
+      Unix.close fd
+    with Unix.Unix_error _ -> ()
+  end
+
+let send oc reply =
+  match P.write_frame oc (Json.to_string ~indent:false (P.json_of_reply reply)) with
+  | () -> true
+  | exception (Sys_error _ | Unix.Unix_error _) -> false
+
+let conn_loop t id fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match P.read_frame ic with
+    | None -> ()
+    | exception P.Framing_error msg ->
+      (* the stream offset is unreliable now: reply and close *)
+      count_error t P.Bad_request;
+      ignore (send oc (err P.Bad_request "framing: %s" msg))
+    | exception (Sys_error _ | Unix.Unix_error _) -> ()
+    | Some payload ->
+      let accepted =
+        locked t (fun () ->
+            if Atomic.get t.stopping then false
+            else begin
+              t.inflight <- t.inflight + 1;
+              true
+            end)
+      in
+      if not accepted then begin
+        count_error t P.Shutting_down;
+        ignore (send oc (err P.Shutting_down "daemon is draining"))
+      end
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let reply, action = handle_payload t payload in
+        (match reply with
+        | P.R_error { code; _ } -> count_error t code
+        | _ -> ());
+        let written = send oc reply in
+        locked t (fun () ->
+            Histogram.record t.hist ((Unix.gettimeofday () -. t0) *. 1000.0);
+            t.inflight <- t.inflight - 1;
+            if t.inflight = 0 then Condition.broadcast t.drained);
+        match action with
+        | `Stop -> request_stop t
+        | `Continue -> if written && not (Atomic.get t.stopping) then loop ()
+      end
+  in
+  (try loop () with _ -> ());
+  locked t (fun () -> t.conns <- List.filter (fun (i, _) -> i <> id) t.conns);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and drain                                               *)
+(* ------------------------------------------------------------------ *)
+
+let refuse t code message cfd =
+  count_error t code;
+  let oc = Unix.out_channel_of_descr cfd in
+  ignore (send oc (P.R_error { code; message }));
+  try Unix.close cfd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec go () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.accept t.listen_fd with
+      | exception
+          Unix.Unix_error ((EBADF | EINVAL | EINTR | ECONNABORTED), _, _) ->
+        go ()
+      | exception Unix.Unix_error _ ->
+        (* e.g. EMFILE: back off instead of spinning hot *)
+        Unix.sleepf 0.01;
+        go ()
+      | cfd, _ ->
+        (if Atomic.get t.stopping then
+           refuse t P.Shutting_down "daemon is draining" cfd
+         else
+           let decision =
+             locked t (fun () ->
+                 if List.length t.conns >= t.cfg.max_conns then `Refuse
+                 else begin
+                   let id = t.next_conn in
+                   t.next_conn <- id + 1;
+                   t.conns <- (id, cfd) :: t.conns;
+                   `Accept id
+                 end)
+           in
+           match decision with
+           | `Refuse ->
+             refuse t P.Overloaded
+               (Printf.sprintf "connection limit (%d) reached"
+                  t.cfg.max_conns)
+               cfd
+           | `Accept id ->
+             let th = Thread.create (fun () -> conn_loop t id cfd) () in
+             locked t (fun () -> t.threads <- th :: t.threads));
+        go ()
+  in
+  go ()
+
+let drain t =
+  locked t (fun () ->
+      while t.inflight > 0 do
+        Condition.wait t.drained t.lock
+      done);
+  (* every in-flight reply has been written; idle connections now read
+     EOF and their threads exit *)
+  let conns = locked t (fun () -> t.conns) in
+  List.iter
+    (fun (_, fd) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  let threads = locked t (fun () -> t.threads) in
+  List.iter (fun th -> try Thread.join th with _ -> ()) threads;
+  Pool.shutdown t.pool;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  t.cfg.log "drained"
+
+let run cfg =
+  if cfg.jobs < 1 then invalid_arg "Server.run: jobs must be >= 1";
+  if cfg.cache_mb < 1 then invalid_arg "Server.run: cache_mb must be >= 1";
+  if cfg.max_conns < 1 then invalid_arg "Server.run: max_conns must be >= 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      pool = Pool.create ~jobs:cfg.jobs;
+      listen_fd;
+      stopping = Atomic.make false;
+      lock = Mutex.create ();
+      drained = Condition.create ();
+      cache = Lru.create ~capacity_bytes:(cfg.cache_mb * 1024 * 1024);
+      pending = Hashtbl.create 16;
+      req_counts = Hashtbl.create 8;
+      err_counts = Hashtbl.create 8;
+      hist = Histogram.create ();
+      result_hits = 0;
+      result_misses = 0;
+      ir_hits = 0;
+      ir_misses = 0;
+      inflight = 0;
+      conns = [];
+      threads = [];
+      next_conn = 0;
+      started = Unix.gettimeofday ();
+    }
+  in
+  if cfg.handle_sigterm then
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_stop t));
+  cfg.log
+    (Printf.sprintf "listening on %s (jobs=%d, cache=%dMiB, max-conns=%d)"
+       cfg.socket_path cfg.jobs cfg.cache_mb cfg.max_conns);
+  accept_loop t;
+  drain t

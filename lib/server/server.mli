@@ -1,0 +1,54 @@
+(** The layout-advice daemon.
+
+    A long-running server over a Unix-domain socket speaking
+    {!Protocol}: clients send Mini-C source inline, the server answers
+    with advisory reports ([advise]) or before/after measurements
+    ([bench]), keyed by a content-addressed LRU cache
+
+    - [digest(src)] → compiled and verified IR, and
+    - [(digest(src), scheme, backend, args)] → finished reply,
+
+    so repeated traffic over the same sources (the common case as code
+    evolves under an editor or CI) costs one cache probe. Misses are
+    scheduled onto a {!Slo_exec.Pool} of worker domains, and identical
+    concurrent requests coalesce onto one in-flight computation, so
+    clients batch across domains instead of stampeding.
+
+    Robustness semantics:
+
+    - {b deadlines}: a request's [deadline_ms] bounds the wait, not the
+      computation — on expiry the client gets a [timeout] error while
+      the job runs on and its result still enters the cache (see
+      {!Slo_exec.Pool.await_timeout}).
+    - {b structured errors}: Mini-C parse, typecheck, lowering/verifier
+      and worker-crash failures each map to a distinct error code; a
+      failed request never tears down the connection.
+    - {b connection limit}: accepts beyond [max_conns] get an
+      [overloaded] reply and an immediate close.
+    - {b graceful drain}: on SIGTERM or a [shutdown] request, the
+      listener closes first (new connections refused), in-flight
+      requests run to completion and their replies are delivered, idle
+      connections are then closed, the pool is joined and the socket
+      path unlinked before {!run} returns. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;            (** worker domains for the compute pool *)
+  cache_mb : int;        (** LRU budget for IR + results, in MiB *)
+  max_conns : int;       (** concurrent connections before [overloaded] *)
+  handle_sigterm : bool; (** install the SIGTERM drain handler *)
+  log : string -> unit;  (** progress lines; [ignore] to silence *)
+}
+
+val default_config : socket_path:string -> config
+(** [jobs = Slo_exec.Pool.default_jobs ()], [cache_mb = 64],
+    [max_conns = 64], [handle_sigterm = true], [log = ignore]. *)
+
+val run : config -> unit
+(** Bind, serve until drained, clean up, return. Raises
+    [Invalid_argument] on a non-positive [jobs]/[cache_mb]/[max_conns];
+    [Unix.Unix_error] if the socket cannot be bound. SIGPIPE is set to
+    ignore (a server cannot survive otherwise). Safe to call from a
+    background thread (set [handle_sigterm = false] to leave process
+    signal dispositions alone — the in-process tests and the load
+    generator's self-spawn mode do this). *)

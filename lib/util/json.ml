@@ -189,6 +189,18 @@ let parse_number cur =
   in
   go ();
   let s = String.sub cur.src start (cur.pos - start) in
+  (* JSON forbids leading zeros ("042"); [int_of_string] would accept
+     them, and the framing layer depends on strict parses *)
+  let body =
+    if String.length s > 0 && s.[0] = '-' then
+      String.sub s 1 (String.length s - 1)
+    else s
+  in
+  if
+    String.length body >= 2
+    && body.[0] = '0'
+    && (match body.[1] with '0' .. '9' -> true | _ -> false)
+  then fail cur (Printf.sprintf "leading zero in number %S" s);
   if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
     match float_of_string_opt s with
     | Some f -> Float f

@@ -23,9 +23,12 @@ val to_string : ?indent:bool -> t -> string
 exception Parse_error of string
 
 val of_string : string -> t
-(** Parse a JSON document. Raises {!Parse_error} with a position-carrying
-    message on malformed input. Numbers with a fraction or exponent parse
-    as [Float], others as [Int]. *)
+(** Parse exactly one JSON document. Raises {!Parse_error} with a
+    position-carrying message on malformed input, on numbers with
+    leading zeros, and on {e any} non-whitespace bytes after the
+    document — the advice server's length-prefixed framing depends on a
+    whole frame being exactly one strict parse. Numbers with a fraction
+    or exponent parse as [Float], others as [Int]. *)
 
 val member : string -> t -> t option
 (** [member key (Obj ...)] looks up a key; [None] on absence or on a

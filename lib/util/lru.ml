@@ -1,0 +1,108 @@
+(* A byte-budgeted LRU map: a doubly-linked recency list threaded
+   through a hashtable. The list head is most-recently-used, the tail
+   is the eviction candidate. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable size : int;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  capacity : int;
+  mutable head : ('k, 'v) node option; (* MRU *)
+  mutable tail : ('k, 'v) node option; (* LRU *)
+  mutable total : int;
+  mutable evicted : int;
+}
+
+let create ~capacity_bytes =
+  if capacity_bytes <= 0 then
+    invalid_arg "Lru.create: capacity_bytes must be positive";
+  {
+    tbl = Hashtbl.create 64;
+    capacity = capacity_bytes;
+    head = None;
+    tail = None;
+    total = 0;
+    evicted = 0;
+  }
+
+let length t = Hashtbl.length t.tbl
+let bytes t = t.total
+let capacity_bytes t = t.capacity
+let evictions t = t.evicted
+
+(* unlink [n] from the recency list (it must be in it) *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let promote t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    promote t n;
+    Some n.value
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.tbl n.key;
+  t.total <- t.total - n.size
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n -> drop t n
+
+let rec evict_until_fits t need =
+  if t.total + need > t.capacity then
+    match t.tail with
+    | None -> () (* nothing left to evict; need <= capacity guarantees fit *)
+    | Some n ->
+      drop t n;
+      t.evicted <- t.evicted + 1;
+      evict_until_fits t need
+
+let add t k v ~bytes =
+  if bytes < 0 then invalid_arg "Lru.add: negative size";
+  if bytes > t.capacity then false
+  else begin
+    (* a replacement releases the old entry's budget first and does not
+       count as an eviction *)
+    (match Hashtbl.find_opt t.tbl k with
+    | Some old -> drop t old
+    | None -> ());
+    evict_until_fits t bytes;
+    let n = { key = k; value = v; size = bytes; prev = None; next = None } in
+    push_front t n;
+    Hashtbl.replace t.tbl k n;
+    t.total <- t.total + bytes;
+    true
+  end
+
+let keys_mru t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

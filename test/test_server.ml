@@ -1,0 +1,461 @@
+(* The advice daemon: wire protocol codecs, framing, and end-to-end
+   behaviour of an in-process server — caching, structured errors,
+   deadlines, the connection limit, and graceful drain (both the
+   shutdown request and SIGTERM).
+
+   Every end-to-end test spawns its own server on a private socket in a
+   background thread with [handle_sigterm = false] (except the SIGTERM
+   test), so tests are independent and the suite leaves no processes or
+   socket files behind. *)
+
+module P = Slo_server.Protocol
+module Server = Slo_server.Server
+module Client = Slo_server.Client
+module Json = Slo_util.Json
+
+(* ---------------- sources ---------------- *)
+
+(* Figure-1-shaped hot/cold struct, sized for test speed: advise and
+   bench both have to run the program (profile collection, before/after
+   measurement), so keep the trip counts small. [tag] makes each test's
+   source distinct, i.e. a distinct cache key. *)
+let hot_cold_src tag =
+  Printf.sprintf
+    "struct s%s { long hot1; double cold1; long hot2; double cold2; };\n\
+     struct s%s *arr;\n\
+     long n;\n\
+     int main() { long it; long i; long s = 0; n = 64;\n\
+     arr = (struct s%s*)malloc(n * sizeof(struct s%s));\n\
+     for (it = 0; it < n; it++) { arr[it].hot1 = it; arr[it].hot2 = 2*it;\n\
+     arr[it].cold1 = 0.5; arr[it].cold2 = 0.25; }\n\
+     for (it = 0; it < 10; it++) {\n\
+     for (i = 0; i < n; i++) { s = s + arr[i].hot1 + arr[i].hot2; } }\n\
+     printf(\"%%ld\\n\", s); return 0; }\n"
+    tag tag tag tag
+
+(* a slow program: enough iterations that it outlives a 1 ms deadline *)
+let slow_src tag =
+  Printf.sprintf
+    "struct t%s { long a; long b; };\n\
+     int main() { long i; long j; long s = 0;\n\
+     for (i = 0; i < 2000; i++) { for (j = 0; j < 2000; j++) {\n\
+     s = s + i * j; } }\n\
+     printf(\"%%ld\\n\", s); return 0; }\n"
+    tag
+
+(* ---------------- harness ---------------- *)
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "slo-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+(* The harness tracks every connection a test opens so that a failing
+   test cannot leak one: a leaked connection can pin the server at its
+   connection limit, the finally's shutdown request then gets refused
+   as [overloaded], and [Thread.join] hangs the whole suite. *)
+let with_server ?(jobs = 1) ?(max_conns = 16) ?(handle_sigterm = false) f =
+  let socket_path = fresh_socket () in
+  let cfg =
+    { (Server.default_config ~socket_path) with
+      jobs;
+      max_conns;
+      handle_sigterm;
+    }
+  in
+  let th = Thread.create Server.run cfg in
+  let live = ref [] in
+  let lmx = Mutex.create () in
+  let connect () =
+    let c = Client.connect ~retry_for_s:10.0 ~socket:socket_path () in
+    Mutex.lock lmx;
+    live := c :: !live;
+    Mutex.unlock lmx;
+    c
+  in
+  let close c =
+    Mutex.lock lmx;
+    live := List.filter (fun c' -> c' != c) !live;
+    Mutex.unlock lmx;
+    Client.close c
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* close leftovers (only present when the test body raised) *)
+      List.iter (fun c -> try Client.close c with _ -> ()) !live;
+      (* shut the server down; the refusal retry covers the window
+         where closed connections are not yet deregistered *)
+      let rec request_shutdown attempts =
+        if attempts > 0 then
+          match Client.connect ~retry_for_s:0.0 ~socket:socket_path () with
+          | exception _ -> () (* already drained *)
+          | conn -> (
+            match Client.rpc conn P.Shutdown with
+            | P.R_shutdown | (exception _) -> Client.close conn
+            | _reply ->
+              Client.close conn;
+              Unix.sleepf 0.05;
+              request_shutdown (attempts - 1))
+      in
+      request_shutdown 100;
+      Thread.join th;
+      if Sys.file_exists socket_path then Sys.remove socket_path)
+    (fun () -> f ~connect ~close socket_path)
+
+let advise ?scheme ?deadline_ms src =
+  P.Advise { src; scheme; args = []; deadline_ms }
+
+let bench ?scheme ?backend ?deadline_ms src =
+  P.Bench { src; scheme; backend; args = []; deadline_ms }
+
+let expect_error name code reply =
+  match reply with
+  | P.R_error e ->
+    Alcotest.(check string)
+      (name ^ " code")
+      (P.error_code_name code)
+      (P.error_code_name e.code)
+  | _ -> Alcotest.failf "%s: expected %s error" name (P.error_code_name code)
+
+(* ---------------- framing ---------------- *)
+
+(* a temp file, not a pipe: a 100 KB frame would deadlock a same-thread
+   pipe writer against the 64 KB kernel buffer *)
+let frames_via_file payloads k =
+  let path = Filename.temp_file "slo_frames" ".bin" in
+  let oc = open_out_bin path in
+  List.iter (P.write_frame oc) payloads;
+  close_out oc;
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in ic;
+      Sys.remove path)
+    (fun () -> k ic)
+
+let framing_roundtrip () =
+  let payloads = [ "{}"; ""; String.make 100_000 'x'; "{\"k\":\"\xffbin\"}" ] in
+  frames_via_file payloads (fun ic ->
+      List.iter
+        (fun expect ->
+          match P.read_frame ic with
+          | Some got -> Alcotest.(check string) "payload" expect got
+          | None -> Alcotest.fail "unexpected EOF")
+        payloads;
+      Alcotest.(check bool) "clean EOF is None" true (P.read_frame ic = None))
+
+let framing_errors () =
+  let raw s k =
+    let r, w = Unix.pipe () in
+    let oc = Unix.out_channel_of_descr w in
+    let ic = Unix.in_channel_of_descr r in
+    output_string oc s;
+    close_out oc;
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> k ic)
+  in
+  let bad name s =
+    raw s (fun ic ->
+        match P.read_frame ic with
+        | exception P.Framing_error _ -> ()
+        | Some _ | None -> Alcotest.failf "%s: expected Framing_error" name)
+  in
+  bad "garbage length" "abc\nxyz";
+  bad "negative length" "-3\nxyz";
+  bad "missing newline" "12345678901234567890";
+  bad "EOF mid-payload" "10\nabc";
+  bad "EOF mid-length" "123";
+  bad "over-limit frame" (string_of_int (P.max_frame_bytes + 1) ^ "\n")
+
+(* ---------------- codecs ---------------- *)
+
+let codec_error_codes () =
+  let all =
+    [
+      P.Bad_request; P.Parse_error; P.Type_error; P.Legality_error;
+      P.Worker_crash; P.Timeout; P.Overloaded; P.Shutting_down;
+    ]
+  in
+  List.iter
+    (fun c ->
+      let name = P.error_code_name c in
+      Alcotest.(check bool)
+        ("roundtrip " ^ name)
+        true
+        (P.error_code_of_name name = Some c))
+    all;
+  Alcotest.(check bool) "unknown name" true (P.error_code_of_name "nope" = None)
+
+let codec_requests () =
+  let roundtrip req =
+    match P.request_of_json (Json.of_string (Json.to_string (P.json_of_request req))) with
+    | Ok got -> Alcotest.(check bool) "request roundtrip" true (got = req)
+    | Error e -> Alcotest.failf "decode failed: %s" e
+  in
+  roundtrip (advise "int main() { return 0; }");
+  roundtrip
+    (P.Advise
+       {
+         src = "x";
+         scheme = Some "spbo";
+         args = [ 3; 14 ];
+         deadline_ms = Some 250.0;
+       });
+  roundtrip
+    (P.Bench
+       {
+         src = "y";
+         scheme = Some "fco";
+         backend = Some "closure";
+         args = [];
+         deadline_ms = None;
+       });
+  roundtrip P.Stats;
+  roundtrip P.Shutdown;
+  let bad name s =
+    match P.request_of_json (Json.of_string s) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected decode error" name
+  in
+  bad "not an object" "[1]";
+  bad "missing kind" "{\"src\":\"x\"}";
+  bad "unknown kind" "{\"kind\":\"frobnicate\"}";
+  bad "advise without src" "{\"kind\":\"advise\"}";
+  bad "non-int args" "{\"kind\":\"advise\",\"src\":\"x\",\"args\":[\"a\"]}"
+
+let codec_replies () =
+  let roundtrip reply =
+    match P.reply_of_json (Json.of_string (Json.to_string (P.json_of_reply reply))) with
+    | Ok got -> Alcotest.(check bool) "reply roundtrip" true (got = reply)
+    | Error e -> Alcotest.failf "decode failed: %s" e
+  in
+  roundtrip (P.R_advise { a_report = "report text\nwith lines"; a_cached = true });
+  roundtrip
+    (P.R_bench
+       {
+         b_cycles_before = 399301542;
+         b_cycles_after = 258462741;
+         b_speedup_pct = 54.5;
+         b_plans = [ "peel f1_neuron: 8 pieces, 0 dead" ];
+         b_cached = false;
+       });
+  roundtrip P.R_shutdown;
+  roundtrip (P.R_error { code = P.Timeout; message = "deadline of 1ms expired" });
+  roundtrip
+    (P.R_stats
+       {
+         s_uptime_s = 1.5;
+         s_requests = [ ("advise", 2); ("stats", 1) ];
+         s_errors = [ ("timeout", 1) ];
+         s_result_hits = 1;
+         s_result_misses = 2;
+         s_ir_hits = 0;
+         s_ir_misses = 2;
+         s_cache_entries = 4;
+         s_cache_bytes = 123456;
+         s_cache_evictions = 0;
+         s_inflight = 1;
+         s_conns = 3;
+         s_latency =
+           {
+             l_count = 3;
+             l_p50_ms = 1.0;
+             l_p95_ms = 20.0;
+             l_p99_ms = 20.0;
+             l_max_ms = 24.5;
+           };
+       })
+
+(* ---------------- end to end ---------------- *)
+
+let e2e_advise_cached () =
+  with_server (fun ~connect ~close _socket ->
+      let conn = connect () in
+      let src = hot_cold_src "adv" in
+      (match Client.rpc conn (advise src) with
+      | P.R_advise { a_report; a_cached } ->
+        Alcotest.(check bool) "first advise is a miss" false a_cached;
+        Alcotest.(check bool) "report mentions the struct" true
+          (Astring.String.is_infix ~affix:"sadv" a_report)
+      | r -> Alcotest.failf "advise failed: %s" (Json.to_string (P.json_of_reply r)));
+      (match Client.rpc conn (advise src) with
+      | P.R_advise { a_cached; _ } ->
+        Alcotest.(check bool) "second advise is a hit" true a_cached
+      | _ -> Alcotest.fail "second advise failed");
+      (* same source, different scheme: a different cache key *)
+      (match Client.rpc conn (advise ~scheme:"spbo" src) with
+      | P.R_advise { a_cached; _ } ->
+        Alcotest.(check bool) "scheme is part of the key" false a_cached
+      | _ -> Alcotest.fail "spbo advise failed");
+      (match Client.rpc conn P.Stats with
+      | P.R_stats s ->
+        Alcotest.(check int) "result hits" 1 s.s_result_hits;
+        Alcotest.(check int) "result misses" 2 s.s_result_misses;
+        (* the IR cache deduplicates across schemes *)
+        Alcotest.(check int) "ir hits" 1 s.s_ir_hits;
+        Alcotest.(check int) "ir misses" 1 s.s_ir_misses;
+        Alcotest.(check bool) "advise counted" true
+          (List.assoc_opt "advise" s.s_requests = Some 3);
+        Alcotest.(check bool) "cache occupied" true (s.s_cache_bytes > 0)
+      | _ -> Alcotest.fail "stats failed");
+      close conn)
+
+let e2e_bench () =
+  with_server (fun ~connect ~close _socket ->
+      let conn = connect () in
+      let src = hot_cold_src "bch" in
+      (match Client.rpc conn (bench ~scheme:"spbo" src) with
+      | P.R_bench b ->
+        Alcotest.(check bool) "bench is a miss" false b.b_cached;
+        Alcotest.(check bool) "cycles measured" true
+          (b.b_cycles_before > 0 && b.b_cycles_after > 0)
+      | r -> Alcotest.failf "bench failed: %s" (Json.to_string (P.json_of_reply r)));
+      (match Client.rpc conn (bench ~scheme:"spbo" src) with
+      | P.R_bench b -> Alcotest.(check bool) "bench repeat is a hit" true b.b_cached
+      | _ -> Alcotest.fail "bench repeat failed");
+      close conn)
+
+let e2e_structured_errors () =
+  with_server (fun ~connect ~close _socket ->
+      let conn = connect () in
+      expect_error "parse" P.Parse_error
+        (Client.rpc conn (advise "struct s {"));
+      expect_error "type" P.Type_error
+        (Client.rpc conn (advise "int main() { return undefined_var; }"));
+      expect_error "unknown scheme" P.Bad_request
+        (Client.rpc conn (advise ~scheme:"nope" "int main() { return 0; }"));
+      (* the connection survives every one of those *)
+      (match Client.rpc conn P.Stats with
+      | P.R_stats s ->
+        Alcotest.(check bool) "parse_error counted" true
+          (List.assoc_opt "parse_error" s.s_errors = Some 1);
+        Alcotest.(check bool) "type_error counted" true
+          (List.assoc_opt "type_error" s.s_errors = Some 1);
+        Alcotest.(check bool) "bad_request counted" true
+          (List.assoc_opt "bad_request" s.s_errors = Some 1)
+      | _ -> Alcotest.fail "stats failed");
+      close conn)
+
+let e2e_deadline () =
+  with_server ~jobs:2 (fun ~connect ~close _socket ->
+      let conn = connect () in
+      expect_error "deadline" P.Timeout
+        (Client.rpc conn (bench ~deadline_ms:1.0 (slow_src "dl")));
+      (* the daemon still serves other requests while the timed-out job
+         keeps a worker busy *)
+      (match Client.rpc conn (advise (hot_cold_src "dl2")) with
+      | P.R_advise _ -> ()
+      | _ -> Alcotest.fail "request after timeout failed");
+      close conn)
+
+let e2e_overloaded () =
+  with_server ~max_conns:2 (fun ~connect ~close _socket ->
+      let c1 = connect () in
+      let c2 = connect () in
+      (* a round-trip on both guarantees the server has registered them
+         before the third connect races the accept loop *)
+      (match (Client.rpc c1 P.Stats, Client.rpc c2 P.Stats) with
+      | P.R_stats s, P.R_stats _ ->
+        Alcotest.(check int) "two connections open" 2 s.P.s_conns
+      | _ -> Alcotest.fail "stats failed");
+      let c3 = connect () in
+      (match Client.rpc c3 P.Stats with
+      | reply -> expect_error "third connection" P.Overloaded reply
+      | exception Client.Protocol_error _ ->
+        (* the refusal frame may already be followed by a close; a torn
+           read is acceptable, a served request is not *)
+        ());
+      close c3;
+      (* closing one admitted connection frees a slot — once the server
+         notices the EOF and deregisters it, which is asynchronous *)
+      close c1;
+      let rec await_slot attempts =
+        if attempts = 0 then Alcotest.fail "closed connection never freed";
+        match Client.rpc c2 P.Stats with
+        | P.R_stats s when s.P.s_conns <= 1 -> ()
+        | P.R_stats _ ->
+          Unix.sleepf 0.02;
+          await_slot (attempts - 1)
+        | _ -> Alcotest.fail "stats failed"
+      in
+      await_slot 250;
+      let c4 = connect () in
+      (match Client.rpc c4 P.Stats with
+      | P.R_stats _ -> ()
+      | reply ->
+        Alcotest.failf "slot not freed: %s" (Json.to_string (P.json_of_reply reply)));
+      close c4;
+      close c2)
+
+let e2e_shutdown_drains () =
+  let socket_path = fresh_socket () in
+  let cfg =
+    { (Server.default_config ~socket_path) with jobs = 1; handle_sigterm = false }
+  in
+  let th = Thread.create Server.run cfg in
+  let conn = Client.connect ~retry_for_s:10.0 ~socket:socket_path () in
+  (match Client.rpc conn (advise (hot_cold_src "sd")) with
+  | P.R_advise _ -> ()
+  | _ -> Alcotest.fail "advise before shutdown failed");
+  (match Client.rpc conn P.Shutdown with
+  | P.R_shutdown -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged");
+  Thread.join th;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket_path);
+  (* new connections are refused once drained *)
+  (match Client.connect ~retry_for_s:0.0 ~socket:socket_path () with
+  | conn2 -> Client.close conn2; Alcotest.fail "connect after drain succeeded"
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) -> ());
+  Client.close conn
+
+let e2e_sigterm_drains () =
+  (* handle_sigterm = true: the daemon installs its drain handler, and a
+     SIGTERM mid-request must not kill the in-flight reply *)
+  let socket_path = fresh_socket () in
+  let cfg =
+    { (Server.default_config ~socket_path) with jobs = 1; handle_sigterm = true }
+  in
+  let th = Thread.create Server.run cfg in
+  let conn = Client.connect ~retry_for_s:10.0 ~socket:socket_path () in
+  let reply = ref None in
+  let client =
+    Thread.create
+      (fun () -> reply := Some (Client.rpc conn (advise (hot_cold_src "st"))))
+      ()
+  in
+  Unix.sleepf 0.05;
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  Thread.join client;
+  Thread.join th;
+  (match !reply with
+  | Some (P.R_advise _) -> ()
+  | Some r ->
+    Alcotest.failf "in-flight request killed by SIGTERM: %s"
+      (Json.to_string (P.json_of_reply r))
+  | None -> Alcotest.fail "no reply recorded");
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket_path);
+  Client.close conn
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "framing roundtrip" `Quick framing_roundtrip;
+          Alcotest.test_case "framing errors" `Quick framing_errors;
+          Alcotest.test_case "error codes" `Quick codec_error_codes;
+          Alcotest.test_case "request codec" `Quick codec_requests;
+          Alcotest.test_case "reply codec" `Quick codec_replies;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "advise + cache" `Quick e2e_advise_cached;
+          Alcotest.test_case "bench + cache" `Quick e2e_bench;
+          Alcotest.test_case "structured errors" `Quick e2e_structured_errors;
+          Alcotest.test_case "deadline" `Quick e2e_deadline;
+          Alcotest.test_case "connection limit" `Quick e2e_overloaded;
+          Alcotest.test_case "shutdown drains" `Quick e2e_shutdown_drains;
+          Alcotest.test_case "sigterm drains" `Quick e2e_sigterm_drains;
+        ] );
+    ]

@@ -163,6 +163,142 @@ let json_edge_cases () =
   Alcotest.(check bool) "unterminated string rejected" true (raises "\"ab");
   Alcotest.(check bool) "bare word rejected" true (raises "nope")
 
+let json_strict_single_document () =
+  let raises s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  (* exactly one document: anything after the value is an error, not
+     ignored — the server frames one JSON document per request *)
+  Alcotest.(check bool) "two objects rejected" true (raises "{} {}");
+  Alcotest.(check bool) "value then bracket rejected" true (raises "[1] ]");
+  Alcotest.(check bool) "null then comment rejected" true (raises "null x");
+  Alcotest.(check bool) "number then letter rejected" true (raises "1e3x");
+  (* surrounding whitespace is fine *)
+  Alcotest.(check bool) "padded document accepted" true
+    (Json.of_string " \n\t {\"a\": 1} \r\n " = Json.Obj [ ("a", Json.Int 1) ]);
+  (* strict numbers *)
+  Alcotest.(check bool) "leading zero rejected" true (raises "01");
+  Alcotest.(check bool) "negative leading zero rejected" true (raises "-07");
+  Alcotest.(check bool) "zero accepted" true (Json.of_string "0" = Json.Int 0);
+  Alcotest.(check bool) "negative zero accepted" true
+    (Json.of_string "-0" = Json.Int 0);
+  Alcotest.(check bool) "zero point accepted" true
+    (Json.of_string "0.5" = Json.Float 0.5);
+  Alcotest.(check bool) "empty input rejected" true (raises "");
+  Alcotest.(check bool) "whitespace only rejected" true (raises "  \n ")
+
+(* ---------------- lru ---------------- *)
+
+module Lru = Slo_util.Lru
+
+let lru_eviction_order () =
+  (* capacity for three 1-byte entries *)
+  let t = Lru.create ~capacity_bytes:3 in
+  Alcotest.(check bool) "add a" true (Lru.add t "a" 1 ~bytes:1);
+  Alcotest.(check bool) "add b" true (Lru.add t "b" 2 ~bytes:1);
+  Alcotest.(check bool) "add c" true (Lru.add t "c" 3 ~bytes:1);
+  Alcotest.(check (list string)) "mru order" [ "c"; "b"; "a" ] (Lru.keys_mru t);
+  (* the fourth entry evicts the least recently used, "a" *)
+  Alcotest.(check bool) "add d" true (Lru.add t "d" 4 ~bytes:1);
+  Alcotest.(check bool) "a evicted" true (Lru.find t "a" = None);
+  Alcotest.(check (list string)) "after eviction" [ "d"; "c"; "b" ]
+    (Lru.keys_mru t);
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions t);
+  Alcotest.(check int) "length" 3 (Lru.length t);
+  Alcotest.(check int) "bytes" 3 (Lru.bytes t)
+
+let lru_hit_promotion () =
+  let t = Lru.create ~capacity_bytes:3 in
+  ignore (Lru.add t "a" 1 ~bytes:1);
+  ignore (Lru.add t "b" 2 ~bytes:1);
+  ignore (Lru.add t "c" 3 ~bytes:1);
+  (* touching "a" makes it most-recently-used ... *)
+  Alcotest.(check bool) "hit" true (Lru.find t "a" = Some 1);
+  Alcotest.(check (list string)) "promoted" [ "a"; "c"; "b" ] (Lru.keys_mru t);
+  (* ... so the next eviction takes "b" instead *)
+  ignore (Lru.add t "d" 4 ~bytes:1);
+  Alcotest.(check bool) "b evicted" true (Lru.find t "b" = None);
+  Alcotest.(check bool) "a survived" true (Lru.find t "a" = Some 1);
+  (* mem does not promote *)
+  ignore (Lru.add t "e" 5 ~bytes:1);
+  (* now [e; a; d] — mem on d, then evict: d must still go last-used-first *)
+  Alcotest.(check bool) "mem sees d" true (Lru.mem t "d");
+  ignore (Lru.add t "f" 6 ~bytes:1);
+  Alcotest.(check bool) "mem did not promote d" true (Lru.find t "d" = None)
+
+let lru_byte_accounting () =
+  let t = Lru.create ~capacity_bytes:10 in
+  Alcotest.(check bool) "big entry fits" true (Lru.add t "big" 0 ~bytes:8);
+  Alcotest.(check bool) "small entry fits" true (Lru.add t "s1" 1 ~bytes:2);
+  Alcotest.(check int) "bytes full" 10 (Lru.bytes t);
+  (* a 3-byte entry forces out "big" (LRU), freeing 8 *)
+  Alcotest.(check bool) "third entry" true (Lru.add t "s2" 2 ~bytes:3);
+  Alcotest.(check bool) "big evicted" true (not (Lru.mem t "big"));
+  Alcotest.(check int) "bytes after eviction" 5 (Lru.bytes t);
+  (* replacing a key releases its old budget, and is not an eviction *)
+  let ev0 = Lru.evictions t in
+  Alcotest.(check bool) "replace s1" true (Lru.add t "s1" 10 ~bytes:5);
+  Alcotest.(check int) "bytes after replace" 8 (Lru.bytes t);
+  Alcotest.(check bool) "replaced value" true (Lru.find t "s1" = Some 10);
+  Alcotest.(check int) "replace is not an eviction" ev0 (Lru.evictions t);
+  (* an entry larger than the whole cache is refused without side effects *)
+  let len0 = Lru.length t in
+  Alcotest.(check bool) "oversized refused" false (Lru.add t "huge" 9 ~bytes:11);
+  Alcotest.(check int) "nothing evicted for oversized" len0 (Lru.length t);
+  Alcotest.(check bool) "oversized not stored" false (Lru.mem t "huge");
+  (* remove releases budget *)
+  Lru.remove t "s1";
+  Alcotest.(check int) "bytes after remove" 3 (Lru.bytes t);
+  Alcotest.check_raises "negative bytes rejected"
+    (Invalid_argument "Lru.add: negative size") (fun () ->
+      ignore (Lru.add t "neg" 0 ~bytes:(-1)));
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Lru.create: capacity_bytes must be positive") (fun () ->
+      ignore (Lru.create ~capacity_bytes:0))
+
+(* ---------------- histogram ---------------- *)
+
+module Histogram = Slo_util.Histogram
+
+let histogram_basics () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  Alcotest.check feq "empty percentile" 0.0 (Histogram.percentile h 50.0);
+  List.iter (Histogram.record h) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.check feq "sum" 10.0 (Histogram.sum_ms h);
+  Alcotest.check feq "mean" 2.5 (Histogram.mean_ms h);
+  Alcotest.check feq "max" 4.0 (Histogram.max_ms h);
+  (* percentiles are bucket upper bounds: conservative, never under *)
+  Alcotest.(check bool) "p50 covers median" true
+    (Histogram.percentile h 50.0 >= 2.0);
+  Alcotest.(check bool) "p100 covers max" true
+    (Histogram.percentile h 100.0 >= 4.0);
+  Alcotest.(check bool) "monotone in p" true
+    (Histogram.percentile h 99.0 >= Histogram.percentile h 50.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Histogram.percentile: p outside [0..100]") (fun () ->
+      ignore (Histogram.percentile h 101.0));
+  (* overflow bucket reports the exact observed maximum *)
+  Histogram.record h 1e9;
+  Alcotest.check feq "overflow p100 is exact max" 1e9
+    (Histogram.percentile h 100.0)
+
+let histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 1.0; 2.0 ];
+  List.iter (Histogram.record b) [ 100.0; 200.0 ];
+  Histogram.merge a b;
+  Alcotest.(check int) "merged count" 4 (Histogram.count a);
+  Alcotest.check feq "merged sum" 303.0 (Histogram.sum_ms a);
+  Alcotest.check feq "merged max" 200.0 (Histogram.max_ms a);
+  Alcotest.(check bool) "merged p75 in upper half" true
+    (Histogram.percentile a 75.0 >= 100.0);
+  (* src is untouched *)
+  Alcotest.(check int) "src count intact" 2 (Histogram.count b)
+
 let () =
   Alcotest.run "util"
     [
@@ -187,5 +323,18 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick json_roundtrip;
           Alcotest.test_case "edge cases" `Quick json_edge_cases;
+          Alcotest.test_case "strict single document" `Quick
+            json_strict_single_document;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick lru_eviction_order;
+          Alcotest.test_case "hit promotion" `Quick lru_hit_promotion;
+          Alcotest.test_case "byte accounting" `Quick lru_byte_accounting;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick histogram_basics;
+          Alcotest.test_case "merge" `Quick histogram_merge;
         ] );
     ]
