@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz bench bench-smoke serve-smoke perf clean
+.PHONY: all build test fuzz bench bench-smoke serve-smoke lint perf clean
 
 # worker domains for the bench harness
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
@@ -52,6 +52,16 @@ serve-smoke:
 	trap - EXIT
 	_build/default/bench/loadgen.exe --clients 4 --rounds 2 \
 	  --check-hit-rate 90 --out _artifacts/SERVE.json
+
+# source-located layout diagnostics over the example programs and the
+# whole benchmark roster, compared against the checked-in golden list:
+# a finding not on ci/lint-golden.txt fails the build. The merged SARIF
+# document lands in _artifacts/ for upload.
+lint:
+	dune build bin/slopt.exe
+	mkdir -p _artifacts
+	_build/default/bin/slopt.exe check examples/check_demo.mc --roster \
+	  --golden ci/lint-golden.txt --sarif _artifacts/LINT.sarif
 
 # measure-phase speedup of the closure-compiled backend: the full
 # Table 3 under each backend, then the walk/closure wall-clock ratio

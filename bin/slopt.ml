@@ -18,6 +18,8 @@ module L = Slo_core.Legality
 module H = Slo_core.Heuristics
 module Adv = Slo_core.Advisor
 module W = Slo_profile.Weights
+module Advice = Slo_advice.Advice
+module Sarif = Slo_advice.Sarif
 
 let read_file path =
   let ic = open_in_bin path in
@@ -26,22 +28,24 @@ let read_file path =
   close_in ic;
   s
 
-let load ?(verify = false) path =
-  try Ok (D.compile ~verify (read_file path)) with
+let compile_src ?(verify = false) ~display src =
+  try Ok (D.compile ~verify src) with
   | Verify.Ill_formed errs ->
-    Error (Printf.sprintf "%s: ill-formed IR:\n%s" path (Verify.report errs))
+    Error (Printf.sprintf "%s: ill-formed IR:\n%s" display (Verify.report errs))
   | Slo_minic.Lexer.Error (msg, loc) ->
-    Error (Printf.sprintf "%s:%s: lexical error: %s" path
+    Error (Printf.sprintf "%s:%s: lexical error: %s" display
              (Slo_minic.Loc.to_string loc) msg)
   | Slo_minic.Parser.Error (msg, loc) ->
-    Error (Printf.sprintf "%s:%s: syntax error: %s" path
+    Error (Printf.sprintf "%s:%s: syntax error: %s" display
              (Slo_minic.Loc.to_string loc) msg)
   | Slo_minic.Typecheck.Error (msg, loc) ->
-    Error (Printf.sprintf "%s:%s: type error: %s" path
+    Error (Printf.sprintf "%s:%s: type error: %s" display
              (Slo_minic.Loc.to_string loc) msg)
   | Lower.Unsupported (msg, loc) ->
-    Error (Printf.sprintf "%s:%s: unsupported: %s" path
+    Error (Printf.sprintf "%s:%s: unsupported: %s" display
              (Slo_minic.Loc.to_string loc) msg)
+
+let load ?verify path = compile_src ?verify ~display:path (read_file path)
 
 let or_die = function
   | Ok v -> v
@@ -257,6 +261,154 @@ let bench_cmd =
           $ verify_arg $ jobs_arg $ backend_arg)
 
 (* ------------------------------------------------------------------ *)
+(* check: source-located diagnostics and SARIF export                  *)
+(* ------------------------------------------------------------------ *)
+
+let relax_arg =
+  Arg.(value & flag
+       & info [ "relax" ]
+           ~doc:"Tolerate CSTT/CSTF/ATKN findings (the paper's relaxed \
+                 counting): they are reported as warnings and no longer \
+                 invalidate — unless points-to refutes the relaxation, in \
+                 which case the PTS finding invalidates instead.")
+
+let sarif_arg =
+  Arg.(value & opt (some string) None
+       & info [ "sarif" ] ~docv:"OUT"
+           ~doc:"Also write the findings as a SARIF 2.1.0 document to \
+                 $(docv) (all inputs merged into one run).")
+
+let check_files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Mini-C source files to check.")
+
+let check_names_arg =
+  Arg.(value & opt_all string []
+       & info [ "name" ] ~docv:"BENCH"
+           ~doc:"Also check a benchmark-roster program (repeatable).")
+
+let roster_arg =
+  Arg.(value & flag
+       & info [ "roster" ]
+           ~doc:"Check every benchmark-roster program (equivalent to one \
+                 --name per roster entry).")
+
+let golden_arg =
+  Arg.(value & opt (some file) None
+       & info [ "golden" ] ~docv:"LIST"
+           ~doc:"Compare the finding summary against the golden list in \
+                 $(docv): exit non-zero only on findings absent from the \
+                 list (CI mode), instead of on any invalidating finding. \
+                 Lines starting with '#' and blank lines are ignored.")
+
+let read_golden path =
+  String.split_on_char '\n' (read_file path)
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+
+let check_cmd =
+  let run files names roster relax sarif_out golden =
+    let names =
+      if roster then
+        names
+        @ List.map
+            (fun (e : Slo_suite.Suite.entry) -> e.name)
+            Slo_suite.Suite.roster
+      else names
+    in
+    if files = [] && names = [] then begin
+      prerr_endline "ERROR: need at least one FILE or --name";
+      exit 2
+    end;
+    let inputs =
+      List.map (fun f -> (f, read_file f)) files
+      @ List.map
+          (fun n ->
+            match Slo_suite.Suite.find n with
+            | e -> (n, e.Slo_suite.Suite.source)
+            | exception Not_found ->
+              prerr_endline (Printf.sprintf "ERROR: unknown roster entry %S" n);
+              exit 2)
+          names
+    in
+    let results =
+      List.map
+        (fun (display, src) ->
+          let prog = or_die (compile_src ~verify:true ~display src) in
+          (* diagnostics must be able to point at sources *)
+          (match Verify.program ~require_locs:true prog with
+          | [] -> ()
+          | errs ->
+            prerr_endline
+              (Printf.sprintf "%s: missing source locations:\n%s" display
+                 (Verify.report errs));
+            exit 1);
+          (display, src, Advice.check ~relax prog))
+        inputs
+    in
+    List.iter
+      (fun (display, src, diags) ->
+        print_string (Advice.render ~src ~file:display diags))
+      results;
+    (match sarif_out with
+    | None -> ()
+    | Some out ->
+      let doc =
+        Sarif.to_string (List.map (fun (d, _, ds) -> (d, ds)) results)
+      in
+      let oc = open_out out in
+      output_string oc doc;
+      close_out oc;
+      Printf.eprintf "wrote %s\n" out);
+    let summary_lines =
+      List.concat_map
+        (fun (display, _, diags) ->
+          List.map
+            (fun l -> Printf.sprintf "%s: %s" display l)
+            (Advice.summary diags))
+        results
+    in
+    match golden with
+    | Some path ->
+      let expected = read_golden path in
+      let unexpected =
+        List.filter (fun l -> not (List.mem l expected)) summary_lines
+      in
+      let resolved =
+        List.filter (fun l -> not (List.mem l summary_lines)) expected
+      in
+      List.iter
+        (fun l -> Printf.eprintf "resolved (remove from %s): %s\n" path l)
+        resolved;
+      if unexpected <> [] then begin
+        List.iter
+          (fun l -> Printf.eprintf "NEW finding (not in %s): %s\n" path l)
+          unexpected;
+        exit 1
+      end
+    | None ->
+      let n =
+        List.fold_left
+          (fun acc (_, _, ds) -> acc + Advice.invalidating_count ds)
+          0 results
+      in
+      if n > 0 then begin
+        Printf.eprintf "%d invalidating finding(s)\n" n;
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Source-located layout diagnostics: legality witnesses, \
+             points-to provenance and dead-field findings rendered as \
+             compiler-style $(i,file:line:col) messages with caret \
+             snippets; optional SARIF 2.1.0 export. Exits non-zero when \
+             any finding invalidates transformation (or, with --golden, \
+             on findings absent from the golden list).")
+    Term.(const run $ check_files_arg $ check_names_arg $ roster_arg
+          $ relax_arg $ sarif_arg $ golden_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Serving mode: the advice daemon and its client                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -305,8 +457,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the layout-advice daemon (length-prefixed JSON over a Unix \
-             socket; advise/bench/stats/shutdown requests; content-addressed \
-             LRU caching; graceful drain on SIGTERM)")
+             socket; advise/bench/check/stats/shutdown requests; \
+             content-addressed LRU caching; graceful drain on SIGTERM)")
     Term.(const run $ socket_arg $ serve_jobs $ cache_mb $ max_conns $ quiet)
 
 let wait_arg =
@@ -423,6 +575,64 @@ let client_bench_cmd =
     Term.(const run $ socket_arg $ wait_arg $ src_file_arg $ name_arg
           $ scheme_name_arg $ backend_name_arg $ client_args_arg $ deadline_arg)
 
+(* the daemon labels wire-shipped sources "<input>"; give the lines the
+   real name when the client knows one *)
+let relabel ~display s =
+  let pat = "<input>" in
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s and m = String.length pat in
+  let i = ref 0 in
+  while !i < n do
+    if !i + m <= n && String.sub s !i m = pat then begin
+      Buffer.add_string buf display;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let client_check_cmd =
+  let run socket wait file name relax sarif_out deadline =
+    let src, _ = or_die (resolve_src file name None) in
+    let display =
+      match (file, name) with
+      | Some f, _ -> f
+      | _, Some n -> n
+      | None, None -> assert false (* resolve_src rejected this *)
+    in
+    match
+      with_conn socket wait (fun conn ->
+          Cli.rpc conn (Proto.Check { src; relax; deadline_ms = deadline }))
+    with
+    | Proto.R_check { c_report; c_sarif; c_invalidating; c_cached } ->
+      if c_cached then prerr_endline "(served from cache)";
+      print_string (relabel ~display c_report);
+      (match sarif_out with
+      | None -> ()
+      | Some out ->
+        let oc = open_out out in
+        output_string oc (relabel ~display c_sarif);
+        close_out oc;
+        Printf.eprintf "wrote %s\n" out);
+      if c_invalidating > 0 then begin
+        Printf.eprintf "%d invalidating finding(s)\n" c_invalidating;
+        exit 1
+      end
+    | _ ->
+      prerr_endline "ERROR: unexpected reply kind";
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Request source-located layout diagnostics (and optionally \
+             SARIF) from the daemon; exits non-zero when any finding \
+             invalidates transformation")
+    Term.(const run $ socket_arg $ wait_arg $ src_file_arg $ name_arg
+          $ relax_arg $ sarif_arg $ deadline_arg)
+
 let client_stats_cmd =
   let run socket wait =
     match with_conn socket wait (fun conn -> Cli.rpc conn Proto.Stats) with
@@ -482,7 +692,7 @@ let client_shutdown_cmd =
 let client_cmd =
   Cmd.group
     (Cmd.info "client" ~doc:"Talk to a running layout-advice daemon")
-    [ client_advise_cmd; client_bench_cmd; client_stats_cmd;
+    [ client_advise_cmd; client_bench_cmd; client_check_cmd; client_stats_cmd;
       client_shutdown_cmd ]
 
 let () =
@@ -491,5 +701,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "slopt" ~doc)
-          [ parse_cmd; analyze_cmd; profile_cmd; advise_cmd; transform_cmd;
-            run_cmd; bench_cmd; serve_cmd; client_cmd ]))
+          [ parse_cmd; analyze_cmd; profile_cmd; advise_cmd; check_cmd;
+            transform_cmd; run_cmd; bench_cmd; serve_cmd; client_cmd ]))

@@ -1,0 +1,244 @@
+module Legality = Slo_core.Legality
+module Pointsto = Slo_pointsto.Pointsto
+
+type severity = Error | Warning | Note
+
+type note = {
+  n_msg : string;
+  n_fn : string option;
+  n_loc : Ir.Loc.t option;
+}
+
+type diagnostic = {
+  d_rule : string;
+  d_severity : severity;
+  d_typ : string;
+  d_msg : string;
+  d_fn : string option;
+  d_loc : Ir.Loc.t option;
+  d_notes : note list;
+  d_invalidating : bool;
+}
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let rule_description = function
+  | "CSTT" -> "a value is cast to the record type"
+  | "CSTF" -> "a pointer to the record type is cast away"
+  | "ATKN" -> "a field's address is taken and used beyond a load/store"
+  | "LIBC" -> "the type escapes to a library function outside the scope"
+  | "IND" -> "the type escapes to an indirect call"
+  | "SMAL" -> "an allocation site is below the element-count threshold"
+  | "MSET" -> "memset/memcpy assumes the declared layout"
+  | "NEST" -> "the type nests or is nested in another record by value"
+  | "SIZEOF" -> "sizeof of the type escapes into plain arithmetic"
+  | "PTS" -> "points-to collapses the type: one exposed pointer reaches \
+              multiple fields"
+  | "DEADFIELD" -> "a field is written but never read"
+  | "DEADSTORE" -> "a store is never observed on any path to exit"
+  | r -> r
+
+let field_name (prog : Ir.program) s fi =
+  match Structs.find_opt prog.structs s with
+  | Some d when fi >= 0 && fi < Array.length d.fields -> d.fields.(fi).name
+  | Some _ | None -> Printf.sprintf "#%d" fi
+
+let check ?(relax = false) (prog : Ir.program) : diagnostic list =
+  let leg = Legality.analyze prog in
+  let pts = Pointsto.analyze prog in
+  let stores = Deadstore.analyze prog in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let alloc_notes s =
+    match Legality.attrs_of leg s with
+    | None -> []
+    | Some a ->
+      List.map
+        (fun (al : Legality.alloc_site) ->
+          {
+            n_msg = Printf.sprintf "struct '%s' allocated here" s;
+            n_fn = Some al.al_fn;
+            n_loc = Some al.al_loc;
+          })
+        a.alloc_sites
+  in
+  List.iter
+    (fun s ->
+      let info = Legality.info leg s in
+      (* legality witnesses: one diagnostic per witnessed construct, the
+         first one carrying the type's "allocated here" notes *)
+      List.iteri
+        (fun k (w : Legality.witness) ->
+          let tolerated = relax && Legality.relaxable w.w_reason in
+          emit
+            {
+              d_rule = Legality.reason_name w.w_reason;
+              d_severity = (if tolerated then Warning else Error);
+              d_typ = s;
+              d_msg =
+                (if tolerated then
+                   w.w_explain ^ " (tolerated under relaxed counting)"
+                 else w.w_explain);
+              d_fn = w.w_fn;
+              d_loc = w.w_loc;
+              d_notes = (if k = 0 then alloc_notes s else []);
+              d_invalidating = not tolerated;
+            })
+        (Legality.witnesses leg s);
+      (* the Relax/Points-To gap: relaxed counting would accept the type,
+         but the provenance analysis cannot refute the tolerated casts *)
+      if
+        info.invalid <> []
+        && List.for_all Legality.relaxable info.invalid
+        && Pointsto.collapsed pts s
+      then begin
+        let chain = Pointsto.why_collapsed pts s in
+        let head = match chain with e :: _ -> Some e | [] -> None in
+        emit
+          {
+            d_rule = "PTS";
+            d_severity = (if relax then Error else Warning);
+            d_typ = s;
+            d_msg =
+              (match head with
+              | Some e ->
+                Printf.sprintf "points-to collapses struct '%s': %s" s
+                  e.Pointsto.ev_what
+              | None -> Printf.sprintf "points-to collapses struct '%s'" s);
+            d_fn = Option.map (fun e -> e.Pointsto.ev_fn) head;
+            d_loc = Option.map (fun e -> e.Pointsto.ev_loc) head;
+            d_notes =
+              (match chain with
+              | [] | [ _ ] -> []
+              | _ :: rest ->
+                List.map
+                  (fun (e : Pointsto.event) ->
+                    { n_msg = e.ev_what; n_fn = Some e.ev_fn;
+                      n_loc = Some e.ev_loc })
+                  rest);
+            d_invalidating = relax;
+          }
+      end)
+    (Legality.types leg);
+  (* dead fields: every store is a witness, the first one is the anchor *)
+  List.iter
+    (fun (s, fi) ->
+      match
+        List.filter
+          (fun (d : Deadstore.store) ->
+            String.equal d.ds_struct s && d.ds_field = fi)
+          stores
+      with
+      | [] -> ()
+      | first :: rest ->
+        emit
+          {
+            d_rule = "DEADFIELD";
+            d_severity = Warning;
+            d_typ = s;
+            d_msg =
+              Printf.sprintf "field '%s.%s' written here is never read" s
+                (field_name prog s fi);
+            d_fn = Some first.ds_fn;
+            d_loc = Some first.ds_loc;
+            d_notes =
+              List.map
+                (fun (d : Deadstore.store) ->
+                  {
+                    n_msg = "also written here, never read";
+                    n_fn = Some d.ds_fn;
+                    n_loc = Some d.ds_loc;
+                  })
+                rest
+              @ alloc_notes s;
+            d_invalidating = false;
+          })
+    (Deadstore.never_read_fields stores);
+  (* flow-sensitive dead stores to fields that are read elsewhere *)
+  List.iter
+    (fun (d : Deadstore.store) ->
+      if not d.ds_never_read then
+        emit
+          {
+            d_rule = "DEADSTORE";
+            d_severity = Warning;
+            d_typ = d.ds_struct;
+            d_msg =
+              Printf.sprintf
+                "store to field '%s.%s' is dead: no path to exit reads it \
+                 afterwards"
+                d.ds_struct
+                (field_name prog d.ds_struct d.ds_field);
+            d_fn = Some d.ds_fn;
+            d_loc = Some d.ds_loc;
+            d_notes = [];
+            d_invalidating = false;
+          })
+    stores;
+  let key d =
+    match d.d_loc with
+    | None -> (0, 0)
+    | Some l -> (l.Ir.Loc.line, l.Ir.Loc.col)
+  in
+  List.stable_sort (fun a b -> compare (key a) (key b)) (List.rev !diags)
+
+let render ?src ~file diags =
+  let buf = Buffer.create 1024 in
+  let src_lines =
+    Option.map (fun s -> Array.of_list (String.split_on_char '\n' s)) src
+  in
+  let pos fn loc =
+    match loc with
+    | Some (l : Ir.Loc.t) -> Printf.sprintf "%s:%d:%d" file l.line l.col
+    | None -> (
+      match fn with
+      | Some fn -> Printf.sprintf "%s (in '%s')" file fn
+      | None -> file)
+  in
+  let caret loc =
+    match (src_lines, loc) with
+    | Some lines, Some (l : Ir.Loc.t)
+      when l.line >= 1 && l.line <= Array.length lines ->
+      let text = lines.(l.line - 1) in
+      let pad =
+        String.init
+          (max 0 (l.col - 1))
+          (fun k ->
+            if k < String.length text && text.[k] = '\t' then '\t' else ' ')
+      in
+      Printf.bprintf buf "  %s\n  %s^\n" text pad
+    | _ -> ()
+  in
+  List.iter
+    (fun d ->
+      Printf.bprintf buf "%s: %s: [%s] %s\n"
+        (pos d.d_fn d.d_loc)
+        (severity_name d.d_severity)
+        d.d_rule d.d_msg;
+      caret d.d_loc;
+      List.iter
+        (fun n ->
+          Printf.bprintf buf "  note: %s: %s\n" (pos n.n_fn n.n_loc) n.n_msg)
+        d.d_notes)
+    diags;
+  Buffer.contents buf
+
+let summary diags =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let key = (severity_name d.d_severity, d.d_rule, d.d_typ) in
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    diags;
+  Hashtbl.fold
+    (fun (sev, rule, typ) n acc ->
+      Printf.sprintf "%s %s %s %d" sev rule typ n :: acc)
+    tbl []
+  |> List.sort String.compare
+
+let invalidating_count diags =
+  List.length (List.filter (fun d -> d.d_invalidating) diags)

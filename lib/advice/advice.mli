@@ -1,0 +1,62 @@
+(** Source-located layout diagnostics.
+
+    This module is the meeting point of the three analyses that judge a
+    record type's layout: {!Slo_core.Legality} (witnessed legality
+    tests), {!Slo_pointsto.Pointsto} (provenance-chained collapse) and
+    {!Deadstore} (flow-sensitive never-read stores). It turns their
+    findings into compiler-style diagnostics a programmer can act on —
+    "this cast, here, is what blocks splitting of struct [node]" — and
+    {!Sarif} serialises the same list for machine consumers.
+
+    Severity model:
+    - {e invalidating} findings (the legality reasons, and a points-to
+      collapse under relaxed counting) render as [error] and make
+      [slopt check] exit non-zero;
+    - advice (dead fields, dead stores) renders as [warning];
+    - context ("allocated here", provenance steps) rides along as notes
+      on its parent diagnostic. *)
+
+type severity = Error | Warning | Note
+
+type note = {
+  n_msg : string;
+  n_fn : string option;
+  n_loc : Ir.Loc.t option;
+}
+
+type diagnostic = {
+  d_rule : string;       (** stable rule id: a legality reason name,
+                             ["PTS"], ["DEADFIELD"] or ["DEADSTORE"] *)
+  d_severity : severity;
+  d_typ : string;        (** the record type concerned *)
+  d_msg : string;
+  d_fn : string option;  (** function containing the construct *)
+  d_loc : Ir.Loc.t option;
+  d_notes : note list;
+  d_invalidating : bool; (** blocks layout transformation of [d_typ] *)
+}
+
+val rule_description : string -> string
+(** One-line description of a rule id (used for SARIF rule metadata). *)
+
+val check : ?relax:bool -> Ir.program -> diagnostic list
+(** Run all three analyses and assemble the findings, ordered by source
+    location (location-less declaration findings first).
+
+    With [~relax:true] the tolerated reasons (CSTT/CSTF/ATKN) downgrade
+    to non-invalidating warnings — {e unless} points-to collapses the
+    type, in which case a ["PTS"] diagnostic carrying the provenance
+    chain stays invalidating, mirroring the gap between the Relax and
+    Points-To columns of the paper's Table 1. *)
+
+val render : ?src:string -> file:string -> diagnostic list -> string
+(** Compiler-style text: one [file:line:col: severity: [RULE] message]
+    header per diagnostic, a caret snippet under it when [src] (the
+    program text) is given, then indented notes. *)
+
+val summary : diagnostic list -> string list
+(** Stable, location-free one-liners ["RULE type count"], sorted — the
+    golden-list format [make lint] diffs so that line-number churn does
+    not break CI, but any new kind of invalidation does. *)
+
+val invalidating_count : diagnostic list -> int

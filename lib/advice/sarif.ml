@@ -1,0 +1,110 @@
+module Json = Slo_util.Json
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let level_of (s : Advice.severity) =
+  match s with
+  | Advice.Error -> "error"
+  | Advice.Warning -> "warning"
+  | Advice.Note -> "note"
+
+let region (l : Ir.Loc.t) =
+  Json.Obj [ ("startLine", Json.Int l.line); ("startColumn", Json.Int l.col) ]
+
+let physical_location uri (loc : Ir.Loc.t option) =
+  Json.Obj
+    (("artifactLocation", Json.Obj [ ("uri", Json.String uri) ])
+    ::
+    (match loc with
+    | Some l -> [ ("region", region l) ]
+    | None -> []))
+
+let location uri ?fn ?msg (loc : Ir.Loc.t option) =
+  Json.Obj
+    (("physicalLocation", physical_location uri loc)
+    :: ((match msg with
+        | Some m -> [ ("message", Json.Obj [ ("text", Json.String m) ]) ]
+        | None -> [])
+       @
+       match fn with
+       | Some f ->
+         [
+           ( "logicalLocations",
+             Json.List
+               [
+                 Json.Obj
+                   [ ("name", Json.String f); ("kind", Json.String "function") ];
+               ] );
+         ]
+       | None -> []))
+
+let result uri (d : Advice.diagnostic) =
+  Json.Obj
+    [
+      ("ruleId", Json.String d.d_rule);
+      ("level", Json.String (level_of d.d_severity));
+      ("message", Json.Obj [ ("text", Json.String d.d_msg) ]);
+      ("locations", Json.List [ location uri ?fn:d.d_fn d.d_loc ]);
+      ( "relatedLocations",
+        Json.List
+          (List.map
+             (fun (n : Advice.note) ->
+               location uri ?fn:n.n_fn ~msg:n.n_msg n.n_loc)
+             d.d_notes) );
+      ( "properties",
+        Json.Obj
+          [
+            ("recordType", Json.String d.d_typ);
+            ("invalidating", Json.Bool d.d_invalidating);
+          ] );
+    ]
+
+let export inputs =
+  let rule_ids =
+    List.concat_map (fun (_, ds) -> List.map (fun d -> d.Advice.d_rule) ds)
+      inputs
+    |> List.sort_uniq String.compare
+  in
+  let rules =
+    List.map
+      (fun id ->
+        Json.Obj
+          [
+            ("id", Json.String id);
+            ( "shortDescription",
+              Json.Obj [ ("text", Json.String (Advice.rule_description id)) ]
+            );
+          ])
+      rule_ids
+  in
+  let results =
+    List.concat_map (fun (uri, ds) -> List.map (result uri) ds) inputs
+  in
+  Json.Obj
+    [
+      ("$schema", Json.String schema_uri);
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "slopt");
+                            ( "informationUri",
+                              Json.String
+                                "https://example.invalid/slopt" );
+                            ("rules", Json.List rules);
+                          ] );
+                    ] );
+                ("results", Json.List results);
+              ];
+          ] );
+    ]
+
+let to_string inputs = Json.to_string ~indent:true (export inputs)

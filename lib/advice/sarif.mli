@@ -1,0 +1,17 @@
+(** SARIF 2.1.0 export of {!Advice.diagnostic} lists.
+
+    One {e run} with the [slopt] tool driver; each analysed input
+    contributes its diagnostics as results whose [physicalLocation]
+    points into that input's artifact URI, so a single merged file can
+    cover [examples/] plus every roster program and still be consumed by
+    any SARIF viewer (or the CI golden-diff). Only the rules that
+    actually fired are listed in the driver's rule table. *)
+
+val export : (string * Advice.diagnostic list) list -> Slo_util.Json.t
+(** [export [(uri, diags); ...]] builds the complete SARIF document
+    (["version": "2.1.0"], one run). Diagnostic notes become
+    [relatedLocations]; the containing function, record type and
+    invalidation verdict ride in each result's property bag. *)
+
+val to_string : (string * Advice.diagnostic list) list -> string
+(** {!export} rendered with indentation. *)

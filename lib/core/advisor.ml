@@ -134,6 +134,25 @@ let report_type t buf (tr : type_report) =
   Printf.bprintf buf "Transform: %s\n" (transform_name tr.tr_decision);
   Printf.bprintf buf "Status   : %s / %s\n" status
     (String.concat " " (attr_codes tr.tr_info));
+  (* one witness per invalidation reason, so the advisory report and
+     `slopt check` agree on why a type was rejected *)
+  List.iter
+    (fun r ->
+      match
+        List.find_opt
+          (fun (w : Legality.witness) -> w.w_reason = r)
+          tr.tr_info.witnesses
+      with
+      | Some w ->
+        let where =
+          match w.w_loc with
+          | Some l -> Ir.Loc.to_string l
+          | None -> "declaration"
+        in
+        Printf.bprintf buf "  invalid: %s at %s: %s\n" (Legality.reason_name r)
+          where w.w_explain
+      | None -> ())
+    tr.tr_info.invalid;
   Printf.bprintf buf "%s\n" (String.make 69 '-');
   let relhot = Affinity.relative_hotness g in
   let max_miss =

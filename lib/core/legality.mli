@@ -35,6 +35,21 @@ type reason =
 
 val reason_name : reason -> string
 
+type witness = {
+  w_reason : reason;
+  w_fn : string option;   (** function the construct sits in, if any *)
+  w_iid : int option;     (** offending instruction id, if any *)
+  w_loc : Ir.Loc.t option;  (** source location, if known *)
+  w_explain : string;     (** human-readable justification *)
+}
+(** Why a test fired: every {!reason} recorded on a type carries at least
+    one witness naming the construct that triggered it. Declaration-level
+    findings (NEST, the IPA escape aggregation) have no instruction or
+    location; everything discovered in the FE instruction walk points at
+    the exact instruction and its source position. *)
+
+type alloc_site = { al_fn : string; al_iid : int; al_loc : Ir.Loc.t }
+
 type attrs = {
   mutable has_global_var : bool;   (** a global of the struct type itself *)
   mutable has_local_var : bool;
@@ -46,14 +61,21 @@ type attrs = {
   mutable realloced : bool;
   mutable global_ptrs : string list;
       (** globals of type [t*] (peeling candidates' anchor pointers) *)
-  mutable alloc_sites : (string * int) list;  (** (function, instr id) *)
+  mutable alloc_sites : alloc_site list;
+      (** every allocation site of the type, in discovery order,
+          deduplicated by (function, instruction id) — diagnostics render
+          these as "allocated here" notes *)
   mutable escapes : string list;  (** defined functions the type escapes to *)
   mutable addr_passed_fields : int list;
       (** fields whose address was passed to a call (tolerated by ATKN but
           excluded from dead-field removal) *)
 }
 
-type info = { mutable invalid : reason list; attrs : attrs }
+type info = {
+  mutable invalid : reason list;
+  mutable witnesses : witness list;  (** in discovery order *)
+  attrs : attrs;
+}
 
 type t
 
@@ -65,11 +87,25 @@ val analyze : ?smal_threshold:int -> Ir.program -> t
 val info : t -> string -> info
 (** Raises [Not_found] for undefined types. *)
 
+val attrs_of : t -> string -> attrs option
+(** Like [info] but total. *)
+
+val relaxable : reason -> bool
+(** Whether the reason is tolerated under the paper's relaxed counting
+    (CSTT, CSTF and ATKN are). *)
+
 val is_legal : ?relax:bool -> t -> string -> bool
 (** Whether the type passed all tests; with [relax], CSTT/CSTF/ATKN are
     tolerated. *)
 
 val reasons : t -> string -> reason list
+
+val witnesses : t -> string -> witness list
+(** All witnesses recorded on the type, in discovery order; [[]] for
+    unknown types. Non-empty whenever {!reasons} is. *)
+
+val witnesses_for : t -> string -> reason -> witness list
+
 val types : t -> string list
 (** All analysed struct names, sorted. *)
 

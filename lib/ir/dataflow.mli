@@ -1,0 +1,50 @@
+(** A reusable lattice-fixpoint dataflow framework over {!Cfg}.
+
+    Every flow-sensitive question the advice pipeline asks ("may this
+    field still be read after this store?", and whatever comes next) is
+    an instance of the same shape: a join-semilattice of facts, a
+    monotone per-block transfer function, and a worklist iteration to a
+    fixpoint over the control-flow graph. This module provides that
+    shape once, in both directions, so each client only writes its
+    lattice and transfer.
+
+    Facts live at {e block boundaries}: [before.(b)] is the fact at the
+    entry of block [b] and [after.(b)] the fact at its exit, whichever
+    direction the analysis runs. Clients that need per-instruction facts
+    replay the transfer through the block's instruction list starting
+    from the appropriate boundary (see {!Deadstore} for an example).
+
+    Unreachable blocks keep [L.bottom] on both sides — the solver only
+    visits blocks in the CFG's reverse postorder. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Least element; initial value on every boundary and the identity of
+      {!join}. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) : sig
+  type result = {
+    before : L.t array;  (** fact at block entry, indexed by block id *)
+    after : L.t array;   (** fact at block exit, indexed by block id *)
+  }
+
+  val forward :
+    Cfg.t -> init:L.t -> transfer:(Ir.block -> L.t -> L.t) -> result
+  (** [forward cfg ~init ~transfer] solves a forward problem:
+      [before.(entry)] starts from [init], [before.(b)] is the join of
+      the predecessors' [after], and [after.(b) = transfer b before.(b)].
+      [transfer] must be monotone in its fact argument. *)
+
+  val backward :
+    Cfg.t -> init:L.t -> transfer:(Ir.block -> L.t -> L.t) -> result
+  (** [backward cfg ~init ~transfer] solves a backward problem:
+      [after.(b)] of every exit block (no successors) starts from
+      [init], [after.(b)] is the join of the successors' [before], and
+      [before.(b) = transfer b after.(b)]. *)
+end

@@ -1,0 +1,223 @@
+module FS = Set.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+type store = {
+  ds_struct : string;
+  ds_field : int;
+  ds_fn : string;
+  ds_iid : int;
+  ds_loc : Ir.Loc.t;
+  ds_never_read : bool;
+}
+
+module Flow = Dataflow.Make (struct
+  type t = FS.t
+
+  let bottom = FS.empty
+  let equal = FS.equal
+  let join = FS.union
+end)
+
+let fields_of (structs : Structs.t) s =
+  match Structs.find_opt structs s with
+  | None -> FS.empty
+  | Some d ->
+    FS.of_list (List.init (Array.length d.fields) (fun fi -> (s, fi)))
+
+(* per-function facts gathered in one scan *)
+type fscan = {
+  mutable direct_reads : FS.t;     (* tagged loads *)
+  mutable escaping : FS.t;         (* field addrs used outside load/store addressing *)
+  mutable ext_structs : FS.t;      (* fields of struct types reaching ext calls *)
+  mutable callees : string list;   (* direct calls to defined functions *)
+  mutable has_ext_call : bool;
+}
+
+let scan_func (prog : Ir.program) (defined : (string, unit) Hashtbl.t)
+    (f : Ir.func) : fscan =
+  let sc =
+    { direct_reads = FS.empty; escaping = FS.empty; ext_structs = FS.empty;
+      callees = []; has_ext_call = false }
+  in
+  let regty = Regty.infer prog f in
+  let ty_of = function
+    | Ir.Oreg r -> regty.(r)
+    | Ir.Oimm _ -> Some Irty.Long
+    | Ir.Ofimm _ -> Some Irty.Double
+  in
+  let fieldaddr_of : (Ir.reg, string * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          (match i.idesc with
+          | Ir.Ifieldaddr (r, _, s, fi) -> Hashtbl.replace fieldaddr_of r (s, fi)
+          | Ir.Iload (_, _, _, Some a) ->
+            sc.direct_reads <- FS.add (a.astruct, a.afield) sc.direct_reads
+          | Ir.Imemcpy (_, _, _, Some s) | Ir.Imemset (_, _, _, Some s) ->
+            sc.direct_reads <- FS.union (fields_of prog.structs s) sc.direct_reads
+          | Ir.Icall (_, callee, args) -> (
+            (match callee with
+            | Ir.Cdirect n when Hashtbl.mem defined n ->
+              if not (List.mem n sc.callees) then sc.callees <- n :: sc.callees
+            | Ir.Cdirect _ | Ir.Cbuiltin _ | Ir.Cextern _ | Ir.Cindirect _ ->
+              sc.has_ext_call <- true);
+            match callee with
+            | Ir.Cdirect n when Hashtbl.mem defined n -> ()
+            | _ ->
+              List.iter
+                (fun arg ->
+                  let rec pointee = function
+                    | Irty.Ptr u | Irty.Array (u, _) -> pointee u
+                    | Irty.Struct s -> Some s
+                    | _ -> None
+                  in
+                  match pointee (Option.value ~default:Irty.Void (ty_of arg)) with
+                  | Some s ->
+                    sc.ext_structs <-
+                      FS.union (fields_of prog.structs s) sc.ext_structs
+                  | None -> ())
+                args)
+          | _ -> ());
+          (* any use of a field address outside load/store addressing means
+             the field may be read through a pointer we no longer see *)
+          let escape (o : Ir.operand) =
+            match o with
+            | Ir.Oreg r -> (
+              match Hashtbl.find_opt fieldaddr_of r with
+              | Some sf -> sc.escaping <- FS.add sf sc.escaping
+              | None -> ())
+            | Ir.Oimm _ | Ir.Ofimm _ -> ()
+          in
+          match i.idesc with
+          | Ir.Iload (_, _, _, _) -> ()  (* the address operand is the access *)
+          | Ir.Istore (_, v, _, _) -> escape v
+          | _ -> List.iter escape (Ir.used_operands i))
+        b.instrs;
+      match b.btermin with
+      | Ir.Tbr (o, _, _) -> (
+        match o with
+        | Ir.Oreg r ->
+          if Hashtbl.mem fieldaddr_of r then
+            sc.escaping <-
+              FS.add (Hashtbl.find fieldaddr_of r) sc.escaping
+        | _ -> ())
+      | Ir.Tret (Some (Ir.Oreg r)) ->
+        if Hashtbl.mem fieldaddr_of r then
+          sc.escaping <- FS.add (Hashtbl.find fieldaddr_of r) sc.escaping
+      | Ir.Tret _ | Ir.Tjmp _ -> ())
+    f.fblocks;
+  sc
+
+let analyze (prog : Ir.program) : store list =
+  let universe =
+    let acc = ref FS.empty in
+    Structs.iter
+      (fun d -> acc := FS.union (fields_of prog.structs d.sname) !acc)
+      prog.structs;
+    !acc
+  in
+  let defined = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace defined f.fname ()) prog.funcs;
+  let scans = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) ->
+      Hashtbl.replace scans f.fname (scan_func prog defined f))
+    prog.funcs;
+  (* what the world outside the analysed functions may read *)
+  let ext_read =
+    Hashtbl.fold
+      (fun _ sc acc -> FS.union sc.ext_structs (FS.union sc.escaping acc))
+      scans FS.empty
+  in
+  (* transitive may-read summaries over the call graph *)
+  let summary = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun fn sc ->
+      Hashtbl.replace summary fn
+        (if sc.has_ext_call then FS.union sc.direct_reads ext_read
+         else sc.direct_reads))
+    scans;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun fn (sc : fscan) ->
+        let cur = Hashtbl.find summary fn in
+        let nu =
+          List.fold_left
+            (fun acc c ->
+              FS.union acc
+                (Option.value ~default:FS.empty (Hashtbl.find_opt summary c)))
+            cur sc.callees
+        in
+        if not (FS.equal cur nu) then begin
+          Hashtbl.replace summary fn nu;
+          changed := true
+        end)
+      scans
+  done;
+  let always_live = ext_read in
+  let global_reads =
+    Hashtbl.fold (fun _ sc acc -> FS.union sc.direct_reads acc) scans always_live
+  in
+  let instr_transfer fact (i : Ir.instr) =
+    match i.idesc with
+    | Ir.Iload (_, _, _, Some a) -> FS.add (a.astruct, a.afield) fact
+    | Ir.Imemcpy (_, _, _, Some s) | Ir.Imemset (_, _, _, Some s) ->
+      FS.union (fields_of prog.structs s) fact
+    | Ir.Icall (_, Ir.Cdirect n, _) when Hashtbl.mem defined n ->
+      FS.union (Option.value ~default:FS.empty (Hashtbl.find_opt summary n)) fact
+    | Ir.Icall (_, _, _) -> FS.union ext_read fact
+    | _ -> fact
+  in
+  let out = ref [] in
+  List.iter
+    (fun (f : Ir.func) ->
+      let cfg = Cfg.build f in
+      let exit_seed =
+        if String.equal f.fname "main" then FS.empty else universe
+      in
+      let sol =
+        Flow.backward cfg ~init:exit_seed ~transfer:(fun b out_f ->
+            List.fold_left instr_transfer out_f (List.rev b.instrs))
+      in
+      Array.iter
+        (fun (b : Ir.block) ->
+          let fact = ref sol.after.(b.bid) in
+          List.iter
+            (fun (i : Ir.instr) ->
+              (match i.idesc with
+              | Ir.Istore (_, _, _, Some a) ->
+                let sf = (a.astruct, a.afield) in
+                if (not (FS.mem sf !fact)) && not (FS.mem sf always_live) then
+                  out :=
+                    {
+                      ds_struct = a.astruct;
+                      ds_field = a.afield;
+                      ds_fn = f.fname;
+                      ds_iid = i.iid;
+                      ds_loc = i.iloc;
+                      ds_never_read = not (FS.mem sf global_reads);
+                    }
+                    :: !out
+              | _ -> ());
+              fact := instr_transfer !fact i)
+            (List.rev b.instrs))
+        cfg.blocks)
+    prog.funcs;
+  List.sort
+    (fun a b ->
+      match String.compare a.ds_fn b.ds_fn with
+      | 0 -> compare a.ds_iid b.ds_iid
+      | c -> c)
+    !out
+
+let never_read_fields stores =
+  List.filter_map
+    (fun d -> if d.ds_never_read then Some (d.ds_struct, d.ds_field) else None)
+    stores
+  |> List.sort_uniq compare

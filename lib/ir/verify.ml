@@ -55,6 +55,7 @@ type kind =
   | Arity_mismatch of string * int * int  (** callee, declared, passed *)
   | Param_without_slot of string  (** parameter missing from [flocals] *)
   | Duplicate_iid of int  (** instruction id used twice program-wide *)
+  | Missing_loc  (** instruction carries no source location (opt-in check) *)
 
 type error = { site : site; kind : kind }
 
@@ -86,6 +87,7 @@ let string_of_kind = function
   | Param_without_slot p ->
     Printf.sprintf "parameter '%s' has no slot in flocals" p
   | Duplicate_iid i -> Printf.sprintf "instruction id %d used twice" i
+  | Missing_loc -> "instruction carries no source location"
 
 let string_of_error e =
   let where =
@@ -108,7 +110,7 @@ exception Ill_formed of error list
 (* The pass                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let program (p : Ir.program) : error list =
+let program ?(require_locs = false) (p : Ir.program) : error list =
   let errors = ref [] in
   let fail site kind = errors := { site; kind } :: !errors in
   let prog_site = { in_func = None; in_block = None; in_instr = None } in
@@ -239,6 +241,10 @@ let program (p : Ir.program) : error list =
               if Hashtbl.mem seen_iids i.iid then
                 fail site (Duplicate_iid i.iid)
               else Hashtbl.replace seen_iids i.iid ();
+              (* diagnostics need every instruction to name its source
+                 point; opt-in because synthetic test IR uses Loc.dummy *)
+              if require_locs && i.iloc.Ir.Loc.line <= 0 then
+                fail site Missing_loc;
               (match Ir.defined_reg i with
               | Some r when not (in_range r) -> fail site (Reg_out_of_range r)
               | Some _ | None -> ());
@@ -297,9 +303,9 @@ let program (p : Ir.program) : error list =
     p.funcs;
   List.rev !errors
 
-let ok p = program p = []
+let ok ?require_locs p = program ?require_locs p = []
 
-let check p =
-  match program p with
+let check ?require_locs p =
+  match program ?require_locs p with
   | [] -> ()
   | errors -> raise (Ill_formed errors)

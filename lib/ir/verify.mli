@@ -44,6 +44,11 @@ type kind =
   | Arity_mismatch of string * int * int  (** callee, declared, passed *)
   | Param_without_slot of string
   | Duplicate_iid of int
+  | Missing_loc
+      (** an instruction carries no source location — only reported under
+          [~require_locs:true], which the diagnostics pipeline uses to
+          assert that location threading survived lowering and every
+          transformation *)
 
 type error = { site : site; kind : kind }
 
@@ -53,14 +58,16 @@ val string_of_error : error -> string
 val report : error list -> string
 (** One {!string_of_error} line per error. *)
 
-val program : Ir.program -> error list
+val program : ?require_locs:bool -> Ir.program -> error list
 (** All well-formedness violations, in discovery order (program-level
-    first, then per function in program order). *)
+    first, then per function in program order). [~require_locs:true]
+    (default [false]) additionally reports {!Missing_loc} for every
+    instruction whose location is {!Ir.Loc.dummy}. *)
 
-val ok : Ir.program -> bool
+val ok : ?require_locs:bool -> Ir.program -> bool
 (** [ok p] iff {!program} finds nothing. *)
 
 exception Ill_formed of error list
 
-val check : Ir.program -> unit
+val check : ?require_locs:bool -> Ir.program -> unit
 (** Raise {!Ill_formed} with all errors if the program is malformed. *)

@@ -19,10 +19,22 @@ type cell =
   | Cmem_any of string          (* contents reached through collapsed views *)
   | Cret of string              (* return value of a function *)
 
+type event = {
+  ev_fn : string;
+  ev_iid : int;
+  ev_loc : Ir.Loc.t;
+  ev_what : string;
+}
+
 type t = {
   cells : (cell, ItemSet.t) Hashtbl.t;
   mutable collapsed_set : (string, unit) Hashtbl.t;
   mutable deref_items : ItemSet.t;  (* items appearing in address positions *)
+  raw_origin : (string, event) Hashtbl.t;
+      (* first site where a typed view of the struct degraded to raw *)
+  raw_deref : (string, event) Hashtbl.t;
+      (* first site where a raw view of the struct was dereferenced *)
+  collapse_why : (string, event list) Hashtbl.t;
 }
 
 let get t c = Option.value ~default:ItemSet.empty (Hashtbl.find_opt t.cells c)
@@ -37,7 +49,12 @@ let add t c items changed =
     end
   end
 
-let collapse t s = Hashtbl.replace t.collapsed_set s ()
+(* the first collapse of a type fixes its provenance chain; later
+   re-discoveries (the fixpoint revisits every instruction) are no-ops *)
+let collapse ?(why = []) t s =
+  if not (Hashtbl.mem t.collapsed_set s) then
+    Hashtbl.replace t.collapse_why s why;
+  Hashtbl.replace t.collapsed_set s ()
 
 (* arithmetic / scalar indexing turns any view into a raw view *)
 let degrade items =
@@ -65,7 +82,30 @@ let analyze (prog : Ir.program) : t =
       cells = Hashtbl.create 128;
       collapsed_set = Hashtbl.create 8;
       deref_items = ItemSet.empty;
+      raw_origin = Hashtbl.create 8;
+      raw_deref = Hashtbl.create 8;
+      collapse_why = Hashtbl.create 8;
     }
+  in
+  let event fn (i : Ir.instr) fmt =
+    Printf.ksprintf
+      (fun what -> { ev_fn = fn; ev_iid = i.iid; ev_loc = i.iloc; ev_what = what })
+      fmt
+  in
+  let note_origin fn (i : Ir.instr) s how =
+    if not (Hashtbl.mem t.raw_origin s) then
+      Hashtbl.replace t.raw_origin s
+        (event fn i "pointer into struct '%s' degraded to a raw view by %s" s
+           how)
+  in
+  (* typed views that [degrade] would turn raw *)
+  let note_degrade fn i how items =
+    ItemSet.iter
+      (fun it ->
+        match it with
+        | Item.Field_ptr (s, _) | Item.Obj_ptr s -> note_origin fn i s how
+        | Item.Raw_ptr _ -> ())
+      items
   in
   let changed = ref true in
   let operand_items fname (o : Ir.operand) =
@@ -82,7 +122,18 @@ let analyze (prog : Ir.program) : t =
         | Item.Obj_ptr s | Item.Raw_ptr s -> Cmem_any s :: acc)
       items []
   in
-  let note_deref items = t.deref_items <- ItemSet.union t.deref_items items in
+  let note_deref fn (i : Ir.instr) items =
+    t.deref_items <- ItemSet.union t.deref_items items;
+    ItemSet.iter
+      (fun it ->
+        match it with
+        | Item.Raw_ptr s ->
+          if not (Hashtbl.mem t.raw_deref s) then
+            Hashtbl.replace t.raw_deref s
+              (event fn i "raw view of struct '%s' is dereferenced here" s)
+        | Item.Field_ptr _ | Item.Obj_ptr _ -> ())
+      items
+  in
   (* address-of a struct-typed variable yields an object pointer *)
   let globals_ty = Hashtbl.create 16 in
   List.iter (fun (n, ty, _) -> Hashtbl.replace globals_ty n ty) prog.globals;
@@ -117,10 +168,12 @@ let analyze (prog : Ir.program) : t =
                 | Ir.Imov (r, o) -> add t (reg r) (ops o) changed
                 | Ir.Ibin (r, _, _, a, b2) ->
                   (* pointer arithmetic through plain ops degrades *)
-                  add t (reg r)
-                    (degrade (ItemSet.union (ops a) (ops b2)))
-                    changed
-                | Ir.Iun (r, _, _, a) -> add t (reg r) (degrade (ops a)) changed
+                  let src = ItemSet.union (ops a) (ops b2) in
+                  note_degrade fn i "pointer arithmetic" src;
+                  add t (reg r) (degrade src) changed
+                | Ir.Iun (r, _, _, a) ->
+                  note_degrade fn i "pointer arithmetic" (ops a);
+                  add t (reg r) (degrade (ops a)) changed
                 | Ir.Icast (r, _, to_, v, _) -> (
                   let src = ops v in
                   match to_ with
@@ -131,13 +184,13 @@ let analyze (prog : Ir.program) : t =
                   | _ -> add t (reg r) src changed)
                 | Ir.Iload (r, a, _, _) ->
                   let addr = ops a in
-                  note_deref addr;
+                  note_deref fn i addr;
                   List.iter
                     (fun mc -> add t (reg r) (get t mc) changed)
                     (mem_cells_of addr)
                 | Ir.Istore (a, v, _, _) ->
                   let addr = ops a in
-                  note_deref addr;
+                  note_deref fn i addr;
                   List.iter
                     (fun mc -> add t mc (ops v) changed)
                     (mem_cells_of addr)
@@ -156,10 +209,21 @@ let analyze (prog : Ir.program) : t =
                   let base = ops b2 in
                   match elem with
                   | Irty.Struct s ->
+                    ItemSet.iter
+                      (fun it ->
+                        match it with
+                        | Item.Obj_ptr s' when String.equal s' s -> ()
+                        | Item.Field_ptr (s', _) | Item.Obj_ptr s' ->
+                          note_origin fn i s'
+                            (Printf.sprintf "indexing in struct '%s' steps" s)
+                        | Item.Raw_ptr _ -> ())
+                      base;
                     add t (reg r)
                       (ItemSet.add (Item.Obj_ptr s) (degrade_struct_step s base))
                       changed
-                  | _ -> add t (reg r) (degrade base) changed)
+                  | _ ->
+                    note_degrade fn i "scalar indexing" base;
+                    add t (reg r) (degrade base) changed)
                 | Ir.Ialloc (r, _, _, elem) -> (
                   match elem with
                   | Irty.Struct s ->
@@ -191,7 +255,13 @@ let analyze (prog : Ir.program) : t =
                             match it with
                             | Item.Field_ptr (s, _) | Item.Obj_ptr s
                             | Item.Raw_ptr s ->
-                              collapse t s)
+                              collapse t s
+                                ~why:
+                                  [ event fn i
+                                      "pointer into struct '%s' escapes to \
+                                       call '%s'"
+                                      s
+                                      (Ir.string_of_callee callee) ])
                           (ops arg))
                       args)
                 | Ir.Ifree _ -> ()
@@ -201,7 +271,12 @@ let analyze (prog : Ir.program) : t =
                       match it with
                       | Item.Field_ptr (s, _) | Item.Obj_ptr s
                       | Item.Raw_ptr s ->
-                        collapse t s)
+                        collapse t s
+                          ~why:
+                            [ event fn i
+                                "pointer into struct '%s' is bulk-written by \
+                                 memset"
+                                s ])
                     (ops d)
                 | Ir.Imemcpy (d, s2, _, _) ->
                   ItemSet.iter
@@ -209,7 +284,12 @@ let analyze (prog : Ir.program) : t =
                       match it with
                       | Item.Field_ptr (s, _) | Item.Obj_ptr s
                       | Item.Raw_ptr s ->
-                        collapse t s)
+                        collapse t s
+                          ~why:
+                            [ event fn i
+                                "pointer into struct '%s' is bulk-copied by \
+                                 memcpy"
+                                s ])
                     (ItemSet.union (ops d) (ops s2)))
               b.instrs;
             match b.btermin with
@@ -241,16 +321,25 @@ let analyze (prog : Ir.program) : t =
       prog.funcs
   done;
   (* final collapse detection: a raw view that is actually dereferenced
-     collapses the type's field sets *)
+     collapses the type's field sets; the chain explains where the raw
+     view came from and where it was dereferenced *)
   ItemSet.iter
     (fun it ->
       match it with
-      | Item.Raw_ptr s -> collapse t s
+      | Item.Raw_ptr s ->
+        let chain =
+          Option.to_list (Hashtbl.find_opt t.raw_origin s)
+          @ Option.to_list (Hashtbl.find_opt t.raw_deref s)
+        in
+        collapse t s ~why:chain
       | Item.Field_ptr _ | Item.Obj_ptr _ -> ())
     t.deref_items;
   t
 
 let collapsed t s = Hashtbl.mem t.collapsed_set s
+
+let why_collapsed t s =
+  Option.value ~default:[] (Hashtbl.find_opt t.collapse_why s)
 
 let exposed_fields t s =
   ItemSet.fold

@@ -21,11 +21,28 @@
 
 type t
 
+type event = {
+  ev_fn : string;    (** function containing the construct *)
+  ev_iid : int;      (** instruction id *)
+  ev_loc : Ir.Loc.t;
+  ev_what : string;  (** human-readable step description *)
+}
+(** One step of a provenance chain: a concrete instruction that moved a
+    type towards collapse. *)
+
 val analyze : Ir.program -> t
 
 val collapsed : t -> string -> bool
 (** Some exposed pointer into the type can reach multiple fields (or the
     provenance escaped the analysis). *)
+
+val why_collapsed : t -> string -> event list
+(** The provenance chain recorded when the type first collapsed — [[]]
+    iff the type is not collapsed. An escape / [memset] / [memcpy]
+    collapse is a single event naming the call; a raw-view collapse is
+    the chain [origin; dereference]: where a typed pointer into the
+    struct first degraded to a raw view (cast arithmetic or scalar
+    indexing), then where that raw view was dereferenced. *)
 
 val exposed_fields : t -> string -> int list
 (** Fields of the type whose address is held in some dereferenced pointer

@@ -41,6 +41,7 @@ type request =
       args : int list;
       deadline_ms : float option;
     }
+  | Check of { src : string; relax : bool; deadline_ms : float option }
   | Stats
   | Shutdown
 
@@ -77,6 +78,12 @@ type reply =
       b_plans : string list;
       b_cached : bool;
     }
+  | R_check of {
+      c_report : string;       (** rendered caret diagnostics *)
+      c_sarif : string;        (** SARIF 2.1.0 document *)
+      c_invalidating : int;    (** findings that block transformation *)
+      c_cached : bool;
+    }
   | R_stats of stats_reply
   | R_shutdown
   | R_error of { code : error_code; message : string }
@@ -100,6 +107,11 @@ let json_of_request = function
       @ opt_field "scheme" (fun s -> Json.String s) scheme
       @ opt_field "backend" (fun s -> Json.String s) backend
       @ list_field "args" (fun i -> Json.Int i) args
+      @ opt_field "deadline_ms" (fun f -> Json.Float f) deadline_ms)
+  | Check { src; relax; deadline_ms } ->
+    Json.Obj
+      ([ ("kind", Json.String "check"); ("src", Json.String src) ]
+      @ (if relax then [ ("relax", Json.Bool true) ] else [])
       @ opt_field "deadline_ms" (fun f -> Json.Float f) deadline_ms)
   | Stats -> Json.Obj [ ("kind", Json.String "stats") ]
   | Shutdown -> Json.Obj [ ("kind", Json.String "shutdown") ]
@@ -150,6 +162,19 @@ let request_of_json j =
         else
           let* backend = get_string j "backend" in
           Ok (Bench { src; scheme; backend; args; deadline_ms }))
+    | Some "check" -> (
+      let* src = get_string j "src" in
+      match src with
+      | None -> Error "missing \"src\""
+      | Some src ->
+        let* relax =
+          match Json.member "relax" j with
+          | Some (Json.Bool b) -> Ok b
+          | Some _ -> Error "field \"relax\" must be a bool"
+          | None -> Ok false
+        in
+        let* deadline_ms = get_number j "deadline_ms" in
+        Ok (Check { src; relax; deadline_ms }))
     | Some "stats" -> Ok Stats
     | Some "shutdown" -> Ok Shutdown
     | Some k -> Error (Printf.sprintf "unknown kind %S" k))
@@ -189,6 +214,16 @@ let json_of_reply = function
         ("speedup_pct", Json.Float b.b_speedup_pct);
         ("plans", Json.List (List.map (fun p -> Json.String p) b.b_plans));
         ("cached", Json.Bool b.b_cached);
+      ]
+  | R_check c ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("kind", Json.String "check");
+        ("report", Json.String c.c_report);
+        ("sarif", Json.String c.c_sarif);
+        ("invalidating", Json.Int c.c_invalidating);
+        ("cached", Json.Bool c.c_cached);
       ]
   | R_stats s ->
     Json.Obj
@@ -338,6 +373,14 @@ let reply_of_json j =
                b_cached;
              })
       | _ -> Error "bench reply missing cached")
+    | Some "check" -> (
+      let* report = get_string j "report" in
+      let* sarif = get_string j "sarif" in
+      let* c_invalidating = req_int j "invalidating" in
+      match (report, sarif, Json.member "cached" j) with
+      | Some c_report, Some c_sarif, Some (Json.Bool c_cached) ->
+        Ok (R_check { c_report; c_sarif; c_invalidating; c_cached })
+      | _ -> Error "check reply missing report/sarif/cached")
     | Some "stats" ->
       let* s = stats_of_json j in
       Ok (R_stats s)

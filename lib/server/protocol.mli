@@ -14,6 +14,7 @@
     {[ {"kind":"advise","src":"struct s {...};...","scheme":"ispbo",
         "args":[3],"deadline_ms":250.0}
        {"kind":"bench","src":"...","scheme":"spbo","backend":"closure"}
+       {"kind":"check","src":"...","relax":true}
        {"kind":"stats"}
        {"kind":"shutdown"} ]}
 
@@ -56,6 +57,11 @@ type request =
       args : int list;
       deadline_ms : float option;
     }
+  | Check of {
+      src : string;
+      relax : bool;                 (** tolerate CSTT/CSTF/ATKN (default false) *)
+      deadline_ms : float option;
+    }
   | Stats
   | Shutdown
 
@@ -91,6 +97,12 @@ type reply =
       b_speedup_pct : float;
       b_plans : string list;         (** one summary line per applied plan *)
       b_cached : bool;
+    }
+  | R_check of {
+      c_report : string;             (** rendered caret diagnostics *)
+      c_sarif : string;              (** SARIF 2.1.0 document *)
+      c_invalidating : int;          (** findings that block transformation *)
+      c_cached : bool;
     }
   | R_stats of stats_reply
   | R_shutdown

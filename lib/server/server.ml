@@ -97,8 +97,24 @@ let scheme_of_name name =
   let name = String.lowercase_ascii name in
   List.find_opt (fun s -> String.lowercase_ascii (W.name s) = name) W.all
 
+(* display label for sources shipped over the wire; the client re-labels
+   lines with the real path when it has one *)
+let wire_uri = "<input>"
+
 let compute t ~kind ~digest ~src ~scheme ~backend ~args =
   let prog = get_ir t ~digest ~src in
+  match kind with
+  | `Check relax ->
+    (* purely static: no profile collection, no execution *)
+    let diags = Slo_advice.Advice.check ~relax prog in
+    P.R_check
+      {
+        c_report = Slo_advice.Advice.render ~src ~file:wire_uri diags;
+        c_sarif = Slo_advice.Sarif.to_string [ (wire_uri, diags) ];
+        c_invalidating = Slo_advice.Advice.invalidating_count diags;
+        c_cached = false;
+      }
+  | (`Advise | `Bench) as kind -> (
   let feedback =
     if W.needs_profile scheme then
       Some (fst (Slo_profile.Collect.collect ~args prog))
@@ -128,7 +144,7 @@ let compute t ~kind ~digest ~src ~scheme ~backend ~args =
             (fun (d : H.decision) -> Option.map H.plan_summary d.d_plan)
             ev.D.e_decisions;
         b_cached = false;
-      }
+      })
 
 (* Everything a request can legitimately fail with becomes a structured
    error reply; only true surprises surface as [worker_crash]. The job
@@ -152,7 +168,7 @@ let job t ~key ~kind ~digest ~src ~scheme ~backend ~args () =
   locked t (fun () ->
       Hashtbl.remove t.pending key;
       match reply with
-      | P.R_advise _ | P.R_bench _ ->
+      | P.R_advise _ | P.R_bench _ | P.R_check _ ->
         ignore (Lru.add t.cache key (Creply reply) ~bytes:(heap_bytes reply))
       | _ -> ());
   reply
@@ -164,6 +180,7 @@ let job t ~key ~kind ~digest ~src ~scheme ~backend ~args () =
 let mark_cached = function
   | P.R_advise a -> P.R_advise { a with a_cached = true }
   | P.R_bench b -> P.R_bench { b with b_cached = true }
+  | P.R_check c -> P.R_check { c with c_cached = true }
   | r -> r
 
 let serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms =
@@ -186,7 +203,11 @@ let serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms =
       let digest = Digest.to_hex (Digest.string src) in
       let key =
         Printf.sprintf "res:%s:%s:%s:%s:%s" digest
-          (match kind with `Advise -> "advise" | `Bench -> "bench")
+          (match kind with
+          | `Advise -> "advise"
+          | `Bench -> "bench"
+          | `Check false -> "check"
+          | `Check true -> "check-relax")
           (W.name scheme) (Slo_vm.Backend.to_string backend)
           (String.concat "," (List.map string_of_int args))
       in
@@ -273,6 +294,7 @@ let handle_payload t payload =
         match req with
         | P.Advise _ -> "advise"
         | P.Bench _ -> "bench"
+        | P.Check _ -> "check"
         | P.Stats -> "stats"
         | P.Shutdown -> "shutdown"
       in
@@ -286,6 +308,10 @@ let handle_payload t payload =
           `Continue )
       | P.Bench { src; scheme; backend; args; deadline_ms } ->
         ( serve_compute t ~kind:`Bench ~src ~scheme ~backend ~args ~deadline_ms,
+          `Continue )
+      | P.Check { src; relax; deadline_ms } ->
+        ( serve_compute t ~kind:(`Check relax) ~src ~scheme:None ~backend:None
+            ~args:[] ~deadline_ms,
           `Continue )))
 
 let request_stop t =

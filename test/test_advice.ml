@@ -1,0 +1,452 @@
+(* Source-located diagnostics: the dataflow framework, dead-store
+   analysis, legality witnesses, the check pipeline and its SARIF
+   export. *)
+
+module A = Slo_advice.Advice
+module Sarif = Slo_advice.Sarif
+module L = Slo_core.Legality
+module H = Slo_core.Heuristics
+module D = Slo_core.Driver
+module W = Slo_profile.Weights
+module Json = Slo_util.Json
+
+let lower = Lower.lower_source
+
+(* the acceptance program: a CSTF cast, an ATKN field address and a
+   dead field, each on its own line *)
+let demo_lines =
+  [|
+    "struct hot { long key; long pad; };";
+    "struct cur { long pos; long cap; };";
+    "long sink;";
+    "long peek(long *p) { return *p; }";
+    "int main() { long i; long acc; long *raw; long *q;";
+    "  struct hot *h; struct cur *c;";
+    "  h = (struct hot*)malloc(16 * sizeof(struct hot));";
+    "  c = (struct cur*)malloc(4 * sizeof(struct cur));";
+    "  for (i = 0; i < 16; i++) { h[i].key = i; h[i].pad = 0; }";
+    "  for (i = 0; i < 4; i++) { c[i].pos = i; c[i].cap = 64; }";
+    "  acc = 0; for (i = 0; i < 16; i++) { acc = acc + h[i].key; }";
+    "  raw = (long *) h;";
+    "  sink = raw[0];";
+    "  q = &c[0].pos;";
+    "  acc = acc + peek(q) + c[0].cap;";
+    "  printf(\"%ld\\n\", acc + sink); return 0; }";
+  |]
+
+let demo_src = String.concat "\n" (Array.to_list demo_lines) ^ "\n"
+
+let find_diag diags rule typ =
+  match
+    List.find_opt
+      (fun (d : A.diagnostic) -> d.d_rule = rule && d.d_typ = typ)
+      diags
+  with
+  | Some d -> d
+  | None -> Alcotest.failf "no %s diagnostic for type %s" rule typ
+
+let line_of (d : A.diagnostic) =
+  match d.d_loc with
+  | Some l -> l.Ir.Loc.line
+  | None -> Alcotest.failf "%s diagnostic carries no location" d.d_rule
+
+let acceptance_trio () =
+  let diags = A.check (lower demo_src) in
+  (* the raw-pointer cast of h on line 12 *)
+  let cstf = find_diag diags "CSTF" "hot" in
+  Alcotest.(check int) "CSTF line" 12 (line_of cstf);
+  Alcotest.(check int) "CSTF col (the cast)"
+    (1 + String.index demo_lines.(11) '(')
+    (Option.get cstf.d_loc).Ir.Loc.col;
+  Alcotest.(check bool) "CSTF invalidates" true cstf.d_invalidating;
+  (* the address-of: `q = &c[0].pos;` *)
+  let atkn = find_diag diags "ATKN" "cur" in
+  Alcotest.(check int) "ATKN line" 14 (line_of atkn);
+  Alcotest.(check bool) "ATKN points into the &-expression" true
+    ((Option.get atkn.d_loc).Ir.Loc.col >= 1 + String.index demo_lines.(13) '&');
+  Alcotest.(check bool) "ATKN invalidates" true atkn.d_invalidating;
+  (* the dead field: `h[i].pad = 0;` in the init loop *)
+  let dead = find_diag diags "DEADFIELD" "hot" in
+  Alcotest.(check int) "DEADFIELD line" 9 (line_of dead);
+  Alcotest.(check bool) "dead field is advisory" false dead.d_invalidating;
+  Alcotest.(check bool) "names the field" true
+    (Astring.String.is_infix ~affix:"hot.pad" dead.d_msg);
+  (* each finding carries the allocation site of its type *)
+  List.iter
+    (fun (d : A.diagnostic) ->
+      if d.d_rule = "CSTF" then
+        Alcotest.(check bool) "CSTF carries alloc note" true
+          (List.exists
+             (fun (n : A.note) ->
+               Astring.String.is_infix ~affix:"allocated here" n.n_msg
+               && (match n.n_loc with Some l -> l.Ir.Loc.line = 7 | None -> false))
+             d.d_notes))
+    diags;
+  Alcotest.(check int) "two invalidating findings" 2
+    (A.invalidating_count diags)
+
+let relax_flips_severities () =
+  let prog = lower demo_src in
+  let strict = A.check prog and relaxed = A.check ~relax:true prog in
+  Alcotest.(check bool) "CSTF error when strict" true
+    ((find_diag strict "CSTF" "hot").d_severity = A.Error);
+  Alcotest.(check bool) "CSTF warning when relaxed" true
+    ((find_diag relaxed "CSTF" "hot").d_severity = A.Warning);
+  Alcotest.(check bool) "ATKN warning when relaxed" true
+    ((find_diag relaxed "ATKN" "cur").d_severity = A.Warning);
+  (* relaxed counting would accept 'hot', but points-to cannot refute the
+     cast: the PTS finding becomes the invalidating one *)
+  let pts_strict = find_diag strict "PTS" "hot" in
+  let pts_relaxed = find_diag relaxed "PTS" "hot" in
+  Alcotest.(check bool) "PTS advisory when strict" false
+    pts_strict.d_invalidating;
+  Alcotest.(check bool) "PTS invalidates when relaxed" true
+    pts_relaxed.d_invalidating;
+  Alcotest.(check int) "one invalidating finding under relax" 1
+    (A.invalidating_count relaxed)
+
+let render_has_carets () =
+  let prog = lower demo_src in
+  let out = A.render ~src:demo_src ~file:"demo.mc" (A.check prog) in
+  Alcotest.(check bool) "header present" true
+    (Astring.String.is_infix ~affix:"demo.mc:12:" out);
+  Alcotest.(check bool) "snippet echoed" true
+    (Astring.String.is_infix ~affix:"raw = (long *) h;" out);
+  Alcotest.(check bool) "caret present" true
+    (Astring.String.is_infix ~affix:"^" out);
+  Alcotest.(check bool) "note rendered" true
+    (Astring.String.is_infix ~affix:"note:" out)
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0 shape                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let get path j =
+  let rec go path j =
+    match (path, j) with
+    | [], _ -> j
+    | k :: rest, _ -> (
+      match int_of_string_opt k with
+      | Some i -> (
+        match j with
+        | Json.List l when i < List.length l -> go rest (List.nth l i)
+        | _ -> Alcotest.failf "no index %s" k)
+      | None -> (
+        match Json.member k j with
+        | Some v -> go rest v
+        | None -> Alcotest.failf "no member %s" k))
+  in
+  go path j
+
+let expect_string path j =
+  match get path j with
+  | Json.String s -> s
+  | _ -> Alcotest.failf "%s is not a string" (String.concat "." path)
+
+let sarif_shape () =
+  let diags = A.check (lower demo_src) in
+  let j = Json.of_string (Sarif.to_string [ ("demo.mc", diags) ]) in
+  Alcotest.(check string) "$schema"
+    "https://json.schemastore.org/sarif-2.1.0.json"
+    (expect_string [ "$schema" ] j);
+  Alcotest.(check string) "version" "2.1.0" (expect_string [ "version" ] j);
+  Alcotest.(check string) "driver name" "slopt"
+    (expect_string [ "runs"; "0"; "tool"; "driver"; "name" ] j);
+  let rules =
+    match get [ "runs"; "0"; "tool"; "driver"; "rules" ] j with
+    | Json.List l -> l
+    | _ -> Alcotest.fail "rules is not a list"
+  in
+  Alcotest.(check bool) "rules listed" true (rules <> []);
+  List.iter
+    (fun r ->
+      ignore (expect_string [ "id" ] r);
+      ignore (expect_string [ "shortDescription"; "text" ] r))
+    rules;
+  let results =
+    match get [ "runs"; "0"; "results" ] j with
+    | Json.List l -> l
+    | _ -> Alcotest.fail "results is not a list"
+  in
+  Alcotest.(check int) "one result per diagnostic" (List.length diags)
+    (List.length results);
+  List.iter
+    (fun r ->
+      let level = expect_string [ "level" ] r in
+      Alcotest.(check bool) "level vocabulary" true
+        (List.mem level [ "error"; "warning"; "note" ]);
+      ignore (expect_string [ "ruleId" ] r);
+      ignore (expect_string [ "message"; "text" ] r);
+      Alcotest.(check string) "artifact uri" "demo.mc"
+        (expect_string
+           [ "locations"; "0"; "physicalLocation"; "artifactLocation"; "uri" ]
+           r);
+      match
+        get [ "locations"; "0"; "physicalLocation"; "region" ] r
+      with
+      | Json.Obj _ as region ->
+        (match get [ "startLine" ] region with
+        | Json.Int n -> Alcotest.(check bool) "startLine >= 1" true (n >= 1)
+        | _ -> Alcotest.fail "startLine is not an int");
+        (match get [ "startColumn" ] region with
+        | Json.Int n -> Alcotest.(check bool) "startColumn >= 1" true (n >= 1)
+        | _ -> Alcotest.fail "startColumn is not an int")
+      | _ -> Alcotest.fail "region is not an object")
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Locations are behaviourally inert                                   *)
+(* ------------------------------------------------------------------ *)
+
+let scrub_locs prog =
+  let p = Ircopy.copy_program prog in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          b.instrs <-
+            List.map (fun (i : Ir.instr) -> { i with iloc = Ir.Loc.dummy })
+              b.instrs;
+          b.bloc <- Ir.Loc.dummy)
+        f.fblocks)
+    p.funcs;
+  p
+
+let locations_never_change_behaviour () =
+  List.iter
+    (fun (e : Slo_suite.Suite.entry) ->
+      let prog = lower e.source in
+      let scrubbed = scrub_locs prog in
+      let m1 = D.measure ~args:e.train_args prog in
+      let m2 = D.measure ~args:e.train_args scrubbed in
+      Alcotest.(check string) (e.name ^ " output") m1.m_result.output
+        m2.m_result.output;
+      Alcotest.(check int) (e.name ^ " steps") m1.m_result.steps
+        m2.m_result.steps;
+      let decide p =
+        let leg, aff = D.analyze p ~scheme:W.ISPBO ~feedback:None in
+        List.map
+          (fun (d : H.decision) ->
+            (d.d_typ, Option.map H.plan_summary d.d_plan))
+          (H.decide p leg aff ~scheme:W.ISPBO)
+      in
+      Alcotest.(check bool) (e.name ^ " decisions agree") true
+        (decide prog = decide scrubbed))
+    Slo_suite.Suite.roster
+
+let require_locs_roster () =
+  List.iter
+    (fun (e : Slo_suite.Suite.entry) ->
+      let prog = lower e.source in
+      Alcotest.(check (list Alcotest.reject)) (e.name ^ " lowered locs") []
+        (Verify.program ~require_locs:true prog);
+      let leg, aff = D.analyze prog ~scheme:W.ISPBO ~feedback:None in
+      let decisions = H.decide prog leg aff ~scheme:W.ISPBO in
+      let transformed =
+        D.transform_with_plans ~verify:true prog (H.plans decisions)
+      in
+      Alcotest.(check (list Alcotest.reject)) (e.name ^ " transformed locs")
+        []
+        (Verify.program ~require_locs:true transformed))
+    Slo_suite.Suite.roster
+
+let require_locs_catches_scrubbed () =
+  let prog = scrub_locs (lower demo_src) in
+  Alcotest.(check bool) "scrubbed program rejected" true
+    (Verify.program ~require_locs:true prog <> []);
+  Alcotest.(check bool) "still well-formed without the flag" true
+    (Verify.ok prog)
+
+(* every type the heuristics reject for legality carries a witness *)
+let rejected_types_carry_witnesses () =
+  List.iter
+    (fun (e : Slo_suite.Suite.entry) ->
+      let prog = lower e.source in
+      let leg = L.analyze prog in
+      List.iter
+        (fun typ ->
+          let info = L.info leg typ in
+          List.iter
+            (fun r ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s %s witnessed" e.name typ
+                   (L.reason_name r))
+                true
+                (L.witnesses_for leg typ r <> []))
+            info.invalid)
+        (L.types leg))
+    Slo_suite.Suite.roster
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow framework and dead stores                                  *)
+(* ------------------------------------------------------------------ *)
+
+module IdSet = Set.Make (Int)
+
+module Reach = Dataflow.Make (struct
+  type t = IdSet.t
+
+  let bottom = IdSet.empty
+  let equal = IdSet.equal
+  let join = IdSet.union
+end)
+
+let forward_reaches_over_diamond () =
+  let prog =
+    lower
+      "int main(int x) { long a;\n\
+       if (x) { a = 1; } else { a = 2; }\n\
+       return (int)a; }"
+  in
+  let f = List.find (fun (f : Ir.func) -> f.Ir.fname = "main") prog.funcs in
+  let cfg = Cfg.build f in
+  let sol =
+    Reach.forward cfg ~init:IdSet.empty ~transfer:(fun b s ->
+        IdSet.add b.Ir.bid s)
+  in
+  (* the exit block sees every reachable block through the join *)
+  let exit_b =
+    List.find
+      (fun (b : Ir.block) -> match b.btermin with Ir.Tret _ -> true | _ -> false)
+      f.fblocks
+  in
+  let seen = sol.Reach.after.(exit_b.bid) in
+  Array.iter
+    (fun bid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "block %d reaches exit" bid)
+        true (IdSet.mem bid seen))
+    cfg.Cfg.rpo
+
+let deadstore_src =
+  "struct s { long a; long b; };\n\
+   struct s *p;\n\
+   int main() { long acc;\n\
+   p = (struct s*)malloc(4 * sizeof(struct s));\n\
+   p->a = 1;\n\
+   acc = p->a;\n\
+   p->a = 2;\n\
+   p->b = 3;\n\
+   return (int)acc; }"
+
+let store_after_last_read () =
+  let stores = Deadstore.analyze (lower deadstore_src) in
+  let at line =
+    List.filter
+      (fun (d : Deadstore.store) -> d.ds_loc.Ir.Loc.line = line)
+      stores
+  in
+  (* p->a = 1 is read on line 6: live, not reported *)
+  Alcotest.(check int) "live store unreported" 0 (List.length (at 5));
+  (* p->a = 2 follows the last read of the field: dead on every path,
+     but the field itself is read (flow-sensitive finding) *)
+  (match at 7 with
+  | [ d ] ->
+    Alcotest.(check bool) "field a is read elsewhere" false d.ds_never_read
+  | l -> Alcotest.failf "expected 1 dead store at line 7, got %d" (List.length l));
+  (* p->b is never read anywhere *)
+  (match at 8 with
+  | [ d ] -> Alcotest.(check bool) "b never read" true d.ds_never_read
+  | l -> Alcotest.failf "expected 1 store at line 8, got %d" (List.length l));
+  Alcotest.(check (list (pair string int))) "never-read fields" [ ("s", 1) ]
+    (Deadstore.never_read_fields stores)
+
+let branch_keeps_store_live () =
+  let stores =
+    Deadstore.analyze
+      (lower
+         "struct s { long a; long b; };\n\
+          struct s *p;\n\
+          int main(int x) {\n\
+          p = (struct s*)malloc(4 * sizeof(struct s));\n\
+          p->a = 1;\n\
+          if (x) { p->a = 2; }\n\
+          p->b = (long)x;\n\
+          return (int)p->a; }")
+  in
+  (* the store at line 5 is read on the fall-through path: live *)
+  Alcotest.(check bool) "conditional overwrite keeps it live" true
+    (List.for_all
+       (fun (d : Deadstore.store) -> d.ds_loc.Ir.Loc.line <> 5)
+       stores)
+
+let escaping_address_suppresses () =
+  let stores =
+    Deadstore.analyze
+      (lower
+         "struct s { long a; long b; };\n\
+          struct s *p;\n\
+          int main() { long *q;\n\
+          p = (struct s*)malloc(4 * sizeof(struct s));\n\
+          q = &p->a;\n\
+          p->a = 1;\n\
+          p->b = 2;\n\
+          return (int)*q; }")
+  in
+  (* &p->a escapes into q: stores to a must never be reported *)
+  Alcotest.(check bool) "escaped field not reported" true
+    (List.for_all (fun (d : Deadstore.store) -> d.ds_field <> 0) stores)
+
+let extern_call_reads_everything () =
+  let stores =
+    Deadstore.analyze
+      (lower
+         "struct s { long a; long b; };\n\
+          extern long lib(struct s*, long);\n\
+          struct s *p;\n\
+          int main() {\n\
+          p = (struct s*)malloc(4 * sizeof(struct s));\n\
+          p->a = 1;\n\
+          p->b = 2;\n\
+          return (int)lib(p, 0); }")
+  in
+  Alcotest.(check int) "library call may read both fields" 0
+    (List.length stores)
+
+(* the advisory report and check agree on the invalidation reasons *)
+let advisor_reasons_match_check () =
+  let prog = lower demo_src in
+  let leg, aff = D.analyze prog ~scheme:W.ISPBO ~feedback:None in
+  let decisions = H.decide prog leg aff ~scheme:W.ISPBO in
+  let adv = Slo_core.Advisor.build prog leg aff ~decisions ~dcache:None in
+  let report = Slo_core.Advisor.report adv in
+  Alcotest.(check bool) "CSTF witness line in report" true
+    (Astring.String.is_infix ~affix:"invalid: CSTF at 12:" report);
+  Alcotest.(check bool) "ATKN witness line in report" true
+    (Astring.String.is_infix ~affix:"invalid: ATKN at 14:" report)
+
+let () =
+  Alcotest.run "advice"
+    [
+      ( "check",
+        [
+          Alcotest.test_case "acceptance trio" `Quick acceptance_trio;
+          Alcotest.test_case "relax severities" `Quick relax_flips_severities;
+          Alcotest.test_case "caret rendering" `Quick render_has_carets;
+          Alcotest.test_case "advisor agreement" `Quick
+            advisor_reasons_match_check;
+        ] );
+      ("sarif", [ Alcotest.test_case "2.1.0 shape" `Quick sarif_shape ]);
+      ( "locations",
+        [
+          Alcotest.test_case "behaviourally inert" `Slow
+            locations_never_change_behaviour;
+          Alcotest.test_case "roster carries locs" `Slow require_locs_roster;
+          Alcotest.test_case "verifier catches scrubbed" `Quick
+            require_locs_catches_scrubbed;
+          Alcotest.test_case "rejections witnessed" `Quick
+            rejected_types_carry_witnesses;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "forward diamond" `Quick
+            forward_reaches_over_diamond;
+          Alcotest.test_case "store after last read" `Quick
+            store_after_last_read;
+          Alcotest.test_case "branch keeps live" `Quick branch_keeps_store_live;
+          Alcotest.test_case "escape suppresses" `Quick
+            escaping_address_suppresses;
+          Alcotest.test_case "extern reads all" `Quick
+            extern_call_reads_everything;
+        ] );
+    ]

@@ -555,6 +555,102 @@ let advisor_report () =
       && Astring.String.is_infix ~affix:"hot_x" v)
   | None -> Alcotest.fail "expected vcg output"
 
+(* ---------------- witnesses and allocation sites ---------------- *)
+
+let witness_locations () =
+  let leg =
+    analyze
+      "struct s { long a; long b; };\n\
+       struct s *p; long sink;\n\
+       int main() { long *raw;\n\
+       p = (struct s*)malloc(4 * sizeof(struct s));\n\
+       raw = (long*)p;\n\
+       sink = raw[0];\n\
+       return (int)(p->a + sink); }"
+  in
+  match L.witnesses_for leg "s" L.CSTF with
+  | [] -> Alcotest.fail "CSTF carries no witness"
+  | w :: _ ->
+    Alcotest.(check (option string)) "witness in main" (Some "main") w.w_fn;
+    (match w.w_loc with
+    | Some l -> Alcotest.(check int) "witness on the cast line" 5 l.Ir.Loc.line
+    | None -> Alcotest.fail "CSTF witness carries no location");
+    Alcotest.(check bool) "explanation names both types" true
+      (Astring.String.is_infix ~affix:"struct 's'" w.w_explain)
+
+let every_reason_is_witnessed () =
+  let leg =
+    analyze
+      "struct n { long x; };\n\
+       struct s { struct n inner; long b; };\n\
+       extern long lib(struct s*, long);\n\
+       struct s *p;\n\
+       int main() { char *c;\n\
+       p = (struct s*)malloc(2 * sizeof(struct s));\n\
+       c = (char*)p;\n\
+       lib(p, sizeof(struct s) + 1);\n\
+       return (int)p->b + (int)*c; }"
+  in
+  List.iter
+    (fun typ ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s witnessed" typ (L.reason_name r))
+            true
+            (L.witnesses_for leg typ r <> []))
+        (L.reasons leg typ))
+    (L.types leg)
+
+let all_alloc_sites_recorded () =
+  let leg =
+    analyze
+      "struct s { long a; long b; };\n\
+       struct s *p; struct s *q;\n\
+       struct s *mk() { return (struct s*)malloc(2 * sizeof(struct s)); }\n\
+       int main() {\n\
+       p = (struct s*)malloc(2 * sizeof(struct s));\n\
+       q = mk();\n\
+       p->a = 1; q->b = 2;\n\
+       return (int)(p->a + q->b); }"
+  in
+  match L.attrs_of leg "s" with
+  | None -> Alcotest.fail "no attrs for s"
+  | Some a ->
+    Alcotest.(check int) "both allocation sites recorded" 2
+      (List.length a.alloc_sites);
+    let lines =
+      List.map (fun (al : L.alloc_site) -> al.al_loc.Ir.Loc.line) a.alloc_sites
+      |> List.sort compare
+    in
+    Alcotest.(check (list int)) "sites on the malloc lines" [ 3; 5 ] lines;
+    Alcotest.(check bool) "distinct functions" true
+      (List.exists (fun (al : L.alloc_site) -> al.al_fn = "mk") a.alloc_sites
+      && List.exists
+           (fun (al : L.alloc_site) -> al.al_fn = "main")
+           a.alloc_sites)
+
+let witnesses_deduplicated () =
+  (* the same cast construct seen across fixpoint/rescans must yield one
+     witness, and reasons must not repeat *)
+  let leg =
+    analyze
+      "struct s { long a; long b; };\n\
+       struct s *p; long sink;\n\
+       int main() { long *r1; long *r2;\n\
+       p = (struct s*)malloc(4 * sizeof(struct s));\n\
+       r1 = (long*)p;\n\
+       r2 = (long*)p;\n\
+       sink = r1[0] + r2[0];\n\
+       return (int)sink; }"
+  in
+  let ws = L.witnesses_for leg "s" L.CSTF in
+  (* two distinct casts: two witnesses, each unique *)
+  Alcotest.(check int) "one witness per construct" 2 (List.length ws);
+  let key (w : L.witness) = (w.w_fn, w.w_iid, w.w_explain) in
+  Alcotest.(check int) "no duplicates" 2
+    (List.length (List.sort_uniq compare (List.map key ws)))
+
 let () =
   Alcotest.run "core"
     [
@@ -575,6 +671,11 @@ let () =
           Alcotest.test_case "escape to defined" `Quick
             legality_escape_to_defined_ok;
           Alcotest.test_case "null cast" `Quick legality_null_cast_ok;
+          Alcotest.test_case "witness locations" `Quick witness_locations;
+          Alcotest.test_case "reasons witnessed" `Quick
+            every_reason_is_witnessed;
+          Alcotest.test_case "alloc sites" `Quick all_alloc_sites_recorded;
+          Alcotest.test_case "witness dedup" `Quick witnesses_deduplicated;
         ] );
       ( "affinity",
         [

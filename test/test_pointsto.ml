@@ -111,6 +111,127 @@ let roster_gap_between_columns () =
   Alcotest.(check bool) "arc refuted" true (P.refutable pts "arc");
   Alcotest.(check bool) "basket collapsed" true (P.collapsed pts "basket")
 
+(* ---------------- provenance chains ---------------- *)
+
+let chain_on_raw_walk () =
+  let prog =
+    lower
+      "struct s { long a; long b; };\n\
+       struct s *p;\n\
+       int main() { long *raw; long h; long i; h = 0;\n\
+       p = (struct s*)malloc(4 * sizeof(struct s));\n\
+       raw = (long*)p;\n\
+       for (i = 0; i < 8; i++) { h = h + raw[i]; }\n\
+       return (int)h; }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "collapsed" true (P.collapsed pts "s");
+  let chain = P.why_collapsed pts "s" in
+  Alcotest.(check bool) "chain recorded" true (chain <> []);
+  List.iter
+    (fun (e : P.event) ->
+      Alcotest.(check string) "events in main" "main" e.ev_fn;
+      Alcotest.(check bool) "located" true (e.ev_loc.Ir.Loc.line >= 1);
+      Alcotest.(check bool) "explained" true (String.length e.ev_what > 0))
+    chain;
+  (* the chain opens with how the raw view arose, not where it was used *)
+  match chain with
+  | origin :: _ ->
+    Alcotest.(check bool) "origin precedes the walk" true
+      (origin.P.ev_loc.Ir.Loc.line <= 6)
+  | [] -> ()
+
+let chain_on_struct_typed_global () =
+  (* the anchor is a struct-typed global, not a pointer *)
+  let prog =
+    lower
+      "struct s { long a; long b; };\n\
+       struct s g;\n\
+       int main() { long *r;\n\
+       r = (long*)&g;\n\
+       return (int)(r[0] + r[1]); }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "global object collapsed" true (P.collapsed pts "s");
+  Alcotest.(check bool) "chain recorded" true (P.why_collapsed pts "s" <> [])
+
+let chain_through_other_structs_field () =
+  (* the raw pointer is stored through another struct's field and
+     dereferenced after a reload: the provenance must survive the hop *)
+  let prog =
+    lower
+      "struct box { long *slot; long pad; };\n\
+       struct s { long a; long b; };\n\
+       struct s *p; struct box *bx;\n\
+       int main() { long *r;\n\
+       p = (struct s*)malloc(2 * sizeof(struct s));\n\
+       bx = (struct box*)malloc(1 * sizeof(struct box));\n\
+       p->a = 7;\n\
+       bx->slot = (long*)p;\n\
+       r = bx->slot;\n\
+       return (int)(r[0] + r[1]); }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "s collapsed through the stored raw view" true
+    (P.collapsed pts "s");
+  Alcotest.(check bool) "chain recorded" true (P.why_collapsed pts "s" <> [])
+
+let relax_accepts_but_pointsto_collapses () =
+  (* CSTF only — relaxed counting tolerates it, points-to cannot *)
+  let prog =
+    lower
+      "struct s { long a; long b; };\n\
+       struct s *p; long sink;\n\
+       int main() { long *raw;\n\
+       p = (struct s*)malloc(4 * sizeof(struct s));\n\
+       p->a = 1; p->b = 2;\n\
+       raw = (long*)p;\n\
+       sink = raw[1];\n\
+       return (int)(p->a + sink); }"
+  in
+  let leg = L.analyze prog in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "strict rejects" false (L.is_legal leg "s");
+  Alcotest.(check bool) "relax accepts" true (L.is_legal ~relax:true leg "s");
+  Alcotest.(check bool) "points-to still collapses" true (P.collapsed pts "s");
+  Alcotest.(check bool) "not refutable" false (P.refutable pts "s");
+  Alcotest.(check bool) "with a recorded reason" true
+    (P.why_collapsed pts "s" <> [])
+
+let no_chain_when_precise () =
+  let prog =
+    lower
+      "struct s { long a; long b; };\n\
+       struct s *p;\n\
+       int main() { long *ap;\n\
+       p = (struct s*)malloc(4 * sizeof(struct s));\n\
+       ap = &p->a; *ap = 5; return (int)p->a; }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "no collapse" false (P.collapsed pts "s");
+  Alcotest.(check (list int)) "single field exposed" [ 0 ]
+    (P.exposed_fields pts "s");
+  Alcotest.(check bool) "no chain" true (P.why_collapsed pts "s" = [])
+
+let exposed_fields_through_aliased_anchor () =
+  (* field pointers reached via a pointer stored in another struct *)
+  let prog =
+    lower
+      "struct box { long *slot; long pad; };\n\
+       struct s { long a; long b; long c; };\n\
+       struct s *p; struct box *bx;\n\
+       int main() {\n\
+       p = (struct s*)malloc(2 * sizeof(struct s));\n\
+       bx = (struct box*)malloc(1 * sizeof(struct box));\n\
+       bx->slot = &p->b;\n\
+       *(bx->slot) = 9;\n\
+       return (int)(p->a + p->b); }"
+  in
+  let pts = P.analyze prog in
+  Alcotest.(check bool) "s stays precise" false (P.collapsed pts "s");
+  Alcotest.(check bool) "field b exposed" true
+    (List.mem 1 (P.exposed_fields pts "s"))
+
 let () =
   Alcotest.run "pointsto"
     [
@@ -126,5 +247,19 @@ let () =
           Alcotest.test_case "extern escape" `Quick escape_to_extern_collapses;
           Alcotest.test_case "through calls" `Quick provenance_through_calls;
           Alcotest.test_case "mcf columns" `Quick roster_gap_between_columns;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "raw walk chain" `Quick chain_on_raw_walk;
+          Alcotest.test_case "struct-typed global" `Quick
+            chain_on_struct_typed_global;
+          Alcotest.test_case "through another field" `Quick
+            chain_through_other_structs_field;
+          Alcotest.test_case "relax vs points-to" `Quick
+            relax_accepts_but_pointsto_collapses;
+          Alcotest.test_case "precise means no chain" `Quick
+            no_chain_when_precise;
+          Alcotest.test_case "aliased anchor exposure" `Quick
+            exposed_fields_through_aliased_anchor;
         ] );
     ]

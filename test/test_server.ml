@@ -211,6 +211,8 @@ let codec_requests () =
          args = [];
          deadline_ms = None;
        });
+  roundtrip (P.Check { src = "z"; relax = false; deadline_ms = None });
+  roundtrip (P.Check { src = "z"; relax = true; deadline_ms = Some 100.0 });
   roundtrip P.Stats;
   roundtrip P.Shutdown;
   let bad name s =
@@ -239,6 +241,14 @@ let codec_replies () =
          b_speedup_pct = 54.5;
          b_plans = [ "peel f1_neuron: 8 pieces, 0 dead" ];
          b_cached = false;
+       });
+  roundtrip
+    (P.R_check
+       {
+         c_report = "demo.mc:3:7: error: [CSTF] ...";
+         c_sarif = "{\"version\": \"2.1.0\"}";
+         c_invalidating = 2;
+         c_cached = true;
        });
   roundtrip P.R_shutdown;
   roundtrip (P.R_error { code = P.Timeout; message = "deadline of 1ms expired" });
@@ -314,6 +324,51 @@ let e2e_bench () =
       (match Client.rpc conn (bench ~scheme:"spbo" src) with
       | P.R_bench b -> Alcotest.(check bool) "bench repeat is a hit" true b.b_cached
       | _ -> Alcotest.fail "bench repeat failed");
+      close conn)
+
+let e2e_check () =
+  with_server (fun ~connect ~close _socket ->
+      let conn = connect () in
+      let src =
+        "struct s { long a; long b; };\n\
+         struct s *p; long sink;\n\
+         int main() { long *raw;\n\
+         p = (struct s*)malloc(4 * sizeof(struct s));\n\
+         p->a = 1; p->b = 2;\n\
+         raw = (long*)p;\n\
+         sink = raw[1];\n\
+         return (int)(p->a + sink); }"
+      in
+      (match
+         Client.rpc conn (P.Check { src; relax = false; deadline_ms = None })
+       with
+      | P.R_check c ->
+        Alcotest.(check bool) "first check is a miss" false c.c_cached;
+        Alcotest.(check bool) "report carries a located CSTF" true
+          (Astring.String.is_infix ~affix:":6:" c.c_report
+          && Astring.String.is_infix ~affix:"CSTF" c.c_report);
+        Alcotest.(check bool) "sarif is 2.1.0" true
+          (Astring.String.is_infix ~affix:"\"2.1.0\"" c.c_sarif);
+        Alcotest.(check int) "the cast invalidates" 1 c.c_invalidating
+      | r -> Alcotest.failf "check failed: %s" (Json.to_string (P.json_of_reply r)));
+      (match
+         Client.rpc conn (P.Check { src; relax = false; deadline_ms = None })
+       with
+      | P.R_check c ->
+        Alcotest.(check bool) "repeat check is a hit" true c.c_cached
+      | _ -> Alcotest.fail "check repeat failed");
+      (* relax is part of the cache key and flips the verdict to the
+         points-to collapse *)
+      (match
+         Client.rpc conn (P.Check { src; relax = true; deadline_ms = None })
+       with
+      | P.R_check c ->
+        Alcotest.(check bool) "relax is a different key" false c.c_cached;
+        Alcotest.(check bool) "PTS finding surfaces" true
+          (Astring.String.is_infix ~affix:"PTS" c.c_report);
+        Alcotest.(check int) "points-to collapse invalidates" 1
+          c.c_invalidating
+      | _ -> Alcotest.fail "relaxed check failed");
       close conn)
 
 let e2e_structured_errors () =
@@ -452,6 +507,7 @@ let () =
         [
           Alcotest.test_case "advise + cache" `Quick e2e_advise_cached;
           Alcotest.test_case "bench + cache" `Quick e2e_bench;
+          Alcotest.test_case "check + cache" `Quick e2e_check;
           Alcotest.test_case "structured errors" `Quick e2e_structured_errors;
           Alcotest.test_case "deadline" `Quick e2e_deadline;
           Alcotest.test_case "connection limit" `Quick e2e_overloaded;
