@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz bench bench-smoke serve-smoke lint perf clean
+.PHONY: all build test fuzz bench bench-smoke accuracy serve-smoke lint perf clean
 
 # worker domains for the bench harness
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
@@ -20,8 +20,10 @@ bench:
 	dune exec bench/main.exe -- --jobs $(JOBS)
 
 # a fast slice for CI: Table 1 plus one Table 3 row under each VM
-# backend; the compare step fails if the walk and closure artifacts
-# disagree on anything but wall-clock
+# backend and each fidelity. The compare steps fail if the walk,
+# closure and superblock artifacts disagree on anything but wall-clock
+# (strict mode, equal fidelities), or if the sampled artifact strays
+# outside the accuracy bounds against the exact one (accuracy mode)
 bench-smoke:
 	dune exec bench/main.exe -- table1 --jobs 2 \
 	  --out _artifacts/BENCH-table1.json
@@ -29,8 +31,23 @@ bench-smoke:
 	  --backend walk --out _artifacts/BENCH-table3-walk.json
 	dune exec bench/main.exe -- table3 --only 179.art --jobs 2 \
 	  --backend closure --out _artifacts/BENCH-table3-smoke.json
+	dune exec bench/main.exe -- table3 --only 179.art --jobs 2 \
+	  --backend superblock --out _artifacts/BENCH-table3-superblock.json
+	dune exec bench/main.exe -- table3 --only 179.art --jobs 2 \
+	  --backend superblock --fidelity sampled \
+	  --out _artifacts/BENCH-table3-sampled.json
 	dune exec bench/compare.exe -- _artifacts/BENCH-table3-walk.json \
 	  _artifacts/BENCH-table3-smoke.json
+	dune exec bench/compare.exe -- _artifacts/BENCH-table3-smoke.json \
+	  _artifacts/BENCH-table3-superblock.json
+	dune exec bench/compare.exe -- _artifacts/BENCH-table3-smoke.json \
+	  _artifacts/BENCH-table3-sampled.json
+
+# the full-size roster accuracy gate: exact (closure) vs sampled
+# (superblock) across every Table 3 benchmark; per-row miss-rate
+# deltas, speedup signs and the ACCURACY.json artifact
+accuracy:
+	dune exec bench/accuracy.exe -- --jobs $(JOBS)
 
 # the advice daemon end to end: start it on a scratch socket, drive one
 # advise + one bench + stats through the CLI client, shut it down
@@ -63,15 +80,21 @@ lint:
 	_build/default/bin/slopt.exe check examples/check_demo.mc --roster \
 	  --golden ci/lint-golden.txt --sarif _artifacts/LINT.sarif
 
-# measure-phase speedup of the closure-compiled backend: the full
-# Table 3 under each backend, then the walk/closure wall-clock ratio
+# measure-phase speedup ladder: the full Table 3 under the walk,
+# closure-exact and superblock-sampled configurations, then the
+# walk/closure (strict) and closure/sampled (accuracy) ratios
 perf:
 	dune exec bench/main.exe -- table3 --jobs 1 \
 	  --backend walk --out _artifacts/BENCH-walk.json
 	dune exec bench/main.exe -- table3 --jobs 1 \
 	  --backend closure --out _artifacts/BENCH-closure.json
+	dune exec bench/main.exe -- table3 --jobs 1 \
+	  --backend superblock --fidelity sampled \
+	  --out _artifacts/BENCH-sampled.json
 	dune exec bench/compare.exe -- _artifacts/BENCH-walk.json \
 	  _artifacts/BENCH-closure.json
+	dune exec bench/compare.exe -- _artifacts/BENCH-closure.json \
+	  _artifacts/BENCH-sampled.json
 
 clean:
 	dune clean

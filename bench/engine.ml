@@ -9,6 +9,7 @@ module Table = Slo_util.Table
 module Json = Slo_util.Json
 module Pool = Slo_exec.Pool
 module Backend = Slo_vm.Backend
+module Sampled = Slo_cachesim.Sampled
 
 type timings = {
   t_compile_ms : float;
@@ -31,6 +32,7 @@ type record = {
   r_steps : (int * int) option;
   r_l1_misses : (int * int) option;
   r_l2_misses : (int * int) option;
+  r_accesses : (int * int) option;
   r_speedup_pct : float option;
   r_timings : timings;
 }
@@ -124,16 +126,19 @@ let reset_caches () =
 type run = {
   pool : Pool.t;
   run_backend : Backend.t;
+  run_fidelity : Sampled.fidelity;
   mutable recs : record list; (* reversed *)
   t_start : float;
 }
 
-let create_run ?(backend = Backend.default) ~jobs () =
-  { pool = Pool.create ~jobs; run_backend = backend; recs = [];
-    t_start = Unix.gettimeofday () }
+let create_run ?(backend = Backend.default) ?(fidelity = Sampled.Exact) ~jobs
+    () =
+  { pool = Pool.create ~jobs; run_backend = backend; run_fidelity = fidelity;
+    recs = []; t_start = Unix.gettimeofday () }
 
 let jobs run = Pool.jobs run.pool
 let backend run = run.run_backend
+let fidelity run = run.run_fidelity
 let records run = List.rev run.recs
 let push_record run r = run.recs <- r :: run.recs
 let finish run = Pool.shutdown run.pool
@@ -224,7 +229,7 @@ let table1 run ~roster =
             r_experiment = "table1"; r_benchmark = e.name; r_scheme = None;
             r_error = None; r_cycles = None; r_steps = None;
             r_l1_misses = None;
-            r_l2_misses = None; r_speedup_pct = None;
+            r_l2_misses = None; r_accesses = None; r_speedup_pct = None;
             r_timings =
               { no_timings with t_compile_ms = row.t1_compile_ms;
                 t_analyze_ms = row.t1_analyze_ms };
@@ -238,7 +243,8 @@ let table1 run ~roster =
             r_experiment = "table1"; r_benchmark = e.name; r_scheme = None;
             r_error = Some err.err_exn; r_cycles = None; r_steps = None;
             r_l1_misses = None;
-            r_l2_misses = None; r_speedup_pct = None; r_timings = no_timings;
+            r_l2_misses = None; r_accesses = None; r_speedup_pct = None;
+            r_timings = no_timings;
           })
     futures;
   Table.add_sep t;
@@ -270,11 +276,12 @@ type t3_row = {
   t3_steps : int * int;
   t3_l1 : int * int;
   t3_l2 : int * int;
+  t3_accesses : int * int;
   t3_mismatch : bool;
   t3_timings : timings;
 }
 
-let t3_job ~backend (e : Suite.entry) scheme () =
+let t3_job ~backend ~fidelity (e : Suite.entry) scheme () =
   let prog, t_compile = compile e in
   let feedback, t_profile =
     if W.needs_profile scheme then begin
@@ -283,7 +290,10 @@ let t3_job ~backend (e : Suite.entry) scheme () =
     end
     else (None, 0.0)
   in
-  let ev = D.evaluate ~args:e.ref_args ~verify:true ~backend ~scheme ~feedback prog in
+  let ev =
+    D.evaluate ~args:e.ref_args ~verify:true ~backend ~fidelity ~scheme
+      ~feedback prog
+  in
   let transformed =
     List.length
       (List.filter (fun (d : H.decision) -> d.d_plan <> None) ev.e_decisions)
@@ -308,6 +318,7 @@ let t3_job ~backend (e : Suite.entry) scheme () =
     t3_steps = (ev.e_before.m_result.steps, ev.e_after.m_result.steps);
     t3_l1 = (ev.e_before.m_l1_misses, ev.e_after.m_l1_misses);
     t3_l2 = (ev.e_before.m_l2_misses, ev.e_after.m_l2_misses);
+    t3_accesses = (ev.e_before.m_accesses, ev.e_after.m_accesses);
     t3_mismatch = ev.e_before.m_result.output <> ev.e_after.m_result.output;
     t3_timings =
       {
@@ -343,7 +354,9 @@ let table3 run ~roster =
       (fun (e, scheme, label) ->
         progress "(evaluating %s [%s]...)" e.Suite.name label;
         ( e, scheme, label,
-          Pool.submit run.pool (t3_job ~backend:run.run_backend e scheme) ))
+          Pool.submit run.pool
+            (t3_job ~backend:run.run_backend ~fidelity:run.run_fidelity e
+               scheme) ))
       units
   in
   let warnings = ref [] in
@@ -375,6 +388,7 @@ let table3 run ~roster =
             r_cycles = Some row.t3_cycles; r_steps = Some row.t3_steps;
             r_l1_misses = Some row.t3_l1;
             r_l2_misses = Some row.t3_l2;
+            r_accesses = Some row.t3_accesses;
             r_speedup_pct = Some row.t3_speedup_pct;
             r_timings = row.t3_timings;
           }
@@ -390,7 +404,7 @@ let table3 run ~roster =
             r_experiment = "table3"; r_benchmark = e.name;
             r_scheme = Some (W.name scheme); r_error = Some err.err_exn;
             r_cycles = None; r_steps = None; r_l1_misses = None;
-            r_l2_misses = None;
+            r_l2_misses = None; r_accesses = None;
             r_speedup_pct = None; r_timings = no_timings;
           })
     futures;
@@ -400,9 +414,10 @@ let table3 run ~roster =
      VM throughput so backend speedups are visible at a glance *)
   if !sum_measure_ms > 0.0 then
     Buffer.add_string buf
-      (Printf.sprintf "measure: %.1f Msteps/s [%s backend]\n"
+      (Printf.sprintf "measure: %.1f Msteps/s [%s backend, %s]\n"
          (float_of_int !sum_steps /. !sum_measure_ms /. 1000.0)
-         (Backend.to_string run.run_backend));
+         (Backend.to_string run.run_backend)
+         (Sampled.fidelity_name run.run_fidelity));
   List.iter
     (fun w -> Buffer.add_string buf (w ^ "\n"))
     (List.rev !warnings);
@@ -422,6 +437,7 @@ let json_of_record ?(with_timings = true) r =
   let stp_b, stp_a = json_of_pair r.r_steps in
   let l1_b, l1_a = json_of_pair r.r_l1_misses in
   let l2_b, l2_a = json_of_pair r.r_l2_misses in
+  let acc_b, acc_a = json_of_pair r.r_accesses in
   (* VM throughput of this row's measure phase; derived from a timing, so
      it is nulled alongside them under [~with_timings:false] *)
   let msteps =
@@ -441,6 +457,7 @@ let json_of_record ?(with_timings = true) r =
       ("steps_before", stp_b); ("steps_after", stp_a);
       ("l1_misses_before", l1_b); ("l1_misses_after", l1_a);
       ("l2_misses_before", l2_b); ("l2_misses_after", l2_a);
+      ("accesses_before", acc_b); ("accesses_after", acc_a);
       ("speedup_pct",
        match r.r_speedup_pct with Some p -> Json.Float p | None -> Json.Null);
       ("measure_msteps_per_s", msteps);
@@ -461,12 +478,22 @@ let git_rev () =
   with _ -> "unknown"
 
 let write_json run ~path =
+  let window, stride, skip =
+    match run.run_fidelity with
+    | Sampled.Exact -> (Json.Null, Json.Null, Json.Null)
+    | Sampled.Sampled { window; stride; skip } ->
+      (Json.Int window, Json.Int stride, Json.Int skip)
+  in
   let doc =
     Json.Obj
-      [ ("schema_version", Json.Int 2);
+      [ ("schema_version", Json.Int 3);
         ("tool", Json.String "slo-bench");
         ("git_rev", Json.String (git_rev ()));
         ("backend", Json.String (Backend.to_string run.run_backend));
+        ("fidelity", Json.String (Sampled.fidelity_name run.run_fidelity));
+        ("sampled_window", window);
+        ("sampled_stride", stride);
+        ("sampled_skip", skip);
         ("jobs", Json.Int (jobs run));
         ("wall_clock_s",
          Json.Float (Unix.gettimeofday () -. run.t_start));

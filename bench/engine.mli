@@ -28,6 +28,9 @@ type record = {
   r_steps : (int * int) option;        (** VM steps before, after *)
   r_l1_misses : (int * int) option;
   r_l2_misses : (int * int) option;
+  r_accesses : (int * int) option;
+      (** simulated accesses before, after — the denominator compare.exe
+          needs to turn miss counts into miss rates *)
   r_speedup_pct : float option;
   r_timings : timings;
 }
@@ -62,16 +65,27 @@ val reset_caches : unit -> unit
 
 type run
 
-val create_run : ?backend:Slo_vm.Backend.t -> jobs:int -> unit -> run
+val create_run :
+  ?backend:Slo_vm.Backend.t ->
+  ?fidelity:Slo_cachesim.Sampled.fidelity ->
+  jobs:int ->
+  unit ->
+  run
 (** Start a run backed by a fresh pool of [jobs] worker domains.
     [backend] selects the VM engine for every measurement run (default
-    {!Slo_vm.Backend.default}, the closure-compiled one); both backends
+    {!Slo_vm.Backend.default}, the closure-compiled one); all backends
     produce identical counters, so the choice only affects wall-clock
     speed — which the per-row [measure_msteps_per_s] and the table3
-    throughput summary make visible. *)
+    throughput summary make visible. [fidelity] (default exact) selects
+    the cache-simulation fidelity of every measurement
+    ({!Slo_core.Driver.measure}); sampled runs trade bounded counter
+    accuracy for measure-phase throughput, and [compare.exe] switches
+    to an accuracy report when diffing artifacts of different
+    fidelities. *)
 
 val jobs : run -> int
 val backend : run -> Slo_vm.Backend.t
+val fidelity : run -> Slo_cachesim.Sampled.fidelity
 
 val records : run -> record list
 (** All records accumulated so far, in submission order. *)

@@ -11,8 +11,15 @@
      --only NAME       restrict table1/table3 to this roster entry
                        (repeatable)
      --backend B       VM engine for the measurement runs: walk (the
-                       tree-walking reference) or closure (the
-                       closure-compiled engine; default)
+                       tree-walking reference), closure (the
+                       closure-compiled engine; default) or superblock
+                       (closure compilation + fused jump chains)
+     --fidelity F      cache-simulation fidelity: exact (default),
+                       sampled, sampled:WINDOW,STRIDE or
+                       sampled:WINDOW,STRIDE,SKIP — sampled runs simulate
+                       windows in detail and warm (or, with SKIP,
+                       fast-forward past) the rest, trading bounded
+                       counter accuracy for measure throughput
      --out FILE        where to write the machine-readable results
                        (default _artifacts/BENCH.json)
 
@@ -451,7 +458,8 @@ let timings () =
 let usage () =
   prerr_endline
     "usage: main.exe [TARGET...] [--jobs N|-j N] [--only NAME]\n\
-     \       [--backend walk|closure] [--out FILE]\n\
+     \       [--backend walk|closure|superblock]\n\
+     \       [--fidelity exact|sampled|sampled:W,S[,K]] [--out FILE]\n\
      targets: table1 table2 table3 figure1 figure2 ablation overhead\n\
      \         casestudies timings";
   exit 2
@@ -460,6 +468,7 @@ let () =
   let jobs = ref 1 in
   let only = ref [] in
   let backend = ref Slo_vm.Backend.default in
+  let fidelity = ref Slo_cachesim.Sampled.Exact in
   let out = ref (Filename.concat "_artifacts" "BENCH.json") in
   let targets = ref [] in
   let rec parse = function
@@ -470,13 +479,20 @@ let () =
       | _ ->
         Printf.eprintf "bad --jobs value %S\n" v;
         exit 2)
-    | [ "--jobs" ] | [ "-j" ] | [ "--only" ] | [ "--out" ] | [ "--backend" ] ->
+    | [ "--jobs" ] | [ "-j" ] | [ "--only" ] | [ "--out" ] | [ "--backend" ]
+    | [ "--fidelity" ] ->
       usage ()
     | "--backend" :: v :: rest -> (
       match Slo_vm.Backend.of_string v with
       | Some b -> backend := b; parse rest
       | None ->
-        Printf.eprintf "bad --backend value %S (walk|closure)\n" v;
+        Printf.eprintf "bad --backend value %S (walk|closure|superblock)\n" v;
+        exit 2)
+    | "--fidelity" :: v :: rest -> (
+      match Slo_cachesim.Sampled.fidelity_of_string v with
+      | Ok f -> fidelity := f; parse rest
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
         exit 2)
     | "--only" :: v :: rest -> only := v :: !only; parse rest
     | "--out" :: v :: rest -> out := v; parse rest
@@ -504,7 +520,9 @@ let () =
         names;
       List.filter (fun (e : Suite.entry) -> List.mem e.name names) Suite.roster
   in
-  let run = Engine.create_run ~backend:!backend ~jobs:!jobs () in
+  let run =
+    Engine.create_run ~backend:!backend ~fidelity:!fidelity ~jobs:!jobs ()
+  in
   let dispatch = function
     | "table1" -> table1 run roster
     | "table2" -> table2 ()

@@ -104,9 +104,34 @@ let backend_arg =
   Arg.(value & opt backend_conv Slo_vm.Backend.default
        & info [ "backend" ] ~docv:"BACKEND"
            ~doc:"VM execution engine: $(b,walk) (the tree-walking reference \
-                 interpreter) or $(b,closure) (the closure-compiled engine, \
-                 default). Both produce identical output and counters; only \
-                 wall-clock speed differs.")
+                 interpreter), $(b,closure) (the closure-compiled engine, \
+                 default) or $(b,superblock) (closure compilation with \
+                 unconditional-jump chains fused). All produce identical \
+                 output and counters; only wall-clock speed differs.")
+
+let fidelity_conv =
+  let parse s =
+    match Slo_cachesim.Sampled.fidelity_of_string s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (Slo_cachesim.Sampled.fidelity_name f)
+  in
+  Arg.conv (parse, print)
+
+let fidelity_arg =
+  Arg.(value & opt fidelity_conv Slo_cachesim.Sampled.Exact
+       & info [ "fidelity" ] ~docv:"FIDELITY"
+           ~doc:"Cache-simulation fidelity: $(b,exact) (every access \
+                 simulated; default), $(b,sampled) (detailed windows, the \
+                 rest warms cache state without counter work; bounded \
+                 counter error), $(b,sampled:WINDOW,STRIDE) to choose the \
+                 window geometry, or $(b,sampled:WINDOW,STRIDE,SKIP) to \
+                 also fast-forward past SKIP accesses per period (fastest, \
+                 biased — the accuracy gate only licenses the default). \
+                 Program output, exit code and step counts are exact in \
+                 every fidelity.")
 
 let parse_cmd =
   let run file verify =
@@ -210,9 +235,9 @@ let transform_cmd =
           $ verify_arg)
 
 let run_cmd =
-  let run file args backend =
+  let run file args backend fidelity =
     let prog = or_die (load file) in
-    let m = D.measure ~args ~backend prog in
+    let m = D.measure ~args ~backend ~fidelity prog in
     print_string m.m_result.output;
     Printf.printf
       "exit=%d steps=%d cycles=%d l1miss=%d l2miss=%d accesses=%d\n"
@@ -221,7 +246,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute under the Itanium-like cache simulator")
-    Term.(const run $ file_arg $ args_arg $ backend_arg)
+    Term.(const run $ file_arg $ args_arg $ backend_arg $ fidelity_arg)
 
 let jobs_arg =
   Arg.(value & opt int 1
@@ -230,7 +255,7 @@ let jobs_arg =
                  before/after measurement runs execute in parallel.")
 
 let bench_cmd =
-  let run file args profile scheme verify jobs backend =
+  let run file args profile scheme verify jobs backend fidelity =
     if jobs < 1 then begin
       prerr_endline "ERROR: --jobs must be >= 1";
       exit 2
@@ -240,7 +265,8 @@ let bench_cmd =
     let scheme = if feedback <> None then W.PBO else scheme in
     let ev =
       checked (fun () ->
-          D.evaluate ~args ~verify ~jobs ~backend ~scheme ~feedback prog)
+          D.evaluate ~args ~verify ~jobs ~backend ~fidelity ~scheme ~feedback
+            prog)
     in
     List.iter
       (fun (d : H.decision) ->
@@ -258,7 +284,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Measure original vs transformed program")
     Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg
-          $ verify_arg $ jobs_arg $ backend_arg)
+          $ verify_arg $ jobs_arg $ backend_arg $ fidelity_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check: source-located diagnostics and SARIF export                  *)

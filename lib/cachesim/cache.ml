@@ -72,6 +72,37 @@ let access t ~addr ~write:_ =
     false
   end
 
+(* [access] without statistics: tags, stamps and tick move exactly as
+   they would under [access], but hit/miss counters stay put. This is
+   the sampled simulator's fast-forward warming — state stays current
+   while the window counters are not diluted by unrecorded traffic. *)
+let touch t ~addr ~write:_ =
+  let line_no = addr lsr t.line_shift in
+  let set, tag =
+    if t.set_shift >= 0 then (line_no land t.set_mask, line_no lsr t.set_shift)
+    else (line_no mod t.nsets, line_no / t.nsets)
+  in
+  let base = set * t.assoc in
+  let tick = t.tick + 1 in
+  t.tick <- tick;
+  let tags = t.tags in
+  let lim = base + t.assoc in
+  let i = ref base in
+  while !i < lim && Array.unsafe_get tags !i <> tag do incr i done;
+  if !i < lim then begin
+    Array.unsafe_set t.stamps !i tick;
+    true
+  end
+  else begin
+    let victim = ref base in
+    for w = base + 1 to lim - 1 do
+      if t.stamps.(w) < t.stamps.(!victim) then victim := w
+    done;
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- tick;
+    false
+  end
+
 let line_size t = t.line
 let line_shift t = t.line_shift
 let name t = t.cname

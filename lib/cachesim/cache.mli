@@ -17,6 +17,14 @@ val access : t -> addr:int -> write:bool -> bool
     address space); set indexing is shift/mask on power-of-two
     geometries, with a divide fallback for odd set counts. *)
 
+val touch : t -> addr:int -> write:bool -> bool
+(** {!access} minus the statistics: updates tags, LRU stamps and the
+    internal tick exactly like {!access} and returns the same hit bool,
+    but leaves the hit/miss counters untouched. The sampled simulator
+    warms cache state with this during fast-forward so that detailed
+    windows start warm without unrecorded traffic diluting the
+    counters. *)
+
 val line_size : t -> int
 
 val line_shift : t -> int

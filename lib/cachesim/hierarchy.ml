@@ -182,6 +182,32 @@ let access_quiet t ~addr ~size ~write ~is_float =
     end
   end
 
+(* warm every line of [addr, addr+size) in cache [c] without recording
+   statistics; hit only if all lines hit (mirrors [touch]) *)
+let warm_range c ~addr ~size ~write =
+  let line = Cache.line_size c in
+  let first = addr / line and last = (addr + max size 1 - 1) / line in
+  let all_hit = ref true in
+  for l = first to last do
+    if not (Cache.touch c ~addr:(l * line) ~write) then all_hit := false
+  done;
+  !all_hit
+
+let warm t ~addr ~size ~write ~is_float =
+  if is_float && t.fpb then ignore (warm_range t.c2 ~addr ~size ~write)
+  else begin
+    let sh = t.shift1 in
+    let first = addr lsr sh and last = (addr + max size 1 - 1) lsr sh in
+    (* same descent rule as [access_quiet]: only L1-missing lines reach
+       L2, so fast-forward traffic perturbs L2 LRU state exactly as the
+       recorded simulation would *)
+    for l = first to last do
+      if not (Cache.touch t.c1 ~addr:(l lsl sh) ~write) then
+        ignore
+          (warm_range t.c2 ~addr:(l lsl sh) ~size:(Cache.line_size t.c1) ~write)
+    done
+  end
+
 let extra_cycles t = t.extra
 let l1 t = t.c1
 let l2 t = t.c2

@@ -56,6 +56,13 @@ val access_quiet : t -> addr:int -> size:int -> write:bool -> is_float:bool -> u
 (** {!access} for callers that only want the counters updated (the plain
     measurement hook) — avoids building the result on the hot path. *)
 
+val warm : t -> addr:int -> size:int -> write:bool -> is_float:bool -> unit
+(** Update cache state — tags and LRU, in both levels, following the
+    exact same line-descent rules as {!access} — without recording
+    anything: no hit/miss counters, no access counts, no extra cycles.
+    This is what the sampled simulator ({!Sampled}) does to accesses in
+    the warm-up segment before each detailed window. *)
+
 val extra_cycles : t -> int
 (** Accumulated latency beyond the base cycle of each access. *)
 

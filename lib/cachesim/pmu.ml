@@ -9,7 +9,11 @@ type t = {
 
 let create ?(period = 251) ?(phase = 0) () =
   if period <= 0 then invalid_arg "Pmu.create: period must be positive";
-  { period; counter = phase mod period; events = 0; table = Hashtbl.create 64 }
+  (* OCaml's [mod] keeps the dividend's sign, so a negative phase would
+     leave a negative counter and silently stretch the first sampling
+     period; normalize into [0, period) for any phase *)
+  let counter = ((phase mod period) + period) mod period in
+  { period; counter; events = 0; table = Hashtbl.create 64 }
 
 let record t ~iid ~level ~latency ~is_float =
   let is_miss =

@@ -22,7 +22,10 @@ type t
 
 val create : ?period:int -> ?phase:int -> unit -> t
 (** Default [period] is 251 (prime, avoids resonance with loop trip
-    counts), default [phase] 0. *)
+    counts), default [phase] 0. Any [phase] — negative or larger than
+    the period — is normalized into [0, period), so [~phase:(-3)] and
+    [~phase:(period - 3)] sample the same events. Raises
+    [Invalid_argument] on a non-positive period. *)
 
 val record :
   t -> iid:int -> level:Hierarchy.level -> latency:int -> is_float:bool -> unit

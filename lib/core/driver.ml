@@ -1,6 +1,7 @@
 module Interp = Slo_vm.Interp
 module Backend = Slo_vm.Backend
 module Hierarchy = Slo_cachesim.Hierarchy
+module Sampled = Slo_cachesim.Sampled
 module Weights = Slo_profile.Weights
 module Feedback = Slo_profile.Feedback
 module Pool = Slo_exec.Pool
@@ -36,20 +37,48 @@ let compile ?(verify = false) source =
   prog
 
 let measure ?(args = []) ?(config = Hierarchy.itanium)
-    ?(backend = Backend.default) (prog : Ir.program) : measurement =
-  let hier = Hierarchy.create config in
-  let mem_hook addr size write is_float _iid =
-    Hierarchy.access_quiet hier ~addr ~size ~write ~is_float
-  in
-  let vm = Backend.create ~mem_hook backend prog in
-  let result = Backend.run ~args vm in
-  {
-    m_result = result;
-    m_cycles = result.steps + Hierarchy.extra_cycles hier;
-    m_l1_misses = Slo_cachesim.Cache.misses (Hierarchy.l1 hier);
-    m_l2_misses = Slo_cachesim.Cache.misses (Hierarchy.l2 hier);
-    m_accesses = Hierarchy.accesses hier;
-  }
+    ?(backend = Backend.default) ?(fidelity = Sampled.Exact)
+    (prog : Ir.program) : measurement =
+  match Sampled.of_fidelity config fidelity with
+  | None ->
+    let hier = Hierarchy.create config in
+    let mem_hook addr size write is_float _iid =
+      Hierarchy.access_quiet hier ~addr ~size ~write ~is_float
+    in
+    let vm = Backend.create ~mem_hook backend prog in
+    let result = Backend.run ~args vm in
+    {
+      m_result = result;
+      m_cycles = result.steps + Hierarchy.extra_cycles hier;
+      m_l1_misses = Slo_cachesim.Cache.misses (Hierarchy.l1 hier);
+      m_l2_misses = Slo_cachesim.Cache.misses (Hierarchy.l2 hier);
+      m_accesses = Hierarchy.accesses hier;
+    }
+  | Some smp ->
+    (* sampled: detailed windows feed the hierarchy, the rest warms or
+       skips, and the miss / cycle counters are window measurements
+       scaled to the full run. The bulk hook — O(1) fast-forward per
+       block — is only worth wiring up when the fidelity actually has a
+       skip segment; with the default full-warming layout it could never
+       accept, and its mere presence forces dual-body compilation *)
+    let mem_hook addr size write is_float _iid =
+      Sampled.access smp ~addr ~size ~write ~is_float
+    in
+    let vm =
+      match fidelity with
+      | Sampled.Sampled { skip; _ } when skip > 0 ->
+        let bulk_hook n = Sampled.try_advance smp n in
+        Backend.create ~mem_hook ~bulk_hook backend prog
+      | _ -> Backend.create ~mem_hook backend prog
+    in
+    let result = Backend.run ~args vm in
+    {
+      m_result = result;
+      m_cycles = result.steps + Sampled.est_extra_cycles smp;
+      m_l1_misses = Sampled.est_l1_misses smp;
+      m_l2_misses = Sampled.est_l2_misses smp;
+      m_accesses = Sampled.total_accesses smp;
+    }
 
 let analyze (prog : Ir.program) ~scheme ~feedback =
   let leg = Legality.analyze prog in
@@ -79,8 +108,9 @@ let timed f =
   (r, (Unix.gettimeofday () -. t0) *. 1000.0)
 
 let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold
-    ?(verify = false) ?(jobs = 1) ?(backend = Backend.default) ~scheme
-    ~feedback (prog : Ir.program) : evaluation =
+    ?(verify = false) ?(jobs = 1) ?(backend = Backend.default)
+    ?(fidelity = Sampled.Exact) ~scheme ~feedback (prog : Ir.program) :
+    evaluation =
   let (leg, aff), t_an = timed (fun () -> analyze prog ~scheme ~feedback) in
   let decisions, t_dec =
     timed (fun () -> Heuristics.decide ?threshold prog leg aff ~scheme)
@@ -95,19 +125,20 @@ let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold
           (* the two measurement runs are independent; overlap them *)
           let pool = Pool.create ~jobs:2 in
           let fb =
-            Pool.submit pool (fun () -> measure ~args ~config ~backend prog)
+            Pool.submit pool (fun () ->
+                measure ~args ~config ~backend ~fidelity prog)
           in
           let fa =
             Pool.submit pool (fun () ->
-                measure ~args ~config ~backend transformed)
+                measure ~args ~config ~backend ~fidelity transformed)
           in
           let before = Pool.await_exn fb and after = Pool.await_exn fa in
           Pool.shutdown pool;
           (before, after)
         end
         else
-          ( measure ~args ~config ~backend prog,
-            measure ~args ~config ~backend transformed ))
+          ( measure ~args ~config ~backend ~fidelity prog,
+            measure ~args ~config ~backend ~fidelity transformed ))
   in
   {
     e_before = before;

@@ -43,12 +43,22 @@ val measure :
   ?args:int list ->
   ?config:Slo_cachesim.Hierarchy.config ->
   ?backend:Slo_vm.Backend.t ->
+  ?fidelity:Slo_cachesim.Sampled.fidelity ->
   Ir.program ->
   measurement
 (** Run under the cache hierarchy and report cycles/miss counters.
     [backend] selects the VM engine (default {!Slo_vm.Backend.default},
-    the closure-compiled one); both backends yield identical
-    measurements, the choice only affects wall-clock speed. *)
+    the closure-compiled one); all backends yield identical
+    measurements, the choice only affects wall-clock speed.
+
+    [fidelity] (default [Exact]) selects full-trace simulation or
+    {!Slo_cachesim.Sampled} windows with fast-forward in between. Under
+    [Sampled] the miss and cycle numbers are estimates (window counters
+    scaled to the whole run, with accuracy bounds pinned by the roster
+    accuracy harness); [m_result] — output, exit code, steps — is exact
+    in every fidelity. The sampler's bulk fast path pairs best with the
+    [Superblock] backend, which retires a whole fused chain's accesses
+    per consultation. *)
 
 val analyze :
   Ir.program ->
@@ -70,6 +80,7 @@ val evaluate :
   ?verify:bool ->
   ?jobs:int ->
   ?backend:Slo_vm.Backend.t ->
+  ?fidelity:Slo_cachesim.Sampled.fidelity ->
   scheme:Slo_profile.Weights.scheme ->
   feedback:Slo_profile.Feedback.t option ->
   Ir.program ->
@@ -77,9 +88,12 @@ val evaluate :
 (** Full pipeline on an already-compiled program. With [~jobs] > 1
     (default 1) the before/after measurement runs execute on two worker
     domains in parallel; [backend] selects the VM engine used for both
-    measurement runs (default the closure-compiled one). Raises [Invalid_argument] if a profile-based
-    scheme is given no feedback, and {!Verify.Ill_formed} if
-    [~verify:true] and the transformed IR is malformed. *)
+    measurement runs (default the closure-compiled one) and [fidelity]
+    their simulation fidelity (default exact — see {!measure}; sampled
+    fidelity affects only the measurement numbers, never the analysis
+    or the transformation). Raises [Invalid_argument] if a
+    profile-based scheme is given no feedback, and {!Verify.Ill_formed}
+    if [~verify:true] and the transformed IR is malformed. *)
 
 val speedup_pct : before:measurement -> after:measurement -> float
 (** [(cycles_before / cycles_after - 1) * 100]. Raises

@@ -164,24 +164,27 @@ let run_source ?args ?check_accesses source plans : report =
 (* Backend equivalence                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* The same differential idea turned on the VM itself: the
-   closure-compiled engine is only trusted because every program run
-   under both backends produces byte-identical output, identical step
-   counts and an identical cache-event stream (same L1/L2 hit+miss
-   counters, same level distribution, same extra cycles). *)
+(* The same differential idea turned on the VM itself: each fast engine
+   (plain closure compilation, superblock fusion) is only trusted
+   because every program run under it and under the tree-walking
+   reference produces byte-identical output, identical step counts and
+   an identical cache-event stream (same L1/L2 hit+miss counters, same
+   level distribution, same extra cycles). *)
 
 type backend_mismatch =
-  | B_exit of int * int
-  | B_output of string * string
-  | B_counter of string * int * int  (** counter name, walk, closure *)
+  | B_exit of Backend.t * int * int
+  | B_output of Backend.t * string * string
+  | B_counter of Backend.t * string * int * int
 
-let string_of_backend_mismatch = function
-  | B_exit (w, c) ->
-    Printf.sprintf "exit code differs: walk %d, closure %d" w c
-  | B_output (w, c) ->
-    Printf.sprintf "output differs:\n--- walk ---\n%s--- closure ---\n%s" w c
-  | B_counter (name, w, c) ->
-    Printf.sprintf "%s differs: walk %d, closure %d" name w c
+let string_of_backend_mismatch =
+  let n = Backend.to_string in
+  function
+  | B_exit (b, w, c) ->
+    Printf.sprintf "exit code differs: walk %d, %s %d" w (n b) c
+  | B_output (b, w, c) ->
+    Printf.sprintf "output differs:\n--- walk ---\n%s--- %s ---\n%s" w (n b) c
+  | B_counter (b, name, w, c) ->
+    Printf.sprintf "%s differs: walk %d, %s %d" name w (n b) c
 
 let measured_run backend ~args ~config (prog : Ir.program) =
   let hier = Hierarchy.create config in
@@ -191,31 +194,43 @@ let measured_run backend ~args ~config (prog : Ir.program) =
   let vm = Backend.create ~mem_hook backend prog in
   (Backend.run ~args vm, hier)
 
+let candidates = List.filter (fun b -> b <> Backend.Walk) Backend.all
+
 let compare_backends ?(args = []) ?(config = Hierarchy.itanium)
     (prog : Ir.program) : backend_mismatch list =
   let rw, hw = measured_run Backend.Walk ~args ~config prog in
-  let rc, hc = measured_run Backend.Closure ~args ~config prog in
   let ms = ref [] in
   let push m = ms := m :: !ms in
-  if rw.Interp.exit_code <> rc.Interp.exit_code then
-    push (B_exit (rw.Interp.exit_code, rc.Interp.exit_code));
-  if not (String.equal rw.Interp.output rc.Interp.output) then
-    push (B_output (rw.Interp.output, rc.Interp.output));
-  let counter name w c = if w <> c then push (B_counter (name, w, c)) in
-  counter "steps" rw.Interp.steps rc.Interp.steps;
-  counter "accesses" (Hierarchy.accesses hw) (Hierarchy.accesses hc);
-  counter "L1 hits" (Cache.hits (Hierarchy.l1 hw)) (Cache.hits (Hierarchy.l1 hc));
-  counter "L1 misses" (Cache.misses (Hierarchy.l1 hw))
-    (Cache.misses (Hierarchy.l1 hc));
-  counter "L2 hits" (Cache.hits (Hierarchy.l2 hw)) (Cache.hits (Hierarchy.l2 hc));
-  counter "L2 misses" (Cache.misses (Hierarchy.l2 hw))
-    (Cache.misses (Hierarchy.l2 hc));
-  let w1, w2, wm = Hierarchy.level_counts hw in
-  let c1, c2, cm = Hierarchy.level_counts hc in
-  counter "accesses served by L1" w1 c1;
-  counter "accesses served by L2" w2 c2;
-  counter "accesses served by memory" wm cm;
-  counter "extra cycles" (Hierarchy.extra_cycles hw) (Hierarchy.extra_cycles hc);
+  List.iter
+    (fun b ->
+      let rc, hc = measured_run b ~args ~config prog in
+      if rw.Interp.exit_code <> rc.Interp.exit_code then
+        push (B_exit (b, rw.Interp.exit_code, rc.Interp.exit_code));
+      if not (String.equal rw.Interp.output rc.Interp.output) then
+        push (B_output (b, rw.Interp.output, rc.Interp.output));
+      let counter name w c = if w <> c then push (B_counter (b, name, w, c)) in
+      counter "steps" rw.Interp.steps rc.Interp.steps;
+      counter "accesses" (Hierarchy.accesses hw) (Hierarchy.accesses hc);
+      counter "L1 hits"
+        (Cache.hits (Hierarchy.l1 hw))
+        (Cache.hits (Hierarchy.l1 hc));
+      counter "L1 misses"
+        (Cache.misses (Hierarchy.l1 hw))
+        (Cache.misses (Hierarchy.l1 hc));
+      counter "L2 hits"
+        (Cache.hits (Hierarchy.l2 hw))
+        (Cache.hits (Hierarchy.l2 hc));
+      counter "L2 misses"
+        (Cache.misses (Hierarchy.l2 hw))
+        (Cache.misses (Hierarchy.l2 hc));
+      let w1, w2, wm = Hierarchy.level_counts hw in
+      let c1, c2, cm = Hierarchy.level_counts hc in
+      counter "accesses served by L1" w1 c1;
+      counter "accesses served by L2" w2 c2;
+      counter "accesses served by memory" wm cm;
+      counter "extra cycles" (Hierarchy.extra_cycles hw)
+        (Hierarchy.extra_cycles hc))
+    candidates;
   List.rev !ms
 
 let backends_agree ?args ?config prog =

@@ -60,17 +60,18 @@ val run_source :
 
 (** {1 Backend equivalence}
 
-    The same differential idea turned on the VM itself: the
-    closure-compiled engine ({!Slo_vm.Compile}) is pinned to the
-    tree-walking reference ({!Slo_vm.Interp}) — byte-identical output,
-    identical step counts, and an identical cache-simulation outcome
-    (L1/L2 hit and miss counters, per-level access counts, extra
-    cycles) under the same hierarchy configuration. *)
+    The same differential idea turned on the VM itself: every fast
+    engine ({!Slo_vm.Compile}, plain and superblock-fused) is pinned to
+    the tree-walking reference ({!Slo_vm.Interp}) — byte-identical
+    output, identical step counts, and an identical cache-simulation
+    outcome (L1/L2 hit and miss counters, per-level access counts,
+    extra cycles) under the same hierarchy configuration. *)
 
 type backend_mismatch =
-  | B_exit of int * int  (** walk, closure *)
-  | B_output of string * string  (** walk, closure *)
-  | B_counter of string * int * int  (** counter name, walk, closure *)
+  | B_exit of Slo_vm.Backend.t * int * int  (** candidate, walk, candidate *)
+  | B_output of Slo_vm.Backend.t * string * string
+  | B_counter of Slo_vm.Backend.t * string * int * int
+      (** candidate, counter name, walk value, candidate value *)
 
 val string_of_backend_mismatch : backend_mismatch -> string
 
@@ -79,10 +80,12 @@ val compare_backends :
   ?config:Slo_cachesim.Hierarchy.config ->
   Ir.program ->
   backend_mismatch list
-(** Run [prog] once under each backend with the cache-measurement hook
-    attached and report every observable difference (empty list = the
-    backends agree). Runtime errors propagate — both backends raise the
-    same {!Slo_vm.Interp.Runtime_error} on the same programs. *)
+(** Run [prog] once under the walk reference and once under each fast
+    backend ({!Slo_vm.Backend.all} minus [Walk]) with the
+    cache-measurement hook attached, and report every observable
+    difference (empty list = all backends agree). Runtime errors
+    propagate — all backends raise the same
+    {!Slo_vm.Interp.Runtime_error} on the same programs. *)
 
 val backends_agree :
   ?args:int list ->

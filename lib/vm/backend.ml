@@ -1,38 +1,54 @@
 (* The execution-backend selector.
 
    [Walk] is the tree-walking reference interpreter ({!Interp});
-   [Closure] is the closure-compiled engine ({!Compile}). They are
-   observationally identical — same output bytes, step counts, hook
-   event streams and error messages — which the differential tests
-   enforce, so [Closure] is the default everywhere speed matters and
-   [Walk] remains the semantic baseline the fast path is checked
+   [Closure] is the closure-compiled engine ({!Compile}); [Superblock]
+   is the same engine with straight-line jump chains fused into
+   superblocks. All three are observationally identical — same output
+   bytes, step counts, hook event streams and error messages — which
+   the differential tests enforce, so [Closure] is the default
+   everywhere speed matters, [Superblock] is the measure-phase racer,
+   and [Walk] remains the semantic baseline the fast paths are checked
    against. *)
 
 exception Runtime_error = Rt.Runtime_error
 
 type result = Rt.result = { exit_code : int; output : string; steps : int }
 
-type t = Walk | Closure
+type t = Walk | Closure | Superblock
 
 let default = Closure
-let all = [ Walk; Closure ]
-let to_string = function Walk -> "walk" | Closure -> "closure"
+let all = [ Walk; Closure; Superblock ]
+
+let to_string = function
+  | Walk -> "walk"
+  | Closure -> "closure"
+  | Superblock -> "superblock"
 
 let of_string = function
   | "walk" -> Some Walk
   | "closure" -> Some Closure
+  | "superblock" -> Some Superblock
   | _ -> None
 
 type vm = Vwalk of Interp.t | Vclosure of Compile.t
 
-let create ?mem_hook ?edge_hook ?max_steps backend prog =
+let create ?mem_hook ?edge_hook ?bulk_hook ?max_steps backend prog =
   match backend with
-  | Walk -> Vwalk (Interp.create ?mem_hook ?edge_hook ?max_steps prog)
-  | Closure -> Vclosure (Compile.create ?mem_hook ?edge_hook ?max_steps prog)
+  | Walk ->
+    (* the walker has no bulk fast path; ignoring the hook is sound
+       because a bulk advance is defined as equivalent to the same
+       accesses fed one at a time *)
+    Vwalk (Interp.create ?mem_hook ?edge_hook ?max_steps prog)
+  | Closure ->
+    Vclosure (Compile.create ?mem_hook ?edge_hook ?bulk_hook ?max_steps prog)
+  | Superblock ->
+    Vclosure
+      (Compile.create ?mem_hook ?edge_hook ?bulk_hook ~superblock:true
+         ?max_steps prog)
 
 let run ?args = function
   | Vwalk vm -> Interp.run ?args vm
   | Vclosure vm -> Compile.run ?args vm
 
-let run_program ?mem_hook ?edge_hook ?max_steps ?args backend prog =
-  run ?args (create ?mem_hook ?edge_hook ?max_steps backend prog)
+let run_program ?mem_hook ?edge_hook ?bulk_hook ?max_steps ?args backend prog =
+  run ?args (create ?mem_hook ?edge_hook ?bulk_hook ?max_steps backend prog)

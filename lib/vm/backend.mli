@@ -1,11 +1,14 @@
 (** Execution-backend selector: the tree-walking reference interpreter
-    ({!Interp}) versus the closure-compiled engine ({!Compile}).
+    ({!Interp}) versus the closure-compiled engine ({!Compile}), plain
+    or with superblock fusion.
 
-    The two backends are observationally identical — byte-identical
-    output, identical step counts, identical hook event streams (and
-    therefore identical cache-simulation counters) — a property pinned
-    by the differential tests. [Closure] is the default; [Walk] is the
-    semantic baseline. *)
+    All backends are observationally identical — byte-identical output,
+    identical step counts, identical hook event streams (and therefore
+    identical cache-simulation counters) — a property pinned by the
+    differential tests. [Closure] is the default; [Walk] is the
+    semantic baseline; [Superblock] fuses unconditional-jump chains,
+    address-producing instructions into the loads/stores consuming
+    them, and block tails into terminators — the fastest engine. *)
 
 exception Runtime_error of string
 
@@ -15,7 +18,7 @@ type result = Rt.result = {
   steps : int;
 }
 
-type t = Walk | Closure
+type t = Walk | Closure | Superblock
 
 val default : t
 (** [Closure]. *)
@@ -23,7 +26,7 @@ val default : t
 val all : t list
 
 val to_string : t -> string
-(** ["walk"] / ["closure"] — the CLI spelling. *)
+(** ["walk"] / ["closure"] / ["superblock"] — the CLI spelling. *)
 
 val of_string : string -> t option
 
@@ -32,16 +35,23 @@ type vm
 val create :
   ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
   ?edge_hook:(string -> int -> int -> unit) ->
+  ?bulk_hook:(int -> bool) ->
   ?max_steps:int ->
   t ->
   Ir.program ->
   vm
+(** [bulk_hook] (see {!Compile.create}) lets a sampled-measurement
+    consumer retire a whole block's accesses in O(1); the [Walk]
+    backend ignores it (always per-access), which is sound because a
+    successful bulk advance is defined as equivalent to feeding the
+    same accesses one at a time. *)
 
 val run : ?args:int list -> vm -> result
 
 val run_program :
   ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
   ?edge_hook:(string -> int -> int -> unit) ->
+  ?bulk_hook:(int -> bool) ->
   ?max_steps:int ->
   ?args:int list ->
   t ->

@@ -27,7 +27,22 @@
    same totals and the same step-limit failures). Compile-time name
    resolution failures are not reported eagerly: an unknown global or
    local compiles to a closure that raises the interpreter's exact
-   error if (and only if) the instruction is actually executed. *)
+   error if (and only if) the instruction is actually executed.
+
+   Two optional accelerations on top of the closure core:
+
+   - [superblock]: fuse straight-line Tjmp chains into single fused
+     blocks (see [fuse_superblocks]), fuse address-producing
+     instructions (fieldaddr/ptradd/addr-of) into the load or store
+     addressing through them, and fold each block's last body thunk
+     into its terminator — fewer closure dispatches per executed
+     instruction at identical observable semantics (the IR-derived
+     step totals included);
+   - [bulk_hook]: blocks with a statically known mem-hook event count
+     carry a second, hook-free compilation of their body; when the bulk
+     hook accepts the block's event count the fast body runs instead,
+     so a sampler fast-forwarding past a detailed window pays O(1) per
+     (super)block instead of O(accesses). *)
 
 exception Runtime_error = Rt.Runtime_error
 
@@ -40,12 +55,20 @@ let error = Rt.error
 (* per-activation state: frame base plus the two register banks *)
 type frame = { fb : int; ir : int array; fr : float array }
 
-(* a compiled basic block *)
+(* a compiled basic block — or, under the superblock variant, a fused
+   chain of Tjmp-linked blocks *)
 type bcode = {
-  bc_steps : int;  (* instruction count + 1 for the terminator *)
+  bc_steps : int;  (* instruction count + 1 per constituent terminator *)
   bc_body : (frame -> unit) array;
   bc_term : frame -> int;  (* successor block id, or -1 to return *)
   bc_ret : frame -> retval;  (* only consulted when bc_term yields -1 *)
+  bc_events : int;
+    (* statically known mem-hook events of the body, or -1 when the
+       count is dynamic (calls nest events, memset/memcpy lengths are
+       runtime values) or the bulk fast path is disabled *)
+  bc_fast : (frame -> unit) array;
+    (* the same body compiled without the mem hook; executed instead of
+       [bc_body] when the bulk hook consumes all [bc_events] accesses *)
 }
 
 (* a compiled function; fields are filled in two passes (signature-level
@@ -54,7 +77,8 @@ type bcode = {
 type fcode = {
   fc_name : string;
   mutable fc_entry : int;
-  mutable fc_nregs : int;
+  mutable fc_ni : int;  (* integer-bank registers (max used index + 1) *)
+  mutable fc_nf : int;  (* float-bank registers *)
   mutable fc_frame_size : int;
   mutable fc_blocks : bcode array;
   mutable fc_bind : argval list -> int -> unit;  (* generic binder *)
@@ -74,6 +98,12 @@ type t = {
   max_steps : int;
   mem_hook : (int -> int -> bool -> bool -> int -> unit) option;
   edge_hook : (string -> int -> int -> unit) option;
+  bulk : int -> bool;
+    (* [bulk n]: consume [n] upcoming accesses cheaply (true) or fall
+       back to per-access hook calls (false); constantly false unless a
+       [bulk_hook] was supplied at [create] time *)
+  bulk_on : bool;  (* a bulk hook AND a mem hook were supplied *)
+  sb : bool;  (* fuse Tjmp chains into superblocks *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -83,12 +113,18 @@ type t = {
 let exec_fcode t (fc : fcode) (frame : frame) : retval =
   let blocks = fc.fc_blocks in
   let max_steps = t.max_steps in
+  let bulk = t.bulk in
   let rec go bid =
     let bc = blocks.(bid) in
     let s = t.steps + bc.bc_steps in
     t.steps <- s;
     if s > max_steps then error "step limit exceeded";
-    let body = bc.bc_body in
+    (* retire the whole block's accesses through the bulk hook when it
+       accepts them (sampled fast-forward), and run the hook-free body;
+       [bc_events] is -1 whenever that would be unsound *)
+    let body =
+      if bc.bc_events > 0 && bulk bc.bc_events then bc.bc_fast else bc.bc_body
+    in
     for k = 0 to Array.length body - 1 do
       (Array.unsafe_get body k) frame
     done;
@@ -107,8 +143,8 @@ let call_generic t (fc : fcode) (args : argval list) : retval =
   fc.fc_bind args frame_base;
   fc.fc_entry_hook ();
   let frame =
-    { fb = frame_base; ir = Array.make fc.fc_nregs 0;
-      fr = Array.make fc.fc_nregs 0.0 }
+    { fb = frame_base; ir = Array.make fc.fc_ni 0;
+      fr = Array.make fc.fc_nf 0.0 }
   in
   let res = exec_fcode t fc frame in
   t.sp <- saved_sp;
@@ -128,6 +164,85 @@ let touch_range h addr len write iid =
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Superblock formation: a block that is the Tjmp target of its single
+   predecessor is fused into that predecessor, so straight-line chains
+   execute as one array sweep with one step-limit check and one bulk
+   consultation per chain instead of per block. Fused interior blocks
+   stay in the array but become unreachable: their only predecessor no
+   longer branches to them, it falls through the concatenated body.
+   Step accounting is chain-wise (the whole chain's steps are pre-added
+   before the sweep), which extends the blockwise convention this
+   backend already documents — totals and step-limit failures on any
+   program are unchanged because a chain, once entered, always runs to
+   its end. A pure-Tjmp cycle is not fused past one lap (the visited
+   check below), so an infinite empty loop still re-enters the
+   execution loop and hits the step limit. *)
+let fuse_superblocks (func : Ir.func) (blocks : bcode array) =
+  let n = Array.length blocks in
+  if n > 1 then begin
+    let preds = Array.make n 0 in
+    let bump d = if d >= 0 && d < n then preds.(d) <- preds.(d) + 1 in
+    (* the entry gets an implicit edge so it is never fused away *)
+    bump (Prep.entry_block func);
+    List.iter
+      (fun (b : Ir.block) ->
+        match b.Ir.btermin with
+        | Ir.Tjmp d -> bump d
+        | Ir.Tbr (_, x, y) ->
+          bump x;
+          bump y
+        | Ir.Tret _ -> ())
+      func.fblocks;
+    let jmp_tgt = Array.make n (-1) in
+    List.iter
+      (fun (b : Ir.block) ->
+        match b.Ir.btermin with
+        | Ir.Tjmp d when d >= 0 && d < n && b.bid >= 0 && b.bid < n ->
+          jmp_tgt.(b.bid) <- d
+        | _ -> ())
+      func.fblocks;
+    (* a fusable tail is the unique-jump target of its single predecessor *)
+    let tail = Array.make n false in
+    Array.iter
+      (fun d -> if d >= 0 && preds.(d) = 1 then tail.(d) <- true)
+      jmp_tgt;
+    for h = 0 to n - 1 do
+      if not tail.(h) then begin
+        let rec chain acc cur =
+          let d = jmp_tgt.(cur) in
+          if d >= 0 && tail.(d) && not (List.mem d (cur :: acc)) then
+            chain (cur :: acc) d
+          else List.rev (cur :: acc)
+        in
+        match chain [] h with
+        | [] | [ _ ] -> ()
+        | seq ->
+          (* tails are never heads, so the constituents read here are
+             always the original per-block compilations *)
+          let bcs = List.map (fun bid -> blocks.(bid)) seq in
+          let last = List.nth bcs (List.length bcs - 1) in
+          let events =
+            List.fold_left
+              (fun a bc ->
+                if a < 0 || bc.bc_events < 0 then -1 else a + bc.bc_events)
+              0 bcs
+          in
+          blocks.(h) <-
+            {
+              bc_steps = List.fold_left (fun a bc -> a + bc.bc_steps) 0 bcs;
+              bc_body = Array.concat (List.map (fun bc -> bc.bc_body) bcs);
+              bc_term = last.bc_term;
+              bc_ret = last.bc_ret;
+              bc_events = events;
+              bc_fast =
+                (if events > 0 then
+                   Array.concat (List.map (fun bc -> bc.bc_fast) bcs)
+                 else [||]);
+            }
+      end
+    done
+  end
+
 (* per-function facts shared between the two compile passes *)
 type pre = {
   p_func : Ir.func;
@@ -141,7 +256,15 @@ let compile_signature t layout (p : pre) =
   let func = p.p_func and fc = p.p_fc in
   let mem = t.mem in
   fc.fc_entry <- Prep.entry_block func;
-  fc.fc_nregs <- func.next_reg;
+  (* register-bank specialization: every accessor is bank-resolved at
+     compile time ([fl]), so each bank's array only needs to cover the
+     registers actually assigned to it — not [next_reg] slots in both *)
+  let ni = ref 0 and nf = ref 0 in
+  Array.iteri
+    (fun r isf -> if isf then nf := r + 1 else ni := r + 1)
+    p.p_fl;
+  fc.fc_ni <- !ni;
+  fc.fc_nf <- !nf;
   let locals, frame_size = Prep.locals_layout layout func in
   p.p_locals <- locals;
   fc.fc_frame_size <- frame_size;
@@ -306,15 +429,126 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
         done;
         callee.fc_entry_hook ();
         let nf =
-          { fb = frame_base; ir = Array.make callee.fc_nregs 0;
-            fr = Array.make callee.fc_nregs 0.0 }
+          { fb = frame_base; ir = Array.make callee.fc_ni 0;
+            fr = Array.make callee.fc_nf 0.0 }
         in
         let res = exec_fcode t callee nf in
         t.sp <- saved_sp;
         assign f res
     end
   in
-  let compile_instr (i : Ir.instr) : frame -> unit =
+  (* loads and stores are compiled against an arbitrary address accessor
+     [ga] so the superblock peephole below can substitute a fused
+     producer (fieldaddr/ptradd/addr-of computing the address, writing
+     its register and handing the value straight over) for the plain
+     register read — one closure dispatch instead of two *)
+  let compile_load ~hook ~(ga : frame -> int) ~iid r ty acc : frame -> unit =
+    match
+      match acc with
+      | Some ac -> Prep.bitfield_info prog layout ac
+      | None -> None
+    with
+    | Some (unit_size, bit_off, width) -> (
+      let mask = (1 lsl width) - 1 in
+      let st = seti r in
+      match hook with
+      | Some h ->
+        fun f ->
+          let addr = ga f in
+          h addr unit_size false false iid;
+          st f (Memory.load_int mem ~addr ~size:unit_size asr bit_off land mask)
+      | None ->
+        fun f ->
+          st f
+            (Memory.load_int mem ~addr:(ga f) ~size:unit_size
+             asr bit_off land mask))
+    | None -> (
+      match ty with
+      | Irty.Float -> (
+        let st = setf r in
+        match hook with
+        | Some h ->
+          fun f ->
+            let addr = ga f in
+            h addr 4 false true iid;
+            st f (Memory.load_f32 mem ~addr)
+        | None -> fun f -> st f (Memory.load_f32 mem ~addr:(ga f)))
+      | Irty.Double -> (
+        let st = setf r in
+        match hook with
+        | Some h ->
+          fun f ->
+            let addr = ga f in
+            h addr 8 false true iid;
+            st f (Memory.load_f64 mem ~addr)
+        | None -> fun f -> st f (Memory.load_f64 mem ~addr:(ga f)))
+      | _ -> (
+        let size = max 1 (min 8 (Layout.sizeof layout ty)) in
+        let st = seti r in
+        match hook with
+        | Some h ->
+          fun f ->
+            let addr = ga f in
+            h addr size false false iid;
+            st f (Memory.load_int mem ~addr ~size)
+        | None -> fun f -> st f (Memory.load_int mem ~addr:(ga f) ~size)))
+  in
+  let compile_store ~hook ~(ga : frame -> int) ~iid v ty acc : frame -> unit =
+    match
+      match acc with
+      | Some ac -> Prep.bitfield_info prog layout ac
+      | None -> None
+    with
+    | Some (unit_size, bit_off, width) -> (
+      let gv = geti v in
+      let mask = ((1 lsl width) - 1) lsl bit_off in
+      let update f addr =
+        let old = Memory.load_int mem ~addr ~size:unit_size in
+        let nv = (old land lnot mask) lor ((gv f lsl bit_off) land mask) in
+        Memory.store_int mem ~addr ~size:unit_size nv
+      in
+      match hook with
+      | Some h ->
+        fun f ->
+          let addr = ga f in
+          h addr unit_size true false iid;
+          update f addr
+      | None -> fun f -> update f (ga f))
+    | None -> (
+      match ty with
+      | Irty.Float -> (
+        let gv = getf v in
+        match hook with
+        | Some h ->
+          fun f ->
+            let addr = ga f in
+            h addr 4 true true iid;
+            Memory.store_f32 mem ~addr (gv f)
+        | None -> fun f -> Memory.store_f32 mem ~addr:(ga f) (gv f))
+      | Irty.Double -> (
+        let gv = getf v in
+        match hook with
+        | Some h ->
+          fun f ->
+            let addr = ga f in
+            h addr 8 true true iid;
+            Memory.store_f64 mem ~addr (gv f)
+        | None -> fun f -> Memory.store_f64 mem ~addr:(ga f) (gv f))
+      | _ -> (
+        let size = max 1 (min 8 (Layout.sizeof layout ty)) in
+        let gv = geti v in
+        match hook with
+        | Some h ->
+          fun f ->
+            let addr = ga f in
+            h addr size true false iid;
+            Memory.store_int mem ~addr ~size (gv f)
+        | None -> fun f -> Memory.store_int mem ~addr:(ga f) ~size (gv f)))
+  in
+  (* [hook] rather than [t.mem_hook]: blocks whose access count is
+     statically known are compiled twice, once with the hook and once
+     without, so the sampler's fast-forward can run the unhooked body *)
+  let compile_instr ~hook (i : Ir.instr) : frame -> unit =
     let iid = i.iid in
     match i.idesc with
     | Ir.Imov (r, o) ->
@@ -412,109 +646,9 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
         | Irty.Short -> fun f -> st f (truncate_int 2 (g f))
         | Irty.Int -> fun f -> st f (truncate_int 4 (g f))
         | _ -> fun f -> st f (g f)))
-    | Ir.Iload (r, a, ty, acc) -> (
-      let ga = geti a in
-      match
-        match acc with
-        | Some ac -> Prep.bitfield_info prog layout ac
-        | None -> None
-      with
-      | Some (unit_size, bit_off, width) -> (
-        let mask = (1 lsl width) - 1 in
-        let st = seti r in
-        match t.mem_hook with
-        | Some h ->
-          fun f ->
-            let addr = ga f in
-            h addr unit_size false false iid;
-            st f (Memory.load_int mem ~addr ~size:unit_size asr bit_off land mask)
-        | None ->
-          fun f ->
-            st f
-              (Memory.load_int mem ~addr:(ga f) ~size:unit_size
-               asr bit_off land mask))
-      | None -> (
-        match ty with
-        | Irty.Float -> (
-          let st = setf r in
-          match t.mem_hook with
-          | Some h ->
-            fun f ->
-              let addr = ga f in
-              h addr 4 false true iid;
-              st f (Memory.load_f32 mem ~addr)
-          | None -> fun f -> st f (Memory.load_f32 mem ~addr:(ga f)))
-        | Irty.Double -> (
-          let st = setf r in
-          match t.mem_hook with
-          | Some h ->
-            fun f ->
-              let addr = ga f in
-              h addr 8 false true iid;
-              st f (Memory.load_f64 mem ~addr)
-          | None -> fun f -> st f (Memory.load_f64 mem ~addr:(ga f)))
-        | _ -> (
-          let size = max 1 (min 8 (Layout.sizeof layout ty)) in
-          let st = seti r in
-          match t.mem_hook with
-          | Some h ->
-            fun f ->
-              let addr = ga f in
-              h addr size false false iid;
-              st f (Memory.load_int mem ~addr ~size)
-          | None -> fun f -> st f (Memory.load_int mem ~addr:(ga f) ~size))))
-    | Ir.Istore (a, v, ty, acc) -> (
-      let ga = geti a in
-      match
-        match acc with
-        | Some ac -> Prep.bitfield_info prog layout ac
-        | None -> None
-      with
-      | Some (unit_size, bit_off, width) -> (
-        let gv = geti v in
-        let mask = ((1 lsl width) - 1) lsl bit_off in
-        let update f addr =
-          let old = Memory.load_int mem ~addr ~size:unit_size in
-          let nv = (old land lnot mask) lor ((gv f lsl bit_off) land mask) in
-          Memory.store_int mem ~addr ~size:unit_size nv
-        in
-        match t.mem_hook with
-        | Some h ->
-          fun f ->
-            let addr = ga f in
-            h addr unit_size true false iid;
-            update f addr
-        | None -> fun f -> update f (ga f))
-      | None -> (
-        match ty with
-        | Irty.Float -> (
-          let gv = getf v in
-          match t.mem_hook with
-          | Some h ->
-            fun f ->
-              let addr = ga f in
-              h addr 4 true true iid;
-              Memory.store_f32 mem ~addr (gv f)
-          | None -> fun f -> Memory.store_f32 mem ~addr:(ga f) (gv f))
-        | Irty.Double -> (
-          let gv = getf v in
-          match t.mem_hook with
-          | Some h ->
-            fun f ->
-              let addr = ga f in
-              h addr 8 true true iid;
-              Memory.store_f64 mem ~addr (gv f)
-          | None -> fun f -> Memory.store_f64 mem ~addr:(ga f) (gv f))
-        | _ -> (
-          let size = max 1 (min 8 (Layout.sizeof layout ty)) in
-          let gv = geti v in
-          match t.mem_hook with
-          | Some h ->
-            fun f ->
-              let addr = ga f in
-              h addr size true false iid;
-              Memory.store_int mem ~addr ~size (gv f)
-          | None -> fun f -> Memory.store_int mem ~addr:(ga f) ~size (gv f))))
+    | Ir.Iload (r, a, ty, acc) -> compile_load ~hook ~ga:(geti a) ~iid r ty acc
+    | Ir.Istore (a, v, ty, acc) ->
+      compile_store ~hook ~ga:(geti a) ~iid v ty acc
     | Ir.Iaddrglob (r, g) -> (
       match Hashtbl.find_opt globals_addr g with
       | Some (addr, _) ->
@@ -608,7 +742,7 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
       fun f -> Memory.free_heap mem (g f)
     | Ir.Imemset (d, v, n, _) -> (
       let gd = geti d and gv = geti v and gn = geti n in
-      match t.mem_hook with
+      match hook with
       | Some h ->
         fun f ->
           let dst = gd f and byte = gv f and len = gn f in
@@ -617,7 +751,7 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
       | None -> fun f -> Memory.fill mem ~dst:(gd f) ~byte:(gv f) ~len:(gn f))
     | Ir.Imemcpy (d, s, n, _) -> (
       let gd = geti d and gs = geti s and gn = geti n in
-      match t.mem_hook with
+      match hook with
       | Some h ->
         fun f ->
           let dst = gd f and src = gs f and len = gn f in
@@ -658,44 +792,171 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
           never_ret )
       | None -> ((fun f -> if g f <> 0 then x else y), never_ret))
   in
+  (* static mem-hook events of a block body, or -1 when the count is
+     dynamic: calls may nest events and memset/memcpy lengths are
+     runtime values *)
+  let count_events (b : Ir.block) =
+    List.fold_left
+      (fun acc (i : Ir.instr) ->
+        if acc < 0 then acc
+        else
+          match i.idesc with
+          | Ir.Iload _ | Ir.Istore _ -> acc + 1
+          | Ir.Icall _ | Ir.Imemset _ | Ir.Imemcpy _ -> -1
+          | _ -> acc)
+      0 b.instrs
+  in
+  (* superblock peephole, part 1: an address producer is an instruction
+     that computes an address into an (integer-bank) register; the fused
+     accessor performs the computation, writes the register — it may be
+     live past the consumer — and returns the address without a
+     round-trip through the register file *)
+  let addr_producer (i : Ir.instr) : (int * (frame -> int)) option =
+    match i.idesc with
+    | Ir.Ifieldaddr (r, b, s, fi) when not fl.(r) ->
+      let gb = geti b in
+      let off = (Layout.field_layout layout s fi).Layout.byte_off in
+      Some
+        ( r,
+          fun f ->
+            let a = gb f + off in
+            Array.unsafe_set f.ir r a;
+            a )
+    | Ir.Iptradd (r, b, idx, ty) when not fl.(r) ->
+      let gb = geti b and gi = geti idx in
+      let sz = Layout.sizeof layout ty in
+      Some
+        ( r,
+          fun f ->
+            let a = gb f + (gi f * sz) in
+            Array.unsafe_set f.ir r a;
+            a )
+    | Ir.Iaddrglob (r, g) when not fl.(r) -> (
+      match Hashtbl.find_opt globals_addr g with
+      | Some (addr, _) ->
+        Some
+          ( r,
+            fun f ->
+              Array.unsafe_set f.ir r addr;
+              addr )
+      | None -> None)
+    | Ir.Iaddrlocal (r, l) when not fl.(r) -> (
+      match Hashtbl.find_opt clocals l with
+      | Some (off, _) ->
+        Some
+          ( r,
+            fun f ->
+              let a = f.fb + off in
+              Array.unsafe_set f.ir r a;
+              a )
+      | None -> None)
+    | _ -> None
+  in
+  (* ... and a consumer is a load or store addressing through exactly
+     that register. Fusing never changes observable state: the producer
+     still writes its register first, the consumer's hook event, memory
+     access and result write are byte-identical, and steps are counted
+     from the IR ([bc_steps] below), not from the body array length. *)
+  let fuse_pair ~hook (i : Ir.instr) (j : Ir.instr) : (frame -> unit) option =
+    match
+      match addr_producer i with
+      | None -> None
+      | Some (r, ga) -> (
+        match j.idesc with
+        | Ir.Iload (r2, Ir.Oreg a, ty, acc) when a = r ->
+          Some (compile_load ~hook ~ga ~iid:j.iid r2 ty acc)
+        | Ir.Istore (Ir.Oreg a, v, ty, acc) when a = r ->
+          Some (compile_store ~hook ~ga ~iid:j.iid v ty acc)
+        | _ -> None)
+    with
+    | fused -> fused
+    (* a compile-time failure in either half falls back to separate
+       compilation, which defers the failure to the right instruction *)
+    | exception _ -> None
+  in
+  let compile_instrs ~hook instrs =
+    let emit i =
+      (* name-resolution and layout failures compile to raising
+         closures so they surface only if the instruction runs,
+         matching the tree-walker's lazy failure points *)
+      match compile_instr ~hook i with
+      | code -> code
+      | exception e -> fun _ -> raise e
+    in
+    if not t.sb then Array.of_list (List.map emit instrs)
+    else
+      let rec go acc = function
+        | [] -> List.rev acc
+        | i :: (j :: rest as tl) -> (
+          match fuse_pair ~hook i j with
+          | Some code -> go (code :: acc) rest
+          | None -> go (emit i :: acc) tl)
+        | [ i ] -> List.rev (emit i :: acc)
+      in
+      Array.of_list (go [] instrs)
+  in
   (* an unreferenced block id executes as an empty body + [Tret None],
      exactly like the tree-walker's defaults *)
   let empty =
     { bc_steps = 1; bc_body = [||]; bc_term = (fun _ -> -1);
-      bc_ret = (fun _ -> RVoid) }
+      bc_ret = (fun _ -> RVoid); bc_events = -1; bc_fast = [||] }
   in
+  (* superblock peephole, part 2: fold the last body thunk into the
+     terminator closure — one fewer dispatch per executed block. Only
+     for blocks with a single compiled body: a dual-body block
+     (bc_events > 0) runs either body, so its terminator cannot absorb
+     a thunk belonging to one of them. *)
+  let fold_tail bc =
+    let n = Array.length bc.bc_body in
+    if n = 0 || bc.bc_events > 0 then bc
+    else begin
+      let last = bc.bc_body.(n - 1) in
+      let body = Array.sub bc.bc_body 0 (n - 1) in
+      let term = bc.bc_term in
+      {
+        bc with
+        bc_body = body;
+        bc_fast = body;
+        bc_term =
+          (fun f ->
+            last f;
+            term f);
+      }
+    end
+  in
+  (* dual bodies only pay off when there is both a hook to skip and a
+     bulk consumer to skip it through *)
+  let dual = t.bulk_on in
   let blocks = Array.make func.next_block empty in
   List.iter
     (fun (b : Ir.block) ->
-      let body =
-        Array.of_list
-          (List.map
-             (fun i ->
-               (* name-resolution and layout failures compile to raising
-                  closures so they surface only if the instruction runs,
-                  matching the tree-walker's lazy failure points *)
-               match compile_instr i with
-               | code -> code
-               | exception e -> fun _ -> raise e)
-             b.instrs)
-      in
+      let body = compile_instrs ~hook:t.mem_hook b.instrs in
       let term, ret =
         match compile_term b with
         | r -> r
         | exception e -> ((fun _ -> raise e), never_ret)
       in
+      let events = if dual then count_events b else -1 in
+      let fast =
+        if events > 0 then compile_instrs ~hook:None b.instrs else body
+      in
+      (* steps are counted from the IR, not the body array: the peephole
+         shortens the array without changing the executed step total *)
       blocks.(b.bid) <-
-        { bc_steps = Array.length body + 1; bc_body = body; bc_term = term;
-          bc_ret = ret })
+        { bc_steps = List.length b.instrs + 1; bc_body = body; bc_term = term;
+          bc_ret = ret; bc_events = events; bc_fast = fast })
     func.fblocks;
+  if t.sb && Option.is_none t.edge_hook then fuse_superblocks func blocks;
+  if t.sb then
+    Array.iteri (fun k bc -> blocks.(k) <- fold_tail bc) blocks;
   fc.fc_blocks <- blocks
 
 (* ------------------------------------------------------------------ *)
 (* Setup and entry points                                              *)
 (* ------------------------------------------------------------------ *)
 
-let create ?mem_hook ?edge_hook ?(max_steps = Rt.default_max_steps)
-    (prog : Ir.program) : t =
+let create ?mem_hook ?edge_hook ?bulk_hook ?(superblock = false)
+    ?(max_steps = Rt.default_max_steps) (prog : Ir.program) : t =
   let layout = Layout.create prog.structs in
   let mem = Memory.create () in
   (* identical image to the tree-walker: globals first, strings second *)
@@ -706,8 +967,8 @@ let create ?mem_hook ?edge_hook ?(max_steps = Rt.default_max_steps)
       (List.map
          (fun (f : Ir.func) ->
            {
-             fc_name = f.fname; fc_entry = 0; fc_nregs = 0; fc_frame_size = 0;
-             fc_blocks = [||]; fc_bind = (fun _ _ -> ());
+             fc_name = f.fname; fc_entry = 0; fc_ni = 0; fc_nf = 0;
+             fc_frame_size = 0; fc_blocks = [||]; fc_bind = (fun _ _ -> ());
              fc_entry_hook = (fun () -> ());
            })
          prog.funcs)
@@ -724,6 +985,9 @@ let create ?mem_hook ?edge_hook ?(max_steps = Rt.default_max_steps)
     {
       mem; dispatch; fcode_tbl; benv; out = benv.Builtins.out;
       sp = Memory.stack_top; steps = 0; max_steps; mem_hook; edge_hook;
+      bulk = (match bulk_hook with Some b -> b | None -> fun _ -> false);
+      bulk_on = Option.is_some bulk_hook && Option.is_some mem_hook;
+      sb = superblock;
     }
   in
   let pres =

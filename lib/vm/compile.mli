@@ -22,19 +22,43 @@ type t
 val create :
   ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
   ?edge_hook:(string -> int -> int -> unit) ->
+  ?bulk_hook:(int -> bool) ->
+  ?superblock:bool ->
   ?max_steps:int ->
   Ir.program ->
   t
 (** Compile a program to closures: lays out globals, interns strings,
     pre-resolves every instruction. Default [max_steps] is
-    2_000_000_000. *)
+    2_000_000_000.
+
+    [bulk_hook n] is consulted before running a block whose [mem_hook]
+    event count [n] is statically known (no calls, no memset/memcpy):
+    returning [true] means the hook consumer has accounted for all [n]
+    accesses itself and the block runs with no per-access hook calls at
+    all. The sampled cache simulator uses this to retire a block's
+    accesses in O(1) while fast-forwarding. Only meaningful together
+    with [mem_hook]; the event values the hook would have received
+    (addresses, instruction ids) are not reconstructed — the consumer
+    must not need them. On a run that terminates abnormally mid-block
+    the bulk consumer may have been charged up to one block's trailing
+    accesses that never executed (same granularity caveat as the step
+    limit below).
+
+    [superblock] additionally fuses each straight-line chain of blocks
+    linked by unconditional jumps into one superblock: one array sweep,
+    one step-limit check and one [bulk_hook] consultation per chain.
+    Fusion is skipped when an [edge_hook] is present (interior jump
+    edges would no longer be reported). Step totals and step-limit
+    failures are unchanged on all programs; the limit check becomes
+    chain-wise (see the caveat on {!run}). *)
 
 val run : ?args:int list -> t -> result
 (** Execute [main]. Raises {!Runtime_error} exactly where {!Interp.run}
     does (same messages), with one caveat: the step limit is enforced
-    per basic block rather than per instruction, which raises on exactly
-    the same programs but may execute up to a block's worth of trailing
-    instructions less before doing so. *)
+    per basic block (per superblock when fused) rather than per
+    instruction, which raises on exactly the same programs but may
+    execute up to a block's worth of trailing instructions less before
+    doing so. *)
 
 val run_program : ?args:int list -> Ir.program -> result
 (** [create] + [run] without hooks. *)

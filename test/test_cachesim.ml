@@ -266,6 +266,38 @@ let pmu_sampling_period () =
   Alcotest.(check int) "every 10th sampled" 10 (Pmu.stats_of p 7).miss_events;
   Alcotest.(check int) "all events counted" 100 (Pmu.events_seen p)
 
+(* regression: a negative phase used to leave the internal countdown
+   negative (OCaml [mod] keeps the dividend's sign), so the counter
+   never reached the period and no event was ever sampled *)
+let pmu_negative_phase () =
+  let p = Pmu.create ~period:10 ~phase:(-3) () in
+  for _ = 1 to 100 do
+    Pmu.record p ~iid:5 ~level:Hierarchy.Mem ~latency:200 ~is_float:false
+  done;
+  let m = (Pmu.stats_of p 5).miss_events in
+  Alcotest.(check bool) "negative phase still samples" true (m >= 9 && m <= 11);
+  Alcotest.(check int) "all events counted" 100 (Pmu.events_seen p);
+  (* phase -3 and phase period-3 are the same offset *)
+  let q = Pmu.create ~period:10 ~phase:7 () in
+  for _ = 1 to 100 do
+    Pmu.record q ~iid:5 ~level:Hierarchy.Mem ~latency:200 ~is_float:false
+  done;
+  Alcotest.(check int) "equivalent to phase mod period" m
+    (Pmu.stats_of q 5).miss_events
+
+let pmu_oversized_phase () =
+  (* a phase >= period must behave exactly like phase mod period *)
+  let a = Pmu.create ~period:10 ~phase:23 () in
+  let b = Pmu.create ~period:10 ~phase:3 () in
+  let samples p =
+    for _ = 1 to 57 do
+      Pmu.record p ~iid:1 ~level:Hierarchy.Mem ~latency:200 ~is_float:false
+    done;
+    (Pmu.stats_of p 1).miss_events
+  in
+  Alcotest.(check int) "phase 23 = phase 3 under period 10" (samples b)
+    (samples a)
+
 let pmu_phase_shift () =
   (* different phase, same totals: models instrumentation skid *)
   let p1 = Pmu.create ~period:10 () in
@@ -348,6 +380,8 @@ let () =
           Alcotest.test_case "first-level misses" `Quick
             pmu_counts_first_level_misses;
           Alcotest.test_case "period" `Quick pmu_sampling_period;
+          Alcotest.test_case "negative phase" `Quick pmu_negative_phase;
+          Alcotest.test_case "oversized phase" `Quick pmu_oversized_phase;
           Alcotest.test_case "phase" `Quick pmu_phase_shift;
         ] );
       ( "coherent",

@@ -196,8 +196,10 @@ let engine_json_artifact () =
   close_in ic;
   Sys.remove path;
   let j = Json.of_string s in
-  Alcotest.(check bool) "schema_version = 2" true
-    (Json.member "schema_version" j = Some (Json.Int 2));
+  Alcotest.(check bool) "schema_version = 3" true
+    (Json.member "schema_version" j = Some (Json.Int 3));
+  Alcotest.(check bool) "fidelity recorded" true
+    (Json.member "fidelity" j = Some (Json.String "exact"));
   Alcotest.(check bool) "backend recorded" true
     (Json.member "backend" j = Some (Json.String "closure"));
   Alcotest.(check bool) "jobs recorded" true

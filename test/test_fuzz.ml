@@ -222,7 +222,7 @@ let backends_agree_or_report prog =
 
 let prop_backends_agree =
   QCheck.Test.make ~count:(iters 40)
-    ~name:"walk and closure backends agree" arbitrary_spec
+    ~name:"all backends agree with the walk reference" arbitrary_spec
     (fun sp ->
       let compiled = D.compile (render sp) in
       let leg, aff = D.analyze compiled ~scheme:W.ISPBO ~feedback:None in

@@ -1,0 +1,348 @@
+(* Sampled cache simulation: exact-count unit tests for the period
+   layout (detailed window / skip / warm-up), the O(1) bulk fast-forward,
+   the stride = window ≡ exact property, and the roster accuracy gate
+   that pins sampled estimates to exact simulation within fixed bounds. *)
+
+module S = Slo_cachesim.Sampled
+module Hierarchy = Slo_cachesim.Hierarchy
+module Cache = Slo_cachesim.Cache
+module D = Slo_core.Driver
+module H = Slo_core.Heuristics
+module W = Slo_profile.Weights
+module Suite = Slo_suite.Suite
+
+let acc ?(size = 4) ?(write = false) ?(is_float = false) t addr =
+  S.access t ~addr ~size ~write ~is_float
+
+(* ---------------- period layout, hand-computed counts ---------------- *)
+
+(* window=2 stride=8 skip=4 → detailed [0,2), skip [2,6), warm [6,8) *)
+let period_layout () =
+  let t = S.create ~window:2 ~stride:8 ~skip:4 Hierarchy.small in
+  let h = S.hierarchy t in
+  let a = 4096 and b = 8192 in
+  (* [0,2) detailed: cold miss on a, then a hit on the same line *)
+  acc t a;
+  acc t a;
+  Alcotest.(check int) "window recorded" 2 (S.recorded_accesses t);
+  Alcotest.(check int) "1 L1 miss" 1 (Cache.misses (Hierarchy.l1 h));
+  Alcotest.(check int) "1 L1 hit" 1 (Cache.hits (Hierarchy.l1 h));
+  (* [2,6) skip: counted, but neither counters nor cache state move *)
+  for _ = 1 to 4 do
+    acc t b
+  done;
+  Alcotest.(check int) "skip not recorded" 2 (S.recorded_accesses t);
+  Alcotest.(check int) "skip still counted" 6 (S.total_accesses t);
+  Alcotest.(check int) "skip leaves counters alone" 1
+    (Cache.misses (Hierarchy.l1 h));
+  (* [6,8) warm-up: tag/LRU state moves, counters do not *)
+  acc t b;
+  acc t b;
+  Alcotest.(check int) "warm not recorded" 2 (S.recorded_accesses t);
+  Alcotest.(check int) "warm bumps no miss counter" 1
+    (Cache.misses (Hierarchy.l1 h));
+  Alcotest.(check int) "warm bumps no hit counter" 1
+    (Cache.hits (Hierarchy.l1 h));
+  (* next period opens detailed: b is resident thanks to the warm-up *)
+  acc t b;
+  Alcotest.(check int) "warmed line hits in the next window" 2
+    (Cache.hits (Hierarchy.l1 h));
+  Alcotest.(check int) "9 total" 9 (S.total_accesses t);
+  Alcotest.(check int) "3 recorded" 3 (S.recorded_accesses t);
+  (* estimators scale window counters by total/recorded = 3 *)
+  Alcotest.(check int) "est scales misses" 3 (S.est_l1_misses t)
+
+(* a short sampler (stride=window) degenerates to no skip and no warm
+   segment: every access detailed, scale stays 1 *)
+let short_run_all_detailed () =
+  let t = S.create ~window:4 ~stride:4 Hierarchy.small in
+  for i = 0 to 9 do
+    acc t (4096 + (64 * i))
+  done;
+  Alcotest.(check int) "all recorded" 10 (S.recorded_accesses t);
+  Alcotest.(check int) "all counted" 10 (S.total_accesses t);
+  Alcotest.(check bool) "scale is 1" true (S.scale t = 1.0)
+
+(* an access occupies ONE position regardless of how many cache lines it
+   straddles: a straddle inside the window records every covered line, a
+   straddle in the warm segment warms every covered line *)
+let straddle_positions () =
+  (* window=1 stride=4 skip=2 → detailed [0,1), skip [1,3), warm [3,4) *)
+  let t = S.create ~window:1 ~stride:4 ~skip:2 Hierarchy.small in
+  let h = S.hierarchy t in
+  (* pos 0 detailed: 8 bytes across a 64 B boundary, two cold L1 lines *)
+  acc ~size:8 t (4096 + 60);
+  Alcotest.(check int) "straddle records both lines" 2
+    (Cache.misses (Hierarchy.l1 h));
+  Alcotest.(check int) "one access, one position" 1 (S.recorded_accesses t);
+  (* pos 1,2 skip *)
+  acc t 0;
+  acc t 0;
+  (* pos 3 warm: straddle over two fresh lines — resident, unrecorded *)
+  acc ~size:8 t (8192 + 60);
+  Alcotest.(check int) "warm straddle records nothing" 2
+    (Cache.misses (Hierarchy.l1 h) + Cache.hits (Hierarchy.l1 h));
+  (* pos 0 of the next period: both warmed lines hit *)
+  acc ~size:8 t (8192 + 60);
+  Alcotest.(check int) "both warmed lines hit" 2 (Cache.hits (Hierarchy.l1 h))
+
+let create_validates () =
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "window 0 rejected" true (bad (fun () ->
+      S.create ~window:0 ~stride:8 Hierarchy.small));
+  Alcotest.(check bool) "stride < window rejected" true (bad (fun () ->
+      S.create ~window:8 ~stride:4 Hierarchy.small));
+  Alcotest.(check bool) "negative skip rejected" true (bad (fun () ->
+      S.create ~window:2 ~stride:8 ~skip:(-1) Hierarchy.small));
+  Alcotest.(check bool) "window + skip > stride rejected" true (bad (fun () ->
+      S.create ~window:2 ~stride:8 ~skip:7 Hierarchy.small))
+
+(* ---------------- try_advance ---------------- *)
+
+let try_advance_segments () =
+  (* window=2 stride=8 skip=4 → skip is [2,6) *)
+  let t = S.create ~window:2 ~stride:8 ~skip:4 Hierarchy.small in
+  (* the default skip = 0 (full functional warming) never fast-forwards *)
+  let t0 = S.create ~window:2 ~stride:8 Hierarchy.small in
+  acc t0 0;
+  acc t0 0;
+  Alcotest.(check bool) "skip = 0 never advances" false (S.try_advance t0 1);
+  Alcotest.(check bool) "refused inside window" false (S.try_advance t 1);
+  acc t 0;
+  acc t 0;
+  (* pos = 2, start of the skip segment (4 positions long) *)
+  Alcotest.(check bool) "n = 0 refused" false (S.try_advance t 0);
+  Alcotest.(check bool) "n < 0 refused" false (S.try_advance t (-1));
+  Alcotest.(check bool) "span past skip_end refused" false (S.try_advance t 5);
+  Alcotest.(check bool) "whole skip segment consumed" true (S.try_advance t 4);
+  Alcotest.(check int) "total advanced by 4" 6 (S.total_accesses t);
+  (* pos = 6: warm segment — bulk is never allowed to skip warming *)
+  Alcotest.(check bool) "refused in warm segment" false (S.try_advance t 1);
+  acc t 0;
+  acc t 0;
+  (* wrapped to pos 0 *)
+  Alcotest.(check bool) "refused in next window" false (S.try_advance t 1);
+  Alcotest.(check int) "refusals consumed nothing" 8 (S.total_accesses t)
+
+(* try_advance n must be indistinguishable from n access calls: drive
+   two samplers through the same 200-access schedule, one taking the
+   bulk fast path whenever it is available *)
+let try_advance_equivalence () =
+  let mk () = S.create ~window:4 ~stride:16 ~skip:8 Hierarchy.small in
+  let t_bulk = mk () and t_slow = mk () in
+  let addr i = 4096 + (64 * (i * 7919 mod 24)) in
+  let feed t ~bulk =
+    let i = ref 0 in
+    while !i < 200 do
+      if bulk && 200 - !i >= 5 && S.try_advance t 5 then i := !i + 5
+      else begin
+        acc ~write:(!i mod 3 = 0) ~is_float:(!i mod 5 = 0) t (addr !i);
+        incr i
+      end
+    done
+  in
+  feed t_bulk ~bulk:true;
+  feed t_slow ~bulk:false;
+  let hb = S.hierarchy t_bulk and hs = S.hierarchy t_slow in
+  Alcotest.(check int) "total" (S.total_accesses t_slow)
+    (S.total_accesses t_bulk);
+  Alcotest.(check int) "recorded" (S.recorded_accesses t_slow)
+    (S.recorded_accesses t_bulk);
+  Alcotest.(check int) "L1 hits" (Cache.hits (Hierarchy.l1 hs))
+    (Cache.hits (Hierarchy.l1 hb));
+  Alcotest.(check int) "L1 misses" (Cache.misses (Hierarchy.l1 hs))
+    (Cache.misses (Hierarchy.l1 hb));
+  Alcotest.(check int) "L2 misses" (Cache.misses (Hierarchy.l2 hs))
+    (Cache.misses (Hierarchy.l2 hb));
+  Alcotest.(check int) "est L1" (S.est_l1_misses t_slow)
+    (S.est_l1_misses t_bulk);
+  Alcotest.(check int) "est cycles" (S.est_extra_cycles t_slow)
+    (S.est_extra_cycles t_bulk)
+
+(* ---------------- stride = window ≡ exact ---------------- *)
+
+let stride_eq_window_is_exact () =
+  let t = S.create ~window:64 ~stride:64 Hierarchy.small in
+  let h = S.hierarchy t in
+  let exact = Hierarchy.create Hierarchy.small in
+  for i = 0 to 999 do
+    let a = i * 7919 mod 16384
+    and write = i mod 3 = 0
+    and is_float = i mod 5 = 0 in
+    S.access t ~addr:a ~size:8 ~write ~is_float;
+    Hierarchy.access_quiet exact ~addr:a ~size:8 ~write ~is_float
+  done;
+  Alcotest.(check int) "accesses" (Hierarchy.accesses exact)
+    (Hierarchy.accesses h);
+  Alcotest.(check int) "L1 hits" (Cache.hits (Hierarchy.l1 exact))
+    (Cache.hits (Hierarchy.l1 h));
+  Alcotest.(check int) "L1 misses" (Cache.misses (Hierarchy.l1 exact))
+    (Cache.misses (Hierarchy.l1 h));
+  Alcotest.(check int) "L2 hits" (Cache.hits (Hierarchy.l2 exact))
+    (Cache.hits (Hierarchy.l2 h));
+  Alcotest.(check int) "L2 misses" (Cache.misses (Hierarchy.l2 exact))
+    (Cache.misses (Hierarchy.l2 h));
+  Alcotest.(check int) "extra cycles" (Hierarchy.extra_cycles exact)
+    (Hierarchy.extra_cycles h);
+  Alcotest.(check bool) "scale 1" true (S.scale t = 1.0);
+  Alcotest.(check int) "estimate = raw count"
+    (Cache.misses (Hierarchy.l1 exact))
+    (S.est_l1_misses t)
+
+(* ---------------- the fidelity knob ---------------- *)
+
+let fidelity_strings () =
+  let ok s = match S.fidelity_of_string s with Ok f -> f | Error e -> Alcotest.fail e in
+  let rejected s =
+    match S.fidelity_of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "exact" true (ok "exact" = S.Exact);
+  Alcotest.(check bool) "sampled defaults" true (ok "sampled" = S.sampled_default);
+  Alcotest.(check bool) "sampled:W,S" true
+    (ok "sampled:256,2048" = S.Sampled { window = 256; stride = 2048; skip = 0 });
+  Alcotest.(check bool) "sampled:W,S,K" true
+    (ok "sampled:256,2048,1024"
+    = S.Sampled { window = 256; stride = 2048; skip = 1024 });
+  (* name ∘ parse round-trips *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " round-trips") true (ok (S.fidelity_name (ok s)) = ok s))
+    [ "exact"; "sampled"; "sampled:128,1024"; "sampled:128,1024,512" ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " rejected") true (rejected s))
+    [ ""; "fast"; "sampled:"; "sampled:0,8"; "sampled:16,8"; "sampled:1,2,3";
+      "sampled:4,16,-1"; "sampled:x,y" ]
+
+(* ---------------- roster accuracy gate ---------------- *)
+
+(* The tier-1 face of the accuracy harness (bench/accuracy.exe runs the
+   real sizes): per roster program, sampled fidelity must agree with
+   exact simulation within |Δ| ≤ 0.5pp L1 / 1.0pp L2 miss rate, the
+   measured speedup must agree in sign, and the transformation plans
+   must be identical. Window/stride are scaled down with the tiny
+   argument sizes so several periods still elapse. *)
+let l1_bound_pp = 0.5
+let l2_bound_pp = 1.0
+let speedup_zero_pct = 0.1
+let test_fidelity = S.Sampled { window = 256; stride = 2048; skip = 0 }
+
+(* the explicit fast-forward mode (skip > 0): counters are biased (that
+   is why it is not the default), but execution stays exact — the
+   superblock bulk hook retires whole block chains during the skip
+   segment and must not perturb steps, accesses or program output *)
+let fast_forward_fidelity = S.Sampled { window = 64; stride = 1024; skip = 832 }
+
+let tiny_args (e : Suite.entry) = List.map (fun a -> max 1 (a / 8)) e.train_args
+
+let miss_rate_pct misses (m : D.measurement) =
+  if m.D.m_accesses = 0 then 0.0
+  else 100.0 *. float_of_int misses /. float_of_int m.D.m_accesses
+
+let plan_summaries (ev : D.evaluation) =
+  String.concat "; "
+    (List.filter_map
+       (fun (d : H.decision) -> Option.map H.plan_summary d.d_plan)
+       ev.e_decisions)
+
+let sign_of x =
+  if x > speedup_zero_pct then 1 else if x < -.speedup_zero_pct then -1 else 0
+
+let roster_accuracy (e : Suite.entry) () =
+  let prog = D.compile e.source in
+  let args = tiny_args e in
+  let exact =
+    D.evaluate ~args ~config:Hierarchy.small ~scheme:W.ISPBO ~feedback:None prog
+  in
+  (* the production configuration: superblock backend + sampled windows *)
+  let sampled =
+    D.evaluate ~args ~config:Hierarchy.small
+      ~backend:Slo_vm.Backend.Superblock ~fidelity:test_fidelity
+      ~scheme:W.ISPBO ~feedback:None prog
+  in
+  let check_side label (x : D.measurement) (s : D.measurement) =
+    (* execution is exact in every fidelity *)
+    Alcotest.(check string) (label ^ " output") x.m_result.output
+      s.m_result.output;
+    Alcotest.(check int) (label ^ " exit") x.m_result.exit_code
+      s.m_result.exit_code;
+    Alcotest.(check int) (label ^ " steps") x.m_result.steps s.m_result.steps;
+    Alcotest.(check int) (label ^ " accesses") x.m_accesses s.m_accesses;
+    (* counters are estimates, bounded in miss-rate terms *)
+    let d1 =
+      Float.abs (miss_rate_pct x.m_l1_misses x -. miss_rate_pct s.m_l1_misses s)
+    and d2 =
+      Float.abs (miss_rate_pct x.m_l2_misses x -. miss_rate_pct s.m_l2_misses s)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s L1 miss-rate |d| %.3fpp <= %.1fpp" label d1 l1_bound_pp)
+      true (d1 <= l1_bound_pp);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s L2 miss-rate |d| %.3fpp <= %.1fpp" label d2 l2_bound_pp)
+      true (d2 <= l2_bound_pp)
+  in
+  check_side "before" exact.e_before sampled.e_before;
+  check_side "after" exact.e_after sampled.e_after;
+  (* sampling never changes the analysis or the chosen plans *)
+  Alcotest.(check string) "plans agree" (plan_summaries exact)
+    (plan_summaries sampled);
+  (* and must not flip the sign of the measured effect *)
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup sign agrees (%+.2f%% vs %+.2f%%)"
+       exact.e_speedup_pct sampled.e_speedup_pct)
+    true
+    (sign_of exact.e_speedup_pct = sign_of sampled.e_speedup_pct)
+
+let roster_fast_forward (e : Suite.entry) () =
+  let prog = D.compile e.source in
+  let args = tiny_args e in
+  let exact =
+    D.evaluate ~args ~config:Hierarchy.small ~scheme:W.ISPBO ~feedback:None prog
+  in
+  let ff =
+    D.evaluate ~args ~config:Hierarchy.small
+      ~backend:Slo_vm.Backend.Superblock ~fidelity:fast_forward_fidelity
+      ~scheme:W.ISPBO ~feedback:None prog
+  in
+  let check_side label (x : D.measurement) (s : D.measurement) =
+    Alcotest.(check string) (label ^ " output") x.m_result.output
+      s.m_result.output;
+    Alcotest.(check int) (label ^ " exit") x.m_result.exit_code
+      s.m_result.exit_code;
+    Alcotest.(check int) (label ^ " steps") x.m_result.steps s.m_result.steps;
+    Alcotest.(check int) (label ^ " accesses") x.m_accesses s.m_accesses
+  in
+  check_side "before" exact.e_before ff.e_before;
+  check_side "after" exact.e_after ff.e_after;
+  Alcotest.(check string) "plans agree" (plan_summaries exact)
+    (plan_summaries ff)
+
+let () =
+  let per_entry mk =
+    List.map
+      (fun (e : Suite.entry) -> Alcotest.test_case e.name `Quick (mk e))
+      (Suite.roster @ Suite.case_studies)
+  in
+  Alcotest.run "sampled"
+    [
+      ( "periods",
+        [
+          Alcotest.test_case "layout" `Quick period_layout;
+          Alcotest.test_case "short run all detailed" `Quick
+            short_run_all_detailed;
+          Alcotest.test_case "straddle positions" `Quick straddle_positions;
+          Alcotest.test_case "create validates" `Quick create_validates;
+        ] );
+      ( "try_advance",
+        [
+          Alcotest.test_case "segments" `Quick try_advance_segments;
+          Alcotest.test_case "equivalence" `Quick try_advance_equivalence;
+        ] );
+      ( "exactness",
+        [
+          Alcotest.test_case "stride = window is exact" `Quick
+            stride_eq_window_is_exact;
+          Alcotest.test_case "fidelity strings" `Quick fidelity_strings;
+        ] );
+      ("roster accuracy", per_entry roster_accuracy);
+      ("roster fast-forward", per_entry roster_fast_forward);
+    ]

@@ -296,6 +296,8 @@ let () =
         ] );
       ("semantics[walk]", semantics_cases Backend.Walk);
       ("semantics[closure]", semantics_cases Backend.Closure);
+      ("semantics[superblock]", semantics_cases Backend.Superblock);
       ("hooks[walk]", hooks_cases Backend.Walk);
       ("hooks[closure]", hooks_cases Backend.Closure);
+      ("hooks[superblock]", hooks_cases Backend.Superblock);
     ]
