@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz bench bench-smoke accuracy serve-smoke lint perf clean
+.PHONY: all build test fuzz bench bench-smoke accuracy serve-smoke serve-load lint perf clean
 
 # worker domains for the bench harness
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
@@ -69,6 +69,32 @@ serve-smoke:
 	trap - EXIT
 	_build/default/bench/loadgen.exe --clients 4 --rounds 2 \
 	  --check-hit-rate 90 --out _artifacts/SERVE.json
+
+# the serving layer under open-loop (Poisson) load, three gated runs:
+# (1) a latency-vs-load sweep over two offered rates against a TCP
+# daemon on the warm advise path, gated on a >= 90% result-cache hit
+# rate; (2) a restart onto the same --cache-dir, gated on the warmup
+# being served from the persistent cache; (3) a deliberate overload of
+# the compute pool, gated on bench being shed with structured
+# overloaded replies (and zero transport errors) while cached advise
+# keeps flowing. Offered rates stay modest because shared CI runners
+# cannot hold a tight schedule; the latency-vs-load curve lands in
+# SERVE.json for inspection rather than pass/fail.
+serve-load:
+	dune build bench/loadgen.exe
+	rm -rf _artifacts/serve-cache
+	_build/default/bench/loadgen.exe --mode open --tcp --clients 4 \
+	  --window 256 --rates 2000,5000 --duration-s 5 \
+	  --cache-dir _artifacts/serve-cache \
+	  --check-hit-rate 90 --out _artifacts/SERVE.json
+	_build/default/bench/loadgen.exe --mode open --tcp --clients 2 \
+	  --window 64 --rates 1000 --duration-s 2 \
+	  --cache-dir _artifacts/serve-cache --check-disk-warm \
+	  --check-hit-rate 90 --out _artifacts/SERVE-restart.json
+	_build/default/bench/loadgen.exe --mode open --tcp --clients 2 \
+	  --window 64 --rates 300 --duration-s 3 --kind shed \
+	  --high-watermark 2 --low-watermark 1 --expect-shed \
+	  --out _artifacts/SERVE-shed.json
 
 # source-located layout diagnostics over the example programs and the
 # whole benchmark roster, compared against the checked-in golden list:

@@ -38,9 +38,9 @@ type record = {
 }
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Slo_util.Clock.now_ns () in
   let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  (r, Slo_util.Clock.elapsed_ms ~since:t0)
 
 (* ------------------------------------------------------------------ *)
 (* Shared caches. The compile cache is hoisted out of the workers:     *)
@@ -128,13 +128,13 @@ type run = {
   run_backend : Backend.t;
   run_fidelity : Sampled.fidelity;
   mutable recs : record list; (* reversed *)
-  t_start : float;
+  t_start : int64; (* monotonic, Slo_util.Clock *)
 }
 
 let create_run ?(backend = Backend.default) ?(fidelity = Sampled.Exact) ~jobs
     () =
   { pool = Pool.create ~jobs; run_backend = backend; run_fidelity = fidelity;
-    recs = []; t_start = Unix.gettimeofday () }
+    recs = []; t_start = Slo_util.Clock.now_ns () }
 
 let jobs run = Pool.jobs run.pool
 let backend run = run.run_backend
@@ -496,7 +496,7 @@ let write_json run ~path =
         ("sampled_skip", skip);
         ("jobs", Json.Int (jobs run));
         ("wall_clock_s",
-         Json.Float (Unix.gettimeofday () -. run.t_start));
+         Json.Float (Slo_util.Clock.elapsed_ms ~since:run.t_start /. 1000.0));
         ("results", Json.List (List.map json_of_record (records run))) ]
   in
   let dir = Filename.dirname path in

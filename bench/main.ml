@@ -372,9 +372,9 @@ let casestudies () =
 (* ------------------------------------------------------------------ *)
 
 let time_it f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Slo_util.Clock.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Slo_util.Clock.elapsed_ms ~since:t0 /. 1000.0)
 
 let overhead () =
   say "== Compile-time overhead (2.5): layout analysis vs base compile ==";

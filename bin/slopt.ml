@@ -444,8 +444,15 @@ module Proto = Slo_server.Protocol
 
 let socket_arg =
   Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"ENDPOINT"
+           ~doc:"Daemon endpoint: a Unix-domain socket path, or \
+                 $(i,HOST:PORT) (numeric port, no '/') for TCP.")
+
+let serve_socket_arg =
+  Arg.(required & opt (some string) None
        & info [ "socket" ] ~docv:"PATH"
-           ~doc:"Unix-domain socket path the daemon listens on.")
+           ~doc:"Unix-domain socket path the daemon listens on (TCP is \
+                 added with --listen).")
 
 let serve_cmd =
   let serve_jobs =
@@ -454,10 +461,37 @@ let serve_cmd =
              ~doc:"Worker domains for the compute pool (0 = one per \
                    available core).")
   in
+  let listen =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"HOST:PORT"
+             ~doc:"Also listen on TCP at $(docv) (e.g. 127.0.0.1:7070; \
+                   host $(b,*) binds all interfaces). The Unix socket \
+                   stays on either way.")
+  in
+  let shards =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Accept/reader domains per listener (0 = auto from the \
+                   core count): connections accepted by different shards \
+                   parse frames in parallel.")
+  in
+  let window =
+    Arg.(value & opt int 32
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Per-connection in-flight request cap; a pipelining \
+                   client beyond it is back-pressured by the socket.")
+  in
   let cache_mb =
     Arg.(value & opt int 64
          & info [ "cache-mb" ] ~docv:"MB"
              ~doc:"LRU budget for compiled IR and finished results, in MiB.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persistent reply cache under $(docv): results survive \
+                   restarts (write-temp-then-rename records, verified on \
+                   load). Off by default.")
   in
   let max_conns =
     Arg.(value & opt int 64
@@ -465,27 +499,59 @@ let serve_cmd =
              ~doc:"Concurrent connections before new ones are refused with \
                    an $(i,overloaded) reply.")
   in
+  let high_watermark =
+    Arg.(value & opt int 0
+         & info [ "high-watermark" ] ~docv:"N"
+             ~doc:"Queued compute jobs at which $(i,bench) misses start \
+                   being shed with $(i,overloaded) (0 = auto: \
+                   max(8, 4*jobs)). Cached replies are always served.")
+  in
+  let low_watermark =
+    Arg.(value & opt int 0
+         & info [ "low-watermark" ] ~docv:"N"
+             ~doc:"Backlog at which shedding stops again (0 = auto: half \
+                   the high watermark).")
+  in
   let quiet =
     Arg.(value & flag
          & info [ "quiet"; "q" ] ~doc:"Suppress progress lines on stderr.")
   in
-  let run socket jobs cache_mb max_conns quiet =
+  let run socket jobs listen shards window cache_mb cache_dir max_conns
+      high_watermark low_watermark quiet =
     let jobs = if jobs = 0 then Slo_exec.Pool.default_jobs () else jobs in
-    if jobs < 1 || cache_mb < 1 || max_conns < 1 then begin
-      prerr_endline "ERROR: --jobs, --cache-mb and --max-conns must be >= 1";
+    if jobs < 1 || cache_mb < 1 || max_conns < 1 || window < 1 then begin
+      prerr_endline
+        "ERROR: --jobs, --cache-mb, --max-conns and --window must be >= 1";
       exit 2
     end;
+    let listen =
+      match listen with
+      | None -> None
+      | Some spec -> (
+        match Cli.endpoint_of_string spec with
+        | `Tcp (host, port) -> Some (host, port)
+        | `Unix _ ->
+          prerr_endline "ERROR: --listen needs HOST:PORT with a numeric port";
+          exit 2)
+    in
+    let defaults = Srv.default_config ~socket_path:socket in
+    let shards = if shards = 0 then defaults.Srv.shards else shards in
     let log s = if not quiet then Printf.eprintf "slopt-serve: %s\n%!" s in
     Srv.run
-      { (Srv.default_config ~socket_path:socket) with
-        jobs; cache_mb; max_conns; log }
+      { defaults with
+        jobs; listen; shards; window; cache_mb; cache_dir; max_conns;
+        high_watermark; low_watermark; log }
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the layout-advice daemon (length-prefixed JSON over a Unix \
-             socket; advise/bench/check/stats/shutdown requests; \
-             content-addressed LRU caching; graceful drain on SIGTERM)")
-    Term.(const run $ socket_arg $ serve_jobs $ cache_mb $ max_conns $ quiet)
+             socket and optionally TCP; pipelined advise/bench/check/stats/\
+             shutdown requests with out-of-order replies; content-addressed \
+             in-memory and on-disk caching; admission control; graceful \
+             drain on SIGTERM)")
+    Term.(const run $ serve_socket_arg $ serve_jobs $ listen $ shards
+          $ window $ cache_mb $ cache_dir $ max_conns $ high_watermark
+          $ low_watermark $ quiet)
 
 let wait_arg =
   Arg.(value & opt float 5.0
@@ -532,7 +598,9 @@ let client_args_arg =
                  the roster entry's train args with --name, else none).")
 
 let with_conn socket wait f =
-  match Cli.connect ~retry_for_s:wait ~socket () with
+  match
+    Cli.connect ~retry_for_s:wait ~endpoint:(Cli.endpoint_of_string socket) ()
+  with
   | exception Unix.Unix_error (e, _, _) ->
     prerr_endline
       (Printf.sprintf "ERROR: cannot connect to %s: %s" socket
@@ -673,19 +741,24 @@ let client_stats_cmd =
         if h + m = 0 then "-"
         else Printf.sprintf "%.1f%%" (100.0 *. float h /. float (h + m))
       in
-      Printf.printf "uptime: %.1fs  conns: %d  inflight: %d\n" s.s_uptime_s
-        s.s_conns s.s_inflight;
+      Printf.printf
+        "uptime: %.1fs  conns: %d  inflight: %d  queued: %d%s\n" s.s_uptime_s
+        s.s_conns s.s_inflight s.s_queued
+        (if s.s_shedding then "  SHEDDING" else "");
       Printf.printf "requests: %s\n" (counts s.s_requests);
       Printf.printf "errors: %s\n" (counts s.s_errors);
       Printf.printf
-        "cache: result %d/%d hits (%s), ir %d/%d hits (%s), %d entries, \
-         %d bytes, %d evictions\n"
+        "cache: result %d/%d hits (%s), ir %d/%d hits (%s), disk %d/%d hits \
+         (%s), %d entries, %d bytes, %d evictions\n"
         s.s_result_hits
         (s.s_result_hits + s.s_result_misses)
         (rate s.s_result_hits s.s_result_misses)
         s.s_ir_hits
         (s.s_ir_hits + s.s_ir_misses)
         (rate s.s_ir_hits s.s_ir_misses)
+        s.s_disk_hits
+        (s.s_disk_hits + s.s_disk_misses)
+        (rate s.s_disk_hits s.s_disk_misses)
         s.s_cache_entries s.s_cache_bytes s.s_cache_evictions;
       Printf.printf "latency: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms \
                      (n=%d)\n"

@@ -103,9 +103,9 @@ let speedup_pct ~before ~after =
   *. 100.0
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Slo_util.Clock.now_ns () in
   let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  (r, Slo_util.Clock.elapsed_ms ~since:t0)
 
 let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold
     ?(verify = false) ?(jobs = 1) ?(backend = Backend.default)

@@ -115,7 +115,10 @@ let await_exn fut =
 let poll_interval_s = 0.0002
 
 let await_timeout fut ~timeout_ms =
-  let deadline = Unix.gettimeofday () +. (timeout_ms /. 1000.0) in
+  (* monotonic, not wall-clock: an NTP step must not expire (or extend)
+     a deadline *)
+  let t0 = Slo_util.Clock.now_ns () in
+  let remaining_ms () = timeout_ms -. Slo_util.Clock.elapsed_ms ~since:t0 in
   let rec go () =
     let st =
       Mutex.lock fut.f_mutex;
@@ -127,9 +130,10 @@ let await_timeout fut ~timeout_ms =
     | Done v -> Some (Ok v)
     | Failed e -> Some (Error e)
     | Pending ->
-      if Unix.gettimeofday () >= deadline then None
+      let left = remaining_ms () in
+      if left <= 0.0 then None
       else begin
-        Unix.sleepf (min poll_interval_s (deadline -. Unix.gettimeofday ()));
+        Unix.sleepf (min poll_interval_s (left /. 1000.0));
         go ()
       end
   in

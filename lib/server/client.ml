@@ -1,18 +1,48 @@
 module Json = Slo_util.Json
+module Clock = Slo_util.Clock
 
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
 exception Protocol_error of string
 
-let connect ?(retry_for_s = 0.0) ~socket () =
-  let deadline = Unix.gettimeofday () +. retry_for_s in
+let endpoint_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i when not (String.contains s '/') -> (
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port when port >= 0 -> `Tcp (String.sub s 0 i, port)
+    | _ -> `Unix s)
+  | _ -> `Unix s
+
+let resolve_host host =
+  let host = if host = "" || host = "*" then "127.0.0.1" else host in
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      raise
+        (Unix.Unix_error
+           (Unix.EINVAL, "resolve", Printf.sprintf "unknown host %S" host))
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+let connect ?(retry_for_s = 0.0) ~endpoint () =
+  let domain, addr, tcp =
+    match endpoint with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path, false)
+    | `Tcp (host, port) ->
+      (Unix.PF_INET, Unix.ADDR_INET (resolve_host host, port), true)
+  in
+  let t0 = Clock.now_ns () in
   let rec go () =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
     | () ->
+      if tcp then (
+        try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ());
       { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
     | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
-      when Unix.gettimeofday () < deadline ->
+      when Clock.elapsed_ms ~since:t0 < retry_for_s *. 1000.0 ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Unix.sleepf 0.02;
       go ()
@@ -22,7 +52,62 @@ let connect ?(retry_for_s = 0.0) ~socket () =
   in
   go ()
 
+let connect_socket ?retry_for_s ~socket () =
+  connect ?retry_for_s ~endpoint:(`Unix socket) ()
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_payload t payload =
+  match Protocol.write_frame t.oc payload with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    raise (Protocol_error "connection reset by server")
+
+let send_raw t payload = write_payload t payload
+
+let send_raw_noflush t payload =
+  match Protocol.write_frame_noflush t.oc payload with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    raise (Protocol_error "connection reset by server")
+
+let flush_out t =
+  match flush t.oc with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    raise (Protocol_error "connection reset by server")
+
+let send t ?id req =
+  write_payload t (Json.to_string ~indent:false (Protocol.json_of_request ?id req))
+
+let recv_raw t =
+  match Protocol.read_frame t.ic with
+  | None -> raise (Protocol_error "server closed the connection")
+  | exception Protocol.Framing_error msg -> raise (Protocol_error msg)
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    raise (Protocol_error "connection reset by server")
+  | Some payload -> payload
+
+let decode payload =
+  match Json.of_string payload with
+  | exception Json.Parse_error msg ->
+    raise (Protocol_error ("reply is not JSON: " ^ msg))
+  | j -> (
+    match Protocol.reply_of_json j with
+    | Ok r -> r
+    | Error msg -> raise (Protocol_error ("bad reply: " ^ msg)))
+
+let recv t =
+  let payload = recv_raw t in
+  let j =
+    match Json.of_string payload with
+    | exception Json.Parse_error msg ->
+      raise (Protocol_error ("reply is not JSON: " ^ msg))
+    | j -> j
+  in
+  match Protocol.reply_of_json j with
+  | Ok r -> (Protocol.id_of_frame j, r)
+  | Error msg -> raise (Protocol_error ("bad reply: " ^ msg))
 
 let rpc t req =
   (match
@@ -34,16 +119,4 @@ let rpc t req =
     (* e.g. EPIPE from a server that refused and closed; any refusal
        reply it sent first is still readable below *)
     ());
-  match Protocol.read_frame t.ic with
-  | None -> raise (Protocol_error "server closed the connection")
-  | exception Protocol.Framing_error msg -> raise (Protocol_error msg)
-  | exception (Sys_error _ | Unix.Unix_error _) ->
-    raise (Protocol_error "connection reset by server")
-  | Some payload -> (
-    match Json.of_string payload with
-    | exception Json.Parse_error msg ->
-      raise (Protocol_error ("reply is not JSON: " ^ msg))
-    | j -> (
-      match Protocol.reply_of_json j with
-      | Ok r -> r
-      | Error msg -> raise (Protocol_error ("bad reply: " ^ msg))))
+  decode (recv_raw t)

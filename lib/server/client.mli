@@ -1,6 +1,7 @@
-(** Blocking client for the layout-advice daemon: one connection, any
-    number of in-order request/reply round-trips. Used by [slopt
-    client], the load generator and the protocol tests. *)
+(** Blocking client for the layout-advice daemon: one connection,
+    either in-order request/reply round-trips ({!rpc}) or pipelined
+    send/receive halves ({!send}/{!recv}). Used by [slopt client], the
+    load generator and the protocol tests. *)
 
 type t
 
@@ -8,12 +9,25 @@ exception Protocol_error of string
 (** The server closed mid-reply or sent something {!Protocol} cannot
     decode. *)
 
-val connect : ?retry_for_s:float -> socket:string -> unit -> t
-(** Connect to the daemon's Unix socket. With [retry_for_s > 0]
-    (default [0.0]) a missing socket or refused connection is retried
-    every 20 ms until the budget is exhausted — the way to race a
-    daemon that is still starting up. Raises [Unix.Unix_error] once the
-    budget is spent. *)
+val endpoint_of_string : string -> [ `Unix of string | `Tcp of string * int ]
+(** ["host:port"] with a numeric port and no ['/'] is a TCP endpoint;
+    anything else is a Unix-socket path. [":"] in a path is fine as
+    long as the path is relative-or-absolute with a slash, or the
+    suffix is not a number. *)
+
+val connect :
+  ?retry_for_s:float ->
+  endpoint:[ `Unix of string | `Tcp of string * int ] ->
+  unit ->
+  t
+(** Connect to the daemon. With [retry_for_s > 0] (default [0.0]) a
+    missing socket or refused connection is retried every 20 ms (on the
+    monotonic clock) until the budget is exhausted — the way to race a
+    daemon that is still starting up. TCP connections set TCP_NODELAY.
+    Raises [Unix.Unix_error] once the budget is spent. *)
+
+val connect_socket : ?retry_for_s:float -> socket:string -> unit -> t
+(** [connect ~endpoint:(`Unix socket)]. *)
 
 val close : t -> unit
 
@@ -23,4 +37,38 @@ val rpc : t -> Protocol.request -> Protocol.reply
     Every transport failure (connection closed, reset, undecodable
     reply) raises {!Protocol_error}, never a bare [Sys_error]; a write
     against a connection the server has already refused-and-closed
-    still reads the refusal reply the server sent first. *)
+    still reads the refusal reply the server sent first. Do not mix
+    with in-flight {!send}s on the same connection. *)
+
+(** {2 Pipelined halves}
+
+    [send] and [recv] may run on different threads of one connection
+    (one sender, one receiver). Replies arrive in {e server completion}
+    order, so tag requests with [?id] and correlate on the echoed id. *)
+
+val send : t -> ?id:int -> Protocol.request -> unit
+(** Write one request frame. Raises {!Protocol_error} on a transport
+    failure (unlike {!rpc}'s write half, there is no later read on this
+    call to surface a refusal — the receiver thread will). *)
+
+val send_raw : t -> string -> unit
+(** Write one already-serialized payload as a frame — the load
+    generator's hot path pre-serializes each distinct request once and
+    splices ids with {!Protocol.inject_id}. *)
+
+val send_raw_noflush : t -> string -> unit
+(** Like {!send_raw} but leaves the frame in the output buffer; pair
+    with {!flush_out}. A pipelining sender with several frames due in
+    the same burst pays one write syscall for the batch. *)
+
+val flush_out : t -> unit
+(** Flush frames buffered by {!send_raw_noflush}. Raises
+    {!Protocol_error} on a transport failure. *)
+
+val recv : t -> int option * Protocol.reply
+(** Block for the next reply frame; the echoed id and the decoded
+    reply. Raises {!Protocol_error} on EOF or an undecodable reply. *)
+
+val recv_raw : t -> string
+(** Block for the next reply frame, undecoded — account it with
+    {!Protocol.scan_reply_header}. Raises {!Protocol_error} on EOF. *)

@@ -61,10 +61,14 @@ type stats_reply = {
   s_result_misses : int;
   s_ir_hits : int;
   s_ir_misses : int;
+  s_disk_hits : int;
+  s_disk_misses : int;
   s_cache_entries : int;
   s_cache_bytes : int;
   s_cache_evictions : int;
   s_inflight : int;
+  s_queued : int;
+  s_shedding : bool;
   s_conns : int;
   s_latency : latency;
 }
@@ -88,13 +92,85 @@ type reply =
   | R_shutdown
   | R_error of { code : error_code; message : string }
 
+(* ---------------- request ids (pipelining) ---------------- *)
+
+(* A client that pipelines tags each request with an integer [id]; the
+   server echoes it on the matching reply, which may complete out of
+   order. The id is a top-level "id" field in both directions, always
+   emitted *first* so that hot paths can splice or scan it without a
+   full JSON parse. *)
+
+let id_of_frame j =
+  match Json.member "id" j with Some (Json.Int n) -> Some n | _ -> None
+
+(* [inject_id ~id payload] prepends an "id" field to a serialized JSON
+   object. The warm serving path caches serialized replies and the load
+   generator caches serialized requests; both splice the per-call id
+   into the cached bytes instead of re-emitting the document. *)
+let inject_id ?id payload =
+  match id with
+  | None -> payload
+  | Some n ->
+    let len = String.length payload in
+    if len < 2 || payload.[0] <> '{' then
+      invalid_arg "Protocol.inject_id: payload is not a JSON object";
+    (* exact-size blit, not Printf — this runs per call on serving and
+       load-generation hot paths *)
+    let ns = string_of_int n in
+    let nlen = String.length ns in
+    let empty = len = 2 && payload.[1] = '}' in
+    let out =
+      Bytes.create (6 + nlen + (if empty then 1 else 1 + (len - 1)))
+    in
+    Bytes.blit_string "{\"id\":" 0 out 0 6;
+    Bytes.blit_string ns 0 out 6 nlen;
+    if empty then Bytes.set out (6 + nlen) '}'
+    else begin
+      Bytes.set out (6 + nlen) ',';
+      Bytes.blit_string payload 1 out (7 + nlen) (len - 1)
+    end;
+    Bytes.unsafe_to_string out
+
+(* [strip_id payload] undoes [inject_id] textually: [Some (id, rest)]
+   when the payload starts with a canonical {"id":N...} prefix (where
+   [rest] is the object with the id field removed), [None] otherwise.
+   Purely syntactic — used to key the frame cache on the id-independent
+   request bytes without parsing the document. *)
+let strip_id payload =
+  let prefix = "{\"id\":" in
+  let plen = String.length prefix and len = String.length payload in
+  if len < String.length prefix + 1 || String.sub payload 0 plen <> prefix
+  then None
+  else begin
+    let i = ref plen in
+    let neg = !i < len && payload.[!i] = '-' in
+    if neg then incr i;
+    let digits0 = !i in
+    while !i < len && payload.[!i] >= '0' && payload.[!i] <= '9' do incr i done;
+    if !i = digits0 || !i >= len then None
+    else
+      match int_of_string_opt (String.sub payload plen (!i - plen)) with
+      | None -> None
+      | Some id -> (
+        match payload.[!i] with
+        | ',' ->
+          Some (id, "{" ^ String.sub payload (!i + 1) (len - !i - 1))
+        | '}' when !i = len - 1 -> Some (id, "{}")
+        | _ -> None)
+  end
+
 (* ---------------- request codec ---------------- *)
 
 (* omit empty/None fields so frames stay small *)
 let opt_field k f = function None -> [] | Some v -> [ (k, f v) ]
 let list_field k f = function [] -> [] | xs -> [ (k, Json.List (List.map f xs)) ]
 
-let json_of_request = function
+let with_id ?id j =
+  match (id, j) with
+  | Some n, Json.Obj fields -> Json.Obj (("id", Json.Int n) :: fields)
+  | _ -> j
+
+let json_of_request_body = function
   | Advise { src; scheme; args; deadline_ms } ->
     Json.Obj
       ([ ("kind", Json.String "advise"); ("src", Json.String src) ]
@@ -115,6 +191,8 @@ let json_of_request = function
       @ opt_field "deadline_ms" (fun f -> Json.Float f) deadline_ms)
   | Stats -> Json.Obj [ ("kind", Json.String "stats") ]
   | Shutdown -> Json.Obj [ ("kind", Json.String "shutdown") ]
+
+let json_of_request ?id r = with_id ?id (json_of_request_body r)
 
 let get_string j k =
   match Json.member k j with
@@ -195,7 +273,7 @@ let json_of_latency l =
 let json_of_counts kvs =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs)
 
-let json_of_reply = function
+let json_of_reply_body = function
   | R_advise { a_report; a_cached } ->
     Json.Obj
       [
@@ -240,11 +318,15 @@ let json_of_reply = function
               ("result_misses", Json.Int s.s_result_misses);
               ("ir_hits", Json.Int s.s_ir_hits);
               ("ir_misses", Json.Int s.s_ir_misses);
+              ("disk_hits", Json.Int s.s_disk_hits);
+              ("disk_misses", Json.Int s.s_disk_misses);
               ("entries", Json.Int s.s_cache_entries);
               ("bytes", Json.Int s.s_cache_bytes);
               ("evictions", Json.Int s.s_cache_evictions);
             ] );
         ("inflight", Json.Int s.s_inflight);
+        ("queued", Json.Int s.s_queued);
+        ("shedding", Json.Bool s.s_shedding);
         ("conns", Json.Int s.s_conns);
         ("latency_ms", json_of_latency s.s_latency);
       ]
@@ -257,6 +339,29 @@ let json_of_reply = function
         ("code", Json.String (error_code_name code));
         ("message", Json.String message);
       ]
+
+let json_of_reply ?id r = with_id ?id (json_of_reply_body r)
+
+(* prefix scan of a serialized reply: its id (when emitted canonically)
+   and its ok/error classification, without a JSON parse. The emitter
+   puts "ok" first and, for errors, "code" immediately after, so the
+   open-loop load generator can account replies at line rate. *)
+let scan_reply_header payload =
+  let id, rest =
+    match strip_id payload with
+    | Some (id, rest) -> (Some id, rest)
+    | None -> (None, payload)
+  in
+  let starts p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  if starts "{\"ok\":true" rest then (id, Ok ())
+  else if starts "{\"ok\":false,\"code\":\"" rest then begin
+    let from = String.length "{\"ok\":false,\"code\":\"" in
+    let stop = try String.index_from rest from '"' with Not_found -> from in
+    (id, Error (String.sub rest from (stop - from)))
+  end
+  else (id, Error "undecodable")
 
 let counts_of_json j k =
   match Json.member k j with
@@ -299,10 +404,18 @@ let stats_of_json j =
     let* s_result_misses = req_int c "result_misses" in
     let* s_ir_hits = req_int c "ir_hits" in
     let* s_ir_misses = req_int c "ir_misses" in
+    let* s_disk_hits = req_int c "disk_hits" in
+    let* s_disk_misses = req_int c "disk_misses" in
     let* s_cache_entries = req_int c "entries" in
     let* s_cache_bytes = req_int c "bytes" in
     let* s_cache_evictions = req_int c "evictions" in
     let* s_inflight = req_int j "inflight" in
+    let* s_queued = req_int j "queued" in
+    let* s_shedding =
+      match Json.member "shedding" j with
+      | Some (Json.Bool b) -> Ok b
+      | _ -> Error "missing bool field \"shedding\""
+    in
     let* s_conns = req_int j "conns" in
     (match Json.member "latency_ms" j with
     | None -> Error "missing \"latency_ms\""
@@ -317,10 +430,14 @@ let stats_of_json j =
           s_result_misses;
           s_ir_hits;
           s_ir_misses;
+          s_disk_hits;
+          s_disk_misses;
           s_cache_entries;
           s_cache_bytes;
           s_cache_evictions;
           s_inflight;
+          s_queued;
+          s_shedding;
           s_conns;
           s_latency;
         })
@@ -394,14 +511,42 @@ exception Framing_error of string
 
 let max_frame_bytes = 64 * 1024 * 1024
 
-let write_frame oc payload =
+let write_frame_noflush oc payload =
   let n = String.length payload in
   if n > max_frame_bytes then
     raise (Framing_error (Printf.sprintf "frame of %d bytes over limit" n));
   output_string oc (string_of_int n);
   output_char oc '\n';
-  output_string oc payload;
+  output_string oc payload
+
+let write_frame oc payload =
+  write_frame_noflush oc payload;
   flush oc
+
+(* write a frame with the id spliced in on the fly: the reply bytes are
+   shared cached strings, so the splice must not build an intermediate
+   per-request copy *)
+let write_frame_id oc ?id payload =
+  match id with
+  | None -> write_frame_noflush oc payload
+  | Some n ->
+    let len = String.length payload in
+    if len < 2 || payload.[0] <> '{' then
+      invalid_arg "Protocol.write_frame_id: payload is not a JSON object";
+    let ns = string_of_int n in
+    let empty = len = 2 && payload.[1] = '}' in
+    let total = 6 + String.length ns + (if empty then 1 else len) in
+    if total > max_frame_bytes then
+      raise (Framing_error (Printf.sprintf "frame of %d bytes over limit" total));
+    output_string oc (string_of_int total);
+    output_char oc '\n';
+    output_string oc "{\"id\":";
+    output_string oc ns;
+    if empty then output_char oc '}'
+    else begin
+      output_char oc ',';
+      output_substring oc payload 1 (len - 1)
+    end
 
 let read_frame ic =
   (* length line: ASCII digits then '\n'; EOF before the first byte is a

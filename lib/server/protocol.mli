@@ -6,8 +6,22 @@
     ['\n'], then exactly that many payload bytes. The payload is one
     strict JSON document ({!Slo_util.Json.of_string} rejects trailing
     garbage, so a frame is exactly one parse). Both directions use the
-    same framing; a connection carries any number of request/reply
-    round-trips, strictly in order.
+    same framing.
+
+    {2 Pipelining and request ids}
+
+    A connection carries any number of requests. A client may send
+    several without waiting (pipelining); the server bounds the
+    per-connection in-flight window and {e replies may complete out of
+    order} — a cached [advise] sent after a slow [bench] returns first.
+    To correlate, a pipelining client tags each request with an integer
+    ["id"] field; the server echoes it verbatim on the matching reply.
+    Requests without an id get replies without one, and such replies
+    are delivered in request order only when the client never has more
+    than one request outstanding (the plain {!Client.rpc} discipline).
+    The id is always emitted as the {e first} object field, so hot
+    paths can splice ({!inject_id}) or strip ({!strip_id}) it without a
+    JSON parse.
 
     {2 Requests}
 
@@ -81,10 +95,14 @@ type stats_reply = {
   s_result_misses : int;
   s_ir_hits : int;                   (** digest -> compiled IR cache *)
   s_ir_misses : int;
+  s_disk_hits : int;                 (** persistent-cache loads *)
+  s_disk_misses : int;               (** result misses the disk lacked too *)
   s_cache_entries : int;
   s_cache_bytes : int;
   s_cache_evictions : int;
   s_inflight : int;                  (** requests being processed now *)
+  s_queued : int;                    (** compute jobs submitted, unfinished *)
+  s_shedding : bool;                 (** admission control is refusing bench *)
   s_conns : int;                     (** open connections *)
   s_latency : latency;               (** service latency, all kinds *)
 }
@@ -110,14 +128,40 @@ type reply =
 
 (* ---------------- JSON codecs ---------------- *)
 
-val json_of_request : request -> Slo_util.Json.t
+val json_of_request : ?id:int -> request -> Slo_util.Json.t
+(** With [?id], an ["id"] field is prepended (see {e Pipelining}). *)
 
 val request_of_json : Slo_util.Json.t -> (request, string) result
-(** [Error] is a human-readable reason, sent back as [bad_request]. *)
+(** [Error] is a human-readable reason, sent back as [bad_request].
+    Ignores a top-level ["id"] field (read it with {!id_of_frame}). *)
 
-val json_of_reply : reply -> Slo_util.Json.t
+val json_of_reply : ?id:int -> reply -> Slo_util.Json.t
 
 val reply_of_json : Slo_util.Json.t -> (reply, string) result
+
+(* ---------------- id plumbing (pipelining hot paths) ---------------- *)
+
+val id_of_frame : Slo_util.Json.t -> int option
+(** The top-level ["id"] of a parsed frame, if any. *)
+
+val inject_id : ?id:int -> string -> string
+(** [inject_id ~id payload] prepends ["id":id] to a {e serialized} JSON
+    object, producing the same bytes [json_of_... ~id] would have.
+    Identity when [id] is [None]. Raises [Invalid_argument] if the
+    payload is not an object. *)
+
+val strip_id : string -> (int * string) option
+(** Textual inverse of {!inject_id}: [Some (id, rest)] when the payload
+    carries a canonical leading id field, [rest] being the object with
+    the field removed. [None] for payloads without one (including ids
+    emitted non-canonically by foreign clients — callers must treat
+    [None] as "fall back to a full parse", never as "no id"). *)
+
+val scan_reply_header : string -> int option * (unit, string) result
+(** Prefix-scan of a serialized reply: its canonical id (if any) and
+    [Ok ()] for a success reply or [Error code_name] for an error
+    reply. No allocation proportional to the payload; the open-loop
+    load generator accounts replies with this instead of a parse. *)
 
 (* ---------------- framing ---------------- *)
 
@@ -131,6 +175,18 @@ val max_frame_bytes : int
 
 val write_frame : out_channel -> string -> unit
 (** Write one frame and flush. *)
+
+val write_frame_noflush : out_channel -> string -> unit
+(** Write one frame without flushing — batching several frames under
+    one flush amortizes the write syscall when pipelined replies
+    complete back to back. *)
+
+val write_frame_id : out_channel -> ?id:int -> string -> unit
+(** [write_frame_id oc ?id payload] writes one unflushed frame with
+    [id] spliced into the leading ["id"] position on the fly —
+    equivalent to [write_frame_noflush oc (inject_id ?id payload)]
+    without materializing the per-request copy of the shared cached
+    reply bytes. *)
 
 val read_frame : in_channel -> string option
 (** [None] on a clean EOF at a frame boundary; raises {!Framing_error}

@@ -1,5 +1,6 @@
 module Json = Slo_util.Json
 module Lru = Slo_util.Lru
+module Clock = Slo_util.Clock
 module Histogram = Slo_util.Histogram
 module Pool = Slo_exec.Pool
 module P = Protocol
@@ -10,9 +11,15 @@ module W = Slo_profile.Weights
 
 type config = {
   socket_path : string;
+  listen : (string * int) option;
   jobs : int;
+  shards : int;
+  window : int;
   cache_mb : int;
+  cache_dir : string option;
   max_conns : int;
+  high_watermark : int;
+  low_watermark : int;
   handle_sigterm : bool;
   log : string -> unit;
 }
@@ -20,25 +27,50 @@ type config = {
 let default_config ~socket_path =
   {
     socket_path;
+    listen = None;
     jobs = Pool.default_jobs ();
+    shards = max 1 (min 4 (Domain.recommended_domain_count () - 1));
+    window = 32;
     cache_mb = 64;
+    cache_dir = None;
     max_conns = 64;
+    high_watermark = 0;
+    low_watermark = 0;
     handle_sigterm = true;
     log = ignore;
   }
 
-(* one cache holds both key spaces; the "ir:"/"res:" key prefixes keep
-   them disjoint *)
-type cached = Cir of Ir.program | Creply of P.reply
+(* one LRU holds all three in-memory key spaces; the "ir:"/"res:"/"frm:"
+   key prefixes keep them disjoint *)
+type cached =
+  | Cir of Ir.program
+  | Creply of P.reply
+  | Craw of { rk : string; body : string }
+      (* [rk] is the request kind for the stats counters; [body] the
+         serialized success reply with [cached:true] and no id *)
+
+type listener = {
+  l_fd : Unix.file_descr;
+  l_poke : Unix.sockaddr; (* where a throwaway connect wakes accept *)
+  l_tcp : bool;
+}
 
 type t = {
   cfg : config;
   pool : Pool.t;
-  listen_fd : Unix.file_descr;
+  listeners : listener list;
+  hi_mark : int;
+  lo_mark : int;
   stopping : bool Atomic.t;
+  (* self-pipe: [request_stop] (possibly inside a signal handler, where
+     taking a mutex could self-deadlock) writes one byte; [run]'s main
+     thread blocks reading it *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
   lock : Mutex.t; (* guards every mutable field below *)
   drained : Condition.t; (* broadcast when inflight drops to 0 *)
   cache : (string, cached) Lru.t;
+  disk : Diskcache.t option;
   pending : (string, P.reply Pool.future) Hashtbl.t;
   req_counts : (string, int) Hashtbl.t;
   err_counts : (string, int) Hashtbl.t;
@@ -47,11 +79,15 @@ type t = {
   mutable result_misses : int;
   mutable ir_hits : int;
   mutable ir_misses : int;
+  mutable disk_hits : int;
+  mutable disk_misses : int;
+  mutable queued : int; (* compute jobs submitted, not yet finished *)
+  mutable shedding : bool;
   mutable inflight : int;
   mutable conns : (int * Unix.file_descr) list;
   mutable threads : Thread.t list;
   mutable next_conn : int;
-  started : float;
+  started : float; (* wall clock, display only *)
 }
 
 let locked t f =
@@ -80,7 +116,7 @@ let get_ir t ~digest ~src =
         | Some (Cir p) ->
           t.ir_hits <- t.ir_hits + 1;
           Some p
-        | Some (Creply _) -> assert false (* key spaces are disjoint *)
+        | Some (Creply _ | Craw _) -> assert false (* key spaces are disjoint *)
         | None ->
           t.ir_misses <- t.ir_misses + 1;
           None)
@@ -146,9 +182,33 @@ let compute t ~kind ~digest ~src ~scheme ~backend ~args =
         b_cached = false;
       })
 
+(* queued-job bookkeeping: the watermark pair is a hysteresis band so
+   the shedding decision does not flap once per job around one
+   threshold *)
+let note_submitted t =
+  (* caller holds t.lock *)
+  t.queued <- t.queued + 1;
+  if (not t.shedding) && t.queued >= t.hi_mark then begin
+    t.shedding <- true;
+    t.cfg.log
+      (Printf.sprintf "overload: %d jobs queued (high watermark %d), \
+                       shedding bench" t.queued t.hi_mark)
+  end
+
+let note_finished t =
+  (* caller holds t.lock *)
+  t.queued <- t.queued - 1;
+  if t.shedding && t.queued <= t.lo_mark then begin
+    t.shedding <- false;
+    t.cfg.log
+      (Printf.sprintf "overload: backlog at %d (low watermark %d), \
+                       admitting bench again" t.queued t.lo_mark)
+  end
+
 (* Everything a request can legitimately fail with becomes a structured
    error reply; only true surprises surface as [worker_crash]. The job
-   always cleans its [pending] slot and caches successful replies. *)
+   always cleans its [pending] slot and caches successful replies (in
+   memory, and persistently when a disk cache is configured). *)
 let job t ~key ~kind ~digest ~src ~scheme ~backend ~args () =
   let reply =
     match compute t ~kind ~digest ~src ~scheme ~backend ~args with
@@ -163,18 +223,28 @@ let job t ~key ~kind ~digest ~src ~scheme ~backend ~args () =
       err P.Legality_error "%s: unsupported: %s" (Slo_minic.Loc.to_string loc) msg
     | exception Verify.Ill_formed errs ->
       err P.Legality_error "ill-formed IR:\n%s" (Verify.report errs)
+    | exception Slo_vm.Rt.Runtime_error msg ->
+      (* bad [args] for the program's [main] (wrong arity, divide by
+         zero, OOB access) — the request is at fault, not the worker *)
+      err P.Bad_request "runtime error: %s" msg
     | exception e -> err P.Worker_crash "%s" (Printexc.to_string e)
+  in
+  let success =
+    match reply with P.R_advise _ | P.R_bench _ | P.R_check _ -> true | _ -> false
   in
   locked t (fun () ->
       Hashtbl.remove t.pending key;
-      match reply with
-      | P.R_advise _ | P.R_bench _ | P.R_check _ ->
-        ignore (Lru.add t.cache key (Creply reply) ~bytes:(heap_bytes reply))
-      | _ -> ());
+      note_finished t;
+      if success then
+        ignore (Lru.add t.cache key (Creply reply) ~bytes:(heap_bytes reply)));
+  (match (t.disk, success) with
+  | Some d, true ->
+    Diskcache.store d ~key (Json.to_string ~indent:false (P.json_of_reply reply))
+  | _ -> ());
   reply
 
 (* ------------------------------------------------------------------ *)
-(* Request handling (runs on connection threads)                       *)
+(* Request handling (runs on connection reader + waiter threads)       *)
 (* ------------------------------------------------------------------ *)
 
 let mark_cached = function
@@ -183,22 +253,54 @@ let mark_cached = function
   | P.R_check c -> P.R_check { c with c_cached = true }
   | r -> r
 
+let cached_flag = function
+  | P.R_advise a -> a.a_cached
+  | P.R_bench b -> b.b_cached
+  | P.R_check c -> c.c_cached
+  | _ -> true
+
+(* a request is either answerable now or pending on the pool *)
+type outcome =
+  | Now of P.reply
+  | Wait of P.reply Pool.future * float option (* deadline *)
+
+let probe_disk t ~key =
+  match t.disk with
+  | None -> None
+  | Some d -> (
+    match Diskcache.find d ~key with
+    | None ->
+      locked t (fun () -> t.disk_misses <- t.disk_misses + 1);
+      None
+    | Some payload -> (
+      match P.reply_of_json (Json.of_string payload) with
+      | Ok reply ->
+        locked t (fun () ->
+            t.disk_hits <- t.disk_hits + 1;
+            ignore (Lru.add t.cache key (Creply reply) ~bytes:(heap_bytes reply)));
+        Some reply
+      | Error _ | (exception Json.Parse_error _) ->
+        (* a stale-format record: treat as a miss *)
+        locked t (fun () -> t.disk_misses <- t.disk_misses + 1);
+        None))
+
 let serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms =
   let scheme_name = Option.value ~default:"ispbo" scheme in
   match scheme_of_name scheme_name with
-  | None -> err P.Bad_request "unknown scheme %S" scheme_name
+  | None -> Now (err P.Bad_request "unknown scheme %S" scheme_name)
   | Some scheme when W.is_dcache scheme ->
-    err P.Bad_request
-      "d-cache scheme %S attributes PMU samples, not block weights; it is \
-       not servable over the wire"
-      scheme_name
+    Now
+      (err P.Bad_request
+         "d-cache scheme %S attributes PMU samples, not block weights; it is \
+          not servable over the wire"
+         scheme_name)
   | Some scheme -> (
     let backend_name =
       Option.value ~default:(Slo_vm.Backend.to_string Slo_vm.Backend.default)
         backend
     in
     match Slo_vm.Backend.of_string backend_name with
-    | None -> err P.Bad_request "unknown backend %S" backend_name
+    | None -> Now (err P.Bad_request "unknown backend %S" backend_name)
     | Some backend -> (
       let digest = Digest.to_hex (Digest.string src) in
       let key =
@@ -211,45 +313,57 @@ let serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms =
           (W.name scheme) (Slo_vm.Backend.to_string backend)
           (String.concat "," (List.map string_of_int args))
       in
-      let outcome =
+      let mem =
         locked t (fun () ->
             match Lru.find t.cache key with
             | Some (Creply r) ->
               t.result_hits <- t.result_hits + 1;
-              `Hit r
-            | Some (Cir _) -> assert false
+              Some r
+            | Some (Cir _ | Craw _) -> assert false
             | None ->
               t.result_misses <- t.result_misses + 1;
-              let fut =
-                match Hashtbl.find_opt t.pending key with
-                | Some f -> f (* coalesce with the in-flight computation *)
-                | None ->
-                  let f =
-                    Pool.submit t.pool
-                      (job t ~key ~kind ~digest ~src ~scheme ~backend ~args)
-                  in
-                  Hashtbl.add t.pending key f;
-                  f
-              in
-              `Await fut)
+              None)
       in
-      match outcome with
-      | `Hit r -> mark_cached r
-      | `Await fut -> (
-        let res =
-          match deadline_ms with
-          | None -> Some (Pool.await fut)
-          | Some ms -> Pool.await_timeout fut ~timeout_ms:ms
-        in
-        match res with
-        | None ->
-          err P.Timeout
-            "deadline of %gms expired; the computation continues and will \
-             be cached"
-            (Option.get deadline_ms)
-        | Some (Ok reply) -> reply
-        | Some (Error (e : Pool.error)) ->
-          err P.Worker_crash "%s" e.Pool.err_exn)))
+      match mem with
+      | Some r -> Now (mark_cached r)
+      | None -> (
+        match probe_disk t ~key with
+        | Some r -> Now (mark_cached r)
+        | None -> (
+          let decision =
+            locked t (fun () ->
+                (* recheck: a coalesced job or another connection's disk
+                   load may have filled the slot during the disk probe *)
+                match Lru.find t.cache key with
+                | Some (Creply r) -> `Hit r
+                | Some (Cir _ | Craw _) -> assert false
+                | None -> (
+                  match Hashtbl.find_opt t.pending key with
+                  | Some f -> `Coalesce f
+                  | None ->
+                    if t.shedding && kind = `Bench then `Shed t.queued
+                    else begin
+                      note_submitted t;
+                      `Submit
+                    end))
+          in
+          match decision with
+          | `Hit r -> Now (mark_cached r)
+          | `Coalesce f -> Wait (f, deadline_ms)
+          | `Shed depth ->
+            Now
+              (err P.Overloaded
+                 "overloaded: %d compute jobs queued; bench requests are \
+                  shed until the backlog clears (cached replies are still \
+                  served)"
+                 depth)
+          | `Submit ->
+            let f =
+              Pool.submit t.pool
+                (job t ~key ~kind ~digest ~src ~scheme ~backend ~args)
+            in
+            locked t (fun () -> Hashtbl.add t.pending key f);
+            Wait (f, deadline_ms)))))
 
 let build_stats t =
   locked t (fun () ->
@@ -266,10 +380,14 @@ let build_stats t =
           s_result_misses = t.result_misses;
           s_ir_hits = t.ir_hits;
           s_ir_misses = t.ir_misses;
+          s_disk_hits = t.disk_hits;
+          s_disk_misses = t.disk_misses;
           s_cache_entries = Lru.length t.cache;
           s_cache_bytes = Lru.bytes t.cache;
           s_cache_evictions = Lru.evictions t.cache;
           s_inflight = t.inflight;
+          s_queued = t.queued;
+          s_shedding = t.shedding;
           s_conns = List.length t.conns;
           s_latency =
             {
@@ -281,16 +399,160 @@ let build_stats t =
             };
         })
 
-(* returns the reply plus what to do with the connection afterwards *)
-let handle_payload t payload =
+(* [request_stop] may run inside the SIGTERM handler, which OCaml
+   executes at a poll point on an arbitrary thread — possibly one that
+   already holds [t.lock]. It must therefore never take a mutex: it
+   only flips the atomic flag and wakes the acceptors, and [run]'s main
+   thread notices via [Domain.join] returning. *)
+let request_stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    t.cfg.log "drain requested";
+    (* Waking threads blocked in accept(2) is the hard part: close(2)
+       from another thread does NOT unblock them on Linux (the in-flight
+       syscall pins the descriptor), so shut each listener down and poke
+       it with throwaway connections — one per accept shard, since each
+       poke wakes at most one acceptor; the accept loops re-check the
+       stopping flag on every wake-up. The fds are closed by [drain]
+       after the loops have exited. *)
+    List.iter
+      (fun l ->
+        (try Unix.shutdown l.l_fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        for _ = 1 to t.cfg.shards do
+          try
+            let dom = if l.l_tcp then Unix.PF_INET else Unix.PF_UNIX in
+            let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+            (try Unix.connect fd l.l_poke with Unix.Unix_error _ -> ());
+            Unix.close fd
+          with Unix.Unix_error _ -> ()
+        done)
+      t.listeners;
+    (try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
+     with Unix.Unix_error _ -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Connections: pipelined reader + out-of-order completers             *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_ic : in_channel;
+  c_oc : out_channel;
+  c_wlock : Mutex.t; (* guards the outbound queue below *)
+  c_wcond : Condition.t;
+  (* (id, body) replies awaiting the writer thread, which splices the
+     id while writing instead of copying the shared body *)
+  c_outq : (int option * string) Queue.t;
+  mutable c_wclosed : bool; (* no further writes: reader gone or pipe broke *)
+  c_window : Semaphore.Counting.t; (* free in-flight slots *)
+}
+
+(* Enqueue one reply frame for the connection's writer thread. Replies
+   from concurrent completers interleave at frame granularity, and the
+   writer batches whatever has accumulated under a single flush, so
+   back-to-back completions of pipelined requests cost one write
+   syscall, not one each. *)
+let send_raw conn ?id payload =
+  Mutex.lock conn.c_wlock;
+  let ok = not conn.c_wclosed in
+  if ok then begin
+    Queue.add (id, payload) conn.c_outq;
+    Condition.signal conn.c_wcond
+  end;
+  Mutex.unlock conn.c_wlock;
+  ok
+
+(* drain the queue in batches; one flush per batch. Exits once the
+   reader has marked the connection closed and the queue is empty. *)
+let writer_loop conn =
+  let batch = Queue.create () in
+  let rec go () =
+    Mutex.lock conn.c_wlock;
+    while Queue.is_empty conn.c_outq && not conn.c_wclosed do
+      Condition.wait conn.c_wcond conn.c_wlock
+    done;
+    Queue.transfer conn.c_outq batch;
+    let closing = conn.c_wclosed in
+    Mutex.unlock conn.c_wlock;
+    match
+      if not (Queue.is_empty batch) then begin
+        Queue.iter
+          (fun (id, body) -> P.write_frame_id conn.c_oc ?id body)
+          batch;
+        flush conn.c_oc
+      end
+    with
+    | () ->
+      Queue.clear batch;
+      if not closing then go ()
+    | exception (Sys_error _ | Unix.Unix_error _ | P.Framing_error _) ->
+      (* peer is gone: stop accepting frames so completers drop their
+         replies instead of growing a queue nobody drains *)
+      Mutex.lock conn.c_wlock;
+      conn.c_wclosed <- true;
+      Queue.clear conn.c_outq;
+      Mutex.unlock conn.c_wlock
+  in
+  go ()
+
+let serialize reply = Json.to_string ~indent:false (P.json_of_reply reply)
+
+(* finish one admitted request: error accounting, frame-cache insert,
+   reply write, latency record, slot release. Runs on the reader thread
+   (fast paths) or on a waiter thread (pool-scheduled requests). *)
+let finish t conn ~t0 ~id ~frame_key ~rk reply =
+  (match reply with
+  | P.R_error { code; _ } -> count_error t code
+  | _ -> ());
+  let body = serialize reply in
+  (match (frame_key, reply) with
+  | Some fk, (P.R_advise _ | P.R_bench _ | P.R_check _) ->
+    (* memoize the id-independent request bytes -> marked-cached reply
+       bytes, so a byte-identical repeat skips the JSON parse *)
+    let cached_body =
+      if cached_flag reply then body else serialize (mark_cached reply)
+    in
+    locked t (fun () ->
+        ignore
+          (Lru.add t.cache ("frm:" ^ fk)
+             (Craw { rk; body = cached_body })
+             ~bytes:(String.length cached_body + String.length fk + 64)))
+  | _ -> ());
+  ignore (send_raw conn ?id body);
+  locked t (fun () ->
+      Histogram.record t.hist (Clock.elapsed_ms ~since:t0);
+      t.inflight <- t.inflight - 1;
+      if t.inflight = 0 then Condition.broadcast t.drained);
+  Semaphore.Counting.release conn.c_window
+
+(* decode and dispatch one already-admitted frame. [fast] carries the
+   canonical id and id-stripped request bytes when the prefix scan
+   succeeded. *)
+let handle_frame t conn ~t0 ~fast payload =
   match Json.of_string payload with
   | exception Json.Parse_error msg ->
-    (err P.Bad_request "request is not JSON: %s" msg, `Continue)
+    let id = Option.map fst fast in
+    finish t conn ~t0 ~id ~frame_key:None ~rk:""
+      (err P.Bad_request "request is not JSON: %s" msg)
   | j -> (
+    let id =
+      match fast with Some (id, _) -> Some id | None -> P.id_of_frame j
+    in
+    (* frame-cache key: the id-independent request bytes. Without a
+       canonical prefix the bytes are only id-independent when there is
+       no id at all. *)
+    let frame_key =
+      match fast with
+      | Some (_, rest) -> Some rest
+      | None -> if id = None then Some payload else None
+    in
     match P.request_of_json j with
-    | Error msg -> (err P.Bad_request "%s" msg, `Continue)
+    | Error msg ->
+      finish t conn ~t0 ~id ~frame_key:None ~rk:""
+        (err P.Bad_request "%s" msg)
     | Ok req -> (
-      let kind_name =
+      let rk =
         match req with
         | P.Advise _ -> "advise"
         | P.Bench _ -> "bench"
@@ -298,105 +560,142 @@ let handle_payload t payload =
         | P.Stats -> "stats"
         | P.Shutdown -> "shutdown"
       in
-      locked t (fun () -> bump t.req_counts kind_name);
+      locked t (fun () -> bump t.req_counts rk);
+      let finish_now = finish t conn ~t0 ~id ~frame_key ~rk in
       match req with
-      | P.Stats -> (build_stats t, `Continue)
-      | P.Shutdown -> (P.R_shutdown, `Stop)
-      | P.Advise { src; scheme; args; deadline_ms } ->
-        ( serve_compute t ~kind:`Advise ~src ~scheme ~backend:None ~args
-            ~deadline_ms,
-          `Continue )
-      | P.Bench { src; scheme; backend; args; deadline_ms } ->
-        ( serve_compute t ~kind:`Bench ~src ~scheme ~backend ~args ~deadline_ms,
-          `Continue )
-      | P.Check { src; relax; deadline_ms } ->
-        ( serve_compute t ~kind:(`Check relax) ~src ~scheme:None ~backend:None
-            ~args:[] ~deadline_ms,
-          `Continue )))
+      | P.Stats -> finish t conn ~t0 ~id ~frame_key:None ~rk (build_stats t)
+      | P.Shutdown ->
+        finish t conn ~t0 ~id ~frame_key:None ~rk P.R_shutdown;
+        request_stop t
+      | P.Advise _ | P.Bench _ | P.Check _ -> (
+        let kind, src, scheme, backend, args, deadline_ms =
+          match req with
+          | P.Advise { src; scheme; args; deadline_ms } ->
+            (`Advise, src, scheme, None, args, deadline_ms)
+          | P.Bench { src; scheme; backend; args; deadline_ms } ->
+            (`Bench, src, scheme, backend, args, deadline_ms)
+          | P.Check { src; relax; deadline_ms } ->
+            (`Check relax, src, None, None, [], deadline_ms)
+          | P.Stats | P.Shutdown -> assert false
+        in
+        match serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms with
+        | Now reply -> finish_now reply
+        | Wait (fut, deadline) ->
+          (* complete out of order on a waiter thread; the reader goes
+             back to the socket immediately *)
+          ignore
+            (Thread.create
+               (fun () ->
+                 let res =
+                   match deadline with
+                   | None -> Some (Pool.await fut)
+                   | Some ms -> Pool.await_timeout fut ~timeout_ms:ms
+                 in
+                 let reply =
+                   match res with
+                   | None ->
+                     err P.Timeout
+                       "deadline of %gms expired; the computation continues \
+                        and will be cached"
+                       (Option.get deadline)
+                   | Some (Ok reply) -> reply
+                   | Some (Error (e : Pool.error)) ->
+                     err P.Worker_crash "%s" e.Pool.err_exn
+                 in
+                 finish_now reply)
+               ()))))
 
-let request_stop t =
-  if not (Atomic.exchange t.stopping true) then begin
-    t.cfg.log "drain requested";
-    (* Waking a thread blocked in accept(2) is the hard part: close(2)
-       from another thread does NOT unblock it on Linux (the in-flight
-       syscall pins the descriptor), so shut the listener down and poke
-       it with a throwaway connection; the accept loop re-checks the
-       stopping flag on every wake-up. The fd itself is closed by
-       [drain] after the loop has exited. *)
-    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
-     with Unix.Unix_error _ -> ());
-    try
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
-       with Unix.Unix_error _ -> ());
-      Unix.close fd
-    with Unix.Unix_error _ -> ()
-  end
-
-let send oc reply =
-  match P.write_frame oc (Json.to_string ~indent:false (P.json_of_reply reply)) with
-  | () -> true
-  | exception (Sys_error _ | Unix.Unix_error _) -> false
-
-let conn_loop t id fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+let conn_loop t id conn =
+  let writer = Thread.create writer_loop conn in
   let rec loop () =
-    match P.read_frame ic with
+    match P.read_frame conn.c_ic with
     | None -> ()
     | exception P.Framing_error msg ->
       (* the stream offset is unreliable now: reply and close *)
       count_error t P.Bad_request;
-      ignore (send oc (err P.Bad_request "framing: %s" msg))
+      ignore (send_raw conn (serialize (err P.Bad_request "framing: %s" msg)))
     | exception (Sys_error _ | Unix.Unix_error _) -> ()
     | Some payload ->
-      let accepted =
-        locked t (fun () ->
-            if Atomic.get t.stopping then false
-            else begin
-              t.inflight <- t.inflight + 1;
-              true
-            end)
-      in
-      if not accepted then begin
+      (* backpressure: a full window parks the reader here until a
+         completer releases a slot *)
+      Semaphore.Counting.acquire conn.c_window;
+      if Atomic.get t.stopping then begin
         count_error t P.Shutting_down;
-        ignore (send oc (err P.Shutting_down "daemon is draining"))
+        ignore
+          (send_raw conn
+             ?id:(Option.map fst (P.strip_id payload))
+             (serialize (err P.Shutting_down "daemon is draining")));
+        Semaphore.Counting.release conn.c_window
       end
       else begin
-        let t0 = Unix.gettimeofday () in
-        let reply, action = handle_payload t payload in
-        (match reply with
-        | P.R_error { code; _ } -> count_error t code
-        | _ -> ());
-        let written = send oc reply in
-        locked t (fun () ->
-            Histogram.record t.hist ((Unix.gettimeofday () -. t0) *. 1000.0);
-            t.inflight <- t.inflight - 1;
-            if t.inflight = 0 then Condition.broadcast t.drained);
-        match action with
-        | `Stop -> request_stop t
-        | `Continue -> if written && not (Atomic.get t.stopping) then loop ()
+        let t0 = Clock.now_ns () in
+        let fast = P.strip_id payload in
+        (* Warm fast path: byte-identical request bytes -> cached reply
+           bytes, no JSON parse, one global-lock section. It skips the
+           inflight count on purpose: drain only needs inflight for
+           completions that outlive their reader thread, and this one
+           runs on the reader itself — drain joins the reader, which
+           joins the writer, which flushes the reply first. *)
+        let frame_hit =
+          (* keyed by the raw id-independent request bytes (no hashing
+             beyond the table's own): entries are only ever inserted for
+             id-less or canonical-id frames, so a hit is byte-identical
+             request semantics *)
+          let rest = match fast with Some (_, r) -> r | None -> payload in
+          let fk = "frm:" ^ rest in
+          locked t (fun () ->
+              match Lru.find t.cache fk with
+              | Some (Craw { rk; body }) ->
+                bump t.req_counts rk;
+                t.result_hits <- t.result_hits + 1;
+                Histogram.record t.hist (Clock.elapsed_ms ~since:t0);
+                Some body
+              | Some (Cir _ | Creply _) -> assert false
+              | None -> None)
+        in
+        (match frame_hit with
+        | Some body ->
+          ignore (send_raw conn ?id:(Option.map fst fast) body);
+          Semaphore.Counting.release conn.c_window
+        | None ->
+          locked t (fun () -> t.inflight <- t.inflight + 1);
+          handle_frame t conn ~t0 ~fast payload);
+        if not (Atomic.get t.stopping) then loop ()
       end
   in
   (try loop () with _ -> ());
   locked t (fun () -> t.conns <- List.filter (fun (i, _) -> i <> id) t.conns);
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  (* let the writer flush everything already queued, then close *)
+  Mutex.lock conn.c_wlock;
+  conn.c_wclosed <- true;
+  Condition.signal conn.c_wcond;
+  Mutex.unlock conn.c_wlock;
+  (try Thread.join writer with _ -> ());
+  try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Accept loop and drain                                               *)
+(* Accept loops and drain                                              *)
 (* ------------------------------------------------------------------ *)
 
 let refuse t code message cfd =
   count_error t code;
   let oc = Unix.out_channel_of_descr cfd in
-  ignore (send oc (P.R_error { code; message }));
+  (match
+     P.write_frame oc (Json.to_string ~indent:false (P.json_of_reply (P.R_error { code; message })))
+   with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) -> ());
   try Unix.close cfd with Unix.Unix_error _ -> ()
 
-let accept_loop t =
+(* one accept loop; [shards] of these run concurrently per listener,
+   each in its own domain. A connection's reader thread is created in
+   the accepting domain, so frame parsing of different connections can
+   proceed in parallel. *)
+let accept_loop t l =
   let rec go () =
     if Atomic.get t.stopping then ()
     else
-      match Unix.accept t.listen_fd with
+      match Unix.accept l.l_fd with
       | exception
           Unix.Unix_error ((EBADF | EINVAL | EINTR | ECONNABORTED), _, _) ->
         go ()
@@ -425,54 +724,165 @@ let accept_loop t =
                   t.cfg.max_conns)
                cfd
            | `Accept id ->
-             let th = Thread.create (fun () -> conn_loop t id cfd) () in
+             if l.l_tcp then
+               (try Unix.setsockopt cfd Unix.TCP_NODELAY true
+                with Unix.Unix_error _ -> ());
+             let conn =
+               {
+                 c_fd = cfd;
+                 c_ic = Unix.in_channel_of_descr cfd;
+                 c_oc = Unix.out_channel_of_descr cfd;
+                 c_wlock = Mutex.create ();
+                 c_wcond = Condition.create ();
+                 c_outq = Queue.create ();
+                 c_wclosed = false;
+                 c_window = Semaphore.Counting.make t.cfg.window;
+               }
+             in
+             let th = Thread.create (fun () -> conn_loop t id conn) () in
              locked t (fun () -> t.threads <- th :: t.threads));
         go ()
   in
   go ()
 
-let drain t =
+let drain t shard_domains =
   locked t (fun () ->
       while t.inflight > 0 do
         Condition.wait t.drained t.lock
       done);
-  (* every in-flight reply has been written; idle connections now read
-     EOF and their threads exit *)
+  (* Every in-flight reply has been written. Shut down the read half of
+     every connection so idle reader threads wake with EOF and exit —
+     this must happen BEFORE joining the shard domains: reader threads
+     live on those domains, and a domain does not terminate until all
+     its threads do, so joining first would deadlock on any connection
+     a client is still holding open. *)
   let conns = locked t (fun () -> t.conns) in
   List.iter
     (fun (_, fd) ->
       try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
     conns;
+  List.iter Domain.join shard_domains;
   let threads = locked t (fun () -> t.threads) in
   List.iter (fun th -> try Thread.join th with _ -> ()) threads;
   Pool.shutdown t.pool;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  List.iter
+    (fun l -> try Unix.close l.l_fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
   t.cfg.log "drained"
 
+let resolve_host host =
+  if host = "" || host = "*" then Unix.inet_addr_any
+  else
+    match Unix.inet_addr_of_string host with
+    | addr -> addr
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        raise
+          (Unix.Unix_error
+             (Unix.EINVAL, "resolve", Printf.sprintf "unknown host %S" host))
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+let bind_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 256
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { l_fd = fd; l_poke = Unix.ADDR_UNIX path; l_tcp = false }
+
+let bind_tcp (host, port) =
+  let addr = resolve_host host in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd 256
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (* poke a wildcard listener via loopback; the bound port survives a
+     [port = 0] ephemeral bind *)
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let poke_addr =
+    if addr = Unix.inet_addr_any then Unix.inet_addr_loopback else addr
+  in
+  { l_fd = fd; l_poke = Unix.ADDR_INET (poke_addr, bound_port); l_tcp = true }
+
 let run cfg =
   if cfg.jobs < 1 then invalid_arg "Server.run: jobs must be >= 1";
+  if cfg.shards < 1 then invalid_arg "Server.run: shards must be >= 1";
+  if cfg.window < 1 then invalid_arg "Server.run: window must be >= 1";
   if cfg.cache_mb < 1 then invalid_arg "Server.run: cache_mb must be >= 1";
   if cfg.max_conns < 1 then invalid_arg "Server.run: max_conns must be >= 1";
+  if cfg.high_watermark < 0 || cfg.low_watermark < 0 then
+    invalid_arg "Server.run: watermarks must be >= 0";
+  let hi_mark =
+    if cfg.high_watermark > 0 then cfg.high_watermark else max 8 (4 * cfg.jobs)
+  in
+  let lo_mark =
+    if cfg.low_watermark > 0 || (cfg.high_watermark > 0 && cfg.low_watermark = 0)
+    then cfg.low_watermark
+    else hi_mark / 2
+  in
+  if lo_mark >= hi_mark then
+    invalid_arg "Server.run: low watermark must be below the high watermark";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen listen_fd 64
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     raise e);
+  (* Serving allocates heavily (frames, reply bodies) and OCaml 5's
+     minor collection stops the world across every domain. The default
+     256 KiB minor heap forces hundreds of collections per second at
+     saturation, which dominates tail latency on small machines. Grow
+     it once, before the pool and shard domains are spawned, so they
+     all inherit the setting. Never shrink a user-tuned heap. *)
+  let gc = Gc.get () in
+  Gc.set
+    {
+      gc with
+      Gc.minor_heap_size = max gc.Gc.minor_heap_size (4 * 1024 * 1024);
+      (* Lazier major collection trades heap size for fewer marking
+         slices on the serving path; measured p99 at saturation drops
+         ~2x over the default 120. Values past ~200 let the heap balloon
+         until compaction stalls dominate — do not chase this knob. *)
+      Gc.space_overhead = max gc.Gc.space_overhead 200;
+    };
+  let listeners =
+    let u = bind_unix cfg.socket_path in
+    match cfg.listen with
+    | None -> [ u ]
+    | Some hp -> (
+      match bind_tcp hp with
+      | l -> [ u; l ]
+      | exception e ->
+        (try Unix.close u.l_fd with Unix.Unix_error _ -> ());
+        (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+        raise e)
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   let t =
     {
       cfg;
       pool = Pool.create ~jobs:cfg.jobs;
-      listen_fd;
+      listeners;
+      hi_mark;
+      lo_mark;
       stopping = Atomic.make false;
+      stop_r;
+      stop_w;
       lock = Mutex.create ();
       drained = Condition.create ();
       cache = Lru.create ~capacity_bytes:(cfg.cache_mb * 1024 * 1024);
+      disk = Option.map (fun dir -> Diskcache.create ~dir) cfg.cache_dir;
       pending = Hashtbl.create 16;
       req_counts = Hashtbl.create 8;
       err_counts = Hashtbl.create 8;
@@ -481,6 +891,10 @@ let run cfg =
       result_misses = 0;
       ir_hits = 0;
       ir_misses = 0;
+      disk_hits = 0;
+      disk_misses = 0;
+      queued = 0;
+      shedding = false;
       inflight = 0;
       conns = [];
       threads = [];
@@ -491,7 +905,34 @@ let run cfg =
   if cfg.handle_sigterm then
     Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_stop t));
   cfg.log
-    (Printf.sprintf "listening on %s (jobs=%d, cache=%dMiB, max-conns=%d)"
-       cfg.socket_path cfg.jobs cfg.cache_mb cfg.max_conns);
-  accept_loop t;
-  drain t
+    (Printf.sprintf
+       "listening on %s%s (jobs=%d, shards=%d, window=%d, cache=%dMiB%s, \
+        max-conns=%d, watermarks=%d/%d)"
+       cfg.socket_path
+       (match cfg.listen with
+       | None -> ""
+       | Some (h, p) -> Printf.sprintf " and %s:%d" h p)
+       cfg.jobs cfg.shards cfg.window cfg.cache_mb
+       (match cfg.cache_dir with
+       | None -> ""
+       | Some d -> Printf.sprintf " + disk %s" d)
+       cfg.max_conns hi_mark lo_mark);
+  (* accept loops run on their own domains so different connections'
+     frame parsing does not serialize on one runtime lock *)
+  let shard_domains =
+    List.concat_map
+      (fun l ->
+        List.init cfg.shards (fun _ -> Domain.spawn (fun () -> accept_loop t l)))
+      t.listeners
+  in
+  (* block until [request_stop] (signal handler or shutdown request)
+     writes the stop byte, then tear down *)
+  let buf = Bytes.create 1 in
+  let rec wait_stop () =
+    match Unix.read t.stop_r buf 0 1 with
+    | _ -> ()
+    | exception Unix.Unix_error (EINTR, _, _) ->
+      if not (Atomic.get t.stopping) then wait_stop ()
+  in
+  wait_stop ();
+  drain t shard_domains

@@ -1,53 +1,89 @@
 (** The layout-advice daemon.
 
-    A long-running server over a Unix-domain socket speaking
-    {!Protocol}: clients send Mini-C source inline, the server answers
-    with advisory reports ([advise]) or before/after measurements
-    ([bench]), keyed by a content-addressed LRU cache
+    A long-running server speaking {!Protocol} over a Unix-domain
+    socket and, optionally, TCP ([listen]): clients send Mini-C source
+    inline, the server answers with advisory reports ([advise]),
+    before/after measurements ([bench]) or diagnostics ([check]), keyed
+    by a content-addressed cache hierarchy:
 
-    - [digest(src)] → compiled and verified IR, and
-    - [(digest(src), scheme, backend, args)] → finished reply,
+    - [digest(request bytes)] → serialized reply (the {e frame cache} —
+      a warm repeat of byte-identical request bytes is served without
+      parsing the request at all; the per-request ["id"] field is
+      spliced around it),
+    - [(digest(src), kind, scheme, backend, args)] → finished reply
+      (the in-memory result LRU),
+    - the same key → serialized reply on disk under [cache_dir] (the
+      persistent layer, see {!Diskcache} — restarts and fleets sharing
+      a directory start warm), and
+    - [digest(src)] → compiled and verified IR.
 
-    so repeated traffic over the same sources (the common case as code
-    evolves under an editor or CI) costs one cache probe. Misses are
-    scheduled onto a {!Slo_exec.Pool} of worker domains, and identical
-    concurrent requests coalesce onto one in-flight computation, so
-    clients batch across domains instead of stampeding.
+    Misses are scheduled onto a {!Slo_exec.Pool} of worker domains, and
+    identical concurrent requests coalesce onto one in-flight
+    computation.
+
+    Concurrency model: each listener's accept loop is replicated across
+    [shards] domains; a connection is owned by the domain that accepted
+    it, so frame reading and JSON parsing of different connections run
+    in parallel. Per connection, one reader thread reads frames and
+    serves fast-path replies inline; requests that go to the compute
+    pool are completed by a per-request waiter thread, so {e replies
+    may complete out of order} (correlated by request id) and a slow
+    [bench] never blocks a cached [advise] behind it. The reader admits
+    at most [window] requests in flight per connection — beyond that it
+    stops reading, which is the protocol's backpressure.
 
     Robustness semantics:
 
     - {b deadlines}: a request's [deadline_ms] bounds the wait, not the
       computation — on expiry the client gets a [timeout] error while
-      the job runs on and its result still enters the cache (see
-      {!Slo_exec.Pool.await_timeout}).
+      the job runs on and its result still enters the cache. Deadlines
+      and latency histograms use the monotonic clock
+      ({!Slo_util.Clock}); wall time is kept only for [started]/uptime.
     - {b structured errors}: Mini-C parse, typecheck, lowering/verifier
       and worker-crash failures each map to a distinct error code; a
       failed request never tears down the connection.
+    - {b admission control}: when the compute backlog reaches the high
+      watermark the server sheds [bench] misses with an [overloaded]
+      reply (cached [bench] and all [advise]/[check] are still served)
+      until the backlog falls to the low watermark.
     - {b connection limit}: accepts beyond [max_conns] get an
       [overloaded] reply and an immediate close.
-    - {b graceful drain}: on SIGTERM or a [shutdown] request, the
-      listener closes first (new connections refused), in-flight
-      requests run to completion and their replies are delivered, idle
-      connections are then closed, the pool is joined and the socket
-      path unlinked before {!run} returns. *)
+    - {b graceful drain}: on SIGTERM or a [shutdown] request the
+      listeners close first, in-flight requests run to completion and
+      their replies are delivered, idle connections are then closed,
+      the pool is joined and the socket path unlinked before {!run}
+      returns. *)
 
 type config = {
-  socket_path : string;
+  socket_path : string;  (** Unix-domain listener (always on) *)
+  listen : (string * int) option;
+      (** additional TCP listener, [(host, port)]; [host] may be an
+          IPv4 literal, ["localhost"] or a resolvable name *)
   jobs : int;            (** worker domains for the compute pool *)
+  shards : int;          (** accept/reader domains per listener *)
+  window : int;          (** per-connection in-flight request cap *)
   cache_mb : int;        (** LRU budget for IR + results, in MiB *)
+  cache_dir : string option;
+      (** persistent reply cache directory; [None] disables the layer *)
   max_conns : int;       (** concurrent connections before [overloaded] *)
+  high_watermark : int;  (** queued jobs that start shedding; 0 = auto *)
+  low_watermark : int;   (** queued jobs that stop shedding; 0 = auto *)
   handle_sigterm : bool; (** install the SIGTERM drain handler *)
   log : string -> unit;  (** progress lines; [ignore] to silence *)
 }
 
 val default_config : socket_path:string -> config
-(** [jobs = Slo_exec.Pool.default_jobs ()], [cache_mb = 64],
-    [max_conns = 64], [handle_sigterm = true], [log = ignore]. *)
+(** [listen = None], [jobs = Slo_exec.Pool.default_jobs ()],
+    [shards = max 1 (min 4 (recommended_domain_count - 1))],
+    [window = 32], [cache_mb = 64], [cache_dir = None],
+    [max_conns = 64], watermarks auto ([high = max 8 (4*jobs)],
+    [low = high/2]), [handle_sigterm = true], [log = ignore]. *)
 
 val run : config -> unit
 (** Bind, serve until drained, clean up, return. Raises
-    [Invalid_argument] on a non-positive [jobs]/[cache_mb]/[max_conns];
-    [Unix.Unix_error] if the socket cannot be bound. SIGPIPE is set to
+    [Invalid_argument] on a non-positive [jobs]/[shards]/[window]/
+    [cache_mb]/[max_conns] or [low_watermark > high_watermark];
+    [Unix.Unix_error] if a listener cannot be bound. SIGPIPE is set to
     ignore (a server cannot survive otherwise). Safe to call from a
     background thread (set [handle_sigterm = false] to leave process
     signal dispositions alone — the in-process tests and the load

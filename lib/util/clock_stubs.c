@@ -1,0 +1,19 @@
+/* CLOCK_MONOTONIC in nanoseconds for Slo_util.Clock. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+CAMLprim int64_t slo_clock_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value slo_clock_now_ns_byte(value unit)
+{
+  return caml_copy_int64(slo_clock_now_ns(unit));
+}

@@ -1,12 +1,15 @@
-(* Fixed geometric buckets, ~4 per decade, 1 µs .. 60 s (milliseconds).
-   counts.(i) holds samples <= bounds.(i) (and > bounds.(i-1));
+(* Fixed geometric buckets, 1 µs .. 60 s (milliseconds) — ~3 per
+   decade at the extremes, ~6 per decade across 0.1 ms .. 100 ms where
+   serving latencies live and an SLO check needs resolution (a ladder
+   that jumps 10 -> 20 cannot distinguish an 11 ms p99 from a 19 ms
+   one). counts.(i) holds samples <= bounds.(i) (and > bounds.(i-1));
    counts.(n_bounds) is the overflow bucket. *)
 
 let bounds =
   [|
-    0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0;
-    10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0; 10000.0;
-    20000.0; 60000.0;
+    0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.15; 0.2; 0.3; 0.5; 0.7;
+    1.0; 1.5; 2.0; 3.0; 5.0; 7.0; 10.0; 15.0; 20.0; 30.0; 50.0; 70.0;
+    100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0; 10000.0; 20000.0; 60000.0;
   |]
 
 type t = {

@@ -2,7 +2,8 @@
     reply.
 
     Bucket boundaries are a fixed geometric ladder from 1 µs to 60 s
-    (about 4 buckets per decade), so recording is a binary search plus
+    (about 6 buckets per decade over the 0.1 ms – 100 ms serving
+    range, coarser at the extremes), so recording is a binary search plus
     an increment — no allocation, no per-sample storage — and the
     histogram stays O(1) in memory no matter how many requests it has
     seen. Percentiles are therefore estimates: {!percentile} returns

@@ -27,8 +27,16 @@ let escape_string buf s =
     s;
   Buffer.add_char buf '"'
 
+(* JSON has no NaN/Infinity. Emitting [null] instead (the old
+   behaviour) produces a document the strict parser rejects where a
+   number is expected, so the round-trip fails at the *consumer* —
+   far from the producer that computed the bad value. Raise at the
+   producer instead. *)
 let float_repr f =
-  if Float.is_nan f || f = infinity || f = neg_infinity then "null"
+  if Float.is_nan f || f = infinity || f = neg_infinity then
+    invalid_arg
+      (Printf.sprintf "Json.to_string: non-finite float %h has no JSON \
+                       representation" f)
   else
     let s = Printf.sprintf "%.6g" f in
     (* make sure it still reads back as a float, not an int *)

@@ -17,8 +17,11 @@ type t =
 val to_string : ?indent:bool -> t -> string
 (** Render; [~indent:true] (default) pretty-prints with 2-space
     indentation, which keeps the artifact diffable. Floats are emitted
-    with ["%.6g"]; NaN and infinities become [null] (JSON has no
-    spelling for them). *)
+    with ["%.6g"] and always read back as [Float] (a ".0" is appended
+    when needed). Raises [Invalid_argument] on NaN or infinities: JSON
+    has no spelling for them, and emitting [null] instead would only
+    move the failure to the strict consumer expecting a number —
+    producers must emit well-defined values. *)
 
 exception Parse_error of string
 

@@ -17,6 +17,7 @@ type ('k, 'v) t = {
   mutable tail : ('k, 'v) node option; (* LRU *)
   mutable total : int;
   mutable evicted : int;
+  mutable promoted : int;
 }
 
 let create ~capacity_bytes =
@@ -29,12 +30,14 @@ let create ~capacity_bytes =
     tail = None;
     total = 0;
     evicted = 0;
+    promoted = 0;
   }
 
 let length t = Hashtbl.length t.tbl
 let bytes t = t.total
 let capacity_bytes t = t.capacity
 let evictions t = t.evicted
+let promotions t = t.promoted
 
 (* unlink [n] from the recency list (it must be in it) *)
 let unlink t n =
@@ -49,11 +52,16 @@ let push_front t n =
   (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
   t.head <- Some n
 
+(* [Some n != Some n] is always true (a fresh [Some] allocation never
+   physically equals another), so the fast-path guard must match on the
+   option and compare the nodes themselves *)
 let promote t n =
-  if t.head != Some n then begin
+  match t.head with
+  | Some h when h == n -> () (* already MRU: leave the list untouched *)
+  | _ ->
     unlink t n;
-    push_front t n
-  end
+    push_front t n;
+    t.promoted <- t.promoted + 1
 
 let find t k =
   match Hashtbl.find_opt t.tbl k with

@@ -44,6 +44,12 @@ val capacity_bytes : ('k, 'v) t -> int
 val evictions : ('k, 'v) t -> int
 (** Entries evicted over the cache's lifetime (replacements excluded). *)
 
+val promotions : ('k, 'v) t -> int
+(** {!find} hits that actually moved the entry to the front of the
+    recency list. A hit on the entry that is already most-recently-used
+    leaves the list untouched and does not count (the order probe the
+    unit tests use to pin the promote fast path). *)
+
 val keys_mru : ('k, 'v) t -> 'k list
 (** Keys from most- to least-recently used (tests and the server's
     [stats] reply use this order to report cache contents). *)

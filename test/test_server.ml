@@ -56,20 +56,25 @@ let fresh_socket =
    test cannot leak one: a leaked connection can pin the server at its
    connection limit, the finally's shutdown request then gets refused
    as [overloaded], and [Thread.join] hangs the whole suite. *)
-let with_server ?(jobs = 1) ?(max_conns = 16) ?(handle_sigterm = false) f =
+let with_server ?(jobs = 1) ?(max_conns = 16) ?(handle_sigterm = false)
+    ?listen ?cache_dir ?(high_watermark = 0) ?(low_watermark = 0) f =
   let socket_path = fresh_socket () in
   let cfg =
     { (Server.default_config ~socket_path) with
       jobs;
       max_conns;
       handle_sigterm;
+      listen;
+      cache_dir;
+      high_watermark;
+      low_watermark;
     }
   in
   let th = Thread.create Server.run cfg in
   let live = ref [] in
   let lmx = Mutex.create () in
   let connect () =
-    let c = Client.connect ~retry_for_s:10.0 ~socket:socket_path () in
+    let c = Client.connect_socket ~retry_for_s:10.0 ~socket:socket_path () in
     Mutex.lock lmx;
     live := c :: !live;
     Mutex.unlock lmx;
@@ -89,7 +94,7 @@ let with_server ?(jobs = 1) ?(max_conns = 16) ?(handle_sigterm = false) f =
          where closed connections are not yet deregistered *)
       let rec request_shutdown attempts =
         if attempts > 0 then
-          match Client.connect ~retry_for_s:0.0 ~socket:socket_path () with
+          match Client.connect_socket ~retry_for_s:0.0 ~socket:socket_path () with
           | exception _ -> () (* already drained *)
           | conn -> (
             match Client.rpc conn P.Shutdown with
@@ -262,10 +267,14 @@ let codec_replies () =
          s_result_misses = 2;
          s_ir_hits = 0;
          s_ir_misses = 2;
+         s_disk_hits = 1;
+         s_disk_misses = 1;
          s_cache_entries = 4;
          s_cache_bytes = 123456;
          s_cache_evictions = 0;
          s_inflight = 1;
+         s_queued = 2;
+         s_shedding = true;
          s_conns = 3;
          s_latency =
            {
@@ -276,6 +285,45 @@ let codec_replies () =
              l_max_ms = 24.5;
            };
        })
+
+let codec_ids () =
+  (* inject/strip are textual inverses and agree with the codec *)
+  let body =
+    Json.to_string ~indent:false (P.json_of_request (advise "int main(){}"))
+  in
+  let tagged = P.inject_id ~id:42 body in
+  Alcotest.(check string) "inject matches codec"
+    (Json.to_string ~indent:false (P.json_of_request ~id:42 (advise "int main(){}")))
+    tagged;
+  (match P.strip_id tagged with
+  | Some (id, rest) ->
+    Alcotest.(check int) "strip recovers the id" 42 id;
+    Alcotest.(check string) "strip recovers the body" body rest
+  | None -> Alcotest.fail "strip_id missed a canonical id");
+  Alcotest.(check bool) "no id strips to None" true (P.strip_id body = None);
+  (match P.strip_id "{\"id\":7}" with
+  | Some (7, "{}") -> ()
+  | _ -> Alcotest.fail "id-only object");
+  Alcotest.(check bool) "identity without id" true
+    (String.equal (P.inject_id body) body);
+  (* non-canonical spellings must fall back to the parser, not misread *)
+  Alcotest.(check bool) "spaced id is non-canonical" true
+    (P.strip_id "{ \"id\": 3, \"kind\":\"stats\"}" = None);
+  (match
+     P.scan_reply_header
+       (P.inject_id ~id:9
+          (Json.to_string ~indent:false
+             (P.json_of_reply (P.R_advise { a_report = "r"; a_cached = true }))))
+   with
+  | Some 9, Ok () -> ()
+  | _ -> Alcotest.fail "scan of a success reply");
+  match
+    P.scan_reply_header
+      (Json.to_string ~indent:false
+         (P.json_of_reply (P.R_error { code = P.Overloaded; message = "m" })))
+  with
+  | None, Error "overloaded" -> ()
+  | _ -> Alcotest.fail "scan of an error reply"
 
 (* ---------------- end to end ---------------- *)
 
@@ -449,7 +497,7 @@ let e2e_shutdown_drains () =
     { (Server.default_config ~socket_path) with jobs = 1; handle_sigterm = false }
   in
   let th = Thread.create Server.run cfg in
-  let conn = Client.connect ~retry_for_s:10.0 ~socket:socket_path () in
+  let conn = Client.connect_socket ~retry_for_s:10.0 ~socket:socket_path () in
   (match Client.rpc conn (advise (hot_cold_src "sd")) with
   | P.R_advise _ -> ()
   | _ -> Alcotest.fail "advise before shutdown failed");
@@ -459,7 +507,7 @@ let e2e_shutdown_drains () =
   Thread.join th;
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket_path);
   (* new connections are refused once drained *)
-  (match Client.connect ~retry_for_s:0.0 ~socket:socket_path () with
+  (match Client.connect_socket ~retry_for_s:0.0 ~socket:socket_path () with
   | conn2 -> Client.close conn2; Alcotest.fail "connect after drain succeeded"
   | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) -> ());
   Client.close conn
@@ -472,7 +520,7 @@ let e2e_sigterm_drains () =
     { (Server.default_config ~socket_path) with jobs = 1; handle_sigterm = true }
   in
   let th = Thread.create Server.run cfg in
-  let conn = Client.connect ~retry_for_s:10.0 ~socket:socket_path () in
+  let conn = Client.connect_socket ~retry_for_s:10.0 ~socket:socket_path () in
   let reply = ref None in
   let client =
     Thread.create
@@ -492,6 +540,149 @@ let e2e_sigterm_drains () =
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket_path);
   Client.close conn
 
+(* a loopback port that is free right now; the bind-close-reuse window
+   is ours alone in a test process *)
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let e2e_tcp_transport () =
+  let port = free_port () in
+  with_server ~listen:("127.0.0.1", port) (fun ~connect ~close _socket ->
+      let tcp =
+        Client.connect ~retry_for_s:10.0 ~endpoint:(`Tcp ("127.0.0.1", port)) ()
+      in
+      let src = hot_cold_src "tcp" in
+      (match Client.rpc tcp (advise src) with
+      | P.R_advise { a_cached; _ } ->
+        Alcotest.(check bool) "miss over TCP" false a_cached
+      | r ->
+        Alcotest.failf "TCP advise failed: %s" (Json.to_string (P.json_of_reply r)));
+      (* both transports front one cache *)
+      let unix_conn = connect () in
+      (match Client.rpc unix_conn (advise src) with
+      | P.R_advise { a_cached; _ } ->
+        Alcotest.(check bool) "hit via the Unix socket" true a_cached
+      | _ -> Alcotest.fail "unix advise failed");
+      close unix_conn;
+      Client.close tcp)
+
+let e2e_pipelining_out_of_order () =
+  (* one worker: a slow bench miss occupies it while a cached advise,
+     sent later on the same connection, overtakes it *)
+  with_server ~jobs:1 (fun ~connect ~close _socket ->
+      let conn = connect () in
+      let adv = advise (hot_cold_src "pipe") in
+      (match Client.rpc conn adv with
+      | P.R_advise _ -> ()
+      | _ -> Alcotest.fail "advise warmup failed");
+      Client.send conn ~id:1 (bench ~scheme:"spbo" (slow_src "pipe"));
+      Client.send conn ~id:2 adv;
+      Client.send conn ~id:3 adv;
+      let id1, r1 = Client.recv conn in
+      let id2, r2 = Client.recv conn in
+      let id3, r3 = Client.recv conn in
+      Alcotest.(check (list (option int)))
+        "cached advises overtake the bench"
+        [ Some 2; Some 3; Some 1 ] [ id1; id2; id3 ];
+      (match (r1, r2) with
+      | P.R_advise { a_cached = true; _ }, P.R_advise { a_cached = true; _ } -> ()
+      | _ -> Alcotest.fail "overtaking replies were not the cached advises");
+      (match r3 with
+      | P.R_bench _ -> ()
+      | r ->
+        Alcotest.failf "bench reply: %s" (Json.to_string (P.json_of_reply r)));
+      close conn)
+
+let e2e_disk_cache_warm_restart () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "slo-diskcache-%d" (Unix.getpid ()))
+  in
+  let src = hot_cold_src "disk" in
+  with_server ~cache_dir:dir (fun ~connect ~close _socket ->
+      let conn = connect () in
+      (match Client.rpc conn (advise src) with
+      | P.R_advise { a_cached; _ } ->
+        Alcotest.(check bool) "cold daemon misses" false a_cached
+      | r ->
+        Alcotest.failf "advise failed: %s" (Json.to_string (P.json_of_reply r)));
+      close conn);
+  (* a fresh daemon on the same directory: first repeat must be served
+     from the persistent layer, not recomputed *)
+  with_server ~cache_dir:dir (fun ~connect ~close _socket ->
+      let conn = connect () in
+      (match Client.rpc conn (advise src) with
+      | P.R_advise { a_cached; _ } ->
+        Alcotest.(check bool) "restarted daemon serves from disk" true a_cached
+      | r ->
+        Alcotest.failf "advise failed: %s" (Json.to_string (P.json_of_reply r)));
+      (match Client.rpc conn P.Stats with
+      | P.R_stats s ->
+        Alcotest.(check int) "one disk hit" 1 s.s_disk_hits;
+        Alcotest.(check int) "no recompute" 1 s.s_result_misses
+      | _ -> Alcotest.fail "stats failed");
+      close conn);
+  (* best-effort cleanup; verify-on-load makes leftovers harmless *)
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let e2e_overload_sheds_bench () =
+  (* watermarks 1/0 with one worker: a single queued job flips the
+     daemon into shedding; bench misses get structured overloaded
+     replies while cached advise keeps being served *)
+  with_server ~jobs:1 ~high_watermark:1 (fun ~connect ~close _socket ->
+      let conn = connect () in
+      let adv = advise (hot_cold_src "shed") in
+      (match Client.rpc conn adv with
+      | P.R_advise _ -> ()
+      | _ -> Alcotest.fail "advise warmup failed");
+      Client.send conn ~id:1 (bench ~scheme:"spbo" (slow_src "shed"));
+      (* wait until the job is queued (= shedding is on) before probing *)
+      let probe = connect () in
+      let rec await_queued attempts =
+        if attempts = 0 then Alcotest.fail "bench was never queued";
+        match Client.rpc probe P.Stats with
+        | P.R_stats s when s.s_shedding -> ()
+        | P.R_stats _ ->
+          Unix.sleepf 0.01;
+          await_queued (attempts - 1)
+        | _ -> Alcotest.fail "stats failed"
+      in
+      await_queued 500;
+      expect_error "bench miss under overload" P.Overloaded
+        (Client.rpc probe (bench ~scheme:"spbo" (hot_cold_src "shed2")));
+      (match Client.rpc probe adv with
+      | P.R_advise { a_cached; _ } ->
+        Alcotest.(check bool) "cached advise still served" true a_cached
+      | _ -> Alcotest.fail "cached advise was shed");
+      (* the backlog drains: the slow bench completes and shedding ends *)
+      (match Client.recv conn with
+      | Some 1, P.R_bench _ -> ()
+      | _ -> Alcotest.fail "queued bench did not complete");
+      let rec await_admitting attempts =
+        if attempts = 0 then Alcotest.fail "shedding never ended";
+        match Client.rpc probe P.Stats with
+        | P.R_stats s when not s.s_shedding -> ()
+        | P.R_stats _ ->
+          Unix.sleepf 0.01;
+          await_admitting (attempts - 1)
+        | _ -> Alcotest.fail "stats failed"
+      in
+      await_admitting 500;
+      (match Client.rpc probe (bench ~scheme:"spbo" (hot_cold_src "shed2")) with
+      | P.R_bench _ -> ()
+      | r ->
+        Alcotest.failf "bench after drain: %s" (Json.to_string (P.json_of_reply r)));
+      close probe;
+      close conn)
+
 let () =
   Alcotest.run "server"
     [
@@ -502,6 +693,7 @@ let () =
           Alcotest.test_case "error codes" `Quick codec_error_codes;
           Alcotest.test_case "request codec" `Quick codec_requests;
           Alcotest.test_case "reply codec" `Quick codec_replies;
+          Alcotest.test_case "id plumbing" `Quick codec_ids;
         ] );
       ( "daemon",
         [
@@ -513,5 +705,12 @@ let () =
           Alcotest.test_case "connection limit" `Quick e2e_overloaded;
           Alcotest.test_case "shutdown drains" `Quick e2e_shutdown_drains;
           Alcotest.test_case "sigterm drains" `Quick e2e_sigterm_drains;
+          Alcotest.test_case "tcp transport" `Quick e2e_tcp_transport;
+          Alcotest.test_case "pipelining out of order" `Quick
+            e2e_pipelining_out_of_order;
+          Alcotest.test_case "disk cache warm restart" `Quick
+            e2e_disk_cache_warm_restart;
+          Alcotest.test_case "overload sheds bench" `Quick
+            e2e_overload_sheds_bench;
         ] );
     ]

@@ -142,11 +142,20 @@ let json_roundtrip () =
   Alcotest.(check bool) "compact roundtrip" true (Json.of_string s' = v)
 
 let json_edge_cases () =
-  (* non-finite floats are not representable in JSON: emitted as null *)
-  Alcotest.(check string) "nan is null" "null"
-    (Json.to_string (Json.Float Float.nan));
-  Alcotest.(check string) "inf is null" "null"
-    (Json.to_string (Json.Float Float.infinity));
+  (* non-finite floats are not representable in JSON: raising beats
+     emitting a null that silently decodes as a different value *)
+  let rejects v =
+    match Json.to_string v with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "nan rejected" true (rejects (Json.Float Float.nan));
+  Alcotest.(check bool) "inf rejected" true
+    (rejects (Json.Float Float.infinity));
+  Alcotest.(check bool) "-inf rejected" true
+    (rejects (Json.Float Float.neg_infinity));
+  Alcotest.(check bool) "nested nan rejected" true
+    (rejects (Json.Obj [ ("a", Json.List [ Json.Float Float.nan ]) ]));
   Alcotest.(check bool) "member hit" true
     (Json.member "a" (Json.Obj [ ("a", Json.Int 1) ]) = Some (Json.Int 1));
   Alcotest.(check bool) "member miss" true
@@ -188,6 +197,17 @@ let json_strict_single_document () =
     (Json.of_string "0.5" = Json.Float 0.5);
   Alcotest.(check bool) "empty input rejected" true (raises "");
   Alcotest.(check bool) "whitespace only rejected" true (raises "  \n ")
+
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"finite float round-trips"
+    QCheck.(float_range (-1e12) 1e12)
+    (fun f ->
+      (* %.6g keeps 6 significant digits, so the round-trip is close,
+         not bit-exact — and always reads back as a Float, never an Int *)
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Json.Float g ->
+        Float.abs (g -. f) <= 1e-5 *. Float.max 1e-30 (Float.abs f)
+      | _ -> false)
 
 (* ---------------- lru ---------------- *)
 
@@ -258,6 +278,52 @@ let lru_byte_accounting () =
     (Invalid_argument "Lru.create: capacity_bytes must be positive") (fun () ->
       ignore (Lru.create ~capacity_bytes:0))
 
+let lru_head_hit_is_not_a_promotion () =
+  let t = Lru.create ~capacity_bytes:4 in
+  ignore (Lru.add t "a" 1 ~bytes:1);
+  ignore (Lru.add t "b" 2 ~bytes:1);
+  (* "b" is already MRU: a hit must leave the list untouched *)
+  let p0 = Lru.promotions t in
+  Alcotest.(check bool) "head hit" true (Lru.find t "b" = Some 2);
+  Alcotest.(check int) "head hit does not relink" p0 (Lru.promotions t);
+  Alcotest.(check (list string)) "order unchanged" [ "b"; "a" ]
+    (Lru.keys_mru t);
+  (* a non-head hit does promote *)
+  Alcotest.(check bool) "tail hit" true (Lru.find t "a" = Some 1);
+  Alcotest.(check int) "tail hit promotes" (p0 + 1) (Lru.promotions t);
+  Alcotest.(check (list string)) "tail now MRU" [ "a"; "b" ] (Lru.keys_mru t);
+  (* a single-entry cache survives repeated self-hits intact *)
+  let s = Lru.create ~capacity_bytes:1 in
+  ignore (Lru.add s "x" 1 ~bytes:1);
+  Alcotest.(check bool) "hit" true (Lru.find s "x" = Some 1);
+  Alcotest.(check bool) "hit again" true (Lru.find s "x" = Some 1);
+  Alcotest.(check int) "no self-promotions" 0 (Lru.promotions s);
+  ignore (Lru.add s "y" 2 ~bytes:1);
+  Alcotest.(check (list string)) "list intact after evicting the only entry"
+    [ "y" ] (Lru.keys_mru s)
+
+(* ---------------- clock ---------------- *)
+
+module Clock = Slo_util.Clock
+
+let clock_monotonic () =
+  let t0 = Clock.now_ns () in
+  let last = ref t0 in
+  let ok = ref true in
+  for _ = 1 to 10_000 do
+    let t = Clock.now_ns () in
+    if Int64.compare t !last < 0 then ok := false;
+    last := t
+  done;
+  Alcotest.(check bool) "never steps backwards" true !ok;
+  Unix.sleepf 0.01;
+  Alcotest.(check bool) "sleep advances it" true
+    (Clock.elapsed_ms ~since:t0 >= 9.0);
+  let t1 = Clock.now_ns () in
+  Alcotest.(check (float 1e-9)) "span agrees with the raw difference"
+    (Int64.to_float (Int64.sub t1 t0) /. 1e6)
+    (Clock.span_ms t0 t1)
+
 (* ---------------- histogram ---------------- *)
 
 module Histogram = Slo_util.Histogram
@@ -325,13 +391,18 @@ let () =
           Alcotest.test_case "edge cases" `Quick json_edge_cases;
           Alcotest.test_case "strict single document" `Quick
             json_strict_single_document;
+          QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
         ] );
       ( "lru",
         [
           Alcotest.test_case "eviction order" `Quick lru_eviction_order;
           Alcotest.test_case "hit promotion" `Quick lru_hit_promotion;
           Alcotest.test_case "byte accounting" `Quick lru_byte_accounting;
+          Alcotest.test_case "head hit is not a promotion" `Quick
+            lru_head_hit_is_not_a_promotion;
         ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick clock_monotonic ] );
       ( "histogram",
         [
           Alcotest.test_case "basics" `Quick histogram_basics;
