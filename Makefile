@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz bench bench-smoke accuracy serve-smoke serve-load lint perf clean
+.PHONY: all build test fuzz bench bench-smoke accuracy perf-gate serve-smoke serve-load lint perf clean
 
 # worker domains for the bench harness
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
@@ -46,8 +46,23 @@ bench-smoke:
 # the full-size roster accuracy gate: exact (closure) vs sampled
 # (superblock) across every Table 3 benchmark; per-row miss-rate
 # deltas, speedup signs and the ACCURACY.json artifact
+# ACCURACY_FLAGS overrides fidelity/output, e.g.
+#   make accuracy ACCURACY_FLAGS="--fidelity sampled:4096,32768,4096 \
+#     --out _artifacts/ACCURACY-skip.json"
+# to gate an accuracy-licensed skipping configuration
 accuracy:
-	dune exec bench/accuracy.exe -- --jobs $(JOBS)
+	dune exec bench/accuracy.exe -- --jobs $(JOBS) $(ACCURACY_FLAGS)
+
+# measure-phase throughput gate: a fresh full-roster exact superblock
+# run against the committed baseline (ci/PERF-BASELINE.json), failing
+# on a >20% aggregate regression in measure_msteps_per_s. Run serially
+# (jobs 1) so the throughput numbers are not distorted by overlap.
+perf-gate:
+	dune exec bench/main.exe -- table3 --jobs 1 \
+	  --backend superblock --fidelity exact \
+	  --out _artifacts/BENCH-perfgate.json
+	dune exec bench/perfgate.exe -- ci/PERF-BASELINE.json \
+	  _artifacts/BENCH-perfgate.json
 
 # the advice daemon end to end: start it on a scratch socket, drive one
 # advise + one bench + stats through the CLI client, shut it down

@@ -1,0 +1,125 @@
+(* The measure-phase throughput gate.
+
+   Usage:
+     dune exec bench/perfgate.exe -- BASELINE.json FRESH.json [--tolerance PCT]
+
+   Reads the committed baseline artifact (ci/PERF-BASELINE.json) and a
+   freshly produced BENCH.json, lines their result rows up by
+   (experiment, benchmark, scheme), and compares [measure_msteps_per_s]
+   — the measure-phase throughput in million VM steps per second, the
+   number the batched-ring work is accountable for.
+
+   The gate fails (exit 1) when the AGGREGATE throughput — total steps
+   over total measure time across all matched rows, i.e. the
+   time-weighted mean of the per-row numbers — regresses by more than
+   [--tolerance] percent (default 20). Per-row regressions beyond the
+   tolerance are printed as warnings but do not fail the build on
+   their own: the small roster programs finish in milliseconds and
+   their individual numbers are noise-dominated, while the aggregate
+   is dominated by the long-running rows and is stable.
+
+   Rows present in the baseline but missing from the fresh artifact
+   (dropped benchmark, renamed scheme) fail the gate: silently losing
+   coverage would let the next regression hide. Exit 2 on usage or
+   parse errors. *)
+
+module Json = Slo_util.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> die "cannot open %s: %s" path msg
+  | ic ->
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Json.of_string s with
+    | j -> j
+    | exception Json.Parse_error msg -> die "%s: %s" path msg)
+
+let rows j =
+  match Json.member "results" j with
+  | Some (Json.List rs) -> rs
+  | _ -> die "missing 'results' list"
+
+let str_member key j =
+  match Json.member key j with Some (Json.String s) -> s | _ -> "?"
+
+let num_member key j =
+  match Json.member key j with
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+let row_key j =
+  Printf.sprintf "%s/%s/%s" (str_member "experiment" j)
+    (str_member "benchmark" j) (str_member "scheme" j)
+
+let measure_ms j =
+  match Json.member "timings_ms" j with
+  | Some t -> num_member "measure" t
+  | None -> None
+
+(* rows that carry a throughput number: (key, msteps/s, measure ms) *)
+let perf_rows j =
+  List.filter_map
+    (fun r ->
+      match (num_member "measure_msteps_per_s" r, measure_ms r) with
+      | Some th, Some ms when th > 0.0 && ms > 0.0 -> Some (row_key r, th, ms)
+      | _ -> None)
+    (rows j)
+
+let aggregate prs =
+  (* total steps / total time = time-weighted mean throughput *)
+  let steps = List.fold_left (fun a (_, th, ms) -> a +. (th *. ms)) 0.0 prs in
+  let time = List.fold_left (fun a (_, _, ms) -> a +. ms) 0.0 prs in
+  if time > 0.0 then steps /. time else 0.0
+
+let () =
+  let base_path = ref "" and fresh_path = ref "" and tol = ref 20.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t > 0.0 -> tol := t
+      | _ -> die "bad --tolerance %S" v);
+      parse rest
+    | a :: rest when !base_path = "" ->
+      base_path := a;
+      parse rest
+    | a :: rest when !fresh_path = "" ->
+      fresh_path := a;
+      parse rest
+    | a :: _ -> die "unexpected argument %S" a
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !fresh_path = "" then
+    die "usage: perfgate BASELINE.json FRESH.json [--tolerance PCT]";
+  let base = perf_rows (read_file !base_path) in
+  let fresh = perf_rows (read_file !fresh_path) in
+  if base = [] then die "%s carries no throughput rows" !base_path;
+  if fresh = [] then die "%s carries no throughput rows" !fresh_path;
+  let failed = ref false in
+  (* per-row report; missing coverage fails, slow rows only warn *)
+  List.iter
+    (fun (key, bth, _) ->
+      match List.find_opt (fun (k, _, _) -> String.equal k key) fresh with
+      | None ->
+        Printf.printf "FAIL %-40s baseline %8.1f Msteps/s, missing from fresh artifact\n"
+          key bth;
+        failed := true
+      | Some (_, fth, _) ->
+        let delta = (fth /. bth -. 1.0) *. 100.0 in
+        let tag = if delta < -. !tol then "warn" else "ok  " in
+        Printf.printf "%s %-40s %8.1f -> %8.1f Msteps/s (%+.1f%%)\n" tag key
+          bth fth delta)
+    base;
+  let agg_b = aggregate base and agg_f = aggregate fresh in
+  let delta = (agg_f /. agg_b -. 1.0) *. 100.0 in
+  Printf.printf "aggregate measure throughput: %.1f -> %.1f Msteps/s (%+.1f%%, tolerance -%.0f%%)\n"
+    agg_b agg_f delta !tol;
+  if delta < -. !tol then begin
+    Printf.printf "FAIL aggregate regression beyond tolerance\n";
+    failed := true
+  end;
+  exit (if !failed then 1 else 0)

@@ -6,18 +6,271 @@ type t = {
   line_shift : int;    (* log2 line; line is validated as a power of 2 *)
   set_mask : int;      (* nsets - 1 when nsets is a power of 2, else 0 *)
   set_shift : int;     (* log2 nsets when a power of 2, else -1 *)
-  tags : int array;    (* nsets * assoc; -1 = invalid *)
+  tags : int array;    (* nsets * assoc; -1 = invalid, < -1 = synthetic *)
   stamps : int array;  (* LRU timestamps *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  (* footprint sketch for sampled skip correction: per-set line
+     insertions (= fills, i.e. misses — recorded or warming) since the
+     last [correct_skip], plus the fractional remainder it carries
+     between corrections *)
+  ins : int array;
+  carry : int array;
+  mutable synth_tag : int;  (* next synthetic fill tag; real tags are >= 0 *)
+  (* probe kernels, selected once at creation: [k addr] probes the set,
+     updates tick/stamps/tags (hit/miss counters too for [k_access],
+     never for [k_touch]) and returns [(way_index lsl 1) lor hit] *)
+  mutable k_access : int -> int;
+  mutable k_touch : int -> int;
 }
+
+type kernel = [ `Auto | `Generic ]
 
 let is_pow2 x = x > 0 && x land (x - 1) = 0
 
 let log2 x =
   let rec go n x = if x <= 1 then n else go (n + 1) (x lsr 1) in
   go 0 x
+
+(* The generic probe: any associativity, shift/mask set indexing on
+   power-of-two set counts with a divide fallback (the odd 6144-set
+   Itanium L2). This is the reference kernel the specialized ones are
+   property-tested against; the inline while-probe and first-minimal
+   victim scan define the simulator's semantics. *)
+let generic_kernel ~count c : int -> int =
+  let tags = c.tags and stamps = c.stamps and ins = c.ins in
+  let assoc = c.assoc and nsets = c.nsets in
+  let lshift = c.line_shift and smask = c.set_mask and sshift = c.set_shift in
+  fun addr ->
+    let line_no = addr lsr lshift in
+    let set, tag =
+      if sshift >= 0 then (line_no land smask, line_no lsr sshift)
+      else (line_no mod nsets, line_no / nsets)
+    in
+    let base = set * assoc in
+    let tick = c.tick + 1 in
+    c.tick <- tick;
+    let lim = base + assoc in
+    let i = ref base in
+    while !i < lim && Array.unsafe_get tags !i <> tag do incr i done;
+    if !i < lim then begin
+      Array.unsafe_set stamps !i tick;
+      if count then c.hits <- c.hits + 1;
+      (!i lsl 1) lor 1
+    end
+    else begin
+      if count then c.misses <- c.misses + 1;
+      Array.unsafe_set ins set (Array.unsafe_get ins set + 1);
+      (* evict the first way holding the minimal stamp *)
+      let victim = ref base in
+      for w = base + 1 to lim - 1 do
+        if stamps.(w) < stamps.(!victim) then victim := w
+      done;
+      tags.(!victim) <- tag;
+      stamps.(!victim) <- tick;
+      !victim lsl 1
+    end
+
+(* Specialized kernels for power-of-two set counts at associativity 1,
+   2, 4 or 8: the way probe is fully unrolled and the victim selection
+   is a comparison tree instead of a scan. The tree preserves the
+   generic kernel's first-minimal-stamp tie-break: every merge keeps
+   the left (lower-index) candidate on equal stamps, and the left
+   candidate always has the lower index. *)
+(* Each arm resolves the probe to a way index [w] (-1 = miss) through
+   unrolled compares, then performs the hit or fill update inline: the
+   native compiler does not inline local closures, so shared [hit]/
+   [fill] helpers would cost an indirect call per probe on the hottest
+   path of the whole simulator. *)
+let specialized_kernel ~count c : (int -> int) option =
+  if c.set_shift < 0 then None
+  else begin
+    let tags = c.tags and stamps = c.stamps and ins = c.ins in
+    let lshift = c.line_shift and smask = c.set_mask and sshift = c.set_shift in
+    match c.assoc with
+    | 1 ->
+      Some
+        (fun addr ->
+          let line_no = addr lsr lshift in
+          let set = line_no land smask in
+          let tag = line_no lsr sshift in
+          let tk = c.tick + 1 in
+          c.tick <- tk;
+          if Array.unsafe_get tags set = tag then begin
+            Array.unsafe_set stamps set tk;
+            if count then c.hits <- c.hits + 1;
+            (set lsl 1) lor 1
+          end
+          else begin
+            if count then c.misses <- c.misses + 1;
+            Array.unsafe_set ins set (Array.unsafe_get ins set + 1);
+            Array.unsafe_set tags set tag;
+            Array.unsafe_set stamps set tk;
+            set lsl 1
+          end)
+    | 2 ->
+      Some
+        (fun addr ->
+          let line_no = addr lsr lshift in
+          let set = line_no land smask in
+          let tag = line_no lsr sshift in
+          let base = set lsl 1 in
+          let tk = c.tick + 1 in
+          c.tick <- tk;
+          let w =
+            if Array.unsafe_get tags base = tag then base
+            else if Array.unsafe_get tags (base + 1) = tag then base + 1
+            else -1
+          in
+          if w >= 0 then begin
+            Array.unsafe_set stamps w tk;
+            if count then c.hits <- c.hits + 1;
+            (w lsl 1) lor 1
+          end
+          else begin
+            let v =
+              if Array.unsafe_get stamps (base + 1) < Array.unsafe_get stamps base
+              then base + 1
+              else base
+            in
+            if count then c.misses <- c.misses + 1;
+            Array.unsafe_set ins set (Array.unsafe_get ins set + 1);
+            Array.unsafe_set tags v tag;
+            Array.unsafe_set stamps v tk;
+            v lsl 1
+          end)
+    | 4 ->
+      Some
+        (fun addr ->
+          let line_no = addr lsr lshift in
+          let set = line_no land smask in
+          let tag = line_no lsr sshift in
+          let base = set lsl 2 in
+          let tk = c.tick + 1 in
+          c.tick <- tk;
+          let w =
+            if Array.unsafe_get tags base = tag then base
+            else if Array.unsafe_get tags (base + 1) = tag then base + 1
+            else if Array.unsafe_get tags (base + 2) = tag then base + 2
+            else if Array.unsafe_get tags (base + 3) = tag then base + 3
+            else -1
+          in
+          if w >= 0 then begin
+            Array.unsafe_set stamps w tk;
+            if count then c.hits <- c.hits + 1;
+            (w lsl 1) lor 1
+          end
+          else begin
+            let i01 =
+              if Array.unsafe_get stamps (base + 1) < Array.unsafe_get stamps base
+              then base + 1
+              else base
+            in
+            let i23 =
+              if
+                Array.unsafe_get stamps (base + 3)
+                < Array.unsafe_get stamps (base + 2)
+              then base + 3
+              else base + 2
+            in
+            let v =
+              if Array.unsafe_get stamps i23 < Array.unsafe_get stamps i01 then
+                i23
+              else i01
+            in
+            if count then c.misses <- c.misses + 1;
+            Array.unsafe_set ins set (Array.unsafe_get ins set + 1);
+            Array.unsafe_set tags v tag;
+            Array.unsafe_set stamps v tk;
+            v lsl 1
+          end)
+    | 8 ->
+      Some
+        (fun addr ->
+          let line_no = addr lsr lshift in
+          let set = line_no land smask in
+          let tag = line_no lsr sshift in
+          let base = set lsl 3 in
+          let tk = c.tick + 1 in
+          c.tick <- tk;
+          let w =
+            if Array.unsafe_get tags base = tag then base
+            else if Array.unsafe_get tags (base + 1) = tag then base + 1
+            else if Array.unsafe_get tags (base + 2) = tag then base + 2
+            else if Array.unsafe_get tags (base + 3) = tag then base + 3
+            else if Array.unsafe_get tags (base + 4) = tag then base + 4
+            else if Array.unsafe_get tags (base + 5) = tag then base + 5
+            else if Array.unsafe_get tags (base + 6) = tag then base + 6
+            else if Array.unsafe_get tags (base + 7) = tag then base + 7
+            else -1
+          in
+          if w >= 0 then begin
+            Array.unsafe_set stamps w tk;
+            if count then c.hits <- c.hits + 1;
+            (w lsl 1) lor 1
+          end
+          else begin
+            let i01 =
+              if Array.unsafe_get stamps (base + 1) < Array.unsafe_get stamps base
+              then base + 1
+              else base
+            in
+            let i23 =
+              if
+                Array.unsafe_get stamps (base + 3)
+                < Array.unsafe_get stamps (base + 2)
+              then base + 3
+              else base + 2
+            in
+            let i45 =
+              if
+                Array.unsafe_get stamps (base + 5)
+                < Array.unsafe_get stamps (base + 4)
+              then base + 5
+              else base + 4
+            in
+            let i67 =
+              if
+                Array.unsafe_get stamps (base + 7)
+                < Array.unsafe_get stamps (base + 6)
+              then base + 7
+              else base + 6
+            in
+            let a =
+              if Array.unsafe_get stamps i23 < Array.unsafe_get stamps i01 then
+                i23
+              else i01
+            in
+            let b =
+              if Array.unsafe_get stamps i67 < Array.unsafe_get stamps i45 then
+                i67
+              else i45
+            in
+            let v =
+              if Array.unsafe_get stamps b < Array.unsafe_get stamps a then b
+              else a
+            in
+            if count then c.misses <- c.misses + 1;
+            Array.unsafe_set ins set (Array.unsafe_get ins set + 1);
+            Array.unsafe_set tags v tag;
+            Array.unsafe_set stamps v tk;
+            v lsl 1
+          end)
+    | _ -> None
+  end
+
+let select_kernels kernel c =
+  let pick ~count =
+    match kernel with
+    | `Generic -> generic_kernel ~count c
+    | `Auto -> (
+      match specialized_kernel ~count c with
+      | Some k -> k
+      | None -> generic_kernel ~count c)
+  in
+  c.k_access <- pick ~count:true;
+  c.k_touch <- pick ~count:false
 
 let create ~name ~size ~line ~assoc =
   if line <= 0 || assoc <= 0 || size <= 0 then
@@ -26,81 +279,69 @@ let create ~name ~size ~line ~assoc =
   if size mod (line * assoc) <> 0 then
     invalid_arg "Cache.create: size not divisible by line*assoc";
   let nsets = size / (line * assoc) in
-  {
-    cname = name; line; assoc; nsets;
-    line_shift = log2 line;
-    set_mask = (if is_pow2 nsets then nsets - 1 else 0);
-    set_shift = (if is_pow2 nsets then log2 nsets else -1);
-    tags = Array.make (nsets * assoc) (-1);
-    stamps = Array.make (nsets * assoc) 0;
-    tick = 0; hits = 0; misses = 0;
-  }
-
-let access t ~addr ~write:_ =
-  let line_no = addr lsr t.line_shift in
-  (* set/tag split by shift/mask on the (usual) power-of-two set count;
-     division only in the odd-set-count fallback *)
-  let set, tag =
-    if t.set_shift >= 0 then (line_no land t.set_mask, line_no lsr t.set_shift)
-    else (line_no mod t.nsets, line_no / t.nsets)
+  let c =
+    {
+      cname = name; line; assoc; nsets;
+      line_shift = log2 line;
+      set_mask = (if is_pow2 nsets then nsets - 1 else 0);
+      set_shift = (if is_pow2 nsets then log2 nsets else -1);
+      tags = Array.make (nsets * assoc) (-1);
+      stamps = Array.make (nsets * assoc) 0;
+      tick = 0; hits = 0; misses = 0;
+      ins = Array.make nsets 0;
+      carry = Array.make nsets 0;
+      synth_tag = -2;
+      k_access = (fun _ -> 0);
+      k_touch = (fun _ -> 0);
+    }
   in
-  let base = set * t.assoc in
-  let tick = t.tick + 1 in
-  t.tick <- tick;
-  (* probe the set inline (a helper function call per way costs ~4x the
-     probe itself without cross-function inlining); early-exits on the
-     first match — indices are in bounds by construction:
-     base + assoc <= nsets * assoc *)
-  let tags = t.tags in
-  let lim = base + t.assoc in
-  let i = ref base in
-  while !i < lim && Array.unsafe_get tags !i <> tag do incr i done;
-  if !i < lim then begin
-    Array.unsafe_set t.stamps !i tick;
-    t.hits <- t.hits + 1;
-    true
-  end
-  else begin
-    t.misses <- t.misses + 1;
-    (* evict LRU way *)
-    let victim = ref base in
-    for w = base + 1 to lim - 1 do
-      if t.stamps.(w) < t.stamps.(!victim) then victim := w
-    done;
-    t.tags.(!victim) <- tag;
-    t.stamps.(!victim) <- tick;
-    false
-  end
+  select_kernels `Auto c;
+  c
 
-(* [access] without statistics: tags, stamps and tick move exactly as
-   they would under [access], but hit/miss counters stay put. This is
-   the sampled simulator's fast-forward warming — state stays current
-   while the window counters are not diluted by unrecorded traffic. *)
-let touch t ~addr ~write:_ =
-  let line_no = addr lsr t.line_shift in
-  let set, tag =
-    if t.set_shift >= 0 then (line_no land t.set_mask, line_no lsr t.set_shift)
-    else (line_no mod t.nsets, line_no / t.nsets)
-  in
-  let base = set * t.assoc in
-  let tick = t.tick + 1 in
-  t.tick <- tick;
-  let tags = t.tags in
-  let lim = base + t.assoc in
-  let i = ref base in
-  while !i < lim && Array.unsafe_get tags !i <> tag do incr i done;
-  if !i < lim then begin
-    Array.unsafe_set t.stamps !i tick;
-    true
-  end
-  else begin
-    let victim = ref base in
-    for w = base + 1 to lim - 1 do
-      if t.stamps.(w) < t.stamps.(!victim) then victim := w
-    done;
-    t.tags.(!victim) <- tag;
-    t.stamps.(!victim) <- tick;
-    false
+let set_kernel c kernel = select_kernels kernel c
+
+let access t ~addr ~write:_ = t.k_access addr land 1 <> 0
+let touch t ~addr ~write:_ = t.k_touch addr land 1 <> 0
+
+(* Sampled skip correction: the sketch says this cache filled
+   [ins.(set)] lines into [set] over the [observed] accesses since the
+   last correction; extrapolate that fill rate over the [skipped]
+   accesses the sampler never replayed by evicting
+   [skipped * ins.(set) / observed] LRU ways (capped at the
+   associativity — a set cannot lose more than it holds) and filling
+   them with unique synthetic tags at MRU. Synthetic tags are negative
+   and never probed for (real tags are non-negative), so they model
+   exactly what a skipped insertion does to the resident lines: age
+   them one step and occupy a way until evicted. Division remainders
+   carry to the next correction so slow fill rates still accumulate. *)
+let correct_skip t ~skipped ~observed =
+  if skipped > 0 && observed > 0 then begin
+    let assoc = t.assoc in
+    for set = 0 to t.nsets - 1 do
+      let i = t.ins.(set) in
+      if i > 0 then begin
+        t.ins.(set) <- 0;
+        let c = t.carry.(set) + (skipped * i) in
+        let n = c / observed in
+        t.carry.(set) <- c - (n * observed);
+        let n = if n > assoc then assoc else n in
+        if n > 0 then begin
+          let base = set * assoc in
+          let lim = base + assoc in
+          for _ = 1 to n do
+            let tick = t.tick + 1 in
+            t.tick <- tick;
+            let victim = ref base in
+            for w = base + 1 to lim - 1 do
+              if t.stamps.(w) < t.stamps.(!victim) then victim := w
+            done;
+            t.tags.(!victim) <- t.synth_tag;
+            t.synth_tag <- t.synth_tag - 1;
+            t.stamps.(!victim) <- tick
+          done
+        end
+      end
+    done
   end
 
 let line_size t = t.line
@@ -116,5 +357,8 @@ let reset_stats t =
 let clear t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  Array.fill t.ins 0 t.nsets 0;
+  Array.fill t.carry 0 t.nsets 0;
+  t.synth_tag <- -2;
   t.tick <- 0;
   reset_stats t

@@ -3,13 +3,59 @@
     Pure tag simulation: the cache tracks which lines are resident, not
     their contents. Writes allocate like reads (write-allocate); write-back
     traffic is not modelled (documented simplification — it affects both the
-    original and the transformed program equally). *)
+    original and the transformed program equally).
 
-type t
+    The record is exposed so the {!Hierarchy} drain loops can hoist its
+    fields into registers and update the memoized hit path without a
+    cross-module call (which would not be inlined without flambda).
+    Outside [lib/cachesim] the fields must be treated as read-only;
+    all mutation goes through {!access}/{!touch}, the kernels, and
+    {!correct_skip}. *)
+
+type t = {
+  cname : string;
+  line : int;
+  assoc : int;
+  nsets : int;
+  line_shift : int;    (** log2 of the (power-of-two) line size *)
+  set_mask : int;      (** [nsets - 1] when [nsets] is a power of 2, else 0 *)
+  set_shift : int;     (** log2 [nsets] when a power of 2, else -1 *)
+  tags : int array;    (** [nsets * assoc]; -1 = invalid, < -1 = synthetic *)
+  stamps : int array;  (** LRU timestamps, parallel to [tags] *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  ins : int array;
+      (** per-set line insertions since the last {!correct_skip} — the
+          footprint sketch the sampled skip correction extrapolates from *)
+  carry : int array;   (** per-set division remainders of {!correct_skip} *)
+  mutable synth_tag : int;
+  mutable k_access : int -> int;
+      (** the probe kernel, selected (and written) once at {!create}:
+          [k_access addr] performs exactly one {!access} and returns
+          [(way_index lsl 1) lor hit] where [way_index] indexes
+          [tags]/[stamps] — the drain loops use it to remember where the
+          just-touched line lives *)
+  mutable k_touch : int -> int;
+      (** same kernel without the hit/miss counters ({!touch}) *)
+}
+
+type kernel = [ `Auto | `Generic ]
+(** [`Auto] selects an unrolled, branch-reduced probe when the set
+    count is a power of two and the associativity is 1, 2, 4 or 8,
+    falling back to the generic while-loop probe otherwise. [`Generic]
+    forces the fallback — the property tests drive identical streams
+    through both selections and require byte-identical state. *)
 
 val create : name:string -> size:int -> line:int -> assoc:int -> t
 (** [size] and [line] in bytes; [size] must be a multiple of
-    [line * assoc]. Raises [Invalid_argument] otherwise. *)
+    [line * assoc]. Raises [Invalid_argument] otherwise. Kernels start
+    as [`Auto]; {!set_kernel} re-selects. *)
+
+val set_kernel : t -> kernel -> unit
+(** Re-select the probe kernels. Safe at any time (kernels are
+    stateless between probes — all state lives in the record), but
+    meant for right after {!create}. *)
 
 val access : t -> addr:int -> write:bool -> bool
 (** Touch the line containing [addr]; returns [true] on hit. Updates LRU
@@ -25,6 +71,17 @@ val touch : t -> addr:int -> write:bool -> bool
     windows start warm without unrecorded traffic diluting the
     counters. *)
 
+val correct_skip : t -> skipped:int -> observed:int -> unit
+(** Extrapolate the per-set insertion rate recorded in the [ins] sketch
+    over the [observed] accesses since the last correction onto
+    [skipped] unreplayed accesses: each set evicts
+    [skipped * ins / observed] LRU ways (capped at the associativity)
+    and fills them with unique synthetic tags at MRU. Synthetic tags
+    are negative and can never hit, so they age and displace resident
+    lines exactly as the skipped insertions would have, without
+    touching any counter. Resets the sketch; division remainders carry
+    to the next call. No-op when [skipped] or [observed] is zero. *)
+
 val line_size : t -> int
 
 val line_shift : t -> int
@@ -36,4 +93,5 @@ val hits : t -> int
 val misses : t -> int
 val reset_stats : t -> unit
 val clear : t -> unit
-(** Invalidate all lines and reset statistics. *)
+(** Invalidate all lines, reset statistics and the skip-correction
+    sketch. *)

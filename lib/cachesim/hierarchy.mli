@@ -37,7 +37,9 @@ val small : config
 
 type t
 
-val create : config -> t
+val create : ?kernel:Cache.kernel -> config -> t
+(** [kernel] selects the probe kernels of both levels (see
+    {!Cache.kernel}); defaults to [`Auto]. *)
 
 val access : t -> addr:int -> size:int -> write:bool -> is_float:bool -> int * level
 (** Simulate one access; returns (latency in cycles, level that served it
@@ -62,6 +64,30 @@ val warm : t -> addr:int -> size:int -> write:bool -> is_float:bool -> unit
     anything: no hit/miss counters, no access counts, no extra cycles.
     This is what the sampled simulator ({!Sampled}) does to accesses in
     the warm-up segment before each detailed window. *)
+
+val drain_quiet : t -> int array -> int array -> int -> int -> unit
+(** [drain_quiet t addrs metas lo hi] feeds ring events [lo, hi) (see
+    {!Ring} for the packing) through the measurement path. Counters and
+    cache state afterwards are byte-equal to calling {!access_quiet}
+    once per event in order — pinned by a QCheck property — but the
+    batch loop hoists the config constants and kernels once and skips
+    the probe entirely when an event lands on the same line as its
+    predecessor (the line is resident and most-recent; the memo
+    replicates the probe's exact counter and LRU effects). This is the
+    sink the exact-fidelity measure phase installs on its {!Ring}. *)
+
+val drain_warm : t -> int array -> int array -> int -> int -> unit
+(** Batch counterpart of {!warm} with the sampled warm path's memo
+    semantics: an event on the same single line as its predecessor is a
+    complete no-op (matching {!Sampled}'s per-access warm memo — not
+    even the LRU tick advances); all other events move tags and LRU
+    through the touch kernels without recording anything. *)
+
+val correct_skip : t -> skipped:int -> observed:int -> unit
+(** Apply {!Cache.correct_skip} to both levels and invalidate the drain
+    memo (a synthetic insertion can evict the memoized line). Called by
+    {!Sampled} when a skip segment's unreplayed accesses must be
+    charged to the cache state before detailed measurement resumes. *)
 
 val extra_cycles : t -> int
 (** Accumulated latency beyond the base cycle of each access. *)

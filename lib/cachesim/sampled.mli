@@ -13,9 +13,15 @@
     slow-converging L2 systematically stale (miss-rate biases of
     multiple percentage points, enough to flip near-zero speedup
     signs), while warming every non-window access tracks exact
-    simulation to ~0.01%. Non-zero [skip] is the explicit fast-forward
-    mode: cheap and biased, accelerated to O(1) per block chain by the
-    superblock VM's bulk hook ({!try_advance}).
+    simulation to ~0.01%. Non-zero [skip] is the fast-forward mode,
+    accelerated to O(1) per block chain by the superblock VM's bulk
+    hook ({!try_advance}) — and its cold-start bias is corrected: each
+    cache keeps a per-set footprint sketch (line insertions per
+    simulated access), and at the first simulated access after a skip
+    segment the skipped traffic is charged to the cache state by
+    extrapolating that per-set fill rate into synthetic LRU evictions
+    ({!Hierarchy.correct_skip}). This is what licenses a skipping
+    configuration against the roster accuracy gate.
 
     With [stride = window] every access is detailed and the results are
     exactly those of {!Hierarchy.access_quiet} — a property the unit
@@ -46,6 +52,25 @@ val try_advance : t -> int -> bool
     calls to {!access} when it succeeds; the superblock VM backend uses
     this to retire a whole block's worth of accesses per branch during
     fast-forward. *)
+
+val bulk_ready : t -> pending:int -> int -> bool
+(** [bulk_ready t ~pending n] — would {!try_advance}[ t n] succeed
+    after first feeding the [pending] buffered (not yet drained) ring
+    events? Pure prediction, consumes nothing. The driver's bulk hook
+    uses it to decide whether to flush the ring and fast-forward a
+    whole superblock chain: events buffered in the ring have already
+    happened in stream order, so the advance test must be made at
+    [pos + pending], not [pos]. *)
+
+val drain : t -> int array -> int array -> int -> int -> unit
+(** [drain t addrs metas lo hi] feeds ring events [lo, hi) (packed as
+    in {!Ring}) through the sampler by slicing the batch into period
+    segments. Counters, cache state and pending-skip accounting are
+    byte-equal to calling {!access} once per event in order (QCheck
+    property); this is the sink a sampled-fidelity measure phase
+    installs on its {!Ring}. Do not mix with per-access {!access} on
+    the same sampler — each path keeps its warm memo in its own home
+    (the [t] record here, the hierarchy drain memo there). *)
 
 val hierarchy : t -> Hierarchy.t
 (** The wrapped hierarchy; its counters cover only detailed windows. *)
@@ -80,7 +105,12 @@ val fidelity_name : fidelity -> string
 
 val fidelity_of_string : string -> (fidelity, string) result
 (** Accepts ["exact"], ["sampled"] (defaults), ["sampled:W,S"] and
-    ["sampled:W,S,K"]. *)
+    ["sampled:W,S,K"]. Rejects misconfigurations with a specific
+    message: non-positive window or stride, [W > S], negative skip,
+    and a skip that swallows the whole warm segment ([K >= S - W] with
+    [K > 0] — such a setup never warms between skip and the next
+    window, so its bias cannot be corrected). [K = 0] with [W = S]
+    (every access detailed) stays accepted. *)
 
 val of_fidelity : Hierarchy.config -> fidelity -> t option
 (** [None] for [Exact]. *)

@@ -37,16 +37,55 @@ let compile ?(verify = false) source =
   prog
 
 let measure ?(args = []) ?(config = Hierarchy.itanium)
-    ?(backend = Backend.default) ?(fidelity = Sampled.Exact)
+    ?(backend = Backend.default) ?(fidelity = Sampled.Exact) ?pipeline
     (prog : Ir.program) : measurement =
+  let module Ring = Slo_cachesim.Ring in
+  let module Drainer = Slo_cachesim.Drainer in
   match Sampled.of_fidelity config fidelity with
   | None ->
-    let hier = Hierarchy.create config in
-    let mem_hook addr size write is_float _iid =
-      Hierarchy.access_quiet hier ~addr ~size ~write ~is_float
+    (* exact: the VM appends packed events to a ring; the sink drains
+       whole batches through the hierarchy. Counters are byte-equal to
+       the old per-access hook (Hierarchy.drain_quiet's contract) at a
+       fraction of the per-event cost. With a second core available
+       the drain runs on a worker domain, overlapped with execution
+       (identical counters — the drainer preserves batch order); on a
+       single core the serial sink is cheaper than the handoff. *)
+    let pipeline =
+      match pipeline with
+      | Some b -> b
+      | None -> (
+        (* SLO_MEASURE_PIPELINE=1/0 overrides the core-count default —
+           for perf triage and for pinning CI behaviour *)
+        match Sys.getenv_opt "SLO_MEASURE_PIPELINE" with
+        | Some ("0" | "no" | "off") -> false
+        | Some _ -> true
+        | None -> Domain.recommended_domain_count () > 1)
     in
-    let vm = Backend.create ~mem_hook backend prog in
-    let result = Backend.run ~args vm in
+    let hier = Hierarchy.create config in
+    let ring = Ring.create () in
+    let drainer =
+      if pipeline then begin
+        let d =
+          Drainer.create
+            ~drain:(fun addrs metas n ->
+              Hierarchy.drain_quiet hier addrs metas 0 n)
+            ()
+        in
+        Ring.set_sink ring (Drainer.sink d);
+        Some d
+      end
+      else begin
+        Ring.set_sink ring (fun r ->
+            Hierarchy.drain_quiet hier r.Ring.addrs r.Ring.metas 0 r.Ring.len);
+        None
+      end
+    in
+    let vm = Backend.create ~ring backend prog in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Drainer.join drainer)
+        (fun () -> Backend.run ~args vm)
+    in
     {
       m_result = result;
       m_cycles = result.steps + Hierarchy.extra_cycles hier;
@@ -60,16 +99,24 @@ let measure ?(args = []) ?(config = Hierarchy.itanium)
        scaled to the full run. The bulk hook — O(1) fast-forward per
        block — is only worth wiring up when the fidelity actually has a
        skip segment; with the default full-warming layout it could never
-       accept, and its mere presence forces dual-body compilation *)
-    let mem_hook addr size write is_float _iid =
-      Sampled.access smp ~addr ~size ~write ~is_float
-    in
+       accept, and its mere presence forces dual-body compilation.
+       Buffered ring events precede the bulk accesses in stream order,
+       so the bulk hook flushes before advancing *)
+    let ring = Ring.create () in
+    Ring.set_sink ring (fun r ->
+        Sampled.drain smp r.Ring.addrs r.Ring.metas 0 r.Ring.len);
     let vm =
       match fidelity with
       | Sampled.Sampled { skip; _ } when skip > 0 ->
-        let bulk_hook n = Sampled.try_advance smp n in
-        Backend.create ~mem_hook ~bulk_hook backend prog
-      | _ -> Backend.create ~mem_hook backend prog
+        let bulk_hook n =
+          if Sampled.bulk_ready smp ~pending:(Ring.length ring) n then begin
+            Ring.flush ring;
+            Sampled.try_advance smp n
+          end
+          else false
+        in
+        Backend.create ~ring ~bulk_hook backend prog
+      | _ -> Backend.create ~ring backend prog
     in
     let result = Backend.run ~args vm in
     {

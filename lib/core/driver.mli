@@ -44,12 +44,20 @@ val measure :
   ?config:Slo_cachesim.Hierarchy.config ->
   ?backend:Slo_vm.Backend.t ->
   ?fidelity:Slo_cachesim.Sampled.fidelity ->
+  ?pipeline:bool ->
   Ir.program ->
   measurement
 (** Run under the cache hierarchy and report cycles/miss counters.
     [backend] selects the VM engine (default {!Slo_vm.Backend.default},
     the closure-compiled one); all backends yield identical
     measurements, the choice only affects wall-clock speed.
+
+    [pipeline] (default: on when the host has more than one core)
+    drains exact-fidelity ring batches on a worker domain overlapped
+    with VM execution via {!Slo_cachesim.Drainer}; counters are
+    byte-equal to the serial drain either way. Ignored under sampled
+    fidelities, whose bulk fast-forward check must observe sampler
+    state synchronously with the VM.
 
     [fidelity] (default [Exact]) selects full-trace simulation or
     {!Slo_cachesim.Sampled} windows with fast-forward in between. Under

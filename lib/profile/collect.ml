@@ -44,11 +44,28 @@ let collect ?(args = []) ?(instrument = true)
           arr.(idx) <- arr.(idx) + 1)
     else None
   in
-  let mem_hook addr size write is_float iid =
-    let lat, level = Hierarchy.access hier ~addr ~size ~write ~is_float in
-    Pmu.record pmu ~iid ~level ~latency:lat ~is_float
-  in
-  let vm = Backend.create ~mem_hook ?edge_hook backend prog in
+  (* memory events arrive batched through a ring; each drained event is
+     decoded and fed to the hierarchy + PMU. Edge events stay
+     per-access, so edges and memory events interleave differently than
+     with a per-access hook — harmless, the edge counters are
+     independent and the PMU's sampling period counts memory events
+     only, whose relative order the ring preserves *)
+  let module Ring = Slo_cachesim.Ring in
+  let ring = Ring.create () in
+  Ring.set_sink ring (fun r ->
+      let addrs = r.Ring.addrs and metas = r.Ring.metas in
+      for k = 0 to r.Ring.len - 1 do
+        let addr = Array.unsafe_get addrs k in
+        let m = Array.unsafe_get metas k in
+        let is_float = m land 1 <> 0 in
+        let lat, level =
+          Hierarchy.access hier ~addr
+            ~size:((m lsr 2) land 15)
+            ~write:(m land 2 <> 0) ~is_float
+        in
+        Pmu.record pmu ~iid:(m asr 6) ~level ~latency:lat ~is_float
+      done);
+  let vm = Backend.create ~ring ?edge_hook backend prog in
   let result = Backend.run ~args vm in
   (* assemble the feedback file *)
   let fb = Feedback.create () in

@@ -186,12 +186,28 @@ let string_of_backend_mismatch =
   | B_counter (b, name, w, c) ->
     Printf.sprintf "%s differs: walk %d, %s %d" name w (n b) c
 
+(* The walker reference measures through the per-access hook; the fast
+   candidates measure through the batched ring, the way the driver's
+   measure phase actually runs them. The counter comparison below
+   therefore pins two things at once: engine equivalence AND the
+   ring-drain path's byte-equality with per-access simulation, across
+   the whole roster and the fuzzer's random programs. *)
 let measured_run backend ~args ~config (prog : Ir.program) =
   let hier = Hierarchy.create config in
-  let mem_hook addr size write is_float _iid =
-    Hierarchy.access_quiet hier ~addr ~size ~write ~is_float
+  let vm =
+    match backend with
+    | Backend.Walk ->
+      let mem_hook addr size write is_float _iid =
+        Hierarchy.access_quiet hier ~addr ~size ~write ~is_float
+      in
+      Backend.create ~mem_hook backend prog
+    | Backend.Closure | Backend.Superblock ->
+      let module Ring = Slo_cachesim.Ring in
+      let ring = Ring.create () in
+      Ring.set_sink ring (fun r ->
+          Hierarchy.drain_quiet hier r.Ring.addrs r.Ring.metas 0 r.Ring.len);
+      Backend.create ~ring backend prog
   in
-  let vm = Backend.create ~mem_hook backend prog in
   (Backend.run ~args vm, hier)
 
 let candidates = List.filter (fun b -> b <> Backend.Walk) Backend.all

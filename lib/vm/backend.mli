@@ -36,11 +36,18 @@ val create :
   ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
   ?edge_hook:(string -> int -> int -> unit) ->
   ?bulk_hook:(int -> bool) ->
+  ?ring:Slo_cachesim.Ring.t ->
   ?max_steps:int ->
   t ->
   Ir.program ->
   vm
-(** [bulk_hook] (see {!Compile.create}) lets a sampled-measurement
+(** [ring] is the batched alternative to [mem_hook] (mutually
+    exclusive, see {!Compile.create}): the closure engines inline the
+    event push; the [Walk] reference synthesizes a per-access push
+    hook. Either way {!run} flushes the tail, so the ring sink sees the
+    complete, identical event stream on every backend.
+
+    [bulk_hook] (see {!Compile.create}) lets a sampled-measurement
     consumer retire a whole block's accesses in O(1); the [Walk]
     backend ignores it (always per-access), which is sound because a
     successful bulk advance is defined as equivalent to feeding the
@@ -52,6 +59,7 @@ val run_program :
   ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
   ?edge_hook:(string -> int -> int -> unit) ->
   ?bulk_hook:(int -> bool) ->
+  ?ring:Slo_cachesim.Ring.t ->
   ?max_steps:int ->
   ?args:int list ->
   t ->

@@ -47,6 +47,7 @@
 exception Runtime_error = Rt.Runtime_error
 
 open Rt
+module Ring = Slo_cachesim.Ring
 
 type result = Rt.result = { exit_code : int; output : string; steps : int }
 
@@ -85,6 +86,15 @@ type fcode = {
   mutable fc_entry_hook : unit -> unit;
 }
 
+(* where a compiled load/store sends its access event: nowhere, a
+   per-access hook closure, or an inlined push into a batch ring.
+   Chosen once at [create]; every load/store closure is compiled
+   against exactly one case, so the hot path carries no dispatch. *)
+type sink =
+  | Snone
+  | Shook of (int -> int -> bool -> bool -> int -> unit)
+  | Sring of Ring.t
+
 type t = {
   mem : Memory.t;
   (* indexed like Ir.program.funcs, but resolved through the name table
@@ -96,7 +106,7 @@ type t = {
   mutable sp : int;
   mutable steps : int;
   max_steps : int;
-  mem_hook : (int -> int -> bool -> bool -> int -> unit) option;
+  sink : sink;
   edge_hook : (string -> int -> int -> unit) option;
   bulk : int -> bool;
     (* [bulk n]: consume [n] upcoming accesses cheaply (true) or fall
@@ -159,6 +169,51 @@ let touch_range h addr len write iid =
     pos := !pos + chunk;
     remaining := !remaining - chunk
   done
+
+(* the same chunking with events pushed into the ring — memset/memcpy
+   lengths are runtime values, so unlike a load/store the meta word is
+   not a compile-time constant here *)
+let touch_range_ring rg addr len write iid =
+  let pos = ref addr in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let chunk = min 8 !remaining in
+    Ring.push rg !pos (Ring.meta ~size:chunk ~write ~is_float:false ~iid);
+    pos := !pos + chunk;
+    remaining := !remaining - chunk
+  done
+
+(* Wrap an address accessor so that evaluating it also records the
+   access event. The ring case is the measure phase's hot path: the
+   meta word folds to one immediate per compiled load/store, and the
+   push is two unsafe stores plus a full-check — no closure call, no
+   allocation; the whole simulation cost moves into the batched drain
+   at flush time. [Snone] adds nothing (the accessor is returned as
+   is), which keeps the bulk fast bodies and hook-free runs free of
+   event plumbing. *)
+let with_event ~sink ~(ga : frame -> int) ~size ~write ~is_float ~iid :
+    frame -> int =
+  match sink with
+  | Snone -> ga
+  | Shook h ->
+    fun f ->
+      let addr = ga f in
+      h addr size write is_float iid;
+      addr
+  | Sring rg ->
+    let m = Ring.meta ~size ~write ~is_float ~iid in
+    (* [addrs]/[metas] are re-read through [rg] on every push — a sink
+       is allowed to swap the buffers out (Drainer does), so hoisting
+       them into the closure environment would write into a retired
+       buffer after the first flush *)
+    fun f ->
+      let addr = ga f in
+      if rg.Ring.len = rg.Ring.cap then Ring.flush rg;
+      let i = rg.Ring.len in
+      Array.unsafe_set rg.Ring.addrs i addr;
+      Array.unsafe_set rg.Ring.metas i m;
+      rg.Ring.len <- i + 1;
+      addr
 
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
@@ -442,113 +497,85 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
      producer (fieldaddr/ptradd/addr-of computing the address, writing
      its register and handing the value straight over) for the plain
      register read — one closure dispatch instead of two *)
-  let compile_load ~hook ~(ga : frame -> int) ~iid r ty acc : frame -> unit =
+  let compile_load ~sink ~(ga : frame -> int) ~iid r ty acc : frame -> unit =
     match
       match acc with
       | Some ac -> Prep.bitfield_info prog layout ac
       | None -> None
     with
-    | Some (unit_size, bit_off, width) -> (
+    | Some (unit_size, bit_off, width) ->
       let mask = (1 lsl width) - 1 in
       let st = seti r in
-      match hook with
-      | Some h ->
-        fun f ->
-          let addr = ga f in
-          h addr unit_size false false iid;
-          st f (Memory.load_int mem ~addr ~size:unit_size asr bit_off land mask)
-      | None ->
-        fun f ->
-          st f
-            (Memory.load_int mem ~addr:(ga f) ~size:unit_size
-             asr bit_off land mask))
+      let ga =
+        with_event ~sink ~ga ~size:unit_size ~write:false ~is_float:false ~iid
+      in
+      fun f ->
+        st f
+          (Memory.load_int mem ~addr:(ga f) ~size:unit_size
+           asr bit_off land mask)
     | None -> (
       match ty with
-      | Irty.Float -> (
+      | Irty.Float ->
         let st = setf r in
-        match hook with
-        | Some h ->
-          fun f ->
-            let addr = ga f in
-            h addr 4 false true iid;
-            st f (Memory.load_f32 mem ~addr)
-        | None -> fun f -> st f (Memory.load_f32 mem ~addr:(ga f)))
-      | Irty.Double -> (
+        let ga = with_event ~sink ~ga ~size:4 ~write:false ~is_float:true ~iid in
+        fun f -> st f (Memory.load_f32 mem ~addr:(ga f))
+      | Irty.Double ->
         let st = setf r in
-        match hook with
-        | Some h ->
-          fun f ->
-            let addr = ga f in
-            h addr 8 false true iid;
-            st f (Memory.load_f64 mem ~addr)
-        | None -> fun f -> st f (Memory.load_f64 mem ~addr:(ga f)))
-      | _ -> (
+        let ga = with_event ~sink ~ga ~size:8 ~write:false ~is_float:true ~iid in
+        fun f -> st f (Memory.load_f64 mem ~addr:(ga f))
+      | _ ->
         let size = max 1 (min 8 (Layout.sizeof layout ty)) in
         let st = seti r in
-        match hook with
-        | Some h ->
-          fun f ->
-            let addr = ga f in
-            h addr size false false iid;
-            st f (Memory.load_int mem ~addr ~size)
-        | None -> fun f -> st f (Memory.load_int mem ~addr:(ga f) ~size)))
+        let ga =
+          with_event ~sink ~ga ~size ~write:false ~is_float:false ~iid
+        in
+        fun f -> st f (Memory.load_int mem ~addr:(ga f) ~size))
   in
-  let compile_store ~hook ~(ga : frame -> int) ~iid v ty acc : frame -> unit =
+  let compile_store ~sink ~(ga : frame -> int) ~iid v ty acc : frame -> unit =
     match
       match acc with
       | Some ac -> Prep.bitfield_info prog layout ac
       | None -> None
     with
-    | Some (unit_size, bit_off, width) -> (
+    | Some (unit_size, bit_off, width) ->
       let gv = geti v in
       let mask = ((1 lsl width) - 1) lsl bit_off in
-      let update f addr =
+      let ga =
+        with_event ~sink ~ga ~size:unit_size ~write:true ~is_float:false ~iid
+      in
+      fun f ->
+        let addr = ga f in
         let old = Memory.load_int mem ~addr ~size:unit_size in
         let nv = (old land lnot mask) lor ((gv f lsl bit_off) land mask) in
         Memory.store_int mem ~addr ~size:unit_size nv
-      in
-      match hook with
-      | Some h ->
-        fun f ->
-          let addr = ga f in
-          h addr unit_size true false iid;
-          update f addr
-      | None -> fun f -> update f (ga f))
     | None -> (
       match ty with
-      | Irty.Float -> (
+      | Irty.Float ->
         let gv = getf v in
-        match hook with
-        | Some h ->
-          fun f ->
-            let addr = ga f in
-            h addr 4 true true iid;
-            Memory.store_f32 mem ~addr (gv f)
-        | None -> fun f -> Memory.store_f32 mem ~addr:(ga f) (gv f))
-      | Irty.Double -> (
+        let ga = with_event ~sink ~ga ~size:4 ~write:true ~is_float:true ~iid in
+        fun f ->
+          let addr = ga f in
+          Memory.store_f32 mem ~addr (gv f)
+      | Irty.Double ->
         let gv = getf v in
-        match hook with
-        | Some h ->
-          fun f ->
-            let addr = ga f in
-            h addr 8 true true iid;
-            Memory.store_f64 mem ~addr (gv f)
-        | None -> fun f -> Memory.store_f64 mem ~addr:(ga f) (gv f))
-      | _ -> (
+        let ga = with_event ~sink ~ga ~size:8 ~write:true ~is_float:true ~iid in
+        fun f ->
+          let addr = ga f in
+          Memory.store_f64 mem ~addr (gv f)
+      | _ ->
         let size = max 1 (min 8 (Layout.sizeof layout ty)) in
         let gv = geti v in
-        match hook with
-        | Some h ->
-          fun f ->
-            let addr = ga f in
-            h addr size true false iid;
-            Memory.store_int mem ~addr ~size (gv f)
-        | None -> fun f -> Memory.store_int mem ~addr:(ga f) ~size (gv f)))
+        let ga =
+          with_event ~sink ~ga ~size ~write:true ~is_float:false ~iid
+        in
+        fun f ->
+          let addr = ga f in
+          Memory.store_int mem ~addr ~size (gv f))
   in
-  (* [hook] rather than [t.mem_hook]: blocks whose access count is
-     statically known are compiled twice, once with the hook and once
-     without, so the sampler's fast-forward can run the unhooked body *)
-  let compile_instr ~hook (i : Ir.instr) : frame -> unit =
+  (* [sink] rather than [t.sink]: blocks whose access count is
+     statically known are compiled twice, once with the event sink and
+     once without, so the sampler's fast-forward can run the plain body *)
+  let compile_instr ~sink (i : Ir.instr) : frame -> unit =
     let iid = i.iid in
     match i.idesc with
     | Ir.Imov (r, o) ->
@@ -646,9 +673,9 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
         | Irty.Short -> fun f -> st f (truncate_int 2 (g f))
         | Irty.Int -> fun f -> st f (truncate_int 4 (g f))
         | _ -> fun f -> st f (g f)))
-    | Ir.Iload (r, a, ty, acc) -> compile_load ~hook ~ga:(geti a) ~iid r ty acc
+    | Ir.Iload (r, a, ty, acc) -> compile_load ~sink ~ga:(geti a) ~iid r ty acc
     | Ir.Istore (a, v, ty, acc) ->
-      compile_store ~hook ~ga:(geti a) ~iid v ty acc
+      compile_store ~sink ~ga:(geti a) ~iid v ty acc
     | Ir.Iaddrglob (r, g) -> (
       match Hashtbl.find_opt globals_addr g with
       | Some (addr, _) ->
@@ -742,23 +769,34 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
       fun f -> Memory.free_heap mem (g f)
     | Ir.Imemset (d, v, n, _) -> (
       let gd = geti d and gv = geti v and gn = geti n in
-      match hook with
-      | Some h ->
+      match sink with
+      | Shook h ->
         fun f ->
           let dst = gd f and byte = gv f and len = gn f in
           touch_range h dst len true iid;
           Memory.fill mem ~dst ~byte ~len
-      | None -> fun f -> Memory.fill mem ~dst:(gd f) ~byte:(gv f) ~len:(gn f))
+      | Sring rg ->
+        fun f ->
+          let dst = gd f and byte = gv f and len = gn f in
+          touch_range_ring rg dst len true iid;
+          Memory.fill mem ~dst ~byte ~len
+      | Snone -> fun f -> Memory.fill mem ~dst:(gd f) ~byte:(gv f) ~len:(gn f))
     | Ir.Imemcpy (d, s, n, _) -> (
       let gd = geti d and gs = geti s and gn = geti n in
-      match hook with
-      | Some h ->
+      match sink with
+      | Shook h ->
         fun f ->
           let dst = gd f and src = gs f and len = gn f in
           touch_range h src len false iid;
           touch_range h dst len true iid;
           Memory.blit mem ~dst ~src ~len
-      | None -> fun f -> Memory.blit mem ~dst:(gd f) ~src:(gs f) ~len:(gn f))
+      | Sring rg ->
+        fun f ->
+          let dst = gd f and src = gs f and len = gn f in
+          touch_range_ring rg src len false iid;
+          touch_range_ring rg dst len true iid;
+          Memory.blit mem ~dst ~src ~len
+      | Snone -> fun f -> Memory.blit mem ~dst:(gd f) ~src:(gs f) ~len:(gn f))
   in
   let never_ret : frame -> retval = fun _ -> RVoid in
   let compile_term (b : Ir.block) : (frame -> int) * (frame -> retval) =
@@ -857,16 +895,16 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
      still writes its register first, the consumer's hook event, memory
      access and result write are byte-identical, and steps are counted
      from the IR ([bc_steps] below), not from the body array length. *)
-  let fuse_pair ~hook (i : Ir.instr) (j : Ir.instr) : (frame -> unit) option =
+  let fuse_pair ~sink (i : Ir.instr) (j : Ir.instr) : (frame -> unit) option =
     match
       match addr_producer i with
       | None -> None
       | Some (r, ga) -> (
         match j.idesc with
         | Ir.Iload (r2, Ir.Oreg a, ty, acc) when a = r ->
-          Some (compile_load ~hook ~ga ~iid:j.iid r2 ty acc)
+          Some (compile_load ~sink ~ga ~iid:j.iid r2 ty acc)
         | Ir.Istore (Ir.Oreg a, v, ty, acc) when a = r ->
-          Some (compile_store ~hook ~ga ~iid:j.iid v ty acc)
+          Some (compile_store ~sink ~ga ~iid:j.iid v ty acc)
         | _ -> None)
     with
     | fused -> fused
@@ -874,12 +912,12 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
        compilation, which defers the failure to the right instruction *)
     | exception _ -> None
   in
-  let compile_instrs ~hook instrs =
+  let compile_instrs ~sink instrs =
     let emit i =
       (* name-resolution and layout failures compile to raising
          closures so they surface only if the instruction runs,
          matching the tree-walker's lazy failure points *)
-      match compile_instr ~hook i with
+      match compile_instr ~sink i with
       | code -> code
       | exception e -> fun _ -> raise e
     in
@@ -888,7 +926,7 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
       let rec go acc = function
         | [] -> List.rev acc
         | i :: (j :: rest as tl) -> (
-          match fuse_pair ~hook i j with
+          match fuse_pair ~sink i j with
           | Some code -> go (code :: acc) rest
           | None -> go (emit i :: acc) tl)
         | [ i ] -> List.rev (emit i :: acc)
@@ -930,7 +968,7 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
   let blocks = Array.make func.next_block empty in
   List.iter
     (fun (b : Ir.block) ->
-      let body = compile_instrs ~hook:t.mem_hook b.instrs in
+      let body = compile_instrs ~sink:t.sink b.instrs in
       let term, ret =
         match compile_term b with
         | r -> r
@@ -938,7 +976,7 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
       in
       let events = if dual then count_events b else -1 in
       let fast =
-        if events > 0 then compile_instrs ~hook:None b.instrs else body
+        if events > 0 then compile_instrs ~sink:Snone b.instrs else body
       in
       (* steps are counted from the IR, not the body array: the peephole
          shortens the array without changing the executed step total *)
@@ -955,8 +993,16 @@ let compile_body t (prog : Ir.program) layout globals_addr strings func_addr
 (* Setup and entry points                                              *)
 (* ------------------------------------------------------------------ *)
 
-let create ?mem_hook ?edge_hook ?bulk_hook ?(superblock = false)
+let create ?mem_hook ?edge_hook ?bulk_hook ?ring ?(superblock = false)
     ?(max_steps = Rt.default_max_steps) (prog : Ir.program) : t =
+  let sink =
+    match (mem_hook, ring) with
+    | Some _, Some _ ->
+      invalid_arg "Compile.create: mem_hook and ring are mutually exclusive"
+    | Some h, None -> Shook h
+    | None, Some r -> Sring r
+    | None, None -> Snone
+  in
   let layout = Layout.create prog.structs in
   let mem = Memory.create () in
   (* identical image to the tree-walker: globals first, strings second *)
@@ -984,9 +1030,11 @@ let create ?mem_hook ?edge_hook ?bulk_hook ?(superblock = false)
   let t =
     {
       mem; dispatch; fcode_tbl; benv; out = benv.Builtins.out;
-      sp = Memory.stack_top; steps = 0; max_steps; mem_hook; edge_hook;
+      sp = Memory.stack_top; steps = 0; max_steps; sink; edge_hook;
       bulk = (match bulk_hook with Some b -> b | None -> fun _ -> false);
-      bulk_on = Option.is_some bulk_hook && Option.is_some mem_hook;
+      bulk_on =
+        (Option.is_some bulk_hook
+        && match sink with Shook _ | Sring _ -> true | Snone -> false);
       sb = superblock;
     }
   in
@@ -1011,13 +1059,21 @@ let run ?(args = []) (t : t) : Rt.result =
   Buffer.clear t.out;
   t.steps <- 0;
   t.sp <- Memory.stack_top;
+  (* drop events a previous aborted run may have left buffered *)
+  (match t.sink with Sring r -> r.Ring.len <- 0 | Shook _ | Snone -> ());
   if not (Hashtbl.mem t.fcode_tbl "main") then error "program has no 'main'";
   let res =
-    try
-      call_generic t
-        (Hashtbl.find t.fcode_tbl "main")
-        (List.map (fun v -> AInt v) args)
-    with Memory.Fault msg -> error "memory fault: %s" msg
+    (* flush the tail of the ring even when the program errors out:
+       consumers see every event that happened before the failure *)
+    Fun.protect
+      ~finally:(fun () ->
+        match t.sink with Sring r -> Ring.flush r | Shook _ | Snone -> ())
+      (fun () ->
+        try
+          call_generic t
+            (Hashtbl.find t.fcode_tbl "main")
+            (List.map (fun v -> AInt v) args)
+        with Memory.Fault msg -> error "memory fault: %s" msg)
   in
   { exit_code = Rt.exit_code_of_retval res;
     output = Buffer.contents t.out;

@@ -23,6 +23,7 @@ val create :
   ?mem_hook:(int -> int -> bool -> bool -> int -> unit) ->
   ?edge_hook:(string -> int -> int -> unit) ->
   ?bulk_hook:(int -> bool) ->
+  ?ring:Slo_cachesim.Ring.t ->
   ?superblock:bool ->
   ?max_steps:int ->
   Ir.program ->
@@ -31,18 +32,29 @@ val create :
     pre-resolves every instruction. Default [max_steps] is
     2_000_000_000.
 
-    [bulk_hook n] is consulted before running a block whose [mem_hook]
-    event count [n] is statically known (no calls, no memset/memcpy):
-    returning [true] means the hook consumer has accounted for all [n]
-    accesses itself and the block runs with no per-access hook calls at
-    all. The sampled cache simulator uses this to retire a block's
-    accesses in O(1) while fast-forwarding. Only meaningful together
-    with [mem_hook]; the event values the hook would have received
-    (addresses, instruction ids) are not reconstructed — the consumer
-    must not need them. On a run that terminates abnormally mid-block
-    the bulk consumer may have been charged up to one block's trailing
-    accesses that never executed (same granularity caveat as the step
-    limit below).
+    [ring] is the batched alternative to [mem_hook] (the two are
+    mutually exclusive — [Invalid_argument] if both are given): every
+    load, store and memset/memcpy chunk appends one packed event to the
+    ring instead of calling a closure, and the ring's sink drains whole
+    batches. The event stream a drain sees is identical, event for
+    event, to the [mem_hook] call sequence (the differential oracle
+    pins this). {!run} flushes the tail — also on abnormal
+    termination — so the sink always sees the complete stream.
+
+    [bulk_hook n] is consulted before running a block whose event count
+    [n] is statically known (no calls, no memset/memcpy): returning
+    [true] means the event consumer has accounted for all [n] accesses
+    itself and the block runs with no per-access events at all. The
+    sampled cache simulator uses this to retire a block's accesses in
+    O(1) while fast-forwarding. Only meaningful together with
+    [mem_hook] or [ring]; the event values the consumer would have
+    received (addresses, instruction ids) are not reconstructed — the
+    consumer must not need them. With a [ring], events already buffered
+    precede the [n] bulk accesses in stream order: the consumer must
+    flush-then-advance (see {!Slo_cachesim.Sampled.bulk_ready}). On a
+    run that terminates abnormally mid-block the bulk consumer may have
+    been charged up to one block's trailing accesses that never
+    executed (same granularity caveat as the step limit below).
 
     [superblock] additionally fuses each straight-line chain of blocks
     linked by unconditional jumps into one superblock: one array sweep,

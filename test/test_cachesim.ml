@@ -116,7 +116,7 @@ end
 let gen_geometry =
   QCheck.Gen.(
     oneofl [ 16; 32; 64; 128 ] >>= fun line ->
-    oneofl [ 1; 2; 4; 8 ] >>= fun assoc ->
+    oneofl [ 1; 2; 3; 4; 8 ] >>= fun assoc ->
     oneofl [ 2; 3; 4; 6; 8; 16 ] >>= fun nsets ->
     return (line, assoc, nsets))
 
@@ -233,6 +233,247 @@ let fp_straddle_touches_l2_range () =
     (Cache.misses (Hierarchy.l1 h) + Cache.hits (Hierarchy.l1 h));
   let _, lvl2 = Hierarchy.access h ~addr:4216 ~size:16 ~write:false ~is_float:true in
   Alcotest.(check bool) "warm FP served by L2" true (lvl2 = Hierarchy.L2)
+
+(* ------------------- skip correction sketch ------------------- *)
+
+(* [Cache.correct_skip] evicts per-set LRU lines in favour of synthetic
+   never-hit tags, at the per-set insertion rate the sketch recorded. *)
+let correct_skip_evicts_lru () =
+  (* one set, two ways *)
+  let c = Cache.create ~name:"t" ~size:128 ~line:64 ~assoc:2 in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:64 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false);
+  (* ins = 2 over 3 accesses; extrapolating 1 skipped access at that
+     rate with observed = 2 inserts 2*1/2 = 1 synthetic line, evicting
+     the LRU way (line 64) and leaving the MRU way (line 0) alone *)
+  Cache.correct_skip c ~skipped:1 ~observed:2;
+  Alcotest.(check bool) "MRU line survives" true
+    (Cache.access c ~addr:0 ~write:false);
+  Alcotest.(check bool) "LRU line evicted by a synthetic" false
+    (Cache.access c ~addr:64 ~write:false)
+
+let correct_skip_caps_and_carries () =
+  let c = Cache.create ~name:"t" ~size:128 ~line:64 ~assoc:2 in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:64 ~write:false);
+  (* rate 2 insertions / 2 accesses over 100 skipped = 100 synthetic
+     fills, capped at the associativity: everything evicted, no crash *)
+  Cache.correct_skip c ~skipped:100 ~observed:2;
+  Alcotest.(check bool) "all ways synthetic" false
+    (Cache.access c ~addr:0 ~write:false);
+  Alcotest.(check bool) "all ways synthetic (other line)" false
+    (Cache.access c ~addr:64 ~write:false);
+  (* remainders carry: 1 insertion / 2 observed over 1 skipped is half
+     a line — rounded down to nothing, remainder carried. After the
+     sketch refills, the second correction's half line plus the carry
+     completes one eviction (without the carry it would again round to
+     zero) *)
+  let d = Cache.create ~name:"t" ~size:128 ~line:64 ~assoc:2 in
+  ignore (Cache.access d ~addr:0 ~write:false);
+  Cache.correct_skip d ~skipped:1 ~observed:2;
+  Alcotest.(check bool) "half a line rounds down" true
+    (Cache.access d ~addr:0 ~write:false);
+  ignore (Cache.access d ~addr:64 ~write:false);
+  (* line 0 is now LRU; ins = 1 again *)
+  ignore (Cache.access d ~addr:64 ~write:false);
+  Cache.correct_skip d ~skipped:1 ~observed:2;
+  Alcotest.(check bool) "carry completes the eviction" false
+    (Cache.access d ~addr:0 ~write:false)
+
+(* ------------------- ring & batched draining ------------------- *)
+
+module Ring = Slo_cachesim.Ring
+
+let ring_meta_roundtrip () =
+  List.iter
+    (fun (size, write, is_float, iid) ->
+      let m = Ring.meta ~size ~write ~is_float ~iid in
+      Alcotest.(check int) "size" size (Ring.meta_size m);
+      Alcotest.(check bool) "write" write (Ring.meta_write m);
+      Alcotest.(check bool) "float" is_float (Ring.meta_float m);
+      Alcotest.(check int) "iid" iid (Ring.meta_iid m))
+    [ (1, false, false, 0); (8, true, true, 123456); (4, true, false, -1);
+      (2, false, true, -7); (8, false, false, max_int lsr 7) ]
+
+let ring_flushes_when_full () =
+  let rg = Ring.create ~cap:4 () in
+  let batches = ref [] in
+  Ring.set_sink rg (fun r ->
+      batches := Array.sub r.Ring.addrs 0 r.Ring.len :: !batches);
+  for a = 1 to 10 do
+    Ring.push rg a (Ring.meta ~size:1 ~write:false ~is_float:false ~iid:0)
+  done;
+  Ring.flush rg;
+  Alcotest.(check int) "tail drained" 0 (Ring.length rg);
+  Ring.flush rg;
+  Alcotest.(check int) "empty flush is a no-op" 0 (Ring.length rg);
+  let seen = List.concat_map Array.to_list (List.rev !batches) in
+  Alcotest.(check (list int)) "no event lost or reordered"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] seen
+
+(* The tentpole equivalence: draining ring batches through
+   [Hierarchy.drain_quiet] must leave counters AND full cache state
+   (tags, LRU stamps, tick, sketch) byte-equal to feeding every event
+   through [Hierarchy.access_quiet], on random geometries (power-of-two
+   and odd set counts, specialized and generic probe kernels, FP bypass
+   on and off), random event streams and random batch boundaries. *)
+let cache_state_eq (a : Cache.t) (b : Cache.t) =
+  a.Cache.tags = b.Cache.tags
+  && a.Cache.stamps = b.Cache.stamps
+  && a.Cache.tick = b.Cache.tick
+  && a.Cache.hits = b.Cache.hits
+  && a.Cache.misses = b.Cache.misses
+  && a.Cache.ins = b.Cache.ins
+  && a.Cache.carry = b.Cache.carry
+  && a.Cache.synth_tag = b.Cache.synth_tag
+
+let hier_state_eq a b =
+  cache_state_eq (Hierarchy.l1 a) (Hierarchy.l1 b)
+  && cache_state_eq (Hierarchy.l2 a) (Hierarchy.l2 b)
+  && Hierarchy.accesses a = Hierarchy.accesses b
+  && Hierarchy.level_counts a = Hierarchy.level_counts b
+  && Hierarchy.extra_cycles a = Hierarchy.extra_cycles b
+
+(* geometries with power-of-two and odd set counts at both levels,
+   associativities with (1,2,4,8) and without (3) a specialized kernel,
+   and the degenerate l2_line < l1_line shape the descent range loop
+   handles *)
+let gen_hier_config =
+  QCheck.Gen.(
+    oneofl [ 16; 32; 64 ] >>= fun l1_line ->
+    oneofl [ 1; 2; 3; 4; 8 ] >>= fun l1_assoc ->
+    oneofl [ 2; 3; 4; 8 ] >>= fun l1_sets ->
+    oneofl [ 32; 64; 128 ] >>= fun l2_line ->
+    oneofl [ 2; 3; 4 ] >>= fun l2_assoc ->
+    oneofl [ 4; 6; 8; 16 ] >>= fun l2_sets ->
+    bool >>= fun fpb ->
+    return
+      {
+        Hierarchy.l1_size = l1_line * l1_assoc * l1_sets;
+        l1_line;
+        l1_assoc;
+        l2_size = l2_line * l2_assoc * l2_sets;
+        l2_line;
+        l2_assoc;
+        l1_lat = 1;
+        l2_lat = 5;
+        mem_lat = 50;
+        fp_bypass_l1 = fpb;
+      })
+
+let print_hier_config (c : Hierarchy.config) =
+  Printf.sprintf "L1 %d/%d/%d, L2 %d/%d/%d, fpb=%b" c.Hierarchy.l1_size
+    c.l1_line c.l1_assoc c.l2_size c.l2_line c.l2_assoc c.fp_bypass_l1
+
+(* a small address pool makes same-line repeats (the memo fast path)
+   frequent; sizes up to 8 near line boundaries exercise straddles *)
+let gen_events =
+  QCheck.Gen.(
+    list_size (int_range 1 400)
+      (int_range 0 1023 >>= fun addr ->
+       int_range 1 8 >>= fun size ->
+       bool >>= fun write ->
+       bool >>= fun is_float ->
+       return (addr, size, write, is_float)))
+
+let print_events evs =
+  String.concat ";"
+    (List.map
+       (fun (a, s, w, f) -> Printf.sprintf "(%d,%d,%b,%b)" a s w f)
+       evs)
+
+let prop_drain_matches_per_access =
+  QCheck.Test.make ~count:200
+    ~name:"ring drain byte-equal to per-access (both kernels)"
+    QCheck.(
+      triple
+        (make gen_hier_config ~print:print_hier_config)
+        (make gen_events ~print:print_events)
+        (int_range 1 17))
+    (fun (cfg, events, chunk0) ->
+      let per = Hierarchy.create cfg in
+      let dra = Hierarchy.create cfg in
+      let dgn = Hierarchy.create ~kernel:`Generic cfg in
+      List.iter
+        (fun (addr, size, write, is_float) ->
+          Hierarchy.access_quiet per ~addr ~size ~write ~is_float)
+        events;
+      let n = List.length events in
+      let addrs = Array.make n 0 and metas = Array.make n 0 in
+      List.iteri
+        (fun i (addr, size, write, is_float) ->
+          addrs.(i) <- addr;
+          metas.(i) <- Ring.meta ~size ~write ~is_float ~iid:i)
+        events;
+      (* varying batch boundaries: the memo must survive (or be
+         invalidated) identically across flush points *)
+      let feed h =
+        let lo = ref 0 and k = ref 0 in
+        while !lo < n do
+          let c = min (n - !lo) (1 + ((chunk0 + !k) mod 17)) in
+          Hierarchy.drain_quiet h addrs metas !lo (!lo + c);
+          lo := !lo + c;
+          incr k
+        done
+      in
+      feed dra;
+      feed dgn;
+      (* the generic-kernel drain pins specialized ≡ generic too *)
+      hier_state_eq per dra && hier_state_eq per dgn)
+
+module Drainer = Slo_cachesim.Drainer
+
+(* the worker-domain drainer: same events through a small ring with
+   buffer handoff (many swaps, back-pressure) must leave the hierarchy
+   byte-equal to one serial drain call *)
+let drainer_matches_serial () =
+  let cfg = Hierarchy.small in
+  let serial = Hierarchy.create cfg in
+  let piped = Hierarchy.create cfg in
+  let n = 5000 in
+  let addrs = Array.make n 0 and metas = Array.make n 0 in
+  let seed = ref 123456789 in
+  let rand m =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod m
+  in
+  for i = 0 to n - 1 do
+    addrs.(i) <- rand 4096;
+    metas.(i) <-
+      Ring.meta ~size:(1 + rand 8) ~write:(rand 2 = 0) ~is_float:(rand 2 = 0)
+        ~iid:i
+  done;
+  Hierarchy.drain_quiet serial addrs metas 0 n;
+  let rg = Ring.create ~cap:64 () in
+  let d =
+    Drainer.create
+      ~drain:(fun a m len -> Hierarchy.drain_quiet piped a m 0 len)
+      ()
+  in
+  Ring.set_sink rg (Drainer.sink d);
+  for i = 0 to n - 1 do
+    Ring.push rg addrs.(i) metas.(i)
+  done;
+  Ring.flush rg;
+  Drainer.join d;
+  Alcotest.(check bool) "pipelined drain byte-equal to serial" true
+    (hier_state_eq serial piped)
+
+(* join re-raises the first drain failure and never deadlocks the
+   producer even when every batch fails *)
+let drainer_join_reraises () =
+  let d =
+    Drainer.create ~depth:1 ~drain:(fun _ _ _ -> failwith "drain boom") ()
+  in
+  let rg = Ring.create ~cap:8 () in
+  Ring.set_sink rg (Drainer.sink d);
+  for i = 0 to 99 do
+    Ring.push rg i (Ring.meta ~size:1 ~write:false ~is_float:false ~iid:i)
+  done;
+  Ring.flush rg;
+  Alcotest.check_raises "first failure surfaces at join"
+    (Failure "drain boom") (fun () -> Drainer.join d)
 
 let extra_cycles_accumulate () =
   let h = Hierarchy.create Hierarchy.small in
@@ -374,6 +615,21 @@ let () =
           Alcotest.test_case "fp straddle touches L2 range" `Quick
             fp_straddle_touches_l2_range;
           Alcotest.test_case "extra cycles" `Quick extra_cycles_accumulate;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "meta round-trips" `Quick ring_meta_roundtrip;
+          Alcotest.test_case "flush on full, in order" `Quick
+            ring_flushes_when_full;
+          Alcotest.test_case "correct_skip evicts LRU" `Quick
+            correct_skip_evicts_lru;
+          Alcotest.test_case "correct_skip caps and carries" `Quick
+            correct_skip_caps_and_carries;
+          QCheck_alcotest.to_alcotest prop_drain_matches_per_access;
+          Alcotest.test_case "drainer matches serial" `Quick
+            drainer_matches_serial;
+          Alcotest.test_case "drainer join re-raises" `Quick
+            drainer_join_reraises;
         ] );
       ( "pmu",
         [

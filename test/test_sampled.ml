@@ -159,6 +159,132 @@ let try_advance_equivalence () =
   Alcotest.(check int) "est cycles" (S.est_extra_cycles t_slow)
     (S.est_extra_cycles t_bulk)
 
+(* ---------------- ring drain ≡ per-access ---------------- *)
+
+module Ring = Slo_cachesim.Ring
+
+let cache_state_eq (a : Cache.t) (b : Cache.t) =
+  a.Cache.tags = b.Cache.tags
+  && a.Cache.stamps = b.Cache.stamps
+  && a.Cache.tick = b.Cache.tick
+  && a.Cache.hits = b.Cache.hits
+  && a.Cache.misses = b.Cache.misses
+  && a.Cache.ins = b.Cache.ins
+  && a.Cache.carry = b.Cache.carry
+  && a.Cache.synth_tag = b.Cache.synth_tag
+
+let sampler_state_eq a b =
+  let ha = S.hierarchy a and hb = S.hierarchy b in
+  cache_state_eq (Hierarchy.l1 ha) (Hierarchy.l1 hb)
+  && cache_state_eq (Hierarchy.l2 ha) (Hierarchy.l2 hb)
+  && Hierarchy.accesses ha = Hierarchy.accesses hb
+  && Hierarchy.level_counts ha = Hierarchy.level_counts hb
+  && Hierarchy.extra_cycles ha = Hierarchy.extra_cycles hb
+  && S.total_accesses a = S.total_accesses b
+  && S.recorded_accesses a = S.recorded_accesses b
+  && S.est_l1_misses a = S.est_l1_misses b
+  && S.est_l2_misses a = S.est_l2_misses b
+  && S.est_extra_cycles a = S.est_extra_cycles b
+
+(* [Sampled.drain] slices ring batches into period segments; counters,
+   cache state and the skip correction points must be byte-equal to
+   feeding every event through [Sampled.access] — across random period
+   layouts (skip = 0 and > 0, degenerate warmless tails), random event
+   streams and random batch boundaries. *)
+let gen_sampled_case =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun window ->
+    int_range 0 8 >>= fun skip ->
+    int_range 0 6 >>= fun warm ->
+    let stride = window + skip + warm in
+    list_size (int_range 1 300)
+      (int_range 0 1023 >>= fun addr ->
+       int_range 1 8 >>= fun size ->
+       bool >>= fun write ->
+       bool >>= fun is_float ->
+       return (addr, size, write, is_float))
+    >>= fun events ->
+    int_range 1 13 >>= fun chunk ->
+    return (window, stride, skip, events, chunk))
+
+let print_sampled_case (window, stride, skip, events, chunk) =
+  Printf.sprintf "W=%d S=%d K=%d chunk=%d events=%s" window stride skip chunk
+    (String.concat ";"
+       (List.map
+          (fun (a, s, w, f) -> Printf.sprintf "(%d,%d,%b,%b)" a s w f)
+          events))
+
+let prop_drain_matches_per_access =
+  QCheck.Test.make ~count:200
+    ~name:"sampled drain byte-equal to per-access (incl. skip correction)"
+    (QCheck.make gen_sampled_case ~print:print_sampled_case)
+    (fun (window, stride, skip, events, chunk0) ->
+      let per = S.create ~window ~stride ~skip Hierarchy.small in
+      let dra = S.create ~window ~stride ~skip Hierarchy.small in
+      List.iter
+        (fun (addr, size, write, is_float) ->
+          S.access per ~addr ~size ~write ~is_float)
+        events;
+      let n = List.length events in
+      let addrs = Array.make n 0 and metas = Array.make n 0 in
+      List.iteri
+        (fun i (addr, size, write, is_float) ->
+          addrs.(i) <- addr;
+          metas.(i) <- Ring.meta ~size ~write ~is_float ~iid:i)
+        events;
+      let lo = ref 0 and k = ref 0 in
+      while !lo < n do
+        let c = min (n - !lo) (1 + ((chunk0 + !k) mod 13)) in
+        S.drain dra addrs metas !lo (!lo + c);
+        lo := !lo + c;
+        incr k
+      done;
+      sampler_state_eq per dra)
+
+(* The driver's bulk wiring: [bulk_ready] (predicting at pos + pending
+   buffered events), then flush, then [try_advance] — never pushing the
+   advanced accesses — must be indistinguishable from pushing every
+   access. Skipped accesses are address-blind, so the per-access
+   reference sees the identical stream. *)
+let drain_bulk_equivalence () =
+  let mk () = S.create ~window:3 ~stride:16 ~skip:9 Hierarchy.small in
+  let t_ref = mk () and t_bulk = mk () in
+  let ring = Ring.create ~cap:7 () in
+  Ring.set_sink ring (fun r ->
+      S.drain t_bulk r.Ring.addrs r.Ring.metas 0 r.Ring.len);
+  let n = 500 in
+  let ev i =
+    ( 64 * (i * 7919 mod 24),
+      (if i mod 4 = 0 then 8 else 4),
+      i mod 3 = 0,
+      i mod 5 = 0 )
+  in
+  for i = 0 to n - 1 do
+    let addr, size, write, is_float = ev i in
+    S.access t_ref ~addr ~size ~write ~is_float
+  done;
+  let i = ref 0 and advanced = ref 0 in
+  while !i < n do
+    let g = min (1 + (!i mod 5)) (n - !i) in
+    if S.bulk_ready t_bulk ~pending:(Ring.length ring) g then begin
+      Ring.flush ring;
+      Alcotest.(check bool) "predicted advance accepted" true
+        (S.try_advance t_bulk g);
+      advanced := !advanced + g
+    end
+    else
+      for j = !i to !i + g - 1 do
+        let addr, size, write, is_float = ev j in
+        Ring.push ring addr (Ring.meta ~size ~write ~is_float ~iid:j)
+      done;
+    i := !i + g
+  done;
+  Ring.flush ring;
+  Alcotest.(check bool) "some groups actually bulk-advanced" true
+    (!advanced > 0);
+  Alcotest.(check bool) "bulk + drain ≡ per-access" true
+    (sampler_state_eq t_ref t_bulk)
+
 (* ---------------- stride = window ≡ exact ---------------- *)
 
 let stride_eq_window_is_exact () =
@@ -213,6 +339,41 @@ let fidelity_strings () =
     [ ""; "fast"; "sampled:"; "sampled:0,8"; "sampled:16,8"; "sampled:1,2,3";
       "sampled:4,16,-1"; "sampled:x,y" ]
 
+(* each misconfiguration is rejected with its specific diagnosis *)
+let fidelity_rejection_messages () =
+  let err s =
+    match S.fidelity_of_string s with
+    | Error e -> e
+    | Ok _ -> Alcotest.failf "%S unexpectedly accepted" s
+  in
+  let check_msg s fragment =
+    let e = err s in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S -> %S (got %S)" s fragment e)
+      true
+      (Astring.String.is_infix ~affix:fragment e)
+  in
+  check_msg "sampled:0,8" "window must be positive";
+  check_msg "sampled:-4,8" "window must be positive";
+  check_msg "sampled:4,0" "stride must be positive";
+  check_msg "sampled:16,8" "window must not exceed stride";
+  check_msg "sampled:4,16,-1" "skip must be >= 0";
+  (* a skip that swallows the whole non-window remainder leaves nothing
+     to warm from: K >= S - W is refused for K > 0... *)
+  check_msg "sampled:4,16,12" "non-empty warm segment";
+  check_msg "sampled:4,16,13" "non-empty warm segment";
+  check_msg "sampled:4096,32768,28672" "non-empty warm segment";
+  (* ...but K = 0 with W = S (pure exact) stays legal *)
+  (match S.fidelity_of_string "sampled:16,16" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "sampled:16,16 rejected: %s" e);
+  (match S.fidelity_of_string "sampled:4,16,11" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "sampled:4,16,11 rejected: %s" e);
+  check_msg "sampled:x,y" "integer fields";
+  check_msg "sampled:1,2,3,4" "integer fields";
+  check_msg "bogus" "expected exact | sampled"
+
 (* ---------------- roster accuracy gate ---------------- *)
 
 (* The tier-1 face of the accuracy harness (bench/accuracy.exe runs the
@@ -246,6 +407,16 @@ let plan_summaries (ev : D.evaluation) =
 
 let sign_of x =
   if x > speedup_zero_pct then 1 else if x < -.speedup_zero_pct then -1 else 0
+
+(* same decision-flip rule as bench/accuracy.exe: only strictly
+   opposite signs, or a dead-zone value against one clearing twice the
+   band, count as a flip — values straddling the band edge by a hair
+   agree for every decision the measurement feeds *)
+let sign_flip a b =
+  let sa = sign_of a and sb = sign_of b in
+  if sa = sb then false
+  else if sa * sb < 0 then true
+  else Float.abs (if sa = 0 then b else a) > 2.0 *. speedup_zero_pct
 
 let roster_accuracy (e : Suite.entry) () =
   let prog = D.compile e.source in
@@ -290,7 +461,7 @@ let roster_accuracy (e : Suite.entry) () =
     (Printf.sprintf "speedup sign agrees (%+.2f%% vs %+.2f%%)"
        exact.e_speedup_pct sampled.e_speedup_pct)
     true
-    (sign_of exact.e_speedup_pct = sign_of sampled.e_speedup_pct)
+    (not (sign_flip exact.e_speedup_pct sampled.e_speedup_pct))
 
 let roster_fast_forward (e : Suite.entry) () =
   let prog = D.compile e.source in
@@ -316,6 +487,25 @@ let roster_fast_forward (e : Suite.entry) () =
   Alcotest.(check string) "plans agree" (plan_summaries exact)
     (plan_summaries ff)
 
+(* the pipelined exact drain (worker-domain Drainer) must produce the
+   same measurement as the serial sink, bit for bit — same cycles,
+   same miss counters, same access totals *)
+let roster_pipelined_measure (e : Suite.entry) () =
+  let prog = D.compile e.source in
+  let args = tiny_args e in
+  let m ~pipeline =
+    D.measure ~args ~config:Hierarchy.small
+      ~backend:Slo_vm.Backend.Superblock ~pipeline prog
+  in
+  let s = m ~pipeline:false and p = m ~pipeline:true in
+  Alcotest.(check string) "output" s.D.m_result.output p.D.m_result.output;
+  Alcotest.(check int) "exit" s.D.m_result.exit_code p.D.m_result.exit_code;
+  Alcotest.(check int) "steps" s.D.m_result.steps p.D.m_result.steps;
+  Alcotest.(check int) "cycles" s.D.m_cycles p.D.m_cycles;
+  Alcotest.(check int) "L1 misses" s.D.m_l1_misses p.D.m_l1_misses;
+  Alcotest.(check int) "L2 misses" s.D.m_l2_misses p.D.m_l2_misses;
+  Alcotest.(check int) "accesses" s.D.m_accesses p.D.m_accesses
+
 let () =
   let per_entry mk =
     List.map
@@ -337,12 +527,20 @@ let () =
           Alcotest.test_case "segments" `Quick try_advance_segments;
           Alcotest.test_case "equivalence" `Quick try_advance_equivalence;
         ] );
+      ( "ring drain",
+        [
+          QCheck_alcotest.to_alcotest prop_drain_matches_per_access;
+          Alcotest.test_case "bulk hook wiring" `Quick drain_bulk_equivalence;
+        ] );
       ( "exactness",
         [
           Alcotest.test_case "stride = window is exact" `Quick
             stride_eq_window_is_exact;
           Alcotest.test_case "fidelity strings" `Quick fidelity_strings;
+          Alcotest.test_case "fidelity rejection messages" `Quick
+            fidelity_rejection_messages;
         ] );
       ("roster accuracy", per_entry roster_accuracy);
       ("roster fast-forward", per_entry roster_fast_forward);
+      ("roster pipelined measure", per_entry roster_pipelined_measure);
     ]
