@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz bench bench-smoke accuracy perf-gate serve-smoke serve-load lint perf clean
+.PHONY: all build test fuzz bench bench-smoke accuracy perf-gate serve-smoke serve-load tune-smoke lint perf clean
 
 # worker domains for the bench harness
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
@@ -110,6 +110,17 @@ serve-load:
 	  --window 64 --rates 300 --duration-s 3 --kind shed \
 	  --high-watermark 2 --low-watermark 1 --expect-shed \
 	  --out _artifacts/SERVE-shed.json
+
+# autotuner smoke: one roster entry (sphinx, whose closure the tuner
+# searches in ~30s and strictly improves over the heuristic) through
+# the full candidate space under a generous anytime budget, at two
+# worker counts. Gates: found never worse than the heuristic, at least
+# one strict improvement, and byte-identical winners at --jobs 2 vs
+# --jobs 1 (the determinism contract). TUNE-smoke.json in _artifacts/.
+tune-smoke:
+	dune exec bench/tunebench.exe -- --only sphinx --jobs 2 \
+	  --verify-jobs 1 --budget-ms 300000 --check-improved 1 \
+	  --out _artifacts/TUNE-smoke.json
 
 # source-located layout diagnostics over the example programs and the
 # whole benchmark roster, compared against the checked-in golden list:

@@ -306,7 +306,7 @@ let t3_job ~backend ~fidelity (e : Suite.entry) scheme () =
           acc + List.length s.s_cold + List.length s.s_dead
         | Some (H.Peel p) -> acc + List.length p.p_dead
         | Some (H.Rebuild r) -> acc + List.length r.r_dead
-        | None -> acc)
+        | Some (H.Pad _) | None -> acc)
       0 ev.e_decisions
   in
   {

@@ -31,6 +31,8 @@ module Json = Slo_util.Json
 module Clock = Slo_util.Clock
 module Histogram = Slo_util.Histogram
 module P = Slo_server.Protocol
+module Codec = Slo_core.Codec
+module W = Slo_profile.Weights
 module Client = Slo_server.Client
 module Server = Slo_server.Server
 module Suite = Slo_suite.Suite
@@ -124,13 +126,14 @@ let deadline () = if !deadline_ms > 0.0 then Some !deadline_ms else None
 
 let advise_req (e : Suite.entry) =
   P.Advise
-    { src = e.source; scheme = Some "ispbo"; args = []; deadline_ms = deadline () }
+    { src = e.source; scheme = Some (Codec.scheme_name W.ISPBO); args = [];
+      deadline_ms = deadline () }
 
 let bench_req ?args (e : Suite.entry) =
   P.Bench
     {
       src = e.source;
-      scheme = Some "spbo";
+      scheme = Some (Codec.scheme_name W.SPBO);
       backend = None;
       args = Option.value ~default:e.train_args args;
       deadline_ms = deadline ();

@@ -21,7 +21,13 @@
    Rows present in the baseline but missing from the fresh artifact
    (dropped benchmark, renamed scheme) fail the gate: silently losing
    coverage would let the next regression hide. Exit 2 on usage or
-   parse errors. *)
+   parse errors.
+
+   With --update-baseline the comparison is skipped and FRESH.json is
+   copied over BASELINE.json instead (after checking it actually
+   carries throughput rows) — the sanctioned way to regenerate
+   ci/PERF-BASELINE.json in place after an intentional perf change,
+   rather than hand-editing the artifact. *)
 
 module Json = Slo_util.Json
 
@@ -75,14 +81,28 @@ let aggregate prs =
   let time = List.fold_left (fun a (_, _, ms) -> a +. ms) 0.0 prs in
   if time > 0.0 then steps /. time else 0.0
 
+let copy_file ~src ~dst =
+  let ic = open_in_bin src in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let tmp = dst ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc body;
+  close_out oc;
+  Sys.rename tmp dst
+
 let () =
   let base_path = ref "" and fresh_path = ref "" and tol = ref 20.0 in
+  let update = ref false in
   let rec parse = function
     | [] -> ()
     | "--tolerance" :: v :: rest ->
       (match float_of_string_opt v with
       | Some t when t > 0.0 -> tol := t
       | _ -> die "bad --tolerance %S" v);
+      parse rest
+    | "--update-baseline" :: rest ->
+      update := true;
       parse rest
     | a :: rest when !base_path = "" ->
       base_path := a;
@@ -94,7 +114,17 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !fresh_path = "" then
-    die "usage: perfgate BASELINE.json FRESH.json [--tolerance PCT]";
+    die "usage: perfgate BASELINE.json FRESH.json [--tolerance PCT] \
+         [--update-baseline]";
+  if !update then begin
+    (* refuse to enshrine an artifact the gate itself could not read *)
+    let fresh = perf_rows (read_file !fresh_path) in
+    if fresh = [] then die "%s carries no throughput rows" !fresh_path;
+    copy_file ~src:!fresh_path ~dst:!base_path;
+    Printf.printf "baseline %s regenerated from %s (%d throughput rows)\n"
+      !base_path !fresh_path (List.length fresh);
+    exit 0
+  end;
   let base = perf_rows (read_file !base_path) in
   let fresh = perf_rows (read_file !fresh_path) in
   if base = [] then die "%s carries no throughput rows" !base_path;

@@ -17,6 +17,8 @@ module D = Slo_core.Driver
 module L = Slo_core.Legality
 module H = Slo_core.Heuristics
 module Adv = Slo_core.Advisor
+module Codec = Slo_core.Codec
+module Tune = Slo_tune.Tune
 module W = Slo_profile.Weights
 module Advice = Slo_advice.Advice
 module Sarif = Slo_advice.Sarif
@@ -77,8 +79,7 @@ let args_arg =
   Arg.(value & opt (list int) [] & info [ "args" ] ~docv:"INTS"
          ~doc:"Integer arguments passed to main().")
 
-let scheme_conv =
-  Arg.enum (List.map (fun s -> (String.lowercase_ascii (W.name s), s)) W.all)
+let scheme_conv = Arg.enum Codec.scheme_assoc
 
 let scheme_arg =
   Arg.(value & opt scheme_conv W.ISPBO
@@ -285,6 +286,90 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Measure original vs transformed program")
     Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg
           $ verify_arg $ jobs_arg $ backend_arg $ fidelity_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tune: search the plan space with the cachesim as cost oracle        *)
+(* ------------------------------------------------------------------ *)
+
+let budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "budget-ms" ] ~docv:"MS"
+           ~doc:"Anytime search budget: on expiry the best plan scored so \
+                 far is reported (the heuristic incumbent at minimum). \
+                 Default: run the whole candidate space.")
+
+let beam_arg =
+  Arg.(value & opt int 4
+       & info [ "beam" ] ~docv:"N"
+           ~doc:"Field-permutation beam per struct: how many hot-field \
+                 orders are considered per split point and rebuild.")
+
+let seed_arg =
+  Arg.(value & opt int 0
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for the deterministic candidate shuffle; results are \
+                 reproducible for a given seed at any --jobs.")
+
+let tune_fidelity_arg =
+  Arg.(value & opt fidelity_conv Slo_cachesim.Sampled.sampled_default
+       & info [ "fidelity" ] ~docv:"FIDELITY"
+           ~doc:"Search-phase fidelity (default $(b,sampled)); the winner \
+                 is always re-scored at $(b,exact) fidelity before it may \
+                 replace the heuristic plan.")
+
+let print_plans ~label plans cycles baseline =
+  Printf.printf "%s: %d cycles (%+.1f%% vs baseline)\n" label cycles
+    (if cycles > 0 then
+       (float_of_int baseline /. float_of_int cycles -. 1.0) *. 100.0
+     else 0.0);
+  if plans = [] then print_endline "  (no transformation)"
+  else
+    List.iter
+      (fun p ->
+        Printf.printf "  plan: %-40s %s\n" (Codec.plan_to_string p)
+          (H.plan_summary p))
+      plans
+
+let tune_cmd =
+  let run file args profile scheme jobs backend fidelity budget beam seed =
+    if jobs < 1 || beam < 1 then begin
+      prerr_endline "ERROR: --jobs and --beam must be >= 1";
+      exit 2
+    end;
+    let prog = or_die (load ~verify:true file) in
+    let feedback = feedback_of profile in
+    let scheme = if feedback <> None then W.PBO else scheme in
+    let cfg =
+      { (Tune.default_config ~scheme ~feedback) with
+        Tune.args; jobs; backend; fidelity; budget_ms = budget; beam; seed }
+    in
+    let r = checked (fun () -> Tune.search prog cfg) in
+    print_plans ~label:"heuristic" r.Tune.t_heuristic r.t_heuristic_cycles
+      r.t_baseline_cycles;
+    print_plans ~label:"found    " r.t_found r.t_found_cycles
+      r.t_baseline_cycles;
+    Printf.printf "explored %d/%d candidates (%d rejected)%s in %.0fms\n"
+      r.t_explored r.t_total r.t_rejected
+      (if r.t_complete then "" else " [budget expired]")
+      r.t_wall_ms;
+    if r.t_improved then
+      Printf.printf "improvement over heuristic: %+.1f%%\n"
+        ((float_of_int r.t_heuristic_cycles /. float_of_int r.t_found_cycles
+          -. 1.0)
+        *. 100.0)
+    else print_endline "no plan beat the heuristic; keeping it"
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Search the layout-plan space (split points x field orders x \
+             peel x padding) with the cache simulator as cost oracle. \
+             Anytime: --budget-ms bounds \
+             the search and the best plan so far wins; the result is \
+             never worse than the heuristic plan, which is always scored \
+             as the incumbent.")
+    Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg
+          $ jobs_arg $ backend_arg $ tune_fidelity_arg $ budget_arg
+          $ beam_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check: source-located diagnostics and SARIF export                  *)
@@ -727,6 +812,62 @@ let client_check_cmd =
     Term.(const run $ socket_arg $ wait_arg $ src_file_arg $ name_arg
           $ relax_arg $ sarif_arg $ deadline_arg)
 
+let client_tune_cmd =
+  let backend_name_arg =
+    Arg.(value & opt (some string) None
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"VM engine for the measurement runs (walk or closure).")
+  in
+  let client_beam_arg =
+    Arg.(value & opt (some int) None
+         & info [ "beam" ] ~docv:"N"
+             ~doc:"Field-permutation beam (default: the server's).")
+  in
+  let client_budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "budget-ms" ] ~docv:"MS"
+             ~doc:"Anytime search budget, enforced inside the server-side \
+                   search: a tight budget returns the best plan found so \
+                   far ($(i,complete: false)), never a $(i,timeout) error.")
+  in
+  let run socket wait file name scheme backend args beam budget =
+    let src, args = or_die (resolve_src file name args) in
+    match
+      with_conn socket wait (fun conn ->
+          Cli.rpc conn
+            (Proto.Tune
+               { src; scheme; backend; args; beam; deadline_ms = budget }))
+    with
+    | Proto.R_tune t ->
+      if t.t_cached then prerr_endline "(served from cache)";
+      let print_side label plans cycles =
+        Printf.printf "%s: %d cycles\n" label cycles;
+        if plans = [] then print_endline "  (no transformation)"
+        else List.iter (fun p -> Printf.printf "  plan: %s\n" p) plans
+      in
+      Printf.printf "baseline : %d cycles\n" t.t_baseline_cycles;
+      print_side "heuristic" t.t_heuristic_plans t.t_heuristic_cycles;
+      print_side "found    " t.t_plans t.t_found_cycles;
+      Printf.printf "explored %d/%d candidates%s\n" t.t_explored t.t_total
+        (if t.t_complete then "" else " [budget expired]");
+      if t.t_improved then
+        Printf.printf "improvement over heuristic: %+.1f%%\n"
+          ((float_of_int t.t_heuristic_cycles /. float_of_int t.t_found_cycles
+            -. 1.0)
+          *. 100.0)
+      else print_endline "no plan beat the heuristic; keeping it"
+    | _ ->
+      prerr_endline "ERROR: unexpected reply kind";
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Request an anytime layout-plan search; the reply always \
+             carries a plan at least as good as the heuristic one")
+    Term.(const run $ socket_arg $ wait_arg $ src_file_arg $ name_arg
+          $ scheme_name_arg $ backend_name_arg $ client_args_arg
+          $ client_beam_arg $ client_budget_arg)
+
 let client_stats_cmd =
   let run socket wait =
     match with_conn socket wait (fun conn -> Cli.rpc conn Proto.Stats) with
@@ -791,8 +932,8 @@ let client_shutdown_cmd =
 let client_cmd =
   Cmd.group
     (Cmd.info "client" ~doc:"Talk to a running layout-advice daemon")
-    [ client_advise_cmd; client_bench_cmd; client_check_cmd; client_stats_cmd;
-      client_shutdown_cmd ]
+    [ client_advise_cmd; client_bench_cmd; client_check_cmd; client_tune_cmd;
+      client_stats_cmd; client_shutdown_cmd ]
 
 let () =
   let doc = "structure layout optimization framework (CGO'06 reproduction)" in
@@ -801,4 +942,5 @@ let () =
        (Cmd.group
           (Cmd.info "slopt" ~doc)
           [ parse_cmd; analyze_cmd; profile_cmd; advise_cmd; check_cmd;
-            transform_cmd; run_cmd; bench_cmd; serve_cmd; client_cmd ]))
+            transform_cmd; run_cmd; bench_cmd; tune_cmd; serve_cmd;
+            client_cmd ]))

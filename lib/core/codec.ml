@@ -1,0 +1,102 @@
+module W = Slo_profile.Weights
+
+(* ---------------- schemes ---------------- *)
+
+let scheme_name s = String.lowercase_ascii (W.name s)
+let scheme_assoc = List.map (fun s -> (scheme_name s, s)) W.all
+
+let scheme_of_string name =
+  let lname = String.lowercase_ascii name in
+  match List.assoc_opt lname scheme_assoc with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Printf.sprintf "unknown scheme %S (expected one of %s)" name
+         (String.concat ", " (List.map fst scheme_assoc)))
+
+(* ---------------- plans ---------------- *)
+
+(* one colon-separated record per plan: kind:TYPE:field=value:...
+   Field-index lists are comma-separated; an empty list encodes as an
+   empty value so every field is always present and positional. *)
+
+let ints xs = String.concat "," (List.map string_of_int xs)
+
+let plan_to_string (p : Heuristics.plan) =
+  match p with
+  | Heuristics.Split s ->
+    Printf.sprintf "split:%s:hot=%s:cold=%s:dead=%s" s.Transform.s_typ
+      (ints s.s_hot) (ints s.s_cold) (ints s.s_dead)
+  | Heuristics.Peel s ->
+    Printf.sprintf "peel:%s:live=%s:dead=%s:globals=%s" s.Transform.p_typ
+      (ints s.p_live) (ints s.p_dead)
+      (String.concat "," s.p_globals)
+  | Heuristics.Rebuild s ->
+    Printf.sprintf "rebuild:%s:order=%s:dead=%s" s.Transform.r_typ
+      (ints s.r_order) (ints s.r_dead)
+  | Heuristics.Pad s ->
+    Printf.sprintf "pad:%s:bytes=%d" s.Transform.pd_typ s.pd_bytes
+
+let ( let* ) = Result.bind
+
+(* [fieldv ~plan key part] expects [part] to be "key=value" *)
+let fieldv ~plan key part =
+  match String.index_opt part '=' with
+  | Some i when String.sub part 0 i = key ->
+    Ok (String.sub part (i + 1) (String.length part - i - 1))
+  | _ -> Error (Printf.sprintf "plan %S: expected field %S" plan key)
+
+let int_list ~plan key v =
+  if v = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: tl -> (
+        match int_of_string_opt s with
+        | Some i -> go (i :: acc) tl
+        | None ->
+          Error
+            (Printf.sprintf "plan %S: field %S: %S is not an int" plan key s))
+    in
+    go [] (String.split_on_char ',' v)
+
+let name_list v = if v = "" then [] else String.split_on_char ',' v
+
+let plan_of_string str =
+  let plan = str in
+  match String.split_on_char ':' str with
+  | [ "split"; typ; hot; cold; dead ] ->
+    let* hot = fieldv ~plan "hot" hot in
+    let* cold = fieldv ~plan "cold" cold in
+    let* dead = fieldv ~plan "dead" dead in
+    let* s_hot = int_list ~plan "hot" hot in
+    let* s_cold = int_list ~plan "cold" cold in
+    let* s_dead = int_list ~plan "dead" dead in
+    Ok (Heuristics.Split { Transform.s_typ = typ; s_hot; s_cold; s_dead })
+  | [ "peel"; typ; live; dead; globals ] ->
+    let* live = fieldv ~plan "live" live in
+    let* dead = fieldv ~plan "dead" dead in
+    let* globals = fieldv ~plan "globals" globals in
+    let* p_live = int_list ~plan "live" live in
+    let* p_dead = int_list ~plan "dead" dead in
+    Ok
+      (Heuristics.Peel
+         { Transform.p_typ = typ; p_live; p_dead;
+           p_globals = name_list globals })
+  | [ "rebuild"; typ; order; dead ] ->
+    let* order = fieldv ~plan "order" order in
+    let* dead = fieldv ~plan "dead" dead in
+    let* r_order = int_list ~plan "order" order in
+    let* r_dead = int_list ~plan "dead" dead in
+    Ok (Heuristics.Rebuild { Transform.r_typ = typ; r_order; r_dead })
+  | [ "pad"; typ; bytes ] -> (
+    let* bytes = fieldv ~plan "bytes" bytes in
+    match int_of_string_opt bytes with
+    | Some pd_bytes when pd_bytes > 0 ->
+      Ok (Heuristics.Pad { Transform.pd_typ = typ; pd_bytes })
+    | Some _ -> Error (Printf.sprintf "plan %S: bytes must be > 0" plan)
+    | None -> Error (Printf.sprintf "plan %S: bytes is not an int" plan))
+  | kind :: _ when List.mem kind [ "split"; "peel"; "rebuild"; "pad" ] ->
+    Error (Printf.sprintf "plan %S: wrong field count for %S" plan kind)
+  | kind :: _ -> Error (Printf.sprintf "plan %S: unknown kind %S" plan kind)
+  | [] -> Error "empty plan string"

@@ -1,0 +1,46 @@
+(** The one scheme / plan string codec.
+
+    Scheme and plan spellings cross three process boundaries — the CLI
+    flags ([bin/slopt.ml]), the daemon wire protocol
+    ([lib/server/protocol.ml]) and the bench harnesses ([bench/]) — and
+    used to be parsed independently in each. This module is the single
+    source of truth; everything round-trips
+    ([of_string (to_string x) = Ok x]), which the unit tests pin.
+
+    {2 Schemes}
+
+    A scheme is spelled as its {!Slo_profile.Weights.name} lowercased:
+    [pbo], [ppbo], [spbo], [ispbo], [ispbo.no], [ispbo.w], [dmiss],
+    [dlat], [dmiss.no]. Parsing is case-insensitive.
+
+    {2 Plans}
+
+    A plan is one colon-separated record, [kind:TYPE:field=value:...],
+    with field-index lists comma-separated (empty list = empty value):
+
+    {[ split:node:hot=2,0:cold=1,3:dead=4
+       peel:node:live=0,1:dead=:globals=arr,head
+       rebuild:node:order=1,0:dead=2
+       pad:node__hot:bytes=8 ]}
+
+    Struct and global names are C identifiers, so the separators are
+    unambiguous. The encoding is canonical: the autotuner's determinism
+    gate compares found plans across [--jobs] values by these strings. *)
+
+val scheme_name : Slo_profile.Weights.scheme -> string
+(** The canonical wire/CLI spelling (lowercase). *)
+
+val scheme_of_string : string -> (Slo_profile.Weights.scheme, string) result
+(** Case-insensitive; [Error] names the unknown spelling and lists the
+    valid ones. *)
+
+val scheme_assoc : (string * Slo_profile.Weights.scheme) list
+(** [(canonical spelling, scheme)] for every scheme, in
+    {!Slo_profile.Weights.all} order — the CLI builds its [Arg.enum]
+    from this. *)
+
+val plan_to_string : Heuristics.plan -> string
+
+val plan_of_string : string -> (Heuristics.plan, string) result
+(** Inverse of {!plan_to_string}. [Error] is a human-readable reason
+    (unknown kind, malformed field, trailing garbage). *)

@@ -4,6 +4,7 @@ type plan =
   | Split of Transform.split_spec
   | Peel of Transform.peel_spec
   | Rebuild of Transform.rebuild_spec
+  | Pad of Transform.pad_spec
 
 type decision = {
   d_typ : string;
@@ -169,7 +170,8 @@ let apply prog plans =
       match p with
       | Split s -> Transform.split prog s
       | Peel s -> Transform.peel prog s
-      | Rebuild s -> Transform.rebuild prog s)
+      | Rebuild s -> Transform.rebuild prog s
+      | Pad s -> Transform.pad prog s)
     plans
 
 let plan_summary = function
@@ -182,3 +184,4 @@ let plan_summary = function
   | Rebuild s ->
     Printf.sprintf "rebuild %s: %d fields, %d dead removed" s.r_typ
       (List.length s.r_order) (List.length s.r_dead)
+  | Pad s -> Printf.sprintf "pad %s: +%d bytes" s.pd_typ s.pd_bytes

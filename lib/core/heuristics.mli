@@ -25,6 +25,9 @@ type plan =
   | Split of Transform.split_spec
   | Peel of Transform.peel_spec
   | Rebuild of Transform.rebuild_spec
+  | Pad of Transform.pad_spec
+      (** trailing padding — never chosen by {!decide}; part of the
+          autotuner's candidate space ([Slo_tune.Tune]) *)
 
 type decision = {
   d_typ : string;

@@ -13,8 +13,10 @@ type peel_spec = {
 }
 
 type rebuild_spec = { r_typ : string; r_order : int list; r_dead : int list }
+type pad_spec = { pd_typ : string; pd_bytes : int }
 
 let link_field_name = "__link"
+let pad_field_name = "__pad"
 let hot_name s = s ^ "__hot"
 let cold_name s = s ^ "__cold"
 let piece_name s f = s ^ "__" ^ f
@@ -305,6 +307,29 @@ let rebuild (prog : Ir.program) (spec : rebuild_spec) =
             Keep);
       ignore (Dce.cleanup f))
     prog.funcs
+
+(* Trailing padding: a pure layout change. The new field is never
+   accessed, so no instruction rewriting happens; allocation sites size
+   their arrays through the layout, which picks the pad up for free. *)
+let pad (prog : Ir.program) (spec : pad_spec) =
+  if spec.pd_bytes <= 0 then
+    invalid_arg
+      (Printf.sprintf "Transform.pad: %d pad bytes (need > 0)" spec.pd_bytes);
+  let decl =
+    match Structs.find_opt prog.structs spec.pd_typ with
+    | Some d -> d
+    | None ->
+      invalid_arg ("Transform.pad: unknown struct " ^ spec.pd_typ)
+  in
+  let fields =
+    List.filter
+      (fun (f : Structs.field) -> not (String.equal f.name pad_field_name))
+      (Array.to_list decl.fields)
+  in
+  Structs.define prog.structs spec.pd_typ
+    (fields
+    @ [ { Structs.name = pad_field_name;
+          ty = Irty.Array (Irty.Char, spec.pd_bytes); bits = None } ])
 
 (* ------------------------------------------------------------------ *)
 (* Structure peeling                                                   *)

@@ -41,8 +41,16 @@ type rebuild_spec = {
   r_dead : int list;
 }
 
+type pad_spec = {
+  pd_typ : string;
+  pd_bytes : int;  (** trailing pad bytes, > 0 *)
+}
+
 val link_field_name : string
 (** ["__link"] *)
+
+val pad_field_name : string
+(** ["__pad"] *)
 
 val hot_name : string -> string
 val cold_name : string -> string
@@ -52,6 +60,16 @@ val piece_global : string -> string -> string
 val split : Ir.program -> split_spec -> unit
 val peel : Ir.program -> peel_spec -> unit
 val rebuild : Ir.program -> rebuild_spec -> unit
+
+val pad : Ir.program -> pad_spec -> unit
+(** Append a [pd_bytes]-byte [char] array field named {!pad_field_name}
+    to the struct — the autotuner's padding classes (rounding elements up
+    to a power of two or a cache line so array elements stop straddling
+    line boundaries). No access rewriting is needed: existing field
+    indices are unchanged and allocation sizes follow the layout. Padding
+    an already-padded struct replaces the previous pad field rather than
+    stacking a second one. Raises [Invalid_argument] for [pd_bytes <= 0]
+    or an unknown struct. *)
 
 val peel_feasible : Ir.program -> typ:string -> globals:string list -> bool
 (** Structural feasibility of peeling: every access to the type must be a

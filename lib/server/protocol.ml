@@ -42,6 +42,14 @@ type request =
       deadline_ms : float option;
     }
   | Check of { src : string; relax : bool; deadline_ms : float option }
+  | Tune of {
+      src : string;
+      scheme : string option;
+      backend : string option;
+      args : int list;
+      beam : int option;
+      deadline_ms : float option;
+    }
   | Stats
   | Shutdown
 
@@ -87,6 +95,18 @@ type reply =
       c_sarif : string;        (** SARIF 2.1.0 document *)
       c_invalidating : int;    (** findings that block transformation *)
       c_cached : bool;
+    }
+  | R_tune of {
+      t_plans : string list;           (** the winner, codec plan strings *)
+      t_heuristic_plans : string list; (** the incumbent it was judged against *)
+      t_baseline_cycles : int;
+      t_heuristic_cycles : int;
+      t_found_cycles : int;
+      t_improved : bool;
+      t_explored : int;
+      t_total : int;
+      t_complete : bool;
+      t_cached : bool;
     }
   | R_stats of stats_reply
   | R_shutdown
@@ -189,6 +209,14 @@ let json_of_request_body = function
       ([ ("kind", Json.String "check"); ("src", Json.String src) ]
       @ (if relax then [ ("relax", Json.Bool true) ] else [])
       @ opt_field "deadline_ms" (fun f -> Json.Float f) deadline_ms)
+  | Tune { src; scheme; backend; args; beam; deadline_ms } ->
+    Json.Obj
+      ([ ("kind", Json.String "tune"); ("src", Json.String src) ]
+      @ opt_field "scheme" (fun s -> Json.String s) scheme
+      @ opt_field "backend" (fun s -> Json.String s) backend
+      @ list_field "args" (fun i -> Json.Int i) args
+      @ opt_field "beam" (fun b -> Json.Int b) beam
+      @ opt_field "deadline_ms" (fun f -> Json.Float f) deadline_ms)
   | Stats -> Json.Obj [ ("kind", Json.String "stats") ]
   | Shutdown -> Json.Obj [ ("kind", Json.String "shutdown") ]
 
@@ -253,6 +281,22 @@ let request_of_json j =
         in
         let* deadline_ms = get_number j "deadline_ms" in
         Ok (Check { src; relax; deadline_ms }))
+    | Some "tune" -> (
+      let* src = get_string j "src" in
+      match src with
+      | None -> Error "missing \"src\""
+      | Some src ->
+        let* scheme = get_string j "scheme" in
+        let* backend = get_string j "backend" in
+        let* args = get_int_list j "args" in
+        let* beam =
+          match Json.member "beam" j with
+          | Some (Json.Int b) -> Ok (Some b)
+          | Some _ -> Error "field \"beam\" must be an int"
+          | None -> Ok None
+        in
+        let* deadline_ms = get_number j "deadline_ms" in
+        Ok (Tune { src; scheme; backend; args; beam; deadline_ms }))
     | Some "stats" -> Ok Stats
     | Some "shutdown" -> Ok Shutdown
     | Some k -> Error (Printf.sprintf "unknown kind %S" k))
@@ -302,6 +346,23 @@ let json_of_reply_body = function
         ("sarif", Json.String c.c_sarif);
         ("invalidating", Json.Int c.c_invalidating);
         ("cached", Json.Bool c.c_cached);
+      ]
+  | R_tune t ->
+    let strings xs = Json.List (List.map (fun p -> Json.String p) xs) in
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("kind", Json.String "tune");
+        ("plans", strings t.t_plans);
+        ("heuristic_plans", strings t.t_heuristic_plans);
+        ("baseline_cycles", Json.Int t.t_baseline_cycles);
+        ("heuristic_cycles", Json.Int t.t_heuristic_cycles);
+        ("found_cycles", Json.Int t.t_found_cycles);
+        ("improved", Json.Bool t.t_improved);
+        ("explored", Json.Int t.t_explored);
+        ("total", Json.Int t.t_total);
+        ("complete", Json.Bool t.t_complete);
+        ("cached", Json.Bool t.t_cached);
       ]
   | R_stats s ->
     Json.Obj
@@ -498,6 +559,47 @@ let reply_of_json j =
       | Some c_report, Some c_sarif, Some (Json.Bool c_cached) ->
         Ok (R_check { c_report; c_sarif; c_invalidating; c_cached })
       | _ -> Error "check reply missing report/sarif/cached")
+    | Some "tune" -> (
+      let str_list k =
+        match Json.member k j with
+        | Some (Json.List xs) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | Json.String s :: tl -> go (s :: acc) tl
+            | _ -> Error (Printf.sprintf "%s must be strings" k)
+          in
+          go [] xs
+        | _ -> Error (Printf.sprintf "tune reply missing %s" k)
+      in
+      let bool_field k =
+        match Json.member k j with
+        | Some (Json.Bool b) -> Ok b
+        | _ -> Error (Printf.sprintf "tune reply missing bool %s" k)
+      in
+      let* t_plans = str_list "plans" in
+      let* t_heuristic_plans = str_list "heuristic_plans" in
+      let* t_baseline_cycles = req_int j "baseline_cycles" in
+      let* t_heuristic_cycles = req_int j "heuristic_cycles" in
+      let* t_found_cycles = req_int j "found_cycles" in
+      let* t_improved = bool_field "improved" in
+      let* t_explored = req_int j "explored" in
+      let* t_total = req_int j "total" in
+      let* t_complete = bool_field "complete" in
+      let* t_cached = bool_field "cached" in
+      Ok
+        (R_tune
+           {
+             t_plans;
+             t_heuristic_plans;
+             t_baseline_cycles;
+             t_heuristic_cycles;
+             t_found_cycles;
+             t_improved;
+             t_explored;
+             t_total;
+             t_complete;
+             t_cached;
+           }))
     | Some "stats" ->
       let* s = stats_of_json j in
       Ok (R_stats s)

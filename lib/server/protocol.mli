@@ -29,6 +29,8 @@
         "args":[3],"deadline_ms":250.0}
        {"kind":"bench","src":"...","scheme":"spbo","backend":"closure"}
        {"kind":"check","src":"...","relax":true}
+       {"kind":"tune","src":"...","scheme":"ispbo","beam":4,
+        "deadline_ms":500.0}
        {"kind":"stats"}
        {"kind":"shutdown"} ]}
 
@@ -76,6 +78,17 @@ type request =
       relax : bool;                 (** tolerate CSTT/CSTF/ATKN (default false) *)
       deadline_ms : float option;
     }
+  | Tune of {
+      src : string;
+      scheme : string option;
+      backend : string option;
+      args : int list;
+      beam : int option;            (** permutation beam, default the tuner's *)
+      deadline_ms : float option;
+          (** anytime {e search budget}, not a transport deadline: on
+              expiry the reply carries the best plan found so far
+              ([complete=false]) — never a [timeout] error *)
+    }
   | Stats
   | Shutdown
 
@@ -121,6 +134,21 @@ type reply =
       c_sarif : string;              (** SARIF 2.1.0 document *)
       c_invalidating : int;          (** findings that block transformation *)
       c_cached : bool;
+    }
+  | R_tune of {
+      t_plans : string list;
+          (** the winning whole-program plan, one
+              {!Slo_core.Codec.plan_to_string} record per entry — parse
+              back with {!Slo_core.Codec.plan_of_string} *)
+      t_heuristic_plans : string list;  (** the incumbent, same encoding *)
+      t_baseline_cycles : int;
+      t_heuristic_cycles : int;
+      t_found_cycles : int;
+      t_improved : bool;             (** found strictly beats the heuristic *)
+      t_explored : int;              (** candidates scored within budget *)
+      t_total : int;                 (** candidates enumerated *)
+      t_complete : bool;             (** the whole space was scored *)
+      t_cached : bool;
     }
   | R_stats of stats_reply
   | R_shutdown

@@ -7,6 +7,8 @@ module P = Protocol
 module D = Slo_core.Driver
 module H = Slo_core.Heuristics
 module Adv = Slo_core.Advisor
+module Codec = Slo_core.Codec
+module Tune = Slo_tune.Tune
 module W = Slo_profile.Weights
 
 type config = {
@@ -129,9 +131,7 @@ let get_ir t ~digest ~src =
         ignore (Lru.add t.cache key (Cir prog) ~bytes:(heap_bytes prog)));
     prog
 
-let scheme_of_name name =
-  let name = String.lowercase_ascii name in
-  List.find_opt (fun s -> String.lowercase_ascii (W.name s) = name) W.all
+let scheme_of_name name = Result.to_option (Codec.scheme_of_string name)
 
 (* display label for sources shipped over the wire; the client re-labels
    lines with the real path when it has one *)
@@ -150,13 +150,38 @@ let compute t ~kind ~digest ~src ~scheme ~backend ~args =
         c_invalidating = Slo_advice.Advice.invalidating_count diags;
         c_cached = false;
       }
-  | (`Advise | `Bench) as kind -> (
+  | (`Advise | `Bench | `Tune _) as kind -> (
   let feedback =
     if W.needs_profile scheme then
       Some (fst (Slo_profile.Collect.collect ~args prog))
     else None
   in
   match kind with
+  | `Tune (beam, budget_ms) ->
+    (* jobs=1: a busy daemon gets its parallelism from concurrent tune
+       requests occupying pool workers, not from one request
+       oversubscribing the domains — and the search is deterministic at
+       any jobs anyway *)
+    let cfg = Tune.default_config ~scheme ~feedback in
+    let cfg =
+      { cfg with
+        Tune.args; backend; budget_ms;
+        beam = Option.value ~default:cfg.Tune.beam beam }
+    in
+    let r = Tune.search prog cfg in
+    P.R_tune
+      {
+        t_plans = List.map Codec.plan_to_string r.Tune.t_found;
+        t_heuristic_plans = List.map Codec.plan_to_string r.t_heuristic;
+        t_baseline_cycles = r.t_baseline_cycles;
+        t_heuristic_cycles = r.t_heuristic_cycles;
+        t_found_cycles = r.t_found_cycles;
+        t_improved = r.t_improved;
+        t_explored = r.t_explored;
+        t_total = r.t_total;
+        t_complete = r.t_complete;
+        t_cached = false;
+      }
   | `Advise ->
     let leg, aff = D.analyze prog ~scheme ~feedback in
     let decisions = H.decide prog leg aff ~scheme in
@@ -230,7 +255,9 @@ let job t ~key ~kind ~digest ~src ~scheme ~backend ~args () =
     | exception e -> err P.Worker_crash "%s" (Printexc.to_string e)
   in
   let success =
-    match reply with P.R_advise _ | P.R_bench _ | P.R_check _ -> true | _ -> false
+    match reply with
+    | P.R_advise _ | P.R_bench _ | P.R_check _ | P.R_tune _ -> true
+    | _ -> false
   in
   locked t (fun () ->
       Hashtbl.remove t.pending key;
@@ -251,12 +278,14 @@ let mark_cached = function
   | P.R_advise a -> P.R_advise { a with a_cached = true }
   | P.R_bench b -> P.R_bench { b with b_cached = true }
   | P.R_check c -> P.R_check { c with c_cached = true }
+  | P.R_tune x -> P.R_tune { x with t_cached = true }
   | r -> r
 
 let cached_flag = function
   | P.R_advise a -> a.a_cached
   | P.R_bench b -> b.b_cached
   | P.R_check c -> c.c_cached
+  | P.R_tune x -> x.t_cached
   | _ -> true
 
 (* a request is either answerable now or pending on the pool *)
@@ -309,7 +338,15 @@ let serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms =
           | `Advise -> "advise"
           | `Bench -> "bench"
           | `Check false -> "check"
-          | `Check true -> "check-relax")
+          | `Check true -> "check-relax"
+          | `Tune (beam, budget_ms) ->
+            (* budget and beam shape the (deterministic) answer, so they
+               are part of the result identity *)
+            Printf.sprintf "tune[beam=%s,budget=%s]"
+              (match beam with None -> "-" | Some b -> string_of_int b)
+              (match budget_ms with
+              | None -> "-"
+              | Some f -> Printf.sprintf "%g" f))
           (W.name scheme) (Slo_vm.Backend.to_string backend)
           (String.concat "," (List.map string_of_int args))
       in
@@ -341,7 +378,10 @@ let serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms =
                   match Hashtbl.find_opt t.pending key with
                   | Some f -> `Coalesce f
                   | None ->
-                    if t.shedding && kind = `Bench then `Shed t.queued
+                    let sheddable =
+                      match kind with `Bench | `Tune _ -> true | _ -> false
+                    in
+                    if t.shedding && sheddable then `Shed t.queued
                     else begin
                       note_submitted t;
                       `Submit
@@ -353,9 +393,9 @@ let serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms =
           | `Shed depth ->
             Now
               (err P.Overloaded
-                 "overloaded: %d compute jobs queued; bench requests are \
-                  shed until the backlog clears (cached replies are still \
-                  served)"
+                 "overloaded: %d compute jobs queued; bench and tune \
+                  requests are shed until the backlog clears (cached \
+                  replies are still served)"
                  depth)
           | `Submit ->
             let f =
@@ -557,6 +597,7 @@ let handle_frame t conn ~t0 ~fast payload =
         | P.Advise _ -> "advise"
         | P.Bench _ -> "bench"
         | P.Check _ -> "check"
+        | P.Tune _ -> "tune"
         | P.Stats -> "stats"
         | P.Shutdown -> "shutdown"
       in
@@ -567,7 +608,7 @@ let handle_frame t conn ~t0 ~fast payload =
       | P.Shutdown ->
         finish t conn ~t0 ~id ~frame_key:None ~rk P.R_shutdown;
         request_stop t
-      | P.Advise _ | P.Bench _ | P.Check _ -> (
+      | P.Advise _ | P.Bench _ | P.Check _ | P.Tune _ -> (
         let kind, src, scheme, backend, args, deadline_ms =
           match req with
           | P.Advise { src; scheme; args; deadline_ms } ->
@@ -576,6 +617,12 @@ let handle_frame t conn ~t0 ~fast payload =
             (`Bench, src, scheme, backend, args, deadline_ms)
           | P.Check { src; relax; deadline_ms } ->
             (`Check relax, src, None, None, [], deadline_ms)
+          | P.Tune { src; scheme; backend; args; beam; deadline_ms } ->
+            (* [deadline_ms] is the anytime search budget, enforced
+               inside the search itself — the waiter below must await
+               unboundedly, or a tight budget would race the transport
+               timeout instead of returning the best-so-far plan *)
+            (`Tune (beam, deadline_ms), src, scheme, backend, args, None)
           | P.Stats | P.Shutdown -> assert false
         in
         match serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms with

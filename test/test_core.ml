@@ -651,6 +651,77 @@ let witnesses_deduplicated () =
   Alcotest.(check int) "no duplicates" 2
     (List.length (List.sort_uniq compare (List.map key ws)))
 
+(* ------------------------- codec ------------------------- *)
+
+module C = Slo_core.Codec
+
+let codec_schemes () =
+  (* every scheme round-trips through its canonical spelling *)
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check string) "canonical" name (C.scheme_name s);
+      match C.scheme_of_string name with
+      | Ok s' -> Alcotest.(check bool) ("parse " ^ name) true (s' = s)
+      | Error e -> Alcotest.failf "scheme %s did not parse: %s" name e)
+    C.scheme_assoc;
+  Alcotest.(check int) "covers Weights.all"
+    (List.length W.all) (List.length C.scheme_assoc);
+  (* case-insensitive *)
+  (match C.scheme_of_string "ISPBO" with
+  | Ok s -> Alcotest.(check string) "upper-case accepted" "ispbo" (C.scheme_name s)
+  | Error e -> Alcotest.fail e);
+  (* errors name the bad spelling and the valid set *)
+  match C.scheme_of_string "nope" with
+  | Ok _ -> Alcotest.fail "bogus scheme parsed"
+  | Error e ->
+    Alcotest.(check bool) "names the spelling" true
+      (Astring.String.is_infix ~affix:"nope" e);
+    Alcotest.(check bool) "lists valid ones" true
+      (Astring.String.is_infix ~affix:"ispbo" e)
+
+let codec_plans () =
+  let plans =
+    [
+      H.Split { T.s_typ = "node"; s_hot = [ 2; 0 ]; s_cold = [ 1; 3 ]; s_dead = [ 4 ] };
+      H.Split { T.s_typ = "node"; s_hot = [ 0 ]; s_cold = [ 1 ]; s_dead = [] };
+      H.Peel
+        { T.p_typ = "arc"; p_live = [ 0; 1 ]; p_dead = []; p_globals = [ "arcs"; "head" ] };
+      H.Peel { T.p_typ = "arc"; p_live = [ 3 ]; p_dead = [ 0 ]; p_globals = [] };
+      H.Rebuild { T.r_typ = "cell"; r_order = [ 1; 0 ]; r_dead = [ 2 ] };
+      H.Pad { T.pd_typ = "cell__hot"; pd_bytes = 8 };
+    ]
+  in
+  List.iter
+    (fun p ->
+      let s = C.plan_to_string p in
+      match C.plan_of_string s with
+      | Ok p' ->
+        Alcotest.(check bool) ("round-trip " ^ s) true (p' = p);
+        (* canonical: re-encoding is byte-identical *)
+        Alcotest.(check string) ("canonical " ^ s) s (C.plan_to_string p')
+      | Error e -> Alcotest.failf "%s did not parse back: %s" s e)
+    plans;
+  (* the documented spellings parse *)
+  (match C.plan_of_string "split:node:hot=2,0:cold=1,3:dead=4" with
+  | Ok (H.Split sp) ->
+    Alcotest.(check (list int)) "hot order kept" [ 2; 0 ] sp.T.s_hot
+  | Ok _ -> Alcotest.fail "parsed as the wrong kind"
+  | Error e -> Alcotest.fail e);
+  (* malformed inputs are errors, not crashes *)
+  List.iter
+    (fun bad ->
+      match C.plan_of_string bad with
+      | Ok _ -> Alcotest.failf "%S parsed" bad
+      | Error _ -> ())
+    [
+      "";
+      "shrink:node:hot=0";            (* unknown kind *)
+      "split:node";                   (* missing fields *)
+      "split:node:hot=x:cold=:dead="; (* non-numeric index *)
+      "pad:node:bytes=";              (* empty int *)
+      "split:node:hot=0:cold=1:dead=:extra=2"; (* trailing garbage *)
+    ]
+
 let () =
   Alcotest.run "core"
     [
@@ -709,4 +780,9 @@ let () =
         [ Alcotest.test_case "reorder" `Quick gvl_reorders_globals ] );
       ( "advisor",
         [ Alcotest.test_case "report+vcg" `Quick advisor_report ] );
+      ( "codec",
+        [
+          Alcotest.test_case "schemes" `Quick codec_schemes;
+          Alcotest.test_case "plans" `Quick codec_plans;
+        ] );
     ]

@@ -218,6 +218,26 @@ let codec_requests () =
        });
   roundtrip (P.Check { src = "z"; relax = false; deadline_ms = None });
   roundtrip (P.Check { src = "z"; relax = true; deadline_ms = Some 100.0 });
+  roundtrip
+    (P.Tune
+       {
+         src = "w";
+         scheme = Some "ispbo";
+         backend = None;
+         args = [ 7 ];
+         beam = Some 2;
+         deadline_ms = Some 500.0;
+       });
+  roundtrip
+    (P.Tune
+       {
+         src = "w";
+         scheme = None;
+         backend = Some "walk";
+         args = [];
+         beam = None;
+         deadline_ms = None;
+       });
   roundtrip P.Stats;
   roundtrip P.Shutdown;
   let bad name s =
@@ -254,6 +274,20 @@ let codec_replies () =
          c_sarif = "{\"version\": \"2.1.0\"}";
          c_invalidating = 2;
          c_cached = true;
+       });
+  roundtrip
+    (P.R_tune
+       {
+         t_plans = [ "split:s:hot=0,2:cold=1,3:dead="; "pad:s__hot:bytes=8" ];
+         t_heuristic_plans = [ "peel:s:live=0,1:dead=:globals=arr" ];
+         t_baseline_cycles = 1000;
+         t_heuristic_cycles = 900;
+         t_found_cycles = 850;
+         t_improved = true;
+         t_explored = 17;
+         t_total = 23;
+         t_complete = false;
+         t_cached = false;
        });
   roundtrip P.R_shutdown;
   roundtrip (P.R_error { code = P.Timeout; message = "deadline of 1ms expired" });
@@ -417,6 +451,57 @@ let e2e_check () =
         Alcotest.(check int) "points-to collapse invalidates" 1
           c.c_invalidating
       | _ -> Alcotest.fail "relaxed check failed");
+      close conn)
+
+let e2e_tune () =
+  with_server ~jobs:2 (fun ~connect ~close _socket ->
+      let conn = connect () in
+      let src = hot_cold_src "tun" in
+      let tune ?beam ?deadline_ms () =
+        P.Tune { src; scheme = Some "ispbo"; backend = None; args = [];
+                 beam; deadline_ms }
+      in
+      (* a budget far too tight for any candidate: anytime semantics
+         mean the best-so-far (the heuristic incumbent) comes back as a
+         success reply, never a [timeout] error *)
+      let tight_found_cycles =
+        match Client.rpc conn (tune ~deadline_ms:0.001 ()) with
+        | P.R_tune t ->
+          Alcotest.(check bool) "tight budget: incomplete" false t.t_complete;
+          Alcotest.(check bool) "tight budget: not cached" false t.t_cached;
+          Alcotest.(check bool) "tight budget: never worse" true
+            (t.t_found_cycles <= t.t_heuristic_cycles);
+          Alcotest.(check bool) "tight budget: falls back to heuristic" true
+            (t.t_plans = t.t_heuristic_plans);
+          t.t_found_cycles
+        | r ->
+          Alcotest.failf "tight tune failed: %s"
+            (Json.to_string (P.json_of_reply r))
+      in
+      (* no budget: the whole space is scored, and a longer budget can
+         only match or improve on the tight run's best *)
+      (match Client.rpc conn (tune ()) with
+      | P.R_tune t ->
+        Alcotest.(check bool) "full search completes" true t.t_complete;
+        Alcotest.(check int) "explored everything" t.t_total t.t_explored;
+        Alcotest.(check bool) "longer budget at least as good" true
+          (t.t_found_cycles <= tight_found_cycles);
+        Alcotest.(check bool) "plans are codec-parseable" true
+          (List.for_all
+             (fun p -> Result.is_ok (Slo_core.Codec.plan_of_string p))
+             (t.t_plans @ t.t_heuristic_plans))
+      | r ->
+        Alcotest.failf "full tune failed: %s"
+          (Json.to_string (P.json_of_reply r)));
+      (* budget is part of the result identity: a repeat of the same
+         request hits the cache, a different budget does not *)
+      (match Client.rpc conn (tune ()) with
+      | P.R_tune t -> Alcotest.(check bool) "repeat is a hit" true t.t_cached
+      | _ -> Alcotest.fail "tune repeat failed");
+      (match Client.rpc conn (tune ~beam:2 ()) with
+      | P.R_tune t ->
+        Alcotest.(check bool) "beam is part of the key" false t.t_cached
+      | _ -> Alcotest.fail "beam tune failed");
       close conn)
 
 let e2e_structured_errors () =
@@ -700,6 +785,7 @@ let () =
           Alcotest.test_case "advise + cache" `Quick e2e_advise_cached;
           Alcotest.test_case "bench + cache" `Quick e2e_bench;
           Alcotest.test_case "check + cache" `Quick e2e_check;
+          Alcotest.test_case "tune anytime + cache" `Quick e2e_tune;
           Alcotest.test_case "structured errors" `Quick e2e_structured_errors;
           Alcotest.test_case "deadline" `Quick e2e_deadline;
           Alcotest.test_case "connection limit" `Quick e2e_overloaded;
