@@ -129,7 +129,8 @@ tune-smoke:
 lint:
 	dune build bin/slopt.exe
 	mkdir -p _artifacts
-	_build/default/bin/slopt.exe check examples/check_demo.mc --roster \
+	_build/default/bin/slopt.exe check examples/check_demo.mc \
+	  examples/pool_demo.mc --roster \
 	  --golden ci/lint-golden.txt --sarif _artifacts/LINT.sarif
 
 # measure-phase speedup ladder: the full Table 3 under the walk,

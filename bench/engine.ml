@@ -306,7 +306,7 @@ let t3_job ~backend ~fidelity (e : Suite.entry) scheme () =
           acc + List.length s.s_cold + List.length s.s_dead
         | Some (H.Peel p) -> acc + List.length p.p_dead
         | Some (H.Rebuild r) -> acc + List.length r.r_dead
-        | Some (H.Pad _) | None -> acc)
+        | Some (H.Pool _) | Some (H.Pad _) | None -> acc)
       0 ev.e_decisions
   in
   {
@@ -418,6 +418,159 @@ let table3 run ~roster =
          (float_of_int !sum_steps /. !sum_measure_ms /. 1000.0)
          (Backend.to_string run.run_backend)
          (Sampled.fidelity_name run.run_fidelity));
+  List.iter
+    (fun w -> Buffer.add_string buf (w ^ "\n"))
+    (List.rev !warnings);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* pool: Table-3-class rows for the index-linked pool rewrite. One     *)
+(* row per self-referential record in the roster; the shape-poolable   *)
+(* ones are transformed, oracle-validated and measured, the refuted    *)
+(* ones carry their first witness so the table doubles as a survey of  *)
+(* why pooling does not apply.                                         *)
+(* ------------------------------------------------------------------ *)
+
+type pool_row = {
+  pl_oracle : string;          (* "ok" or the first failure *)
+  pl_speedup_pct : float;
+  pl_cycles : int * int;
+  pl_steps : int * int;
+  pl_l1 : int * int;
+  pl_l2 : int * int;
+  pl_accesses : int * int;
+  pl_timings : timings;
+}
+
+let pool_job ~backend ~fidelity (e : Suite.entry) (v : Shape.verdict) () =
+  let prog, t_compile = compile e in
+  let plan =
+    H.Pool { Slo_core.Transform.po_typ = v.Shape.v_typ; po_links = v.v_links }
+  in
+  let oracle, t_oracle =
+    timed (fun () -> Slo_suite.Oracle.run ~args:e.ref_args prog [ plan ])
+  in
+  let transformed, t_tr =
+    timed (fun () -> D.transform_with_plans ~verify:true prog [ plan ])
+  in
+  let (before, after), t_me =
+    timed (fun () ->
+        ( D.measure ~args:e.ref_args ~backend ~fidelity prog,
+          D.measure ~args:e.ref_args ~backend ~fidelity transformed ))
+  in
+  {
+    pl_oracle =
+      (if Slo_suite.Oracle.ok oracle then "ok"
+       else
+         match oracle.r_failures with
+         | f :: _ -> Slo_suite.Oracle.string_of_failure f
+         | [] -> "ok");
+    pl_speedup_pct = D.speedup_pct ~before ~after;
+    pl_cycles = (before.m_cycles, after.m_cycles);
+    pl_steps = (before.m_result.steps, after.m_result.steps);
+    pl_l1 = (before.m_l1_misses, after.m_l1_misses);
+    pl_l2 = (before.m_l2_misses, after.m_l2_misses);
+    pl_accesses = (before.m_accesses, after.m_accesses);
+    pl_timings =
+      {
+        t_compile_ms = t_compile;
+        t_profile_ms = 0.0;
+        t_analyze_ms = t_oracle;
+        t_transform_ms = t_tr;
+        t_measure_ms = t_me;
+      };
+  }
+
+let pool_table run ~roster =
+  let t =
+    Table.create
+      [ ("Benchmark", Table.Left); ("Type", Table.Left);
+        ("Links", Table.Left); ("Oracle", Table.Left);
+        ("Performance", Table.Right) ]
+  in
+  precompile roster;
+  (* shape verdicts are cheap and deterministic: collect them serially,
+     then farm out only the measured (poolable) units *)
+  let units =
+    List.concat_map
+      (fun (e : Suite.entry) ->
+        match compile e with
+        | prog, _ ->
+          List.map
+            (fun (v : Shape.verdict) -> (e, v))
+            (Shape.verdicts (Shape.analyze prog))
+        | exception _ -> [])
+      roster
+  in
+  let futures =
+    List.map
+      (fun ((e : Suite.entry), (v : Shape.verdict)) ->
+        if v.Shape.v_poolable then begin
+          progress "(pooling %s.%s...)" e.name v.v_typ;
+          ( e, v,
+            Some
+              (Pool.submit run.pool
+                 (pool_job ~backend:run.run_backend
+                    ~fidelity:run.run_fidelity e v)) )
+        end
+        else (e, v, None))
+      units
+  in
+  let warnings = ref [] in
+  List.iter
+    (fun ((e : Suite.entry), (v : Shape.verdict), fut) ->
+      let links = String.concat "," v.Shape.v_link_names in
+      match fut with
+      | None ->
+        let why =
+          match v.v_witnesses with
+          | w :: _ -> Printf.sprintf "not poolable [%s]"
+                        (Shape.reason_name w.Shape.sw_reason)
+          | [] -> "not poolable"
+        in
+        Table.add_row t [ e.name; v.v_typ; links; why; "-" ]
+      | Some fut -> (
+        match Pool.await fut with
+        | Ok row ->
+          if row.pl_oracle <> "ok" then
+            warnings :=
+              Printf.sprintf "!! ORACLE REFUSED pool of %s.%s: %s" e.name
+                v.v_typ row.pl_oracle
+              :: !warnings;
+          Table.add_row t
+            [ e.name; v.v_typ; links; row.pl_oracle;
+              Printf.sprintf "%+.1f%%" row.pl_speedup_pct ];
+          push_record run
+            {
+              r_experiment = "pool"; r_benchmark = e.name;
+              r_scheme = None; r_error = None;
+              r_cycles = Some row.pl_cycles; r_steps = Some row.pl_steps;
+              r_l1_misses = Some row.pl_l1; r_l2_misses = Some row.pl_l2;
+              r_accesses = Some row.pl_accesses;
+              r_speedup_pct = Some row.pl_speedup_pct;
+              r_timings = row.pl_timings;
+            }
+        | Error (err : Pool.error) ->
+          warnings :=
+            Printf.sprintf "!! pool of %s.%s failed: %s" e.name v.v_typ
+              err.err_exn
+            :: !warnings;
+          Table.add_row t
+            [ e.name; v.v_typ; links; "-";
+              "ERROR: " ^ short_error err.err_exn ];
+          push_record run
+            {
+              r_experiment = "pool"; r_benchmark = e.name;
+              r_scheme = None; r_error = Some err.err_exn;
+              r_cycles = None; r_steps = None; r_l1_misses = None;
+              r_l2_misses = None; r_accesses = None; r_speedup_pct = None;
+              r_timings = no_timings;
+            }))
+    futures;
+  let buf = Buffer.create 1024 in
+  if units = [] then
+    Buffer.add_string buf "(no self-referential record types in the roster)\n"
+  else Buffer.add_string buf (Table.render t);
   List.iter
     (fun w -> Buffer.add_string buf (w ^ "\n"))
     (List.rev !warnings);

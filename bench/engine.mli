@@ -100,6 +100,14 @@ val table3 : run -> roster:Slo_suite.Suite.entry list -> string
     scheme) row, PBO for everyone plus the paper's no-profile ISPBO rows
     for mcf and moldyn. *)
 
+val pool_table : run -> roster:Slo_suite.Suite.entry list -> string
+(** Index-linked pool rows: one per self-referential record type in the
+    roster. Shape-poolable types are rewritten with {!Transform.pool},
+    validated by the differential oracle (output + per-field access
+    conservation) and measured before/after under the cachesim; refuted
+    types show their first uniqueness witness instead. Measured rows are
+    recorded under experiment ["pool"]. *)
+
 val write_json : run -> path:string -> unit
 (** Write the accumulated records plus run metadata (jobs, git revision,
     wall-clock) as JSON to [path], creating the directory if needed. *)

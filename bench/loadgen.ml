@@ -127,7 +127,7 @@ let deadline () = if !deadline_ms > 0.0 then Some !deadline_ms else None
 let advise_req (e : Suite.entry) =
   P.Advise
     { src = e.source; scheme = Some (Codec.scheme_name W.ISPBO); args = [];
-      deadline_ms = deadline () }
+      pool = false; deadline_ms = deadline () }
 
 let bench_req ?args (e : Suite.entry) =
   P.Bench

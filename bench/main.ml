@@ -3,7 +3,7 @@
    Usage:
      dune exec bench/main.exe                     -- everything, serially
      dune exec bench/main.exe -- table1 --jobs 8  -- one experiment, 8 workers
-   Targets: table1 table2 table3 figure1 figure2 ablation overhead
+   Targets: table1 table2 table3 pool figure1 figure2 ablation overhead
             casestudies timings
    Options:
      --jobs N | -j N   worker domains for the parallel experiments
@@ -180,6 +180,18 @@ let table3 run roster =
   say "(performance = speedup (cycles_before/cycles_after - 1);";
   say " the simulator over-rewards splitting relative to Itanium hardware —";
   say " see EXPERIMENTS.md for the shape comparison)";
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* pool: recursive-shape survey and index-linked pool measurement      *)
+(* ------------------------------------------------------------------ *)
+
+let pool run roster =
+  say "== Pool: index-linked pools for shape-proven recursive types ==";
+  print_string (Engine.pool_table run ~roster);
+  say "";
+  say "(one row per self-referential record; poolable ones are rewritten,";
+  say " oracle-validated and measured, refuted ones show the witness)";
   say ""
 
 (* ------------------------------------------------------------------ *)
@@ -460,7 +472,7 @@ let usage () =
     "usage: main.exe [TARGET...] [--jobs N|-j N] [--only NAME]\n\
      \       [--backend walk|closure|superblock]\n\
      \       [--fidelity exact|sampled|sampled:W,S[,K]] [--out FILE]\n\
-     targets: table1 table2 table3 figure1 figure2 ablation overhead\n\
+     targets: table1 table2 table3 pool figure1 figure2 ablation overhead\n\
      \         casestudies timings";
   exit 2
 
@@ -498,8 +510,9 @@ let () =
     | "--out" :: v :: rest -> out := v; parse rest
     | t :: rest ->
       (match t with
-      | "table1" | "table2" | "table3" | "figure1" | "figure2" | "ablation"
-      | "casestudies" | "overhead" | "timings" -> targets := t :: !targets
+      | "table1" | "table2" | "table3" | "pool" | "figure1" | "figure2"
+      | "ablation" | "casestudies" | "overhead" | "timings" ->
+        targets := t :: !targets
       | other ->
         Printf.eprintf "unknown target %S\n" other;
         usage ());
@@ -527,6 +540,7 @@ let () =
     | "table1" -> table1 run roster
     | "table2" -> table2 ()
     | "table3" -> table3 run roster
+    | "pool" -> pool run roster
     | "figure1" -> figure1 ()
     | "figure2" -> figure2 ()
     | "ablation" -> ablation ()
@@ -538,8 +552,8 @@ let () =
   let targets =
     match List.rev !targets with
     | [] ->
-      [ "table1"; "table2"; "figure1"; "figure2"; "table3"; "ablation";
-        "casestudies"; "overhead"; "timings" ]
+      [ "table1"; "table2"; "figure1"; "figure2"; "table3"; "pool";
+        "ablation"; "casestudies"; "overhead"; "timings" ]
     | ts -> ts
   in
   List.iter dispatch targets;

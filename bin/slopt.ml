@@ -134,6 +134,15 @@ let fidelity_arg =
                  Program output, exit code and step counts are exact in \
                  every fidelity.")
 
+let pool_arg =
+  Arg.(value & flag
+       & info [ "pool" ]
+           ~doc:"Enable pooling plans: shape-proven recursive types \
+                 (single allocation site, unaliased link fields) are \
+                 rewritten to packed index-linked pools. Off by default; \
+                 pool decisions take precedence over split/peel/rebuild \
+                 for qualifying types.")
+
 let parse_cmd =
   let run file verify =
     let prog = or_die (load ~verify file) in
@@ -188,12 +197,12 @@ let profile_cmd =
     Term.(const run $ file_arg $ args_arg $ out_arg)
 
 let advise_cmd =
-  let run file profile scheme =
+  let run file profile scheme pool =
     let prog = or_die (load file) in
     let feedback = feedback_of profile in
     let scheme = if feedback <> None then W.PBO else scheme in
     let leg, aff = D.analyze prog ~scheme ~feedback in
-    let decisions = H.decide prog leg aff ~scheme in
+    let decisions = H.decide ~pool prog leg aff ~scheme in
     let dcache =
       Option.map
         (fun fb -> (Slo_profile.Matching.apply prog fb).instr_dcache)
@@ -205,18 +214,18 @@ let advise_cmd =
   Cmd.v
     (Cmd.info "advise"
        ~doc:"Print annotated type layouts (the paper's advisory tool)")
-    Term.(const run $ file_arg $ profile_arg $ scheme_arg)
+    Term.(const run $ file_arg $ profile_arg $ scheme_arg $ pool_arg)
 
 let transform_cmd =
   let dump_arg =
     Arg.(value & flag & info [ "dump-ir" ] ~doc:"Dump the transformed IR.")
   in
-  let run file profile scheme dump verify =
+  let run file profile scheme pool dump verify =
     let prog = or_die (load ~verify file) in
     let feedback = feedback_of profile in
     let scheme = if feedback <> None then W.PBO else scheme in
     let leg, aff = D.analyze prog ~scheme ~feedback in
-    let decisions = H.decide prog leg aff ~scheme in
+    let decisions = H.decide ~pool prog leg aff ~scheme in
     List.iter
       (fun (d : H.decision) ->
         Printf.printf "%-20s %s\n" d.d_typ
@@ -232,8 +241,8 @@ let transform_cmd =
   in
   Cmd.v
     (Cmd.info "transform" ~doc:"Decide and apply layout transformations")
-    Term.(const run $ file_arg $ profile_arg $ scheme_arg $ dump_arg
-          $ verify_arg)
+    Term.(const run $ file_arg $ profile_arg $ scheme_arg $ pool_arg
+          $ dump_arg $ verify_arg)
 
 let run_cmd =
   let run file args backend fidelity =
@@ -256,7 +265,7 @@ let jobs_arg =
                  before/after measurement runs execute in parallel.")
 
 let bench_cmd =
-  let run file args profile scheme verify jobs backend fidelity =
+  let run file args profile scheme pool verify jobs backend fidelity =
     if jobs < 1 then begin
       prerr_endline "ERROR: --jobs must be >= 1";
       exit 2
@@ -266,8 +275,8 @@ let bench_cmd =
     let scheme = if feedback <> None then W.PBO else scheme in
     let ev =
       checked (fun () ->
-          D.evaluate ~args ~verify ~jobs ~backend ~fidelity ~scheme ~feedback
-            prog)
+          D.evaluate ~args ~pool ~verify ~jobs ~backend ~fidelity ~scheme
+            ~feedback prog)
     in
     List.iter
       (fun (d : H.decision) ->
@@ -285,7 +294,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Measure original vs transformed program")
     Term.(const run $ file_arg $ args_arg $ profile_arg $ scheme_arg
-          $ verify_arg $ jobs_arg $ backend_arg $ fidelity_arg)
+          $ pool_arg $ verify_arg $ jobs_arg $ backend_arg $ fidelity_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tune: search the plan space with the cachesim as cost oracle        *)
@@ -708,12 +717,12 @@ let scheme_name_arg =
                  --args. Default ispbo.")
 
 let client_advise_cmd =
-  let run socket wait file name scheme args deadline =
+  let run socket wait file name scheme args pool deadline =
     let src, args = or_die (resolve_src file name args) in
     match
       with_conn socket wait (fun conn ->
           Cli.rpc conn
-            (Proto.Advise { src; scheme; args; deadline_ms = deadline }))
+            (Proto.Advise { src; scheme; args; pool; deadline_ms = deadline }))
     with
     | Proto.R_advise { a_report; a_cached } ->
       if a_cached then prerr_endline "(served from cache)";
@@ -725,7 +734,7 @@ let client_advise_cmd =
   Cmd.v
     (Cmd.info "advise" ~doc:"Request an annotated-layout report")
     Term.(const run $ socket_arg $ wait_arg $ src_file_arg $ name_arg
-          $ scheme_name_arg $ client_args_arg $ deadline_arg)
+          $ scheme_name_arg $ client_args_arg $ pool_arg $ deadline_arg)
 
 let client_bench_cmd =
   let backend_name_arg =

@@ -37,6 +37,8 @@ let rule_description = function
   | "SIZEOF" -> "sizeof of the type escapes into plain arithmetic"
   | "PTS" -> "points-to collapses the type: one exposed pointer reaches \
               multiple fields"
+  | "POOL" -> "a self-referential record qualifies for index-linked pooling"
+  | "NOPOOL" -> "a self-referential record fails a pooling precondition"
   | "DEADFIELD" -> "a field is written but never read"
   | "DEADSTORE" -> "a store is never observed on any path to exit"
   | r -> r
@@ -123,6 +125,94 @@ let check ?(relax = false) (prog : Ir.program) : diagnostic list =
           }
       end)
     (Legality.types leg);
+  (* recursive shape: every self-referential record gets a verdict — a
+     POOL note with the uniqueness witness when the link fields are
+     provably unaliased (cross-checked against points-to), a NOPOOL note
+     carrying the refuting construct otherwise. Neither invalidates:
+     pooling is opt-in advice, not a legality judgement. *)
+  let shp = Shape.analyze prog in
+  List.iter
+    (fun (v : Shape.verdict) ->
+      let s = v.Shape.v_typ in
+      let links = String.concat ", " v.v_link_names in
+      let site_fn, site_loc =
+        match v.v_alloc with
+        | Some a -> (Some a.Shape.sp_fn, Some a.sp_loc)
+        | None -> (None, None)
+      in
+      if v.v_poolable && not (Pointsto.collapsed pts s) then
+        emit
+          {
+            d_rule = "POOL";
+            d_severity = Note;
+            d_typ = s;
+            d_msg =
+              Printf.sprintf
+                "poolable recursive type: struct '%s' forms a linked \
+                 structure via %s; nodes come from this single allocation \
+                 site and interior pointers never alias or escape"
+                s links;
+            d_fn = site_fn;
+            d_loc = site_loc;
+            d_notes =
+              List.map
+                (fun n ->
+                  {
+                    n_msg =
+                      Printf.sprintf
+                        "link field '%s.%s' holds only pool-descended \
+                         pointers (or null)"
+                        s n;
+                    n_fn = site_fn;
+                    n_loc = site_loc;
+                  })
+                v.v_link_names;
+            d_invalidating = false;
+          }
+      else begin
+        let witnesses = v.Shape.v_witnesses in
+        let head = match witnesses with w :: _ -> Some w | [] -> None in
+        let msg, fn, loc =
+          match head with
+          | Some w ->
+            ( Printf.sprintf
+                "struct '%s' forms a linked structure via %s but is not \
+                 poolable: %s"
+                s links w.Shape.sw_explain,
+              w.sw_fn, w.sw_loc )
+          | None ->
+            (* shape-poolable, but points-to collapse contradicts the
+               uniqueness proof — report the conservative verdict *)
+            ( Printf.sprintf
+                "struct '%s' forms a linked structure via %s but is not \
+                 poolable: points-to collapses the type"
+                s links,
+              site_fn, site_loc )
+        in
+        emit
+          {
+            d_rule = "NOPOOL";
+            d_severity = Note;
+            d_typ = s;
+            d_msg = msg;
+            d_fn = fn;
+            d_loc = loc;
+            d_notes =
+              (match witnesses with
+              | [] | [ _ ] -> []
+              | _ :: rest ->
+                List.map
+                  (fun (w : Shape.witness) ->
+                    { n_msg =
+                        Printf.sprintf "[%s] %s"
+                          (Shape.reason_name w.sw_reason)
+                          w.sw_explain;
+                      n_fn = w.sw_fn; n_loc = w.sw_loc })
+                  rest);
+            d_invalidating = false;
+          }
+      end)
+    (Shape.verdicts shp);
   (* dead fields: every store is a witness, the first one is the anchor *)
   List.iter
     (fun (s, fi) ->

@@ -13,6 +13,11 @@
       collapse under relaxed counting) render as [error] and make
       [slopt check] exit non-zero;
     - advice (dead fields, dead stores) renders as [warning];
+    - shape verdicts on self-referential records ({!Shape}) render as
+      [note]: ["POOL"] when the record qualifies for index-linked
+      pooling (the uniqueness witness rides along as notes), ["NOPOOL"]
+      with the refuting construct otherwise — neither affects the exit
+      code;
     - context ("allocated here", provenance steps) rides along as notes
       on its parent diagnostic. *)
 
@@ -26,7 +31,8 @@ type note = {
 
 type diagnostic = {
   d_rule : string;       (** stable rule id: a legality reason name,
-                             ["PTS"], ["DEADFIELD"] or ["DEADSTORE"] *)
+                             ["PTS"], ["POOL"], ["NOPOOL"], ["DEADFIELD"]
+                             or ["DEADSTORE"] *)
   d_severity : severity;
   d_typ : string;        (** the record type concerned *)
   d_msg : string;

@@ -108,6 +108,7 @@ let transform_name (d : Heuristics.decision option) =
   | Some { d_plan = Some (Heuristics.Peel _); _ } -> "Peeling"
   | Some { d_plan = Some (Heuristics.Rebuild _); _ } -> "Dead field removal"
   | Some { d_plan = Some (Heuristics.Pad _); _ } -> "Padding"
+  | Some { d_plan = Some (Heuristics.Pool _); _ } -> "Pooling"
   | Some { d_plan = None; _ } | None -> "none"
 
 let report_type t buf (tr : type_report) =

@@ -36,6 +36,8 @@ let plan_to_string (p : Heuristics.plan) =
       (ints s.r_order) (ints s.r_dead)
   | Heuristics.Pad s ->
     Printf.sprintf "pad:%s:bytes=%d" s.Transform.pd_typ s.pd_bytes
+  | Heuristics.Pool s ->
+    Printf.sprintf "pool:%s:links=%s" s.Transform.po_typ (ints s.po_links)
 
 let ( let* ) = Result.bind
 
@@ -96,7 +98,13 @@ let plan_of_string str =
       Ok (Heuristics.Pad { Transform.pd_typ = typ; pd_bytes })
     | Some _ -> Error (Printf.sprintf "plan %S: bytes must be > 0" plan)
     | None -> Error (Printf.sprintf "plan %S: bytes is not an int" plan))
-  | kind :: _ when List.mem kind [ "split"; "peel"; "rebuild"; "pad" ] ->
+  | [ "pool"; typ; links ] -> (
+    let* links = fieldv ~plan "links" links in
+    let* po_links = int_list ~plan "links" links in
+    match po_links with
+    | [] -> Error (Printf.sprintf "plan %S: links must be non-empty" plan)
+    | _ -> Ok (Heuristics.Pool { Transform.po_typ = typ; po_links }))
+  | kind :: _ when List.mem kind [ "split"; "peel"; "rebuild"; "pad"; "pool" ] ->
     Error (Printf.sprintf "plan %S: wrong field count for %S" plan kind)
   | kind :: _ -> Error (Printf.sprintf "plan %S: unknown kind %S" plan kind)
   | [] -> Error "empty plan string"

@@ -21,7 +21,8 @@
     {[ split:node:hot=2,0:cold=1,3:dead=4
        peel:node:live=0,1:dead=:globals=arr,head
        rebuild:node:order=1,0:dead=2
-       pad:node__hot:bytes=8 ]}
+       pad:node__hot:bytes=8
+       pool:node:links=2,3,4,5 ]}
 
     Struct and global names are C identifiers, so the separators are
     unambiguous. The encoding is canonical: the autotuner's determinism

@@ -154,13 +154,13 @@ let timed f =
   let r = f () in
   (r, Slo_util.Clock.elapsed_ms ~since:t0)
 
-let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold
+let evaluate ?(args = []) ?(config = Hierarchy.itanium) ?threshold ?pool
     ?(verify = false) ?(jobs = 1) ?(backend = Backend.default)
     ?(fidelity = Sampled.Exact) ~scheme ~feedback (prog : Ir.program) :
     evaluation =
   let (leg, aff), t_an = timed (fun () -> analyze prog ~scheme ~feedback) in
   let decisions, t_dec =
-    timed (fun () -> Heuristics.decide ?threshold prog leg aff ~scheme)
+    timed (fun () -> Heuristics.decide ?threshold ?pool prog leg aff ~scheme)
   in
   let plans = Heuristics.plans decisions in
   let transformed, t_tr =

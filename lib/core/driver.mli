@@ -85,6 +85,7 @@ val evaluate :
   ?args:int list ->
   ?config:Slo_cachesim.Hierarchy.config ->
   ?threshold:float ->
+  ?pool:bool ->
   ?verify:bool ->
   ?jobs:int ->
   ?backend:Slo_vm.Backend.t ->
@@ -93,7 +94,9 @@ val evaluate :
   feedback:Slo_profile.Feedback.t option ->
   Ir.program ->
   evaluation
-(** Full pipeline on an already-compiled program. With [~jobs] > 1
+(** Full pipeline on an already-compiled program. [~pool] (default
+    false) forwards to {!Heuristics.decide}: shape-proven recursive
+    types are planned as index-linked pools. With [~jobs] > 1
     (default 1) the before/after measurement runs execute on two worker
     domains in parallel; [backend] selects the VM engine used for both
     measurement runs (default the closure-compiled one) and [fidelity]

@@ -5,6 +5,7 @@ type plan =
   | Peel of Transform.peel_spec
   | Rebuild of Transform.rebuild_spec
   | Pad of Transform.pad_spec
+  | Pool of Transform.pool_spec
 
 type decision = {
   d_typ : string;
@@ -58,12 +59,15 @@ let dead_fields (prog : Ir.program) (info : Legality.info)
         && not (List.mem fi info.attrs.addr_passed_fields))
       (List.init (Array.length decl.fields) Fun.id)
 
-let decide ?threshold (prog : Ir.program) (leg : Legality.t) (aff : Affinity.t)
-    ~scheme : decision list =
+let decide ?threshold ?(pool = false) (prog : Ir.program) (leg : Legality.t)
+    (aff : Affinity.t) ~scheme : decision list =
   let threshold =
     match threshold with Some t -> t | None -> threshold_for scheme
   in
   let static_reads = statically_read prog in
+  (* opt-in: pooling rides behind a flag so the default decisions (and
+     the golden tests / perf baselines pinned to them) are untouched *)
+  let shape = lazy (Shape.analyze prog) in
   let decide_one typ : decision =
     let notes = ref [] in
     let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
@@ -77,6 +81,23 @@ let decide ?threshold (prog : Ir.program) (leg : Legality.t) (aff : Affinity.t)
     end
     else begin
       let a = info.attrs in
+      let pool_verdict =
+        if not pool then None
+        else
+          match Shape.verdict (Lazy.force shape) typ with
+          | Some v when v.Shape.v_poolable -> Some v
+          | Some _ | None -> None
+      in
+      match pool_verdict with
+      | Some v ->
+        note "poolable recursive type: %d link field(s) (%s), single \
+              allocation site"
+          (List.length v.Shape.v_links)
+          (String.concat "," v.Shape.v_link_names);
+        finish
+          (Some
+             (Pool { Transform.po_typ = typ; po_links = v.Shape.v_links }))
+      | None ->
       if not a.dyn_alloc then begin
         note "not dynamically allocated";
         finish None
@@ -171,7 +192,8 @@ let apply prog plans =
       | Split s -> Transform.split prog s
       | Peel s -> Transform.peel prog s
       | Rebuild s -> Transform.rebuild prog s
-      | Pad s -> Transform.pad prog s)
+      | Pad s -> Transform.pad prog s
+      | Pool s -> Transform.pool prog s)
     plans
 
 let plan_summary = function
@@ -185,3 +207,6 @@ let plan_summary = function
     Printf.sprintf "rebuild %s: %d fields, %d dead removed" s.r_typ
       (List.length s.r_order) (List.length s.r_dead)
   | Pad s -> Printf.sprintf "pad %s: +%d bytes" s.pd_typ s.pd_bytes
+  | Pool s ->
+    Printf.sprintf "pool %s: %d link field(s) factored to parallel arrays"
+      s.po_typ (List.length s.po_links)

@@ -28,6 +28,10 @@ type plan =
   | Pad of Transform.pad_spec
       (** trailing padding — never chosen by {!decide}; part of the
           autotuner's candidate space ([Slo_tune.Tune]) *)
+  | Pool of Transform.pool_spec
+      (** index-linked pool for a recursive (self-referential) type —
+          chosen by {!decide} only under [~pool:true], for types
+          {!Shape.analyze} proves poolable *)
 
 type decision = {
   d_typ : string;
@@ -59,13 +63,19 @@ val dead_fields :
 
 val decide :
   ?threshold:float ->
+  ?pool:bool ->
   Ir.program ->
   Legality.t ->
   Affinity.t ->
   scheme:Slo_profile.Weights.scheme ->
   decision list
 (** One decision per struct type, sorted by type name. The default
-    threshold comes from {!threshold_for}. *)
+    threshold comes from {!threshold_for}. [~pool] (default [false])
+    additionally runs {!Shape.analyze} and plans an index-linked pool
+    for every strictly legal type it proves poolable — taking precedence
+    over split/peel/rebuild for that type. It is opt-in so the paper's
+    default decisions (and the golden tests pinned to them) never
+    change. *)
 
 val plans : decision list -> plan list
 val apply : Ir.program -> plan list -> unit

@@ -15,6 +15,8 @@ type peel_spec = {
 type rebuild_spec = { r_typ : string; r_order : int list; r_dead : int list }
 type pad_spec = { pd_typ : string; pd_bytes : int }
 
+type pool_spec = { po_typ : string; po_links : int list }
+
 let link_field_name = "__link"
 let pad_field_name = "__pad"
 let hot_name s = s ^ "__hot"
@@ -35,11 +37,9 @@ let rec subst_ty ~from_ ~to_ (t : Irty.t) : Irty.t =
   | Irty.Long | Irty.Float | Irty.Double | Irty.Funptr ->
     t
 
-(* rename [Struct from_] to [Struct to_] in every type annotation of the
-   program: globals, locals, params, returns, other structs' fields, and
-   instruction type fields *)
-let rename_type (prog : Ir.program) ~from_ ~to_ =
-  let s = subst_ty ~from_ ~to_ in
+(* apply [s] to every type annotation of the program: globals, locals,
+   params, returns, other structs' fields, and instruction type fields *)
+let map_types (prog : Ir.program) (s : Irty.t -> Irty.t) =
   prog.globals <-
     List.map (fun (n, t, init) -> (n, s t, init)) prog.globals;
   Structs.iter
@@ -88,6 +88,9 @@ let rename_type (prog : Ir.program) ~from_ ~to_ =
           Ir.fparams = List.map (fun (n, t) -> (n, s t)) f.fparams;
           fret = s f.fret })
       prog.funcs
+
+let rename_type (prog : Ir.program) ~from_ ~to_ =
+  map_types prog (subst_ty ~from_ ~to_)
 
 (* an action-based per-block instruction rewriter *)
 type action = Keep | Drop | Replace of Ir.instr list
@@ -693,4 +696,178 @@ let peel (prog : Ir.program) (spec : peel_spec) =
      once the struct is removed; retarget them to the first piece, whose
      layout stands in for "a pointer to the peeled object" *)
   rename_type prog ~from_:s ~to_:first_piece;
+  Structs.remove prog.structs s
+
+(* ------------------------------------------------------------------ *)
+(* Index-linked pooling (SoCal-style SoA factorization)                *)
+(* ------------------------------------------------------------------ *)
+
+let pool_struct_name s = s ^ "__pool"
+let pool_anchor_name target = "__pool_" ^ target
+
+(* [Ptr (Struct typ)] becomes a plain element index. Long and pointers
+   are both 8 bytes in the VM, so retyping changes no enclosing layout
+   (e.g. arc.tail/head cells keep their offsets). *)
+let rec subst_ptr_ty ~typ (t : Irty.t) : Irty.t =
+  match t with
+  | Irty.Ptr (Irty.Struct x) when String.equal x typ -> Irty.Long
+  | Irty.Ptr u -> Irty.Ptr (subst_ptr_ty ~typ u)
+  | Irty.Array (u, n) -> Irty.Array (subst_ptr_ty ~typ u, n)
+  | Irty.Struct _ | Irty.Void | Irty.Char | Irty.Short | Irty.Int
+  | Irty.Long | Irty.Float | Irty.Double | Irty.Funptr ->
+    t
+
+(* Rewrite the (single, Shape-proven) allocation site of [po_typ] into a
+   packed pool: the non-link fields stay together in [S__pool] and every
+   link field gets its own parallel array ([S__next], ...), all sized by
+   the original element count and anchored in fresh globals. Every
+   [struct S *] value in the program then becomes the element index —
+   the allocation result is index 0, [ptradd] degenerates to integer
+   addition, and a field access indexes the right parallel array through
+   its anchor. Field names are preserved in the factored structs, so the
+   oracle's per-field access conservation (keyed by name) keeps holding.
+
+   Preconditions (checked, but normally guaranteed by [Shape.analyze]):
+   the type exists, the link fields are self links, and the program has
+   exactly one allocation site of the type. Everything subtler — no
+   null/index-0 confusion, no interior escape, no foreign pointers — is
+   Shape's province, and the differential oracle re-proves each rewrite
+   dynamically. *)
+let pool (prog : Ir.program) (spec : pool_spec) =
+  let s = spec.po_typ in
+  let decl =
+    match Structs.find_opt prog.structs s with
+    | Some d -> d
+    | None -> invalid_arg ("Transform.pool: unknown struct " ^ s)
+  in
+  let nfields = Array.length decl.fields in
+  if spec.po_links = [] then
+    invalid_arg ("Transform.pool: no link fields for " ^ s);
+  let links = List.sort_uniq compare spec.po_links in
+  List.iter
+    (fun fi ->
+      if fi < 0 || fi >= nfields then
+        invalid_arg
+          (Printf.sprintf "Transform.pool: link index %d out of range for %s"
+             fi s);
+      let fl = decl.fields.(fi) in
+      if not (Irty.equal fl.ty (Irty.Ptr (Irty.Struct s))) then
+        invalid_arg
+          (Printf.sprintf "Transform.pool: field %s.%s has type %s, not a \
+                           self link" s fl.name (Irty.to_string fl.ty)))
+    links;
+  let data =
+    List.filter (fun fi -> not (List.mem fi links)) (List.init nfields Fun.id)
+  in
+  let ps = pool_struct_name s in
+  (* old field index -> (target struct, new field index) *)
+  let place = Array.make nfields ("", 0) in
+  List.iteri (fun ni oi -> place.(oi) <- (ps, ni)) data;
+  List.iter
+    (fun oi -> place.(oi) <- (piece_name s decl.fields.(oi).Structs.name, 0))
+    links;
+  let targets =
+    (if data = [] then [] else [ ps ])
+    @ List.map (fun oi -> fst place.(oi)) links
+  in
+  (* exactly one allocation site (Shape's MULTI/NOALLOC conditions) *)
+  let n_sites =
+    List.fold_left
+      (fun acc (f : Ir.func) ->
+        List.fold_left
+          (fun acc (b : Ir.block) ->
+            List.fold_left
+              (fun acc (i : Ir.instr) ->
+                match i.idesc with
+                | Ir.Ialloc (_, _, _, Irty.Struct s') when String.equal s' s ->
+                  acc + 1
+                | _ -> acc)
+              acc b.instrs)
+          acc f.fblocks)
+      0 prog.funcs
+  in
+  if n_sites <> 1 then
+    invalid_arg
+      (Printf.sprintf "Transform.pool: %s has %d allocation sites (need \
+                       exactly 1)" s n_sites);
+  (* factored struct definitions and their anchor globals *)
+  if data <> [] then
+    Structs.define prog.structs ps (List.map (fun fi -> decl.fields.(fi)) data);
+  List.iter
+    (fun fi -> Structs.define prog.structs (fst place.(fi)) [ decl.fields.(fi) ])
+    links;
+  prog.globals <-
+    prog.globals
+    @ List.map
+        (fun t -> (pool_anchor_name t, Irty.Ptr (Irty.Struct t), None))
+        targets;
+  let retag (acc : Ir.access option) : Ir.access option =
+    match acc with
+    | Some a when String.equal a.astruct s ->
+      let target, ni = place.(a.afield) in
+      Some { Ir.astruct = target; afield = ni }
+    | Some _ | None -> acc
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      rewrite_instrs f (fun i ->
+          let loc = i.iloc in
+          match i.idesc with
+          | Ir.Ialloc (r, kind, count, Irty.Struct s') when String.equal s' s
+            ->
+            let kind =
+              match kind with
+              | Ir.Arealloc _ ->
+                invalid_arg "Transform.pool: realloc'd allocation site"
+              | Ir.Amalloc | Ir.Acalloc -> kind
+            in
+            Replace
+              (List.concat_map
+                 (fun t ->
+                   let rp = Ir.fresh_reg f and ga = Ir.fresh_reg f in
+                   [
+                     mk_instr prog loc (Ir.Ialloc (rp, kind, count,
+                                                   Irty.Struct t));
+                     mk_instr prog loc (Ir.Iaddrglob (ga, pool_anchor_name t));
+                     mk_instr prog loc
+                       (Ir.Istore (Ir.Oreg ga, Ir.Oreg rp,
+                                   Irty.Ptr (Irty.Struct t), None));
+                   ])
+                 targets
+              @ [ mk_instr prog loc (Ir.Imov (r, Ir.Oimm 0L)) ])
+          | Ir.Ifieldaddr (r, base, s', fi) when String.equal s' s ->
+            let target, ni = place.(fi) in
+            let ga = Ir.fresh_reg f and bp = Ir.fresh_reg f in
+            let ep = Ir.fresh_reg f in
+            Replace
+              [
+                mk_instr prog loc (Ir.Iaddrglob (ga, pool_anchor_name target));
+                mk_instr prog loc
+                  (Ir.Iload (bp, Ir.Oreg ga, Irty.Ptr (Irty.Struct target),
+                             None));
+                mk_instr prog loc
+                  (Ir.Iptradd (ep, Ir.Oreg bp, base, Irty.Struct target));
+                mk_instr prog loc (Ir.Ifieldaddr (r, Ir.Oreg ep, target, ni));
+              ]
+          | Ir.Iptradd (r, base, idx, Irty.Struct s') when String.equal s' s ->
+            (* index arithmetic: dst = base + idx (elements, not bytes) *)
+            Replace [ mk_instr prog loc (Ir.Ibin (r, Ir.Add, Irty.Long, base,
+                                                  idx)) ]
+          | Ir.Istore (a, v, ty, acc) ->
+            i.idesc <- Ir.Istore (a, v, ty, retag acc);
+            Keep
+          | Ir.Iload (r, a, ty, acc) ->
+            i.idesc <- Ir.Iload (r, a, ty, retag acc);
+            Keep
+          | Ir.Imov _ | Ir.Ibin _ | Ir.Iun _ | Ir.Icast _ | Ir.Iaddrglob _
+          | Ir.Iaddrlocal _ | Ir.Iaddrstr _ | Ir.Iaddrfunc _
+          | Ir.Ifieldaddr _ | Ir.Iptradd _ | Ir.Icall _ | Ir.Ialloc _
+          | Ir.Ifree _ | Ir.Imemset _ | Ir.Imemcpy _ ->
+            Keep);
+      ignore (Dce.cleanup f))
+    prog.funcs;
+  (* every [struct s *] annotation (globals, locals, params, returns,
+     other structs' link cells, remaining instruction types) becomes a
+     plain index *)
+  map_types prog (subst_ptr_ty ~typ:s);
   Structs.remove prog.structs s

@@ -46,6 +46,11 @@ type pad_spec = {
   pd_bytes : int;  (** trailing pad bytes, > 0 *)
 }
 
+type pool_spec = {
+  po_typ : string;
+  po_links : int list;  (** self-link field indices to factor out *)
+}
+
 val link_field_name : string
 (** ["__link"] *)
 
@@ -70,6 +75,30 @@ val pad : Ir.program -> pad_spec -> unit
     an already-padded struct replaces the previous pad field rather than
     stacking a second one. Raises [Invalid_argument] for [pd_bytes <= 0]
     or an unknown struct. *)
+
+val pool_struct_name : string -> string
+(** [s ^ "__pool"] — the factored non-link ("data") struct. *)
+
+val pool_anchor_name : string -> string
+(** ["__pool_" ^ target] — the global anchoring a pool piece's base. *)
+
+val pool : Ir.program -> pool_spec -> unit
+(** Rewrite the type's single allocation site into a packed, index-linked
+    pool (SoCal-style structure-of-arrays factorization of the link
+    fields): the data fields stay together in {!pool_struct_name}, each
+    link field becomes its own parallel single-field struct
+    ({!piece_name}), all allocated with the original element count and
+    anchored in fresh [__pool_*] globals. Every [struct S *] value in the
+    program is retyped to a plain element index ([long] — same size, so
+    enclosing layouts are unchanged): the allocation result becomes index
+    0, struct-pointer [ptradd] becomes integer addition, and each field
+    access indexes the matching parallel array through its anchor. Field
+    names are preserved so the oracle's per-field access conservation
+    keeps holding. Raises [Invalid_argument] unless the spec names an
+    existing struct, the link indices are self links, and the program has
+    exactly one allocation site of the type; the deeper uniqueness
+    conditions are {!Shape.analyze}'s job, and every rewrite is expected
+    to be re-proven by the differential oracle. *)
 
 val peel_feasible : Ir.program -> typ:string -> globals:string list -> bool
 (** Structural feasibility of peeling: every access to the type must be a

@@ -32,6 +32,7 @@ type request =
       src : string;
       scheme : string option;
       args : int list;
+      pool : bool;
       deadline_ms : float option;
     }
   | Bench of {
@@ -191,11 +192,14 @@ let with_id ?id j =
   | _ -> j
 
 let json_of_request_body = function
-  | Advise { src; scheme; args; deadline_ms } ->
+  | Advise { src; scheme; args; pool; deadline_ms } ->
+    (* [pool] is emitted only when set, so pre-pool clients and daemons
+       exchange byte-identical frames *)
     Json.Obj
       ([ ("kind", Json.String "advise"); ("src", Json.String src) ]
       @ opt_field "scheme" (fun s -> Json.String s) scheme
       @ list_field "args" (fun i -> Json.Int i) args
+      @ (if pool then [ ("pool", Json.Bool true) ] else [])
       @ opt_field "deadline_ms" (fun f -> Json.Float f) deadline_ms)
   | Bench { src; scheme; backend; args; deadline_ms } ->
     Json.Obj
@@ -264,7 +268,13 @@ let request_of_json j =
         let* args = get_int_list j "args" in
         let* deadline_ms = get_number j "deadline_ms" in
         if k = Some "advise" then
-          Ok (Advise { src; scheme; args; deadline_ms })
+          let* pool =
+            match Json.member "pool" j with
+            | Some (Json.Bool b) -> Ok b
+            | Some _ -> Error "field \"pool\" must be a bool"
+            | None -> Ok false
+          in
+          Ok (Advise { src; scheme; args; pool; deadline_ms })
         else
           let* backend = get_string j "backend" in
           Ok (Bench { src; scheme; backend; args; deadline_ms }))

@@ -64,6 +64,11 @@ type request =
       src : string;
       scheme : string option;       (** default ["ispbo"] *)
       args : int list;              (** profile-collection args for PBO *)
+      pool : bool;                  (** plan index-linked pools for
+                                        shape-proven recursive types
+                                        (default false; the field is
+                                        omitted from the wire frame when
+                                        unset, so old peers interoperate) *)
       deadline_ms : float option;
     }
   | Bench of {

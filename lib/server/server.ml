@@ -150,7 +150,7 @@ let compute t ~kind ~digest ~src ~scheme ~backend ~args =
         c_invalidating = Slo_advice.Advice.invalidating_count diags;
         c_cached = false;
       }
-  | (`Advise | `Bench | `Tune _) as kind -> (
+  | (`Advise _ | `Bench | `Tune _) as kind -> (
   let feedback =
     if W.needs_profile scheme then
       Some (fst (Slo_profile.Collect.collect ~args prog))
@@ -182,9 +182,9 @@ let compute t ~kind ~digest ~src ~scheme ~backend ~args =
         t_complete = r.t_complete;
         t_cached = false;
       }
-  | `Advise ->
+  | `Advise pool ->
     let leg, aff = D.analyze prog ~scheme ~feedback in
-    let decisions = H.decide prog leg aff ~scheme in
+    let decisions = H.decide ~pool prog leg aff ~scheme in
     let dcache =
       Option.map
         (fun fb ->
@@ -335,7 +335,8 @@ let serve_compute t ~kind ~src ~scheme ~backend ~args ~deadline_ms =
       let key =
         Printf.sprintf "res:%s:%s:%s:%s:%s" digest
           (match kind with
-          | `Advise -> "advise"
+          | `Advise false -> "advise"
+          | `Advise true -> "advise-pool"
           | `Bench -> "bench"
           | `Check false -> "check"
           | `Check true -> "check-relax"
@@ -611,8 +612,8 @@ let handle_frame t conn ~t0 ~fast payload =
       | P.Advise _ | P.Bench _ | P.Check _ | P.Tune _ -> (
         let kind, src, scheme, backend, args, deadline_ms =
           match req with
-          | P.Advise { src; scheme; args; deadline_ms } ->
-            (`Advise, src, scheme, None, args, deadline_ms)
+          | P.Advise { src; scheme; args; pool; deadline_ms } ->
+            (`Advise pool, src, scheme, None, args, deadline_ms)
           | P.Bench { src; scheme; backend; args; deadline_ms } ->
             (`Bench, src, scheme, backend, args, deadline_ms)
           | P.Check { src; relax; deadline_ms } ->

@@ -415,6 +415,70 @@ let advisor_reasons_match_check () =
   Alcotest.(check bool) "ATKN witness line in report" true
     (Astring.String.is_infix ~affix:"invalid: ATKN at 14:" report)
 
+(* ------------------------------------------------------------------ *)
+(* The shipped pool demo, diagnostics pinned exactly                    *)
+(* ------------------------------------------------------------------ *)
+
+(* `dune runtest` runs from the test directory, `dune exec` from the
+   project root: accept the example path relative to either *)
+let read_example name =
+  let path =
+    if Sys.file_exists name then name else Filename.concat ".." name
+  in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* examples/pool_demo.mc is a dune dep of this test: the positive half
+   (struct item, a single-malloc ring) must earn a POOL note anchored
+   at the allocation, and the negative half (struct entry, whose link
+   cell address escapes into the global `hook`) must earn a NOPOOL
+   note anchored at the aliasing store. Line numbers are pinned to the
+   shipped file so the demo and its documentation cannot drift. *)
+let pool_demo_diagnostics () =
+  let src = read_example "examples/pool_demo.mc" in
+  let diags = A.check (lower src) in
+  let pool = find_diag diags "POOL" "item" in
+  Alcotest.(check int) "POOL anchored at the malloc" 32 (line_of pool);
+  Alcotest.(check bool) "POOL is a note" true (pool.d_severity = A.Note);
+  Alcotest.(check bool) "POOL is advisory" false pool.d_invalidating;
+  Alcotest.(check bool) "POOL names the link field" true
+    (Astring.String.is_infix ~affix:"linked structure via next" pool.d_msg);
+  Alcotest.(check bool) "POOL claims a single allocation site" true
+    (Astring.String.is_infix ~affix:"single allocation site" pool.d_msg);
+  (match pool.d_notes with
+  | [ n ] ->
+    Alcotest.(check bool) "uniqueness witness on the link field" true
+      (Astring.String.is_infix ~affix:"link field 'item.next'" n.n_msg)
+  | l -> Alcotest.failf "expected 1 POOL note, got %d" (List.length l));
+  let nopool = find_diag diags "NOPOOL" "entry" in
+  Alcotest.(check int) "NOPOOL anchored at the aliasing store" 60
+    (line_of nopool);
+  Alcotest.(check bool) "NOPOOL is a note" true (nopool.d_severity = A.Note);
+  Alcotest.(check bool) "NOPOOL is advisory" false nopool.d_invalidating;
+  Alcotest.(check bool) "NOPOOL carries the interior-alias witness" true
+    (Astring.String.is_infix
+       ~affix:"interior pointer into entry stored to memory" nopool.d_msg);
+  (* `&entries[2].next` also trips the legality checker on the same line *)
+  let atkn = find_diag diags "ATKN" "entry" in
+  Alcotest.(check int) "ATKN on the &-expression" 60 (line_of atkn);
+  Alcotest.(check bool) "ATKN invalidates" true atkn.d_invalidating;
+  Alcotest.(check int) "the alias is the only invalidating finding" 1
+    (A.invalidating_count diags);
+  (* the ring with the clean shape never earns a NOPOOL, and the
+     aliased one never earns a POOL *)
+  Alcotest.(check bool) "no NOPOOL for item" true
+    (not
+       (List.exists
+          (fun (d : A.diagnostic) -> d.d_rule = "NOPOOL" && d.d_typ = "item")
+          diags));
+  Alcotest.(check bool) "no POOL for entry" true
+    (not
+       (List.exists
+          (fun (d : A.diagnostic) -> d.d_rule = "POOL" && d.d_typ = "entry")
+          diags))
+
 let () =
   Alcotest.run "advice"
     [
@@ -425,6 +489,7 @@ let () =
           Alcotest.test_case "caret rendering" `Quick render_has_carets;
           Alcotest.test_case "advisor agreement" `Quick
             advisor_reasons_match_check;
+          Alcotest.test_case "pool demo pinned" `Quick pool_demo_diagnostics;
         ] );
       ("sarif", [ Alcotest.test_case "2.1.0 shape" `Quick sarif_shape ]);
       ( "locations",

@@ -689,6 +689,8 @@ let codec_plans () =
       H.Peel { T.p_typ = "arc"; p_live = [ 3 ]; p_dead = [ 0 ]; p_globals = [] };
       H.Rebuild { T.r_typ = "cell"; r_order = [ 1; 0 ]; r_dead = [ 2 ] };
       H.Pad { T.pd_typ = "cell__hot"; pd_bytes = 8 };
+      H.Pool { T.po_typ = "node"; po_links = [ 2; 3; 4; 5 ] };
+      H.Pool { T.po_typ = "lnode"; po_links = [ 1 ] };
     ]
   in
   List.iter
@@ -707,6 +709,11 @@ let codec_plans () =
     Alcotest.(check (list int)) "hot order kept" [ 2; 0 ] sp.T.s_hot
   | Ok _ -> Alcotest.fail "parsed as the wrong kind"
   | Error e -> Alcotest.fail e);
+  (match C.plan_of_string "pool:node:links=2,3,4,5" with
+  | Ok (H.Pool sp) ->
+    Alcotest.(check (list int)) "links kept" [ 2; 3; 4; 5 ] sp.T.po_links
+  | Ok _ -> Alcotest.fail "parsed as the wrong kind"
+  | Error e -> Alcotest.fail e);
   (* malformed inputs are errors, not crashes *)
   List.iter
     (fun bad ->
@@ -720,6 +727,10 @@ let codec_plans () =
       "split:node:hot=x:cold=:dead="; (* non-numeric index *)
       "pad:node:bytes=";              (* empty int *)
       "split:node:hot=0:cold=1:dead=:extra=2"; (* trailing garbage *)
+      "pool:node";                    (* missing links field *)
+      "pool:node:links=";             (* a pool needs at least one link *)
+      "pool:node:links=1,x";          (* non-numeric link index *)
+      "pool:node:links=1:extra=2";    (* trailing garbage *)
     ]
 
 let () =

@@ -232,6 +232,134 @@ let prop_backends_agree =
       && backends_agree_or_report transformed)
 
 (* ------------------------------------------------------------------ *)
+(* Linked-structure specs: programs over a self-referential struct      *)
+(* built as a malloc'd ring of link fields, traversed pointer-chasing   *)
+(* style. Clean instances must be shape-poolable and survive the pool   *)
+(* rewrite under the oracle; aliased instances must be refuted.         *)
+(* ------------------------------------------------------------------ *)
+
+type link_spec = {
+  lk_ndata : int;    (* data fields d0 .. d{n-1}, all long *)
+  lk_nlinks : int;   (* link fields next0 .. next{k-1} *)
+  lk_nelems : int;   (* ring size *)
+  lk_walks : (int * int * int) list;
+      (* per walk: link followed, data field read, steps *)
+  lk_alias : bool;   (* stash &items[2].next0 in a global: not poolable *)
+}
+
+let render_link sp : string =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "struct lnode {\n";
+  for i = 0 to sp.lk_ndata - 1 do
+    pf "  long d%d;\n" i
+  done;
+  for j = 0 to sp.lk_nlinks - 1 do
+    pf "  struct lnode *next%d;\n" j
+  done;
+  pf "};\n";
+  pf "struct lnode *items;\n";
+  if sp.lk_alias then pf "struct lnode **hook;\n";
+  pf "long acc;\n";
+  pf "int main() {\n  long i; long r;\n  struct lnode *p;\n";
+  pf "  items = (struct lnode*)malloc(%d * sizeof(struct lnode));\n"
+    sp.lk_nelems;
+  pf "  for (i = 0; i < %d; i++) {\n" sp.lk_nelems;
+  for i = 0 to sp.lk_ndata - 1 do
+    pf "    items[i].d%d = i * %d + %d;\n" i (i + 2) (i + 1)
+  done;
+  for j = 0 to sp.lk_nlinks - 1 do
+    pf "    items[i].next%d = items + ((i + %d) %% %d);\n" j (j + 1)
+      sp.lk_nelems
+  done;
+  pf "  }\n";
+  if sp.lk_alias then
+    pf "  hook = &items[%d].next0;\n" (min 2 (sp.lk_nelems - 1));
+  List.iter
+    (fun (link, field, steps) ->
+      let link = link mod sp.lk_nlinks and field = field mod sp.lk_ndata in
+      pf "  p = items;\n";
+      pf "  for (r = 0; r < %d; r++) {\n" steps;
+      pf "    acc = acc + p->d%d;\n" field;
+      if (link + field) mod 2 = 0 then
+        pf "    p->d%d = p->d%d + 1;\n" field field;
+      pf "    p = p->next%d;\n" link;
+      pf "  }\n")
+    sp.lk_walks;
+  pf "  printf(\"%%ld\\n\", acc);\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let gen_link_spec ~alias : link_spec QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun lk_ndata ->
+  int_range 1 3 >>= fun lk_nlinks ->
+  int_range 3 40 >>= fun lk_nelems ->
+  int_range 1 4 >>= fun nwalks ->
+  list_repeat nwalks
+    (triple (int_range 0 2) (int_range 0 3) (int_range 1 120))
+  >>= fun lk_walks ->
+  return { lk_ndata; lk_nlinks; lk_nelems; lk_walks; lk_alias = alias }
+
+(* shrink toward the smallest failing linked program: fewer walks, then
+   a smaller ring, fewer data and link fields, smaller walk triples *)
+let shrink_link_spec sp yield =
+  QCheck.Shrink.list_spine sp.lk_walks (fun w ->
+      if w <> [] then yield { sp with lk_walks = w });
+  QCheck.Shrink.int sp.lk_nelems (fun n ->
+      if n >= 3 then yield { sp with lk_nelems = n });
+  QCheck.Shrink.int sp.lk_ndata (fun n ->
+      if n >= 1 then yield { sp with lk_ndata = n });
+  QCheck.Shrink.int sp.lk_nlinks (fun n ->
+      if n >= 1 then yield { sp with lk_nlinks = n });
+  QCheck.Shrink.list_elems
+    (QCheck.Shrink.triple QCheck.Shrink.int QCheck.Shrink.int
+       QCheck.Shrink.int)
+    sp.lk_walks
+    (fun w ->
+      if List.for_all (fun (_, _, s) -> s >= 1) w then
+        yield { sp with lk_walks = w })
+
+let arbitrary_link_spec ~alias =
+  QCheck.make (gen_link_spec ~alias) ~print:render_link
+    ~shrink:shrink_link_spec
+
+(* a clean linked ring is provably poolable, and the rewrite is sound *)
+let prop_random_pool =
+  QCheck.Test.make ~count:(iters 40)
+    ~name:"random linked ring pools and preserves behaviour"
+    (arbitrary_link_spec ~alias:false)
+    (fun sp ->
+      let src = render_link sp in
+      let compiled = D.compile src in
+      let shp = Shape.analyze compiled in
+      match Shape.verdict shp "lnode" with
+      | Some v when v.Shape.v_poolable ->
+        oracle_holds src
+          [ H.Pool { T.po_typ = "lnode"; po_links = v.Shape.v_links } ]
+      | Some v ->
+        QCheck.Test.fail_reportf
+          "clean linked ring judged not poolable: %s"
+          (match v.Shape.v_witnesses with
+          | w :: _ -> Shape.reason_name w.Shape.sw_reason ^ ": "
+                      ^ w.sw_explain
+          | [] -> "no witness")
+      | None -> QCheck.Test.fail_reportf "lnode has no shape verdict")
+
+(* the aliased twin must be refuted — a pool rewrite behind a live
+   interior alias would be unsound *)
+let prop_alias_refutes_pool =
+  QCheck.Test.make ~count:(iters 40)
+    ~name:"aliased link cell refutes pooling"
+    (arbitrary_link_spec ~alias:true)
+    (fun sp ->
+      let compiled = D.compile (render_link sp) in
+      let shp = Shape.analyze compiled in
+      match Shape.verdict shp "lnode" with
+      | Some v ->
+        (not v.Shape.v_poolable) && v.Shape.v_witnesses <> []
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Mutation canaries: a deliberately injected transform bug must be     *)
 (* caught by the oracle                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -340,6 +468,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_random_rebuild;
           QCheck_alcotest.to_alcotest prop_driver_end_to_end;
           QCheck_alcotest.to_alcotest prop_backends_agree;
+        ] );
+      ( "linked structures",
+        [
+          QCheck_alcotest.to_alcotest prop_random_pool;
+          QCheck_alcotest.to_alcotest prop_alias_refutes_pool;
         ] );
       ( "mutation canaries",
         [

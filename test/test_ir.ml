@@ -425,6 +425,169 @@ let copy_is_deep () =
   Alcotest.(check int) "copy changed" 9
     (Slo_vm.Interp.run_program copy).exit_code
 
+(* ------------------------- shape ------------------------- *)
+
+(* a clean linked ring over one malloc: the poolable baseline the
+   negative variants below each break in exactly one way *)
+let ring_decls =
+  "struct n { long v; struct n *next; };\n\
+   struct n *items;\n\
+   long acc;\n"
+
+let ring_build =
+  "  items = (struct n*)malloc(10 * sizeof(struct n));\n\
+  \  for (i = 0; i < 10; i++) {\n\
+  \    items[i].v = i;\n\
+  \    items[i].next = items + ((i + 1) % 10);\n\
+  \  }\n"
+
+let ring_walk =
+  "  p = items;\n\
+  \  for (i = 0; i < 10; i++) { acc = acc + p->v; p = p->next; }\n\
+  \  printf(\"%ld\\n\", acc);\n\
+  \  return 0;\n"
+
+let ring_src =
+  ring_decls ^ "int main() {\n  long i; struct n *p;\n" ^ ring_build
+  ^ ring_walk ^ "}\n"
+
+let verdict_of src =
+  match Shape.verdict (Shape.analyze (lower src)) "n" with
+  | Some v -> v
+  | None -> Alcotest.fail "struct n has no shape verdict"
+
+let has_reason (v : Shape.verdict) r =
+  List.exists (fun (w : Shape.witness) -> w.sw_reason = r) v.v_witnesses
+
+let shape_ring_poolable () =
+  let v = verdict_of ring_src in
+  Alcotest.(check bool) "poolable" true v.v_poolable;
+  Alcotest.(check (list int)) "link fields" [ 1 ] v.v_links;
+  Alcotest.(check (list string)) "link names" [ "next" ] v.v_link_names;
+  match v.v_alloc with
+  | Some site -> Alcotest.(check string) "alloc in main" "main" site.sp_fn
+  | None -> Alcotest.fail "no allocation site recorded"
+
+let shape_second_site_refutes () =
+  let src =
+    ring_decls ^ "struct n *spare;\nint main() {\n  long i; struct n *p;\n"
+    ^ ring_build
+    ^ "  spare = (struct n*)malloc(4 * sizeof(struct n));\n"
+    ^ "  spare[0].v = 1;\n" ^ ring_walk ^ "}\n"
+  in
+  let v = verdict_of src in
+  Alcotest.(check bool) "refuted" false v.v_poolable;
+  Alcotest.(check bool) "MULTI witnessed" true (has_reason v Shape.MULTI)
+
+let shape_null_store_refutes () =
+  let src =
+    ring_decls ^ "int main() {\n  long i; struct n *p;\n" ^ ring_build
+    ^ "  items[9].next = 0;\n"
+    ^ "  p = items;\n\
+      \  for (i = 0; i < 9; i++) { acc = acc + p->v; p = p->next; }\n\
+      \  printf(\"%ld\\n\", acc);\n\
+      \  return 0;\n}\n"
+  in
+  let v = verdict_of src in
+  Alcotest.(check bool) "refuted" false v.v_poolable;
+  Alcotest.(check bool) "NULLLINK witnessed" true
+    (has_reason v Shape.NULLLINK)
+
+let shape_interior_alias_refutes () =
+  let src =
+    ring_decls ^ "struct n **hook;\nint main() {\n  long i; struct n *p;\n"
+    ^ ring_build ^ "  hook = &items[3].next;\n" ^ ring_walk ^ "}\n"
+  in
+  let v = verdict_of src in
+  Alcotest.(check bool) "refuted" false v.v_poolable;
+  Alcotest.(check bool) "INTERIOR witnessed" true
+    (has_reason v Shape.INTERIOR)
+
+let shape_free_refutes () =
+  let src =
+    ring_decls ^ "int main() {\n  long i; struct n *p;\n" ^ ring_build
+    ^ "  acc = 0;\n"
+    ^ "  p = items;\n\
+      \  for (i = 0; i < 10; i++) { acc = acc + p->v; p = p->next; }\n\
+      \  free(items);\n\
+      \  printf(\"%ld\\n\", acc);\n\
+      \  return 0;\n}\n"
+  in
+  let v = verdict_of src in
+  Alcotest.(check bool) "refuted" false v.v_poolable;
+  Alcotest.(check bool) "FREED witnessed" true (has_reason v Shape.FREED)
+
+let shape_realloc_in_loop_refutes () =
+  let src =
+    ring_decls
+    ^ "void grow() {\n\
+      \  long i;\n\
+      \  items = (struct n*)malloc(10 * sizeof(struct n));\n\
+      \  for (i = 0; i < 10; i++) {\n\
+      \    items[i].v = i;\n\
+      \    items[i].next = items + ((i + 1) % 10);\n\
+      \  }\n\
+       }\n"
+    ^ "int main() {\n  long i; long r; struct n *p;\n"
+    ^ "  for (r = 0; r < 3; r++) { grow(); }\n"
+    ^ ring_walk ^ "}\n"
+  in
+  let v = verdict_of src in
+  Alcotest.(check bool) "refuted" false v.v_poolable;
+  Alcotest.(check bool) "REDOALLOC witnessed" true
+    (has_reason v Shape.REDOALLOC)
+
+let shape_null_test_refutes () =
+  let src =
+    ring_decls ^ "int main() {\n  long i; struct n *p;\n" ^ ring_build
+    ^ "  p = items;\n\
+      \  while (p != 0) { acc = acc + p->v; p = 0; }\n\
+      \  printf(\"%ld\\n\", acc);\n\
+      \  return 0;\n}\n"
+  in
+  let v = verdict_of src in
+  Alcotest.(check bool) "refuted" false v.v_poolable;
+  Alcotest.(check bool) "NULLLINK witnessed" true
+    (has_reason v Shape.NULLLINK)
+
+(* the pool rewrite end-to-end on the ring: struct gone, factored pool
+   structs and anchors in place, behaviour bit-identical *)
+let pool_rewrite_ring () =
+  let module T = Slo_core.Transform in
+  let prog = lower ring_src in
+  let rep =
+    Slo_suite.Oracle.run prog
+      [ Slo_core.Heuristics.Pool { T.po_typ = "n"; po_links = [ 1 ] } ]
+  in
+  if not (Slo_suite.Oracle.ok rep) then
+    Alcotest.fail (Slo_suite.Oracle.describe rep);
+  let pooled = Ircopy.copy_program prog in
+  T.pool pooled { T.po_typ = "n"; po_links = [ 1 ] };
+  Alcotest.(check bool) "struct n removed" true
+    (Structs.find_opt pooled.Ir.structs "n" = None);
+  Alcotest.(check bool) "data pool defined" true
+    (Structs.find_opt pooled.Ir.structs "n__pool" <> None);
+  Alcotest.(check bool) "link piece defined" true
+    (Structs.find_opt pooled.Ir.structs "n__next" <> None);
+  let has_global g =
+    List.exists (fun (n, _, _) -> String.equal n g) pooled.Ir.globals
+  in
+  Alcotest.(check bool) "data anchor" true (has_global "__pool_n__pool");
+  Alcotest.(check bool) "link anchor" true (has_global "__pool_n__next")
+
+let pool_rejects_bad_specs () =
+  let module T = Slo_core.Transform in
+  let check_rejects name spec =
+    let prog = lower ring_src in
+    match T.pool prog spec with
+    | () -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  check_rejects "unknown struct" { T.po_typ = "ghost"; po_links = [ 0 ] };
+  check_rejects "empty links" { T.po_typ = "n"; po_links = [] };
+  check_rejects "non-link field" { T.po_typ = "n"; po_links = [ 0 ] };
+  check_rejects "out-of-range field" { T.po_typ = "n"; po_links = [ 7 ] }
+
 let () =
   Alcotest.run "ir"
     [
@@ -466,5 +629,25 @@ let () =
         [
           Alcotest.test_case "dce" `Quick dce_removes_orphans;
           Alcotest.test_case "deep copy" `Quick copy_is_deep;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "clean ring poolable" `Quick
+            shape_ring_poolable;
+          Alcotest.test_case "second site refutes" `Quick
+            shape_second_site_refutes;
+          Alcotest.test_case "null store refutes" `Quick
+            shape_null_store_refutes;
+          Alcotest.test_case "interior alias refutes" `Quick
+            shape_interior_alias_refutes;
+          Alcotest.test_case "free refutes" `Quick shape_free_refutes;
+          Alcotest.test_case "re-allocation refutes" `Quick
+            shape_realloc_in_loop_refutes;
+          Alcotest.test_case "null test refutes" `Quick
+            shape_null_test_refutes;
+          Alcotest.test_case "pool rewrite on the ring" `Quick
+            pool_rewrite_ring;
+          Alcotest.test_case "pool rejects bad specs" `Quick
+            pool_rejects_bad_specs;
         ] );
     ]

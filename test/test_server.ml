@@ -33,6 +33,21 @@ let hot_cold_src tag =
      printf(\"%%ld\\n\", s); return 0; }\n"
     tag tag tag tag
 
+(* a single-malloc linked ring: the shape analysis proves it poolable,
+   so an advise with pool=true decides a pooling plan for it *)
+let ring_src tag =
+  Printf.sprintf
+    "struct r%s { long w; struct r%s *next; };\n\
+     struct r%s *items;\n\
+     int main() { long i; long acc; struct r%s *p;\n\
+     items = (struct r%s*)malloc(16 * sizeof(struct r%s));\n\
+     for (i = 0; i < 16; i++) { items[i].w = i;\n\
+     items[i].next = items + ((i + 1) %% 16); }\n\
+     acc = 0; p = items;\n\
+     for (i = 0; i < 48; i++) { acc = acc + p->w; p = p->next; }\n\
+     printf(\"%%ld\\n\", acc); return 0; }\n"
+    tag tag tag tag tag tag
+
 (* a slow program: enough iterations that it outlives a 1 ms deadline *)
 let slow_src tag =
   Printf.sprintf
@@ -109,8 +124,8 @@ let with_server ?(jobs = 1) ?(max_conns = 16) ?(handle_sigterm = false)
       if Sys.file_exists socket_path then Sys.remove socket_path)
     (fun () -> f ~connect ~close socket_path)
 
-let advise ?scheme ?deadline_ms src =
-  P.Advise { src; scheme; args = []; deadline_ms }
+let advise ?scheme ?(pool = false) ?deadline_ms src =
+  P.Advise { src; scheme; args = []; pool; deadline_ms }
 
 let bench ?scheme ?backend ?deadline_ms src =
   P.Bench { src; scheme; backend; args = []; deadline_ms }
@@ -205,6 +220,7 @@ let codec_requests () =
          src = "x";
          scheme = Some "spbo";
          args = [ 3; 14 ];
+         pool = true;
          deadline_ms = Some 250.0;
        });
   roundtrip
@@ -391,6 +407,33 @@ let e2e_advise_cached () =
           (List.assoc_opt "advise" s.s_requests = Some 3);
         Alcotest.(check bool) "cache occupied" true (s.s_cache_bytes > 0)
       | _ -> Alcotest.fail "stats failed");
+      close conn)
+
+(* pool is part of the cache key and actually changes the decisions:
+   the same ring advised with and without --pool yields two distinct
+   cache entries, and only the pooled report mentions the pool plan *)
+let e2e_advise_pool () =
+  with_server (fun ~connect ~close _socket ->
+      let conn = connect () in
+      let src = ring_src "pl" in
+      (match Client.rpc conn (advise src) with
+      | P.R_advise { a_report; a_cached } ->
+        Alcotest.(check bool) "plain advise is a miss" false a_cached;
+        Alcotest.(check bool) "no pooling without the flag" false
+          (Astring.String.is_infix ~affix:"Pooling" a_report)
+      | r ->
+        Alcotest.failf "plain advise failed: %s" (Json.to_string (P.json_of_reply r)));
+      (match Client.rpc conn (advise ~pool:true src) with
+      | P.R_advise { a_report; a_cached } ->
+        Alcotest.(check bool) "pool is part of the cache key" false a_cached;
+        Alcotest.(check bool) "pooled report proposes pooling" true
+          (Astring.String.is_infix ~affix:"Transform: Pooling" a_report)
+      | r ->
+        Alcotest.failf "pool advise failed: %s" (Json.to_string (P.json_of_reply r)));
+      (match Client.rpc conn (advise ~pool:true src) with
+      | P.R_advise { a_cached; _ } ->
+        Alcotest.(check bool) "pooled repeat is a hit" true a_cached
+      | _ -> Alcotest.fail "pooled repeat failed");
       close conn)
 
 let e2e_bench () =
@@ -783,6 +826,7 @@ let () =
       ( "daemon",
         [
           Alcotest.test_case "advise + cache" `Quick e2e_advise_cached;
+          Alcotest.test_case "advise with pooling" `Quick e2e_advise_pool;
           Alcotest.test_case "bench + cache" `Quick e2e_bench;
           Alcotest.test_case "check + cache" `Quick e2e_check;
           Alcotest.test_case "tune anytime + cache" `Quick e2e_tune;
